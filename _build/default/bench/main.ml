@@ -1,0 +1,166 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel microbenchmarks: one Test.make per paper figure,
+   timing the core simulation path that figure exercises at reduced
+   scale, plus calibration benches for the hot data structures (zipf
+   sampling, bloom filter, generation lists, event queue).
+
+   Part 2 — the full figure reproduction: prints every series of
+   Figures 1-12 exactly as EXPERIMENTS.md records them.  Scale is
+   controlled by REPRO_TRIALS / REPRO_YCSB_TRIALS / REPRO_FAST. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Calibration micro-benchmarks for core data structures.              *)
+(* ------------------------------------------------------------------ *)
+
+let bench_zipf =
+  let z = Workload.Zipf.create ~n:100_000 ~exponent:0.99 in
+  let rng = Engine.Rng.create 1 in
+  Test.make ~name:"zipf-sample" (Staged.stage (fun () -> Workload.Zipf.sample z rng))
+
+let bench_bloom =
+  let b = Structures.Bloom.create ~bits:(1 lsl 15) ~seed:1 () in
+  let i = ref 0 in
+  Test.make ~name:"bloom-add-mem"
+    (Staged.stage (fun () ->
+         incr i;
+         Structures.Bloom.add b !i;
+         Structures.Bloom.mem b (!i / 2)))
+
+let bench_dlist =
+  let d = Structures.Dlist.create ~nodes:4096 ~lists:4 in
+  for node = 0 to 4095 do
+    Structures.Dlist.push_head d ~list:(node mod 4) ~node
+  done;
+  let i = ref 0 in
+  Test.make ~name:"dlist-move"
+    (Staged.stage (fun () ->
+         i := (!i + 1) land 4095;
+         Structures.Dlist.move_head d ~list:(!i mod 4) ~node:!i))
+
+let bench_event_queue =
+  let q = Engine.Event_queue.create () in
+  let i = ref 0 in
+  Test.make ~name:"event-queue-add-pop"
+    (Staged.stage (fun () ->
+         incr i;
+         Engine.Event_queue.add q ~time:(!i land 1023) ();
+         if !i land 1 = 0 then ignore (Engine.Event_queue.pop q)))
+
+let bench_pte =
+  let pt = Mem.Page_table.create ~asid:0 ~pages:4096 () in
+  let i = ref 0 in
+  Test.make ~name:"pte-touch"
+    (Staged.stage (fun () ->
+         i := (!i + 1) land 4095;
+         let pte = Mem.Page_table.get pt !i in
+         Mem.Page_table.set pt !i (Mem.Pte.set_accessed pte)))
+
+let bench_rng =
+  let rng = Engine.Rng.create 2 in
+  Test.make ~name:"rng-int" (Staged.stage (fun () -> Engine.Rng.int rng 1_000_000))
+
+(* ------------------------------------------------------------------ *)
+(* One Test.make per figure: a micro-scale version of the simulation   *)
+(* each figure rests on (full-scale series are printed afterwards).    *)
+(* ------------------------------------------------------------------ *)
+
+let micro_trace ~pages ~passes =
+  List.init passes (fun _ -> Array.init pages (fun i -> i))
+
+let micro_run ~policy ~swap ~capacity ~pages ~passes () =
+  let w = Workload.Trace.of_page_lists ~footprint:pages (micro_trace ~pages ~passes) in
+  let cfg =
+    {
+      (Repro_core.Machine.default_config ~capacity_frames:capacity ~seed:5) with
+      Repro_core.Machine.swap;
+      kthread_jitter_ns = 0;
+    }
+  in
+  let r =
+    Repro_core.Machine.run cfg
+      ~policy:(Policy.Registry.create policy)
+      ~workload:(Workload.Chunk.Packed ((module Workload.Trace), w))
+  in
+  Sys.opaque_identity r.Repro_core.Machine.major_faults
+
+let fig_micro name ~policy ~swap =
+  Test.make ~name
+    (Staged.stage (micro_run ~policy ~swap ~capacity:64 ~pages:128 ~passes:2))
+
+let figure_micro_tests =
+  [
+    fig_micro "fig01-mglru-vs-clock-ssd" ~policy:Policy.Registry.Mglru_default
+      ~swap:Repro_core.Machine.ssd;
+    fig_micro "fig02-joint-distribution" ~policy:Policy.Registry.Clock
+      ~swap:Repro_core.Machine.ssd;
+    fig_micro "fig03-tail-latency-ssd" ~policy:Policy.Registry.Mglru_default
+      ~swap:Repro_core.Machine.ssd;
+    fig_micro "fig04-variant-gen14" ~policy:Policy.Registry.Gen14
+      ~swap:Repro_core.Machine.ssd;
+    fig_micro "fig05-variant-scan-all" ~policy:Policy.Registry.Scan_all
+      ~swap:Repro_core.Machine.ssd;
+    fig_micro "fig06-capacity-75" ~policy:Policy.Registry.Scan_none
+      ~swap:Repro_core.Machine.ssd;
+    fig_micro "fig07-fault-distribution" ~policy:(Policy.Registry.Scan_rand 0.5)
+      ~swap:Repro_core.Machine.ssd;
+    fig_micro "fig08-tails-by-capacity" ~policy:Policy.Registry.Clock
+      ~swap:Repro_core.Machine.ssd;
+    fig_micro "fig09-zram-performance" ~policy:Policy.Registry.Mglru_default
+      ~swap:Repro_core.Machine.zram;
+    fig_micro "fig10-zram-faults" ~policy:Policy.Registry.Clock
+      ~swap:Repro_core.Machine.zram;
+    fig_micro "fig11-zram-vs-ssd" ~policy:Policy.Registry.Mglru_default
+      ~swap:Repro_core.Machine.zram;
+    fig_micro "fig12-zram-tails" ~policy:Policy.Registry.Clock
+      ~swap:Repro_core.Machine.zram;
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let tests =
+    Test.make_grouped ~name:"pagerepl"
+      ([ bench_zipf; bench_bloom; bench_dlist; bench_event_queue; bench_pte; bench_rng ]
+      @ figure_micro_tests)
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  print_endline "=== Bechamel microbenchmarks (ns/run, OLS) ===";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> Printf.sprintf "%12.1f" t
+        | Some [] | None -> "           ?"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-40s %s ns/run\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  (match Sys.getenv_opt "REPRO_SKIP_MICRO" with
+  | Some _ -> print_endline "(skipping bechamel microbenchmarks)"
+  | None -> run_benchmarks ());
+  print_newline ();
+  print_endline "=== Full figure reproduction ===";
+  Printf.printf "profile: trials=%d ycsb_trials=%d fast=%b\n"
+    (Repro_core.Runner.profile ()).Repro_core.Runner.trials
+    (Repro_core.Runner.profile ()).Repro_core.Runner.ycsb_trials
+    (Repro_core.Runner.profile ()).Repro_core.Runner.fast;
+  let t0 = Unix.gettimeofday () in
+  Repro_core.Figures.run_all ();
+  Printf.printf "\n(total figure time: %.1fs)\n" (Unix.gettimeofday () -. t0)

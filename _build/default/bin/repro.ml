@@ -1,0 +1,309 @@
+(* Command-line interface to the characterization harness.
+
+   repro fig 1 .. 12 | all    reproduce the paper's figures
+   repro run ...              run one experiment cell
+   repro list                 show available workloads and policies
+   repro sweep ...            capacity-ratio sweep for one workload *)
+
+open Cmdliner
+
+let set_profile_env trials ycsb_trials fast =
+  (match trials with
+  | Some n -> Unix.putenv "REPRO_TRIALS" (string_of_int n)
+  | None -> ());
+  (match ycsb_trials with
+  | Some n -> Unix.putenv "REPRO_YCSB_TRIALS" (string_of_int n)
+  | None -> ());
+  if fast then Unix.putenv "REPRO_FAST" "1"
+
+let trials_arg =
+  Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N"
+         ~doc:"Trials per TPC-H/PageRank cell (default 25, or \\$REPRO_TRIALS).")
+
+let ycsb_trials_arg =
+  Arg.(value & opt (some int) None & info [ "ycsb-trials" ] ~docv:"N"
+         ~doc:"Trials per YCSB cell (default 2, or \\$REPRO_YCSB_TRIALS).")
+
+let fast_arg =
+  Arg.(value & flag & info [ "fast" ] ~doc:"Shrink workloads ~4x for a quick look.")
+
+let workload_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "tpch" -> Ok Repro_core.Runner.Tpch
+    | "pagerank" -> Ok Repro_core.Runner.Pagerank
+    | "ycsb-a" -> Ok (Repro_core.Runner.Ycsb Workload.Ycsb.A)
+    | "ycsb-b" -> Ok (Repro_core.Runner.Ycsb Workload.Ycsb.B)
+    | "ycsb-c" -> Ok (Repro_core.Runner.Ycsb Workload.Ycsb.C)
+    | _ -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  Arg.conv
+    (parse, fun fmt w -> Format.pp_print_string fmt (Repro_core.Runner.workload_kind_name w))
+
+let policy_conv =
+  let parse s =
+    match Policy.Registry.of_name (String.lowercase_ascii s) with
+    | Some spec -> Ok spec
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Policy.Registry.name p))
+
+let swap_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "ssd" -> Ok Repro_core.Runner.Ssd
+    | "zram" -> Ok Repro_core.Runner.Zram
+    | _ -> Error (`Msg (Printf.sprintf "unknown swap medium %S" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Repro_core.Runner.swap_name s))
+
+(* ---------------- fig ---------------- *)
+
+let fig_cmd =
+  let figures =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FIGURE" ~doc:"Figure numbers (1-12) or $(b,all).")
+  in
+  let run figures trials ycsb_trials fast =
+    set_profile_env trials ycsb_trials fast;
+    try
+      if List.mem "all" figures then Repro_core.Figures.run_all ()
+      else
+        List.iter
+          (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 1 && n <= 12 -> Repro_core.Figures.run n
+            | Some _ | None ->
+              raise (Invalid_argument (Printf.sprintf "no figure %S" s)))
+          figures;
+      `Ok ()
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Reproduce one or more of the paper's figures (1-12).")
+    Term.(ret (const run $ figures $ trials_arg $ ycsb_trials_arg $ fast_arg))
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let workload =
+    Arg.(value & opt workload_conv Repro_core.Runner.Tpch
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+             ~doc:"tpch | pagerank | ycsb-a | ycsb-b | ycsb-c")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Policy.Registry.Mglru_default
+         & info [ "p"; "policy" ] ~docv:"POLICY"
+             ~doc:
+               "clock | mglru | gen14 | scan-all | scan-none | scan-rand | fifo | \
+                random | lru-exact")
+  in
+  let ratio =
+    Arg.(value & opt float 0.5
+         & info [ "r"; "ratio" ] ~docv:"R" ~doc:"Memory capacity / footprint.")
+  in
+  let swap =
+    Arg.(value & opt swap_conv Repro_core.Runner.Ssd
+         & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-policy internal counters.")
+  in
+  let run workload policy ratio swap verbose trials ycsb_trials fast =
+    set_profile_env trials ycsb_trials fast;
+    let n = Repro_core.Runner.trials_for workload in
+    Printf.printf "%s / %s / %.0f%% / %s  (%d trial%s)\n"
+      (Repro_core.Runner.workload_kind_name workload)
+      (Policy.Registry.name policy) (ratio *. 100.0)
+      (Repro_core.Runner.swap_name swap) n
+      (if n = 1 then "" else "s");
+    let results = ref [] in
+    for trial = 0 to n - 1 do
+      let r =
+        Repro_core.Runner.run_exp
+          { Repro_core.Runner.workload; policy; ratio; swap; trial }
+      in
+      results := r :: !results;
+      Printf.printf
+        "  trial %2d: runtime %10s  major %9s  ins %9s  outs %9s  direct %6d\n%!"
+        trial
+        (Repro_core.Report.fsec (float_of_int r.Repro_core.Machine.runtime_ns /. 1e9))
+        (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.major_faults))
+        (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_ins))
+        (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_outs))
+        r.Repro_core.Machine.direct_reclaims;
+      if verbose then
+        List.iter
+          (fun (k, v) -> Printf.printf "      %-24s %d\n" k v)
+          r.Repro_core.Machine.policy_stats
+    done;
+    let results = List.rev !results in
+    if n > 1 then begin
+      let rt = Stats.Summary.of_array (Repro_core.Runner.runtimes_s results) in
+      let fl = Stats.Summary.of_array (Repro_core.Runner.faults results) in
+      Printf.printf "  mean runtime %s (min %s, max %s, spread %.2fx)\n"
+        (Repro_core.Report.fsec rt.Stats.Summary.mean)
+        (Repro_core.Report.fsec rt.Stats.Summary.min)
+        (Repro_core.Report.fsec rt.Stats.Summary.max)
+        (Stats.Summary.spread rt);
+      Printf.printf "  mean faults %s (CV %.3f)\n"
+        (Repro_core.Report.fcount fl.Stats.Summary.mean)
+        (Stats.Summary.cv fl)
+    end;
+    let reads = Repro_core.Runner.pooled_read_latencies results in
+    if Array.length reads > 0 then
+      Format.printf "  read latency: %a@."
+        Stats.Percentile.pp_tail
+        (Stats.Percentile.tail_of reads);
+    let writes = Repro_core.Runner.pooled_write_latencies results in
+    if Array.length writes > 0 then
+      Format.printf "  write latency: %a@."
+        Stats.Percentile.pp_tail
+        (Stats.Percentile.tail_of writes)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment cell and print its metrics.")
+    Term.(
+      const run $ workload $ policy $ ratio $ swap $ verbose $ trials_arg
+      $ ycsb_trials_arg $ fast_arg)
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "workloads:";
+    List.iter
+      (fun w -> Printf.printf "  %s\n" (Repro_core.Runner.workload_kind_name w))
+      Repro_core.Runner.all_workloads;
+    print_endline "policies:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Policy.Registry.known_names;
+    print_endline "swap media:";
+    print_endline "  ssd   (~7.5 ms / 4 KB op, the paper's measured device)";
+    print_endline "  zram  (20/35 us, LZO-RLE-like compression)"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, policies, and swap media.")
+    Term.(const run $ const ())
+
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd =
+  let workload =
+    Arg.(value & opt workload_conv Repro_core.Runner.Tpch
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload to sweep.")
+  in
+  let swap =
+    Arg.(value & opt swap_conv Repro_core.Runner.Ssd
+         & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
+  in
+  let run workload swap trials ycsb_trials fast =
+    set_profile_env trials ycsb_trials fast;
+    let ratios = [ 0.5; 0.75; 0.9 ] in
+    let header =
+      ("policy"
+      :: List.map (fun r -> Printf.sprintf "%.0f%% rt" (r *. 100.0)) ratios)
+      @ List.map (fun r -> Printf.sprintf "%.0f%% faults" (r *. 100.0)) ratios
+    in
+    let rows =
+      List.map
+        (fun policy ->
+          let cells =
+            List.map
+              (fun ratio -> Repro_core.Runner.run_cell ~workload ~policy ~ratio ~swap)
+              ratios
+          in
+          (Policy.Registry.name policy
+          :: List.map
+               (fun c -> Repro_core.Report.fsec (Repro_core.Runner.mean_runtime_s c))
+               cells)
+          @ List.map
+              (fun c -> Repro_core.Report.fcount (Repro_core.Runner.mean_faults c))
+              cells)
+        Policy.Registry.all_paper_specs
+    in
+    Repro_core.Report.section
+      (Printf.sprintf "Capacity sweep: %s on %s"
+         (Repro_core.Runner.workload_kind_name workload)
+         (Repro_core.Runner.swap_name swap));
+    Repro_core.Report.table ~header rows
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep capacity ratios for every paper policy.")
+    Term.(const run $ workload $ swap $ trials_arg $ ycsb_trials_arg $ fast_arg)
+
+(* ---------------- ablate ---------------- *)
+
+let ablate_cmd =
+  let studies =
+    Arg.(
+      value & pos_all string [ "all" ]
+      & info [] ~docv:"STUDY"
+          ~doc:
+            "generations | bloom | spatial | readahead | scan-rand | all")
+  in
+  let run studies trials ycsb_trials fast =
+    set_profile_env trials ycsb_trials fast;
+    let dispatch = function
+      | "generations" -> Repro_core.Ablation.generations ()
+      | "bloom" -> Repro_core.Ablation.bloom_density ()
+      | "spatial" -> Repro_core.Ablation.spatial_scan ()
+      | "readahead" -> Repro_core.Ablation.readahead ()
+      | "scan-rand" -> Repro_core.Ablation.scan_probability ()
+      | "all" -> Repro_core.Ablation.run_all ()
+      | s -> raise (Invalid_argument (Printf.sprintf "no ablation study %S" s))
+    in
+    try
+      List.iter dispatch studies;
+      `Ok ()
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "ablate" ~doc:"Ablate MG-LRU/machine design choices (DESIGN.md \\S5).")
+    Term.(ret (const run $ studies $ trials_arg $ ycsb_trials_arg $ fast_arg))
+
+(* ---------------- tier ---------------- *)
+
+let tier_cmd =
+  let fast_frac =
+    Arg.(value & opt float 0.5
+         & info [ "fast-frac" ] ~docv:"F"
+             ~doc:"Fast-tier size as a fraction of the footprint.")
+  in
+  let tier_trials =
+    Arg.(value & opt int 3 & info [ "tier-trials" ] ~docv:"N" ~doc:"Trials per cell.")
+  in
+  let run fast_frac tier_trials trials ycsb_trials fast =
+    set_profile_env trials ycsb_trials fast;
+    Repro_core.Tier_study.study ~fast_frac ~trials:tier_trials ()
+  in
+  Cmd.v
+    (Cmd.info "tier"
+       ~doc:"Compare page-migration policies (TPP/Thermostat/AutoNUMA) on tiered memory.")
+    Term.(const run $ fast_frac $ tier_trials $ trials_arg $ ycsb_trials_arg $ fast_arg)
+
+(* ---------------- export ---------------- *)
+
+let export_cmd =
+  let dir =
+    Arg.(value & opt string "figures-csv"
+         & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory for CSV files.")
+  in
+  let run dir trials ycsb_trials fast =
+    set_profile_env trials ycsb_trials fast;
+    Repro_core.Csv_export.export_all ~dir;
+    Printf.printf "wrote figure CSVs to %s/\n" dir
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export every figure's underlying data as CSV.")
+    Term.(const run $ dir $ trials_arg $ ycsb_trials_arg $ fast_arg)
+
+let main =
+  let doc =
+    "reproduction harness for 'Characterizing Emerging Page Replacement Policies'"
+  in
+  Cmd.group
+    (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    [ fig_cmd; run_cmd; list_cmd; sweep_cmd; ablate_cmd; tier_cmd; export_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/belady_bound.ml: Array Engine List Policy Printf Repro_core Workload

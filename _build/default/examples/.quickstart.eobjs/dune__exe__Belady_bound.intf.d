@@ -1,0 +1,1 @@
+examples/belady_bound.mli:

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Array Engine List Policy Repro_core Stats Workload

@@ -1,0 +1,1 @@
+examples/policy_shootout.ml: Float List Policy Repro_core Unix

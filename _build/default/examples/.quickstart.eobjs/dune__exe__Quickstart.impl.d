@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Policy Printf Repro_core Workload

@@ -1,0 +1,1 @@
+examples/tail_latency.ml: Array List Policy Repro_core Stats Unix Workload

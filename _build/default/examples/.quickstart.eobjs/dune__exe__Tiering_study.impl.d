@@ -1,0 +1,1 @@
+examples/tiering_study.ml: Repro_core Unix

@@ -1,0 +1,1 @@
+examples/tiering_study.mli:

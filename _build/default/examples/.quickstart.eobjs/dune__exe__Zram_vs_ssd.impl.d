@@ -1,0 +1,1 @@
+examples/zram_vs_ssd.ml: List Policy Repro_core Unix

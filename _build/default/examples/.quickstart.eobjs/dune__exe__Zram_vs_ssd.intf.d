@@ -1,0 +1,1 @@
+examples/zram_vs_ssd.mli:

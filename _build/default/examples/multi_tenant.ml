@@ -1,0 +1,93 @@
+(* Multi-tenancy (paper SVI-D, future work): two tenants share one
+   machine - a latency-sensitive KV cache next to a batch analytics job -
+   and fight over the same physical memory under one replacement policy.
+
+     dune exec examples/multi_tenant.exe *)
+
+let make_tenants () =
+  let ycsb =
+    Workload.Ycsb.create
+      ~config:
+        {
+          Workload.Ycsb.default_config with
+          Workload.Ycsb.items = 20_000;
+          requests = 120_000;
+          threads = 2;
+        }
+      ~variant:Workload.Ycsb.B
+      ~rng:(Engine.Rng.create 7) ()
+  in
+  let tpch =
+    Workload.Tpch.create
+      ~config:
+        {
+          Workload.Tpch.default_config with
+          Workload.Tpch.table_pages = 1_200;
+          shuffle_pages = 700;
+          hash_pages = 300;
+          dimension_pages = 200;
+          threads = 4;
+          queries = 3;
+        }
+      ~rng:(Engine.Rng.create 8) ()
+  in
+  Workload.Multi.create
+    [
+      Workload.Chunk.Packed ((module Workload.Ycsb), ycsb);
+      Workload.Chunk.Packed ((module Workload.Tpch), tpch);
+    ]
+
+let run policy =
+  let tenants = make_tenants () in
+  let footprint = Workload.Multi.footprint_pages tenants in
+  let config =
+    {
+      (Repro_core.Machine.default_config
+         ~capacity_frames:(footprint / 2)
+         ~seed:99)
+      with
+      Repro_core.Machine.barrier_groups = Some (Workload.Multi.barrier_groups tenants);
+    }
+  in
+  let r =
+    Repro_core.Machine.run config
+      ~policy:(Policy.Registry.create policy)
+      ~workload:(Workload.Chunk.Packed ((module Workload.Multi), tenants))
+  in
+  (tenants, r)
+
+let () =
+  Repro_core.Report.section "Multi-tenant: YCSB-B cache + TPC-H batch, 50% memory";
+  let rows =
+    List.map
+      (fun policy ->
+        let tenants, r = run policy in
+        (* Tenant 0 = YCSB (threads 0-1), tenant 1 = TPC-H (threads 2-5). *)
+        let finish_of_tenant i =
+          let finishes = r.Repro_core.Machine.per_thread_finish in
+          Array.to_list finishes
+          |> List.filteri (fun tid _ -> Workload.Multi.tenant_of_thread tenants tid = i)
+          |> List.fold_left max 0
+        in
+        let reads = r.Repro_core.Machine.read_latencies in
+        let p999 =
+          if Array.length reads = 0 then 0.0 else Stats.Percentile.quantile reads 0.999
+        in
+        [
+          Policy.Registry.name policy;
+          Repro_core.Report.fsec (float_of_int (finish_of_tenant 0) /. 1e9);
+          Repro_core.Report.fsec (float_of_int (finish_of_tenant 1) /. 1e9);
+          Repro_core.Report.fns p999;
+          Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.major_faults);
+          string_of_int r.Repro_core.Machine.direct_reclaims;
+        ])
+      Policy.Registry.[ Clock; Mglru_default; Fifo ]
+  in
+  Repro_core.Report.table
+    ~header:[ "policy"; "cache done"; "batch done"; "cache p99.9"; "faults"; "direct" ]
+    rows;
+  Repro_core.Report.note
+    "The batch tenant's table streams compete with the cache tenant's hot";
+  Repro_core.Report.note
+    "items inside one set of generations/lists - the isolation problem the";
+  Repro_core.Report.note "paper leaves to future work."

@@ -1,0 +1,3 @@
+let () =
+  Unix.putenv "REPRO_FAST" "1";
+  Repro_core.Tier_study.study ~trials:1 ()

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: List Machine Policy Printf Report Runner Workload

@@ -1,0 +1,1 @@
+lib/core/csv_export.ml: Array Figures Filename Float Fun List Machine Policy Printf Runner Stats String Sys Workload

@@ -1,0 +1,1 @@
+lib/core/csv_export.mli:

@@ -1,0 +1,1 @@
+lib/core/figures.ml: Array Float List Machine Policy Printf Report Runner Stats Workload

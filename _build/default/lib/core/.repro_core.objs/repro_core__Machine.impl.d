@@ -1,0 +1,1 @@
+lib/core/machine.ml: Array Engine List Mem Policy Structures Swapdev Workload

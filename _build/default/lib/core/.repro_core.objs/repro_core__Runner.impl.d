@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Engine Hashtbl List Machine Policy Printf String Sys Workload

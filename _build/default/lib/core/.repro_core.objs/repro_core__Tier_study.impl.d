@@ -1,0 +1,1 @@
+lib/core/tier_study.ml: List Printf Report Runner Tiering Workload

@@ -1,0 +1,1 @@
+lib/core/tier_study.mli: Runner Tiering

@@ -1,0 +1,30 @@
+(** Ablation studies over the design choices the paper calls out.
+
+    Each study sweeps one mechanism while holding everything else at the
+    paper's defaults, on TPC-H and PageRank at SSD/50 % — the regime
+    where replacement decisions matter most:
+
+    - {!generations}: the generation-window cap (Clock's 2 lists → the
+      default 4 → Gen-14's 2¹⁴), §V-B's first knob;
+    - {!bloom_density}: the accessed-PTE density a region needs to enter
+      the aging Bloom filter (the kernel's "one per cache line");
+    - {!spatial_scan}: the eviction walker's page-table look-around, the
+      mechanism §V-B credits for Scan-None beating Clock;
+    - {!readahead}: the machine's swap readahead window (not a policy
+      knob, but it interacts with every policy's fault counts);
+    - {!scan_probability}: Scan-Rand's probability, which the paper
+      fixes at 50 % (§VI-C asks whether other points are better).
+
+    [run_all] prints every study. *)
+
+val generations : unit -> unit
+
+val bloom_density : unit -> unit
+
+val spatial_scan : unit -> unit
+
+val readahead : unit -> unit
+
+val scan_probability : unit -> unit
+
+val run_all : unit -> unit

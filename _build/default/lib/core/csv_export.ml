@@ -1,0 +1,198 @@
+let quote field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let write ~path ~header rows =
+  let out = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () ->
+      let put row = output_string out (String.concat "," (List.map quote row) ^ "\n") in
+      put header;
+      List.iter put rows)
+
+let f = Printf.sprintf "%.6g"
+
+let wname = Runner.workload_kind_name
+
+let pname = Policy.Registry.name
+
+let specs = Policy.Registry.all_paper_specs
+
+let norm_file ~path ~metric ~base_policy ~ratio ~swap =
+  let rows =
+    List.concat_map
+      (fun workload ->
+        let base =
+          Figures.cell ~workload ~policy:base_policy ~ratio ~swap
+        in
+        List.map
+          (fun policy ->
+            let c = Figures.cell ~workload ~policy ~ratio ~swap in
+            [
+              wname workload;
+              pname policy;
+              f (metric c /. Float.max 1e-9 (metric base));
+            ])
+          specs)
+      Runner.all_workloads
+  in
+  write ~path ~header:[ "workload"; "policy"; "normalized" ] rows
+
+let points_file ~path ~policies =
+  let rows =
+    List.concat_map
+      (fun workload ->
+        List.concat_map
+          (fun policy ->
+            let c = Figures.cell ~workload ~policy ~ratio:0.5 ~swap:Runner.Ssd in
+            List.mapi
+              (fun trial r ->
+                [
+                  wname workload;
+                  pname policy;
+                  string_of_int trial;
+                  f (float_of_int r.Machine.runtime_ns /. 1e9);
+                  string_of_int r.Machine.major_faults;
+                ])
+              c.Figures.results)
+          policies)
+      [ Runner.Tpch; Runner.Pagerank ]
+  in
+  write ~path
+    ~header:[ "workload"; "policy"; "trial"; "runtime_s"; "major_faults" ]
+    rows
+
+let tails_file ~path ~ratio ~swap =
+  let rows =
+    List.concat_map
+      (fun variant ->
+        let workload = Runner.Ycsb variant in
+        List.concat_map
+          (fun policy ->
+            let c = Figures.cell ~workload ~policy ~ratio ~swap in
+            let row op lat =
+              if Array.length lat = 0 then []
+              else begin
+                let t = Stats.Percentile.tail_of lat in
+                [
+                  [
+                    wname workload; pname policy; op;
+                    f t.Stats.Percentile.p50; f t.Stats.Percentile.p90;
+                    f t.Stats.Percentile.p99; f t.Stats.Percentile.p999;
+                    f t.Stats.Percentile.p9999; f t.Stats.Percentile.max;
+                  ];
+                ]
+              end
+            in
+            row "read" (Runner.pooled_read_latencies c.Figures.results)
+            @ row "write" (Runner.pooled_write_latencies c.Figures.results))
+          Policy.Registry.[ Clock; Mglru_default ])
+      Workload.Ycsb.[ A; B; C ]
+  in
+  write ~path
+    ~header:
+      [ "workload"; "policy"; "op"; "p50_ns"; "p90_ns"; "p99_ns"; "p999_ns";
+        "p9999_ns"; "max_ns" ]
+    rows
+
+let box_file ~path =
+  let rows =
+    List.concat_map
+      (fun ratio ->
+        List.concat_map
+          (fun workload ->
+            let base =
+              Figures.cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio
+                ~swap:Runner.Ssd
+            in
+            let norm = Float.max 1e-9 base.Figures.mean_faults in
+            List.map
+              (fun policy ->
+                let c = Figures.cell ~workload ~policy ~ratio ~swap:Runner.Ssd in
+                let fl = Array.map (fun x -> x /. norm) (Runner.faults c.Figures.results) in
+                let q1, q2, q3 = Stats.Percentile.quartiles fl in
+                let s = Stats.Summary.of_array fl in
+                [
+                  f ratio; wname workload; pname policy;
+                  f s.Stats.Summary.min; f q1; f q2; f q3; f s.Stats.Summary.max;
+                ])
+              specs)
+          [ Runner.Tpch; Runner.Pagerank ])
+      [ 0.5; 0.75; 0.9 ]
+  in
+  write ~path
+    ~header:[ "ratio"; "workload"; "policy"; "min"; "q1"; "median"; "q3"; "max" ]
+    rows
+
+let ratio_file ~path =
+  let rows =
+    List.concat_map
+      (fun ratio ->
+        List.concat_map
+          (fun workload ->
+            let base =
+              Figures.cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio
+                ~swap:Runner.Ssd
+            in
+            List.map
+              (fun policy ->
+                let c = Figures.cell ~workload ~policy ~ratio ~swap:Runner.Ssd in
+                [
+                  f ratio; wname workload; pname policy;
+                  f (c.Figures.perf /. Float.max 1e-9 base.Figures.perf);
+                ])
+              specs)
+          Runner.all_workloads)
+      [ 0.75; 0.9 ]
+  in
+  write ~path ~header:[ "ratio"; "workload"; "policy"; "normalized_perf" ] rows
+
+let zram_vs_ssd_file ~path =
+  let rows =
+    List.map
+      (fun workload ->
+        let ssd =
+          Figures.cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio:0.5
+            ~swap:Runner.Ssd
+        in
+        let zr =
+          Figures.cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio:0.5
+            ~swap:Runner.Zram
+        in
+        [
+          wname workload;
+          f (Runner.mean_runtime_s zr.Figures.results
+             /. Float.max 1e-9 (Runner.mean_runtime_s ssd.Figures.results));
+          f (zr.Figures.mean_faults /. Float.max 1e-9 ssd.Figures.mean_faults);
+        ])
+      Runner.all_workloads
+  in
+  write ~path
+    ~header:[ "workload"; "runtime_zram_over_ssd"; "faults_zram_over_ssd" ]
+    rows
+
+let export_all ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let p name = Filename.concat dir name in
+  (* fig1: vs clock at ssd/50 *)
+  norm_file ~path:(p "fig1.csv") ~metric:(fun c -> c.Figures.perf)
+    ~base_policy:Policy.Registry.Clock ~ratio:0.5 ~swap:Runner.Ssd;
+  points_file ~path:(p "fig2_points.csv")
+    ~policies:Policy.Registry.[ Clock; Mglru_default ];
+  tails_file ~path:(p "fig3_tails.csv") ~ratio:0.5 ~swap:Runner.Ssd;
+  norm_file ~path:(p "fig4.csv") ~metric:(fun c -> c.Figures.perf)
+    ~base_policy:Policy.Registry.Mglru_default ~ratio:0.5 ~swap:Runner.Ssd;
+  points_file ~path:(p "fig5_points.csv")
+    ~policies:
+      Policy.Registry.[ Mglru_default; Gen14; Scan_all; Scan_none; Scan_rand 0.5 ];
+  ratio_file ~path:(p "fig6.csv");
+  box_file ~path:(p "fig7_box.csv");
+  tails_file ~path:(p "fig8_tails.csv") ~ratio:0.75 ~swap:Runner.Ssd;
+  norm_file ~path:(p "fig9.csv") ~metric:(fun c -> c.Figures.perf)
+    ~base_policy:Policy.Registry.Mglru_default ~ratio:0.5 ~swap:Runner.Zram;
+  norm_file ~path:(p "fig10.csv") ~metric:(fun c -> c.Figures.mean_faults)
+    ~base_policy:Policy.Registry.Mglru_default ~ratio:0.5 ~swap:Runner.Zram;
+  zram_vs_ssd_file ~path:(p "fig11.csv");
+  tails_file ~path:(p "fig12_tails.csv") ~ratio:0.5 ~swap:Runner.Zram

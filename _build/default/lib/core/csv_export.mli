@@ -1,0 +1,20 @@
+(** CSV export of every figure's underlying data, for external plotting.
+
+    [export_all ~dir ()] writes one file per figure family into [dir]
+    (created if missing):
+
+    - [fig1.csv], [fig4.csv], [fig6.csv], [fig9.csv], [fig10.csv],
+      [fig11.csv] — normalized means;
+    - [fig2_points.csv], [fig5_points.csv] — per-trial (runtime, faults)
+      joint-distribution points;
+    - [fig3_tails.csv], [fig8_tails.csv], [fig12_tails.csv] — tail
+      latency landmarks;
+    - [fig7_box.csv] — per-policy fault-count quartile boxes.
+
+    Cells come from the shared trial cache, so exporting after a figure
+    run reuses its results. *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Minimal CSV writer with quoting of commas/quotes/newlines. *)
+
+val export_all : dir:string -> unit

@@ -1,0 +1,62 @@
+(** Reproductions of the paper's Figures 1-12.
+
+    Each [figN] runs (or fetches from the trial cache) the grid cells the
+    corresponding figure needs and prints the same series the paper
+    plots: normalized means, joint runtime/fault distributions, tail
+    latencies, quartile boxes.  [run_all] regenerates the entire
+    evaluation section.  EXPERIMENTS.md records the paper-vs-measured
+    comparison for every figure.
+
+    Numeric data is also returned so tests and the bench harness can
+    assert the paper's qualitative shapes without re-parsing text. *)
+
+type cell = {
+  workload : Runner.workload_kind;
+  policy : Policy.Registry.spec;
+  ratio : float;
+  swap : Runner.swap_medium;
+  results : Machine.result list;
+  perf : float;
+      (** mean runtime (s) for TPC-H/PageRank; mean request latency (ns)
+          for YCSB — the metric Figure 1 normalizes *)
+  mean_faults : float;
+}
+
+val cell :
+  workload:Runner.workload_kind -> policy:Policy.Registry.spec -> ratio:float ->
+  swap:Runner.swap_medium -> cell
+
+val fig1 : unit -> (string * float * float) list
+(** [(workload, mglru_perf/clock_perf, mglru_faults/clock_faults)] —
+    SSD, 50 % ratio. *)
+
+val fig2 : unit -> unit
+
+val fig3 : unit -> unit
+
+val fig4 : unit -> (string * string * float * float) list
+(** [(workload, variant, perf/default, faults/default)]. *)
+
+val fig5 : unit -> unit
+
+val fig6 : unit -> unit
+
+val fig7 : unit -> unit
+
+val fig8 : unit -> unit
+
+val fig9 : unit -> (string * string * float) list
+(** [(workload, policy, perf/mglru)] under ZRAM at 50 %. *)
+
+val fig10 : unit -> (string * string * float) list
+
+val fig11 : unit -> (string * float * float) list
+(** [(workload, runtime_zram/runtime_ssd, faults_zram/faults_ssd)] for
+    default MG-LRU. *)
+
+val fig12 : unit -> unit
+
+val run : int -> unit
+(** Run one figure by number.  @raise Invalid_argument outside 1-12. *)
+
+val run_all : unit -> unit

@@ -1,0 +1,522 @@
+type swap_kind =
+  | Ssd_swap of Swapdev.Ssd.config
+  | Zram_swap of Swapdev.Zram.config
+
+let ssd = Ssd_swap Swapdev.Ssd.default_config
+
+let zram = Zram_swap Swapdev.Zram.default_config
+
+type config = {
+  hw_threads : int;
+  capacity_frames : int;
+  swap : swap_kind;
+  costs : Mem.Costs.t;
+  readahead : int;
+  direct_reclaim_batch : int;
+  segment_pages : int;
+  hit_cpu_ns : int;
+  minor_fault_ns : int;
+  barrier_groups : int array option;
+  kthread_jitter_ns : int;
+      (** mean scheduling delay between kernel-thread steps; the
+          OS-noise term the paper blames for scan-timing variance *)
+  max_runtime_ns : int;
+  seed : int;
+}
+
+let default_config ~capacity_frames ~seed =
+  {
+    hw_threads = 12;
+    capacity_frames;
+    (* Footprints are scaled 1/256 from the paper's 12-16 GB: page-table
+       regions shrink from 512 to 64 PTEs to keep region granularity
+       comparable, and per-page management costs inflate by the same
+       factor so scanning overhead keeps its real share of runtime
+       (see DESIGN.md, "Scaling"). *)
+    costs =
+      Mem.Costs.scaled
+        { Mem.Costs.default with region_size = 64; spatial_scan_max = 64 };
+    swap = ssd;
+    readahead = 8;
+    direct_reclaim_batch = 8;
+    segment_pages = 32;
+    hit_cpu_ns = 20;
+    minor_fault_ns = 1_000;
+    barrier_groups = None;
+    kthread_jitter_ns = 50_000;
+    max_runtime_ns = 50_000_000_000_000;
+    seed;
+  }
+
+type result = {
+  runtime_ns : int;
+  major_faults : int;
+  minor_faults : int;
+  swap_ins : int;
+  swap_outs : int;
+  direct_reclaims : int;
+  direct_reclaim_ns : int;
+  read_latencies : float array;
+  write_latencies : float array;
+  per_thread_finish : int array;
+  cpu_busy_ns : int;
+  policy_stats : (string * int) list;
+  policy_name : string;
+  resident_at_end : int;
+}
+
+type kthread_state = {
+  kt : Policy.Policy_intf.kthread;
+  mutable sleeping : bool;
+}
+
+type t = {
+  cfg : config;
+  sim : Engine.Sim.t;
+  cpu : Engine.Cpu.t;
+  rng : Engine.Rng.t;
+  pt : Mem.Page_table.t;
+  frames : Mem.Frame_table.t;
+  mem : Mem.Phys_mem.t;
+  swap : Swapdev.Swap_manager.t;
+  workload : Workload.Chunk.packed;
+  mutable policy : Policy.Policy_intf.packed option;
+  retained_slot : int array; (* vpn -> clean swap-cache slot, or -1 *)
+  groups : int array;        (* tid -> barrier group *)
+  group_size : int array;
+  group_arrived : int array;
+  group_waiters : int list array;
+  finish_ns : int array;
+  mutable active_threads : int;
+  mutable kthreads : kthread_state array;
+  mutable drive : kthread_state -> unit;
+  mutable stopped : bool;
+  (* Fault accounting. *)
+  mutable major_faults : int;
+  mutable minor_faults : int;
+  mutable direct_reclaims : int;
+  mutable direct_reclaim_ns : int;
+  read_lat : float Structures.Vec.t;
+  write_lat : float Structures.Vec.t;
+  (* Direct-reclaim context: reclaim_page behaves differently when the
+     eviction runs synchronously on a faulting thread. *)
+  mutable in_direct : bool;
+  mutable reclaim_now : int;
+  mutable direct_stall_until : int;
+  mutable direct_cpu_extra : int;
+  (* Success-adaptive swap readahead, like the kernel's per-VMA scheme:
+     each address-space zone keeps its own window, shrunk when its
+     speculatively-read pages get evicted untouched. *)
+  ra_pending : bool array;
+  ra_window : int array; (* per zone *)
+  ra_hits : int array;
+  ra_misses : int array;
+}
+
+let ra_zone_pages = 512
+
+let ra_zone vpn = vpn / ra_zone_pages
+
+let ra_adapt t z =
+  if t.ra_hits.(z) + t.ra_misses.(z) >= 32 then begin
+    if t.ra_hits.(z) > 2 * t.ra_misses.(z) then
+      t.ra_window.(z) <- min t.cfg.readahead (t.ra_window.(z) + 1)
+    else if t.ra_misses.(z) > t.ra_hits.(z) then
+      t.ra_window.(z) <- max 1 (t.ra_window.(z) / 2);
+    t.ra_hits.(z) <- 0;
+    t.ra_misses.(z) <- 0
+  end
+
+let ra_note_hit t vpn =
+  if t.ra_pending.(vpn) then begin
+    t.ra_pending.(vpn) <- false;
+    let z = ra_zone vpn in
+    t.ra_hits.(z) <- t.ra_hits.(z) + 1;
+    ra_adapt t z
+  end
+
+let ra_note_evicted t vpn =
+  if t.ra_pending.(vpn) then begin
+    t.ra_pending.(vpn) <- false;
+    let z = ra_zone vpn in
+    t.ra_misses.(z) <- t.ra_misses.(z) + 1;
+    ra_adapt t z
+  end
+
+let policy_of t =
+  match t.policy with
+  | Some p -> p
+  | None -> invalid_arg "Machine: policy not installed"
+
+let on_mapped t ~pfn ~vpn ~refault ~file_backed ~speculative =
+  let (Policy.Policy_intf.Packed ((module P), p)) = policy_of t in
+  P.on_page_mapped p ~pfn ~asid:0 ~vpn ~refault ~file_backed ~speculative
+
+let on_touched t ~pfn ~write =
+  let (Policy.Policy_intf.Packed ((module P), p)) = policy_of t in
+  P.on_page_touched p ~pfn ~write
+
+let wake_kthreads t =
+  Array.iter
+    (fun ks ->
+      if ks.sleeping then begin
+        ks.sleeping <- false;
+        Engine.Sim.schedule t.sim ~delay:0 (fun _ -> t.drive ks)
+      end)
+    t.kthreads
+
+(* The machine unmaps, writes back and frees a frame on the policy's
+   behalf.  Clean pages with a retained swap-cache copy are dropped
+   without I/O; dirty (or never-swapped) pages cost a device write,
+   which stalls the faulting thread when reclaim is direct. *)
+let reclaim_page t ~pfn =
+  match Mem.Frame_table.owner t.frames pfn with
+  | None -> ()
+  | Some (_asid, vpn) ->
+    let pte = Mem.Page_table.get t.pt vpn in
+    if Mem.Pte.present pte then begin
+      let retained = t.retained_slot.(vpn) in
+      let now = t.reclaim_now in
+      let slot =
+        if Mem.Pte.dirty pte || retained < 0 then begin
+          if retained >= 0 then Swapdev.Swap_manager.release t.swap ~slot:retained;
+          let klass = Workload.Chunk.packed_klass t.workload vpn in
+          let slot, completion =
+            Swapdev.Swap_manager.swap_out t.swap ~now ~klass ~page_key:vpn
+          in
+          if t.in_direct then begin
+            t.direct_stall_until <-
+              max t.direct_stall_until completion.Swapdev.Device.finish_ns;
+            t.direct_cpu_extra <- t.direct_cpu_extra + completion.Swapdev.Device.cpu_ns
+          end
+          else Engine.Cpu.charge t.cpu completion.Swapdev.Device.cpu_ns;
+          slot
+        end
+        else retained
+      in
+      Mem.Page_table.set t.pt vpn (Mem.Pte.to_swapped pte ~slot);
+      t.retained_slot.(vpn) <- -1;
+      ra_note_evicted t vpn;
+      Mem.Frame_table.clear_owner t.frames ~pfn;
+      Mem.Phys_mem.free t.mem pfn
+    end
+
+let map_page t ~pfn ~vpn ~refault ~write ~demand =
+  let file_backed = Workload.Chunk.packed_file_backed t.workload vpn in
+  Mem.Frame_table.set_owner t.frames ~pfn ~asid:0 ~vpn;
+  let pte = Mem.Pte.mapped ~pfn ~file_backed in
+  let pte = if demand then Mem.Pte.set_accessed pte else pte in
+  let pte = if write then Mem.Pte.set_dirty pte else pte in
+  Mem.Page_table.set t.pt vpn pte;
+  on_mapped t ~pfn ~vpn ~refault ~file_backed ~speculative:(not demand);
+  if demand then on_touched t ~pfn ~write
+
+(* Allocation slow path: run the policy synchronously and charge its CPU
+   and writeback stalls to the faulting thread. *)
+let alloc_frame t ~(cursor : int ref) =
+  match Mem.Phys_mem.alloc t.mem with
+  | Some pfn ->
+    if Mem.Phys_mem.below_low t.mem then wake_kthreads t;
+    pfn
+  | None ->
+    let (Policy.Policy_intf.Packed ((module P), p)) = policy_of t in
+    let rec retry attempts =
+      if attempts > 64 then failwith "Machine: direct reclaim cannot free memory";
+      t.direct_reclaims <- t.direct_reclaims + 1;
+      t.in_direct <- true;
+      t.reclaim_now <- !cursor;
+      t.direct_stall_until <- !cursor;
+      t.direct_cpu_extra <- 0;
+      let stats = P.direct_reclaim p ~want:t.cfg.direct_reclaim_batch in
+      t.in_direct <- false;
+      let cpu = stats.Policy.Policy_intf.cpu_ns + t.direct_cpu_extra in
+      Engine.Cpu.charge t.cpu cpu;
+      let before = !cursor in
+      cursor := max (!cursor + Engine.Cpu.scale t.cpu cpu) t.direct_stall_until;
+      t.direct_reclaim_ns <- t.direct_reclaim_ns + (!cursor - before);
+      wake_kthreads t;
+      match Mem.Phys_mem.alloc t.mem with
+      | Some pfn -> pfn
+      | None -> retry (attempts + 1)
+    in
+    retry 0
+
+(* Opportunistic swap-in of the sequential neighbours of a demand fault,
+   like the kernel's swap readahead cluster.  Only when memory is easy:
+   readahead must never trigger reclaim. *)
+let readahead t ~(cursor : int ref) vpn =
+  let n = min t.cfg.readahead t.ra_window.(ra_zone vpn) in
+  if n > 1 && Mem.Phys_mem.free_count t.mem > n + Mem.Phys_mem.low_watermark t.mem
+  then begin
+    let limit = min (vpn + n - 1) (Mem.Page_table.pages t.pt - 1) in
+    let stop = ref false in
+    for v = vpn + 1 to limit do
+      if not !stop then begin
+        let pte = Mem.Page_table.get t.pt v in
+        if Mem.Pte.swapped pte then begin
+          match Mem.Phys_mem.alloc t.mem with
+          | None -> stop := true
+          | Some pfn ->
+            let slot = Mem.Pte.swap_slot pte in
+            let completion = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
+            Engine.Cpu.charge t.cpu completion.Swapdev.Device.cpu_ns;
+            t.retained_slot.(v) <- slot;
+            t.ra_pending.(v) <- true;
+            map_page t ~pfn ~vpn:v ~refault:true ~write:false ~demand:false
+        end
+      end
+    done
+  end
+
+let handle_fault t ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
+  cpu_acc := !cpu_acc + t.cfg.costs.Mem.Costs.fault_trap_ns;
+  let pfn = alloc_frame t ~cursor in
+  let pte = Mem.Page_table.get t.pt vpn in
+  if Mem.Pte.swapped pte then begin
+    t.major_faults <- t.major_faults + 1;
+    let slot = Mem.Pte.swap_slot pte in
+    let completion = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
+    cpu_acc := !cpu_acc + completion.Swapdev.Device.cpu_ns;
+    cursor := max !cursor completion.Swapdev.Device.finish_ns;
+    t.retained_slot.(vpn) <- slot;
+    map_page t ~pfn ~vpn ~refault:true ~write ~demand:true;
+    readahead t ~cursor vpn
+  end
+  else begin
+    t.minor_faults <- t.minor_faults + 1;
+    cpu_acc := !cpu_acc + t.cfg.minor_fault_ns;
+    map_page t ~pfn ~vpn ~refault:false ~write ~demand:true
+  end
+
+let page_at pages i =
+  match pages with
+  | Workload.Chunk.Range { start; stride; _ } -> start + (i * stride)
+  | Workload.Chunk.Pages a -> a.(i)
+  | Workload.Chunk.Single p -> p
+
+(* Touch one page: fast path sets the accessed (and dirty) bits exactly
+   like the hardware walker; misses enter the fault path. *)
+let touch t ~cursor ~cpu_acc ~vpn ~write =
+  let pte = Mem.Page_table.get t.pt vpn in
+  if Mem.Pte.present pte then begin
+    let pte = Mem.Pte.set_accessed pte in
+    let pte = if write then Mem.Pte.set_dirty pte else pte in
+    Mem.Page_table.set t.pt vpn pte;
+    cpu_acc := !cpu_acc + t.cfg.hit_cpu_ns;
+    ra_note_hit t vpn;
+    on_touched t ~pfn:(Mem.Pte.pfn pte) ~write
+  end
+  else handle_fault t ~cursor ~cpu_acc ~vpn ~write
+
+let record_latency t (c : Workload.Chunk.t) ns =
+  if c.Workload.Chunk.latency_class = Workload.Chunk.read_class then
+    Structures.Vec.push t.read_lat (float_of_int ns)
+  else if c.Workload.Chunk.latency_class = Workload.Chunk.write_class then
+    Structures.Vec.push t.write_lat (float_of_int ns)
+
+let rec run_thread t tid =
+  if not t.stopped then
+    match Workload.Chunk.packed_next t.workload ~tid with
+    | Workload.Chunk.Chunk c ->
+      process_segment t tid c ~index:0 ~chunk_start:(Engine.Sim.now t.sim)
+    | Workload.Chunk.Barrier -> barrier_arrive t tid
+    | Workload.Chunk.Finished -> thread_finished t tid
+
+(* Process up to [segment_pages] of a chunk atomically, then yield to the
+   event loop so kernel threads interleave with large chunks. *)
+and process_segment t tid c ~index ~chunk_start =
+  let open Workload.Chunk in
+  let total = page_count c.pages in
+  let seg_len = min t.cfg.segment_pages (total - index) in
+  let t0 = Engine.Sim.now t.sim in
+  Engine.Cpu.run_begin t.cpu;
+  t.reclaim_now <- t0;
+  let cursor = ref t0 in
+  let cpu_acc =
+    ref (if total = 0 then c.cpu_ns else c.cpu_ns * seg_len / total)
+  in
+  for i = index to index + seg_len - 1 do
+    let write = c.write && i >= c.read_prefix in
+    touch t ~cursor ~cpu_acc ~vpn:(page_at c.pages i) ~write
+  done;
+  Engine.Cpu.charge t.cpu !cpu_acc;
+  let cpu_wall =
+    int_of_float
+      (float_of_int (Engine.Cpu.scale t.cpu !cpu_acc) *. Engine.Rng.jitter t.rng 0.02)
+  in
+  let io_wait = !cursor - t0 in
+  Engine.Sim.schedule t.sim ~delay:cpu_wall (fun _ -> Engine.Cpu.run_end t.cpu);
+  if Mem.Phys_mem.below_low t.mem then wake_kthreads t;
+  let next_index = index + seg_len in
+  Engine.Sim.schedule t.sim ~delay:(cpu_wall + io_wait) (fun _ ->
+      if not t.stopped then begin
+        if next_index >= total then begin
+          if c.latency_class >= 0 then
+            record_latency t c (Engine.Sim.now t.sim - chunk_start);
+          run_thread t tid
+        end
+        else process_segment t tid c ~index:next_index ~chunk_start
+      end)
+
+and barrier_arrive t tid =
+  let g = t.groups.(tid) in
+  t.group_arrived.(g) <- t.group_arrived.(g) + 1;
+  t.group_waiters.(g) <- tid :: t.group_waiters.(g);
+  if t.group_arrived.(g) >= t.group_size.(g) then begin
+    let waiters = t.group_waiters.(g) in
+    t.group_arrived.(g) <- 0;
+    t.group_waiters.(g) <- [];
+    Engine.Sim.schedule t.sim ~delay:t.cfg.costs.Mem.Costs.barrier_ns (fun _ ->
+        List.iter (fun w -> run_thread t w) waiters)
+  end
+
+and thread_finished t tid =
+  if t.finish_ns.(tid) < 0 then begin
+    t.finish_ns.(tid) <- Engine.Sim.now t.sim;
+    t.active_threads <- t.active_threads - 1;
+    if t.active_threads <= 0 then begin
+      t.stopped <- true;
+      Engine.Sim.stop t.sim
+    end
+  end
+
+let make_driver t ks =
+  (* Run-queue latency before a kernel thread gets back on a CPU; grows
+     with contention.  This is the scheduling noise the paper holds
+     responsible for scan-timing variance (§VI-A). *)
+  let sched_delay () =
+    if t.cfg.kthread_jitter_ns <= 0 then 0
+    else begin
+      let mean = float_of_int t.cfg.kthread_jitter_ns *. Engine.Cpu.load t.cpu in
+      int_of_float (Engine.Rng.exponential t.rng ~mean)
+    end
+  in
+  let rec drive () =
+    if not t.stopped then begin
+      t.reclaim_now <- Engine.Sim.now t.sim;
+      match ks.kt.Policy.Policy_intf.kstep () with
+      | Policy.Policy_intf.Work w ->
+        Engine.Cpu.run_begin t.cpu;
+        Engine.Cpu.charge t.cpu w;
+        let wall = Engine.Cpu.scale t.cpu w in
+        Engine.Sim.schedule t.sim ~delay:(wall + sched_delay ()) (fun _ ->
+            Engine.Cpu.run_end t.cpu;
+            drive ())
+      | Policy.Policy_intf.Sleep d ->
+        Engine.Sim.schedule t.sim ~delay:(d + sched_delay ()) (fun _ -> drive ())
+      | Policy.Policy_intf.Sleep_until_woken -> ks.sleeping <- true
+    end
+  in
+  drive
+
+let run cfg ~policy ~workload =
+  if cfg.capacity_frames <= 0 then invalid_arg "Machine.run: capacity_frames";
+  let footprint = Workload.Chunk.packed_footprint workload in
+  let nthreads = Workload.Chunk.packed_threads workload in
+  let rng = Engine.Rng.create cfg.seed in
+  let device =
+    match cfg.swap with
+    | Ssd_swap c -> Swapdev.Ssd.create ~config:c ~rng:(Engine.Rng.split rng) ()
+    | Zram_swap c -> Swapdev.Zram.create ~config:c ~rng:(Engine.Rng.split rng) ()
+  in
+  let groups =
+    match cfg.barrier_groups with
+    | Some g ->
+      if Array.length g <> nthreads then invalid_arg "Machine.run: barrier_groups size";
+      g
+    | None -> Array.make nthreads 0
+  in
+  let ngroups = 1 + Array.fold_left max 0 groups in
+  let group_size = Array.make ngroups 0 in
+  Array.iter (fun g -> group_size.(g) <- group_size.(g) + 1) groups;
+  let t =
+    {
+      cfg;
+      sim = Engine.Sim.create ();
+      cpu = Engine.Cpu.create ~hw_threads:cfg.hw_threads;
+      rng;
+      pt =
+        Mem.Page_table.create ~region_size:cfg.costs.Mem.Costs.region_size ~asid:0
+          ~pages:footprint ();
+      frames = Mem.Frame_table.create ~frames:cfg.capacity_frames;
+      mem = Mem.Phys_mem.create ~frames:cfg.capacity_frames ();
+      swap =
+        Swapdev.Swap_manager.create ~device
+          ~seed:(Engine.Rng.int rng (1 lsl 30));
+      workload;
+      policy = None;
+      retained_slot = Array.make footprint (-1);
+      groups;
+      group_size;
+      group_arrived = Array.make ngroups 0;
+      group_waiters = Array.make ngroups [];
+      finish_ns = Array.make nthreads (-1);
+      active_threads = nthreads;
+      kthreads = [||];
+      drive = (fun _ -> ());
+      stopped = false;
+      major_faults = 0;
+      minor_faults = 0;
+      direct_reclaims = 0;
+      direct_reclaim_ns = 0;
+      read_lat = Structures.Vec.create ~capacity:1024 ~dummy:0.0 ();
+      write_lat = Structures.Vec.create ~capacity:1024 ~dummy:0.0 ();
+      in_direct = false;
+      reclaim_now = 0;
+      direct_stall_until = 0;
+      direct_cpu_extra = 0;
+      ra_pending = Array.make footprint false;
+      ra_window = Array.make ((footprint / ra_zone_pages) + 1) (max 1 cfg.readahead);
+      ra_hits = Array.make ((footprint / ra_zone_pages) + 1) 0;
+      ra_misses = Array.make ((footprint / ra_zone_pages) + 1) 0;
+    }
+  in
+  let env =
+    {
+      Policy.Policy_intf.costs = cfg.costs;
+      frames = t.frames;
+      page_table_of =
+        (fun asid ->
+          if asid <> 0 then invalid_arg "Machine: unknown address space";
+          t.pt);
+      address_spaces = (fun () -> [ t.pt ]);
+      rng = Engine.Rng.split rng;
+      now = (fun () -> Engine.Sim.now t.sim);
+      reclaim_page = (fun ~pfn -> reclaim_page t ~pfn);
+      free_count = (fun () -> Mem.Phys_mem.free_count t.mem);
+      total_frames = cfg.capacity_frames;
+      low_watermark = Mem.Phys_mem.low_watermark t.mem;
+      high_watermark = Mem.Phys_mem.high_watermark t.mem;
+    }
+  in
+  let packed = policy env in
+  t.policy <- Some packed;
+  let (Policy.Policy_intf.Packed ((module P), p)) = packed in
+  t.kthreads <-
+    Array.of_list
+      (List.map (fun kt -> { kt; sleeping = false }) (P.kthreads p));
+  t.drive <- (fun ks -> (make_driver t ks) ());
+  Array.iter (fun ks -> Engine.Sim.schedule t.sim ~delay:0 (fun _ -> t.drive ks)) t.kthreads;
+  for tid = 0 to nthreads - 1 do
+    Engine.Sim.schedule t.sim ~delay:0 (fun _ -> run_thread t tid)
+  done;
+  Engine.Sim.run ~until:cfg.max_runtime_ns t.sim;
+  let runtime =
+    Array.fold_left (fun acc f -> max acc f) (Engine.Sim.now t.sim) t.finish_ns
+  in
+  {
+    runtime_ns = runtime;
+    major_faults = t.major_faults;
+    minor_faults = t.minor_faults;
+    swap_ins = Swapdev.Swap_manager.swap_ins t.swap;
+    swap_outs = Swapdev.Swap_manager.swap_outs t.swap;
+    direct_reclaims = t.direct_reclaims;
+    direct_reclaim_ns = t.direct_reclaim_ns;
+    read_latencies = Structures.Vec.to_array t.read_lat;
+    write_latencies = Structures.Vec.to_array t.write_lat;
+    per_thread_finish = Array.copy t.finish_ns;
+    cpu_busy_ns = Engine.Cpu.busy_ns t.cpu;
+    policy_stats = P.stats p;
+    policy_name = P.policy_name;
+    resident_at_end = Mem.Page_table.resident t.pt;
+  }

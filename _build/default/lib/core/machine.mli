@@ -1,0 +1,70 @@
+(** The simulated machine: one trial of a workload under a policy.
+
+    Mirrors the paper's testbed (§IV): application threads share a
+    6-core/12-thread CPU with the policy's kernel threads; physical
+    memory is capped at a fraction of the workload footprint; demand
+    faults read pages from the swap device, with sequential readahead
+    clustering and a swap-cache that lets clean pages be evicted without
+    a writeback.  Direct reclaim — entered when the free list is empty —
+    runs the policy synchronously and charges its CPU time and any
+    synchronous writeback stalls to the faulting thread, which is where
+    the tail-latency differences between policies come from (§VI-A). *)
+
+type swap_kind =
+  | Ssd_swap of Swapdev.Ssd.config
+  | Zram_swap of Swapdev.Zram.config
+
+val ssd : swap_kind
+(** Paper defaults: ~7.5 ms per 4 KB operation. *)
+
+val zram : swap_kind
+(** Paper defaults: 20 µs reads / 35 µs writes, CPU-coupled. *)
+
+type config = {
+  hw_threads : int;
+  capacity_frames : int;
+  swap : swap_kind;
+  costs : Mem.Costs.t;
+  readahead : int;           (** swap-in cluster size; 0 disables *)
+  direct_reclaim_batch : int;
+  segment_pages : int;       (** max pages processed per scheduler event *)
+  hit_cpu_ns : int;          (** per-page compute on a resident touch *)
+  minor_fault_ns : int;      (** zero-fill fault cost *)
+  barrier_groups : int array option;
+      (** thread -> rendezvous group; default: all threads in group 0 *)
+  kthread_jitter_ns : int;
+      (** mean run-queue latency added between kernel-thread steps,
+          scaled by CPU load — the OS scheduling noise the paper blames
+          for scan-timing variance (§VI-A); 0 disables *)
+  max_runtime_ns : int;      (** safety stop *)
+  seed : int;
+}
+
+val default_config : capacity_frames:int -> seed:int -> config
+(** SSD swap, 12 hardware threads, experiment-scaled cost model
+    (64-PTE page-table regions; see DESIGN.md on footprint scaling). *)
+
+type result = {
+  runtime_ns : int;
+  major_faults : int;        (** demand faults that required device reads *)
+  minor_faults : int;        (** zero-fill first touches *)
+  swap_ins : int;            (** device reads, including readahead *)
+  swap_outs : int;           (** device writes *)
+  direct_reclaims : int;
+  direct_reclaim_ns : int;   (** total fault-path reclaim latency *)
+  read_latencies : float array;  (** per-request ns, latency class 0 *)
+  write_latencies : float array; (** latency class 1 *)
+  per_thread_finish : int array;
+  cpu_busy_ns : int;
+  policy_stats : (string * int) list;
+  policy_name : string;
+  resident_at_end : int;
+}
+
+val run :
+  config ->
+  policy:(Policy.Policy_intf.env -> Policy.Policy_intf.packed) ->
+  workload:Workload.Chunk.packed ->
+  result
+(** Execute one trial to completion (every workload thread [Finished])
+    and collect the metrics the paper reports. *)

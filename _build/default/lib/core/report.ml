@@ -1,0 +1,62 @@
+let section title =
+  let line = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" line title line
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c w ->
+        let cell = match List.nth_opt row c with Some s -> s | None -> "" in
+        if c = 0 then Printf.printf "%-*s" w cell else Printf.printf "  %*s" w cell)
+      widths;
+    print_newline ()
+  in
+  print_row header;
+  List.iteri
+    (fun c w -> if c = 0 then print_string (String.make w '-') else Printf.printf "  %s" (String.make w '-'))
+    widths;
+  print_newline ();
+  List.iter print_row rows
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let f3 x = Printf.sprintf "%.3f" x
+
+let fnorm x = Printf.sprintf "%.2fx" x
+
+let fsec x =
+  if Float.abs x >= 100.0 then Printf.sprintf "%.0fs" x
+  else if Float.abs x >= 1.0 then Printf.sprintf "%.1fs" x
+  else Printf.sprintf "%.3fs" x
+
+let fcount x =
+  let s = Printf.sprintf "%.0f" x in
+  let n = String.length s in
+  let buf = Buffer.create (n + (n / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 && c <> '-' then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fns x =
+  if Float.abs x >= 1e9 then Printf.sprintf "%.2fs" (x /. 1e9)
+  else if Float.abs x >= 1e6 then Printf.sprintf "%.2fms" (x /. 1e6)
+  else if Float.abs x >= 1e3 then Printf.sprintf "%.1fus" (x /. 1e3)
+  else Printf.sprintf "%.0fns" x
+
+let note s = Printf.printf "  %s\n" s

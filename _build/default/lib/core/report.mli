@@ -1,0 +1,29 @@
+(** Plain-text table rendering for the figure harness. *)
+
+val section : string -> unit
+(** Print a figure banner. *)
+
+val subsection : string -> unit
+
+val table : header:string list -> string list list -> unit
+(** Fixed-width aligned table with a separator under the header. *)
+
+val f2 : float -> string
+(** Two-decimal formatting. *)
+
+val f3 : float -> string
+
+val fnorm : float -> string
+(** Normalized-value formatting ("1.00x"). *)
+
+val fsec : float -> string
+(** Seconds with adaptive precision. *)
+
+val fcount : float -> string
+(** Large counts with thousands separators. *)
+
+val fns : float -> string
+(** Nanoseconds rendered with an adaptive unit (ns/us/ms/s). *)
+
+val note : string -> unit
+(** Indented free-form commentary line. *)

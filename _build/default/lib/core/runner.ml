@@ -1,0 +1,171 @@
+type workload_kind =
+  | Tpch
+  | Pagerank
+  | Ycsb of Workload.Ycsb.variant
+
+type swap_medium = Ssd | Zram
+
+type exp = {
+  workload : workload_kind;
+  policy : Policy.Registry.spec;
+  ratio : float;
+  swap : swap_medium;
+  trial : int;
+}
+
+let workload_kind_name = function
+  | Tpch -> "tpch"
+  | Pagerank -> "pagerank"
+  | Ycsb v -> Workload.Ycsb.variant_name v
+
+let all_workloads =
+  [ Tpch; Pagerank; Ycsb Workload.Ycsb.A; Ycsb Workload.Ycsb.B; Ycsb Workload.Ycsb.C ]
+
+let swap_name = function Ssd -> "ssd" | Zram -> "zram"
+
+let exp_name e =
+  Printf.sprintf "%s/%s/%.0f%%/%s/t%d"
+    (workload_kind_name e.workload)
+    (Policy.Registry.name e.policy)
+    (e.ratio *. 100.0) (swap_name e.swap) e.trial
+
+type profile = {
+  trials : int;
+  ycsb_trials : int;
+  fast : bool;
+}
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try max 1 (int_of_string (String.trim v)) with Failure _ -> default)
+  | None -> default
+
+let profile_memo = ref None
+
+let profile () =
+  match !profile_memo with
+  | Some p -> p
+  | None ->
+    let p =
+      {
+        trials = env_int "REPRO_TRIALS" 25;
+        ycsb_trials = env_int "REPRO_YCSB_TRIALS" 2;
+        fast = Sys.getenv_opt "REPRO_FAST" <> None;
+      }
+    in
+    profile_memo := Some p;
+    p
+
+let trials_for = function
+  | Tpch | Pagerank -> (profile ()).trials
+  | Ycsb _ -> (profile ()).ycsb_trials
+
+let kind_id = function
+  | Tpch -> 1
+  | Pagerank -> 2
+  | Ycsb Workload.Ycsb.A -> 3
+  | Ycsb Workload.Ycsb.B -> 4
+  | Ycsb Workload.Ycsb.C -> 5
+
+(* Workload seed: (kind, trial) only — policies share workload
+   instances within a trial. *)
+let workload_seed kind ~trial = 0x5EED + (kind_id kind * 7919) + (trial * 104729)
+
+let fast_tpch =
+  {
+    Workload.Tpch.default_config with
+    Workload.Tpch.table_pages = 1_750;
+    shuffle_pages = 1_125;
+    hash_pages = 500;
+    queries = 4;
+  }
+
+let fast_pagerank =
+  {
+    Workload.Pagerank.default_config with
+    Workload.Pagerank.graph =
+      {
+        Workload.Pagerank.default_config.Workload.Pagerank.graph with
+        Workload.Graph.n = 393_216;
+      };
+    iterations = 6;
+  }
+
+let fast_ycsb =
+  {
+    Workload.Ycsb.default_config with
+    Workload.Ycsb.items = 28_000;
+    requests = 220_000;
+  }
+
+let make_workload kind ~trial =
+  let seed = workload_seed kind ~trial in
+  let fast = (profile ()).fast in
+  match kind with
+  | Tpch ->
+    let config = if fast then fast_tpch else Workload.Tpch.default_config in
+    let rng = Engine.Rng.create seed in
+    Workload.Chunk.Packed
+      ((module Workload.Tpch), Workload.Tpch.create ~config ~rng ())
+  | Pagerank ->
+    let config = if fast then fast_pagerank else Workload.Pagerank.default_config in
+    Workload.Chunk.Packed
+      ((module Workload.Pagerank), Workload.Pagerank.create ~config ~seed ())
+  | Ycsb variant ->
+    let config = if fast then fast_ycsb else Workload.Ycsb.default_config in
+    let rng = Engine.Rng.create seed in
+    Workload.Chunk.Packed
+      ((module Workload.Ycsb), Workload.Ycsb.create ~config ~variant ~rng ())
+
+let machine_swap = function
+  | Ssd -> Machine.ssd
+  | Zram -> Machine.zram
+
+let cache : (exp, Machine.result) Hashtbl.t = Hashtbl.create 256
+
+let clear_cache () = Hashtbl.reset cache
+
+let run_exp e =
+  match Hashtbl.find_opt cache e with
+  | Some r -> r
+  | None ->
+    let workload = make_workload e.workload ~trial:e.trial in
+    let footprint = Workload.Chunk.packed_footprint workload in
+    let capacity = max 64 (int_of_float (float_of_int footprint *. e.ratio)) in
+    let cfg =
+      {
+        (Machine.default_config ~capacity_frames:capacity
+           ~seed:(workload_seed e.workload ~trial:e.trial + 17))
+        with
+        Machine.swap = machine_swap e.swap;
+      }
+    in
+    let r = Machine.run cfg ~policy:(Policy.Registry.create e.policy) ~workload in
+    Hashtbl.add cache e r;
+    r
+
+let run_cell ~workload ~policy ~ratio ~swap =
+  List.init (trials_for workload) (fun trial ->
+      run_exp { workload; policy; ratio; swap; trial })
+
+let runtimes_s results =
+  Array.of_list
+    (List.map (fun r -> float_of_int r.Machine.runtime_ns /. 1e9) results)
+
+let faults results =
+  Array.of_list (List.map (fun r -> float_of_int r.Machine.major_faults) results)
+
+let mean arr = Array.fold_left ( +. ) 0.0 arr /. float_of_int (max 1 (Array.length arr))
+
+let mean_runtime_s results = mean (runtimes_s results)
+
+let mean_faults results = mean (faults results)
+
+let pooled pick results = Array.concat (List.map pick results)
+
+let pooled_read_latencies results = pooled (fun r -> r.Machine.read_latencies) results
+
+let pooled_write_latencies results =
+  pooled (fun r -> r.Machine.write_latencies) results
+
+let mean_read_latency_ns results = mean (pooled_read_latencies results)

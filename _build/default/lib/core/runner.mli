@@ -1,0 +1,77 @@
+(** Experiment configurations and the cached trial runner.
+
+    An {!exp} names one cell of the paper's grid: workload x policy x
+    capacity ratio x swap medium x trial index.  Workload seeds depend
+    only on (workload, trial), so different policies face identical
+    workload instances within a trial — the simulator's analogue of the
+    paper's paired comparisons — while each fresh trial is a fresh
+    "reboot".
+
+    Results are memoized in-process: figures that share cells (1 and 2,
+    4 and 5, 9-11) do not recompute them. *)
+
+type workload_kind =
+  | Tpch
+  | Pagerank
+  | Ycsb of Workload.Ycsb.variant
+
+type swap_medium = Ssd | Zram
+
+type exp = {
+  workload : workload_kind;
+  policy : Policy.Registry.spec;
+  ratio : float; (** memory capacity / workload footprint, e.g. 0.5 *)
+  swap : swap_medium;
+  trial : int;
+}
+
+val workload_kind_name : workload_kind -> string
+
+val all_workloads : workload_kind list
+(** The paper's five, in figure order: TPC-H, PageRank, YCSB A/B/C. *)
+
+val swap_name : swap_medium -> string
+
+val exp_name : exp -> string
+
+(** Scaling profile, read once from the environment:
+    [REPRO_TRIALS] (default 25) — trials per TPC-H/PageRank cell;
+    [REPRO_YCSB_TRIALS] (default 2) — trials per YCSB cell;
+    [REPRO_FAST] (any value) — shrink workloads ~4x for quick runs. *)
+type profile = {
+  trials : int;
+  ycsb_trials : int;
+  fast : bool;
+}
+
+val profile : unit -> profile
+
+val trials_for : workload_kind -> int
+
+val make_workload : workload_kind -> trial:int -> Workload.Chunk.packed
+
+val run_exp : exp -> Machine.result
+(** Run (or fetch from cache) one trial. *)
+
+val run_cell :
+  workload:workload_kind -> policy:Policy.Registry.spec -> ratio:float ->
+  swap:swap_medium -> Machine.result list
+(** All trials of one grid cell, per {!profile}. *)
+
+val clear_cache : unit -> unit
+
+val runtimes_s : Machine.result list -> float array
+
+val faults : Machine.result list -> float array
+(** Major (demand) fault counts. *)
+
+val mean_runtime_s : Machine.result list -> float
+
+val mean_faults : Machine.result list -> float
+
+val mean_read_latency_ns : Machine.result list -> float
+(** Mean read-request latency pooled over trials (YCSB). *)
+
+val pooled_read_latencies : Machine.result list -> float array
+
+val pooled_write_latencies : Machine.result list -> float array

@@ -1,0 +1,66 @@
+let run_one ~workload ~policy ~fast_frac ~trial =
+  let w = Runner.make_workload workload ~trial in
+  let footprint = Workload.Chunk.packed_footprint w in
+  let fast = max 64 (int_of_float (float_of_int footprint *. fast_frac)) in
+  let slow = footprint - fast + (footprint / 10) in
+  let cfg =
+    Tiering.Tier_machine.default_config ~fast_frames:fast ~slow_frames:slow
+      ~seed:(1_000_003 * (trial + 1))
+  in
+  Tiering.Tier_machine.run cfg
+    ~policy:(Tiering.Tier_registry.create policy)
+    ~workload:w
+
+let study ?(fast_frac = 0.5) ?(trials = 3) () =
+  Report.section
+    (Printf.sprintf "Tiered memory study: fast tier = %.0f%% of footprint"
+       (fast_frac *. 100.0));
+  Report.note
+    "Runtime, slow-tier access share and migration traffic per policy; no";
+  Report.note "swap device - every touch completes, slow ones just cost more.";
+  List.iter
+    (fun workload ->
+      Report.subsection (Runner.workload_kind_name workload);
+      let rows =
+        List.map
+          (fun policy ->
+            let results =
+              List.init trials (fun trial ->
+                  run_one ~workload ~policy ~fast_frac ~trial)
+            in
+            let mean f =
+              List.fold_left (fun acc r -> acc +. f r) 0.0 results
+              /. float_of_int trials
+            in
+            [
+              Tiering.Tier_registry.name policy;
+              Report.fsec
+                (mean (fun r ->
+                     float_of_int r.Tiering.Tier_machine.runtime_ns /. 1e9));
+              Printf.sprintf "%.1f%%"
+                (100.0 *. mean Tiering.Tier_machine.slow_fraction);
+              Report.fcount
+                (mean (fun r -> float_of_int r.Tiering.Tier_machine.promotions));
+              Report.fcount
+                (mean (fun r -> float_of_int r.Tiering.Tier_machine.demotions));
+              Report.fcount
+                (mean (fun r -> float_of_int r.Tiering.Tier_machine.hint_faults));
+              Report.fcount
+                (mean (fun r ->
+                     float_of_int r.Tiering.Tier_machine.failed_promotions));
+            ])
+          Tiering.Tier_registry.all
+      in
+      Report.table
+        ~header:
+          [ "policy"; "runtime"; "slow touches"; "promotions"; "demotions";
+            "hint faults"; "failed promo" ]
+        rows)
+    [ Runner.Tpch; Runner.Pagerank; Runner.Ycsb Workload.Ycsb.B ];
+  Report.note
+    "Expected shape (paper SII-C): static pins whatever loaded first;";
+  Report.note
+    "autonuma promotes but cannot demote, so it stalls once the fast tier";
+  Report.note
+    "fills (failed promotions); thermostat and tpp keep migrating and hold";
+  Report.note "the lowest slow-touch share."

@@ -1,0 +1,22 @@
+(** Comparison harness for the §II-C migration-policy design space.
+
+    Runs the paper's workloads over the two-tier machine (no swap; fast
+    DRAM + slow CXL-like tier) under every registered migration policy
+    and reports runtime, the slow-tier access fraction, and migration
+    traffic — the tiering analogue of the replacement figures.  Not part
+    of the paper's evaluation, but the design space its background
+    section frames (and the context in which it reads MG-LRU's
+    data structures). *)
+
+val run_one :
+  workload:Runner.workload_kind ->
+  policy:Tiering.Tier_registry.spec ->
+  fast_frac:float ->
+  trial:int ->
+  Tiering.Tier_machine.result
+(** One trial: fast tier sized at [fast_frac] of the footprint, the slow
+    tier holding the rest (plus slack). *)
+
+val study : ?fast_frac:float -> ?trials:int -> unit -> unit
+(** Print the full comparison table for TPC-H, PageRank and YCSB-B at
+    [fast_frac] (default 0.5) of the footprint in the fast tier. *)

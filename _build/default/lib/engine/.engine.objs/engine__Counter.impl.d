@@ -1,0 +1,1 @@
+lib/engine/counter.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/engine/cpu.mli:

@@ -1,0 +1,25 @@
+(** Named integer counters for simulation metrics.
+
+    A lightweight metrics registry: policies and devices report how many
+    PTEs they scanned, rmap walks they performed, pages they promoted,
+    and so on.  Hot-path counts inside the machine itself use plain
+    mutable fields; this registry is for everything else. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** 0 for counters never touched. *)
+
+val reset : t -> unit
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add every counter of [src] into [dst]. *)

@@ -1,0 +1,31 @@
+type t = {
+  hw_threads : int;
+  mutable runnable : int;
+  mutable busy_ns : int;
+}
+
+let create ~hw_threads =
+  if hw_threads <= 0 then invalid_arg "Cpu.create: hw_threads must be positive";
+  { hw_threads; runnable = 0; busy_ns = 0 }
+
+let hw_threads t = t.hw_threads
+
+let runnable t = t.runnable
+
+let run_begin t = t.runnable <- t.runnable + 1
+
+let run_end t =
+  if t.runnable <= 0 then invalid_arg "Cpu.run_end: no runnable entities";
+  t.runnable <- t.runnable - 1
+
+let load t =
+  if t.runnable <= t.hw_threads then 1.0
+  else float_of_int t.runnable /. float_of_int t.hw_threads
+
+let scale t work =
+  if work <= 0 then 0
+  else int_of_float (float_of_int work *. load t)
+
+let busy_ns t = t.busy_ns
+
+let charge t work = if work > 0 then t.busy_ns <- t.busy_ns + work

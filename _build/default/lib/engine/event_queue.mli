@@ -1,0 +1,23 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed by [(time, sequence)]: events at equal times
+    pop in insertion order, which keeps trials deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:int -> 'a -> unit
+(** @raise Invalid_argument if [time] is negative. *)
+
+val peek_time : 'a t -> int option
+(** Timestamp of the next event without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event as [(time, payload)]. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,36 @@
+type t = {
+  queue : (t -> unit) Event_queue.t;
+  mutable now : int;
+  mutable stop_requested : bool;
+}
+
+let create () = { queue = Event_queue.create (); now = 0; stop_requested = false }
+
+let now t = t.now
+
+let schedule t ~delay f =
+  let delay = max delay 0 in
+  Event_queue.add t.queue ~time:(t.now + delay) f
+
+let schedule_at t ~time f = Event_queue.add t.queue ~time:(max time t.now) f
+
+let pending t = Event_queue.size t.queue
+
+let run ?(until = max_int) t =
+  t.stop_requested <- false;
+  let rec loop () =
+    if not t.stop_requested then
+      match Event_queue.peek_time t.queue with
+      | None -> ()
+      | Some time when time > until -> ()
+      | Some _ ->
+        (match Event_queue.pop t.queue with
+        | None -> ()
+        | Some (time, f) ->
+          t.now <- time;
+          f t;
+          loop ())
+  in
+  loop ()
+
+let stop t = t.stop_requested <- true

@@ -1,0 +1,1 @@
+lib/mem/rmap.ml: Costs Frame_table List

@@ -1,0 +1,1 @@
+lib/mem/rmap.mli: Costs Frame_table

@@ -1,0 +1,44 @@
+type t = {
+  pte_scan_ns : int;
+  rmap_walk_ns : int;
+  bloom_query_ns : int;
+  bloom_update_ns : int;
+  list_op_ns : int;
+  fault_trap_ns : int;
+  region_size : int;
+  spatial_scan_max : int;
+  barrier_ns : int;
+}
+
+let default =
+  {
+    pte_scan_ns = 2;
+    rmap_walk_ns = 1500;
+    bloom_query_ns = 40;
+    bloom_update_ns = 60;
+    list_op_ns = 30;
+    fault_trap_ns = 2500;
+    region_size = 512;
+    spatial_scan_max = 512;
+    barrier_ns = 5_000;
+  }
+
+let scaled ?(factor = 256) t =
+  {
+    t with
+    pte_scan_ns = t.pte_scan_ns * factor;
+    (* Reverse-map walks batch several mappings per folio lock in
+       practice, so their effective per-page cost scales at half the
+       factor of raw PTE scans. *)
+    rmap_walk_ns = t.rmap_walk_ns * factor / 2;
+    bloom_query_ns = t.bloom_query_ns * factor;
+    bloom_update_ns = t.bloom_update_ns * factor;
+    list_op_ns = t.list_op_ns * factor;
+    fault_trap_ns = t.fault_trap_ns * 20;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "pte_scan=%dns rmap=%dns bloom=%d/%dns list=%dns trap=%dns region=%d spatial<=%d"
+    t.pte_scan_ns t.rmap_walk_ns t.bloom_query_ns t.bloom_update_ns t.list_op_ns
+    t.fault_trap_ns t.region_size t.spatial_scan_max

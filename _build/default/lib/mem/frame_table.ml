@@ -1,0 +1,38 @@
+type t = {
+  owner_asid : int array; (* -1 = unmapped *)
+  owner_vpn : int array;
+  mutable mapped : int;
+}
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Frame_table.create: frames must be positive";
+  { owner_asid = Array.make frames (-1); owner_vpn = Array.make frames (-1); mapped = 0 }
+
+let frames t = Array.length t.owner_asid
+
+let check t pfn =
+  if pfn < 0 || pfn >= frames t then invalid_arg "Frame_table: pfn out of range"
+
+let set_owner t ~pfn ~asid ~vpn =
+  check t pfn;
+  if t.owner_asid.(pfn) = -1 then t.mapped <- t.mapped + 1;
+  t.owner_asid.(pfn) <- asid;
+  t.owner_vpn.(pfn) <- vpn
+
+let clear_owner t ~pfn =
+  check t pfn;
+  if t.owner_asid.(pfn) <> -1 then begin
+    t.mapped <- t.mapped - 1;
+    t.owner_asid.(pfn) <- -1;
+    t.owner_vpn.(pfn) <- -1
+  end
+
+let owner t pfn =
+  check t pfn;
+  if t.owner_asid.(pfn) = -1 then None else Some (t.owner_asid.(pfn), t.owner_vpn.(pfn))
+
+let is_mapped t pfn =
+  check t pfn;
+  t.owner_asid.(pfn) <> -1
+
+let mapped_count t = t.mapped

@@ -1,0 +1,22 @@
+(** Physical frame metadata.
+
+    One record per physical frame: which (address space, virtual page)
+    owns it.  This doubles as the reverse map's ground truth — see
+    {!Rmap} for the cost model of walking it. *)
+
+type t
+
+val create : frames:int -> t
+
+val frames : t -> int
+
+val set_owner : t -> pfn:int -> asid:int -> vpn:int -> unit
+
+val clear_owner : t -> pfn:int -> unit
+
+val owner : t -> int -> (int * int) option
+(** [(asid, vpn)] of the owning mapping, if mapped. *)
+
+val is_mapped : t -> int -> bool
+
+val mapped_count : t -> int

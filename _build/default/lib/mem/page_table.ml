@@ -1,0 +1,47 @@
+type t = {
+  asid : int;
+  ptes : int array;
+  region_size : int;
+}
+
+let create ?(region_size = 512) ~asid ~pages () =
+  if pages <= 0 then invalid_arg "Page_table.create: pages must be positive";
+  if region_size <= 0 then invalid_arg "Page_table.create: region_size must be positive";
+  { asid; ptes = Array.make pages Pte.empty; region_size }
+
+let asid t = t.asid
+
+let pages t = Array.length t.ptes
+
+let region_size t = t.region_size
+
+let regions t = (pages t + t.region_size - 1) / t.region_size
+
+let check t vpn =
+  if vpn < 0 || vpn >= pages t then invalid_arg "Page_table: vpn out of range"
+
+let get t vpn =
+  check t vpn;
+  t.ptes.(vpn)
+
+let set t vpn pte =
+  check t vpn;
+  t.ptes.(vpn) <- pte
+
+let region_of t vpn =
+  check t vpn;
+  vpn / t.region_size
+
+let region_bounds t r =
+  if r < 0 || r >= regions t then invalid_arg "Page_table.region_bounds";
+  let first = r * t.region_size in
+  (first, min (first + t.region_size - 1) (pages t - 1))
+
+let resident t =
+  Array.fold_left (fun acc pte -> if Pte.present pte then acc + 1 else acc) 0 t.ptes
+
+let iter_region t r f =
+  let first, last = region_bounds t r in
+  for vpn = first to last do
+    f vpn t.ptes.(vpn)
+  done

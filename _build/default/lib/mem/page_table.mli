@@ -1,0 +1,40 @@
+(** Per-process page tables with leaf-region structure.
+
+    The virtual address space is a flat array of PTEs grouped into
+    regions of [region_size] entries (512 by default — one x86-64 leaf
+    page table).  MG-LRU's aging walker iterates region by region and its
+    Bloom filter is keyed by region index (paper §III-B); the eviction
+    walker's spatial scan also stays within one region. *)
+
+type t
+
+val create : ?region_size:int -> asid:int -> pages:int -> unit -> t
+(** [pages] virtual pages, all initially empty. *)
+
+val asid : t -> int
+
+val pages : t -> int
+
+val region_size : t -> int
+
+val regions : t -> int
+(** Number of leaf regions, [ceil (pages / region_size)]. *)
+
+val get : t -> int -> Pte.t
+(** @raise Invalid_argument when the vpn is out of range. *)
+
+val set : t -> int -> Pte.t -> unit
+
+val region_of : t -> int -> int
+(** Region index containing a vpn. *)
+
+val region_bounds : t -> int -> int * int
+(** [(first_vpn, last_vpn)] of a region, inclusive; the last region may
+    be short. *)
+
+val resident : t -> int
+(** Number of present entries (O(pages); for tests and end-of-trial
+    accounting). *)
+
+val iter_region : t -> int -> (int -> Pte.t -> unit) -> unit
+(** Apply to every (vpn, pte) in a region. *)

@@ -1,0 +1,68 @@
+type t = {
+  total : int;
+  stack : int array;
+  free_flag : bool array;
+  mutable top : int; (* number of free frames on the stack *)
+  low_watermark : int;
+  high_watermark : int;
+}
+
+let create ?low_watermark ?high_watermark ~frames () =
+  if frames <= 0 then invalid_arg "Phys_mem.create: frames must be positive";
+  (* Kernel-like fractions: the free cushion is a small slice of memory,
+     so bursty demand can outrun kswapd and fall into direct reclaim. *)
+  let low =
+    match low_watermark with
+    | Some l -> l
+    | None -> min (max 1 (frames / 4)) (max 16 (frames / 100))
+  in
+  let high =
+    match high_watermark with
+    | Some h -> h
+    | None -> min (max low (frames / 2)) (max 32 (frames / 50))
+  in
+  if low < 0 || low > high || high > frames then
+    invalid_arg "Phys_mem.create: bad watermarks";
+  let stack = Array.init frames (fun i -> frames - 1 - i) in
+  {
+    total = frames;
+    stack;
+    free_flag = Array.make frames true;
+    top = frames;
+    low_watermark = low;
+    high_watermark = high;
+  }
+
+let frames t = t.total
+
+let free_count t = t.top
+
+let used_count t = t.total - t.top
+
+let low_watermark t = t.low_watermark
+
+let high_watermark t = t.high_watermark
+
+let alloc t =
+  if t.top = 0 then None
+  else begin
+    t.top <- t.top - 1;
+    let pfn = t.stack.(t.top) in
+    t.free_flag.(pfn) <- false;
+    Some pfn
+  end
+
+let free t pfn =
+  if pfn < 0 || pfn >= t.total then invalid_arg "Phys_mem.free: pfn out of range";
+  if t.free_flag.(pfn) then invalid_arg "Phys_mem.free: double free";
+  t.free_flag.(pfn) <- true;
+  t.stack.(t.top) <- pfn;
+  t.top <- t.top + 1
+
+let is_free t pfn =
+  if pfn < 0 || pfn >= t.total then invalid_arg "Phys_mem.is_free: pfn out of range";
+  t.free_flag.(pfn)
+
+let below_low t = t.top < t.low_watermark
+
+let above_high t = t.top >= t.high_watermark

@@ -1,0 +1,38 @@
+(** Physical memory: frame allocation and reclaim watermarks.
+
+    Mirrors the kernel's zone watermarks: background reclaim (kswapd)
+    wakes when free frames drop below the low watermark and sleeps once
+    they recover past the high watermark; an allocation that finds no
+    free frame enters direct reclaim. *)
+
+type t
+
+val create : ?low_watermark:int -> ?high_watermark:int -> frames:int -> unit -> t
+(** Watermarks default to 1 % / 2 % of [frames] (at least 16 / 32
+    frames), kernel-like fractions small enough that bursty allocation
+    can outrun background reclaim.  @raise Invalid_argument unless
+    [0 <= low_watermark <= high_watermark <= frames]. *)
+
+val frames : t -> int
+
+val free_count : t -> int
+
+val used_count : t -> int
+
+val low_watermark : t -> int
+
+val high_watermark : t -> int
+
+val alloc : t -> int option
+(** Take a free frame (LIFO), or [None] when memory is exhausted. *)
+
+val free : t -> int -> unit
+(** Return a frame.  @raise Invalid_argument on double free. *)
+
+val is_free : t -> int -> bool
+
+val below_low : t -> bool
+(** Free count strictly below the low watermark — kswapd should run. *)
+
+val above_high : t -> bool
+(** Free count at or above the high watermark — kswapd can sleep. *)

@@ -1,0 +1,12 @@
+type result = {
+  mapping : (int * int) option;
+  cost_ns : int;
+}
+
+let walk frames ~costs ~pfn =
+  { mapping = Frame_table.owner frames pfn; cost_ns = costs.Costs.rmap_walk_ns }
+
+let walk_many frames ~costs ~pfns =
+  let results = List.map (fun pfn -> walk frames ~costs ~pfn) pfns in
+  let total = List.fold_left (fun acc r -> acc + r.cost_ns) 0 results in
+  (results, total)

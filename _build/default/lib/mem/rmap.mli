@@ -1,0 +1,18 @@
+(** Reverse-map walks with cost accounting.
+
+    Clock scans accessed bits by iterating physical frames and resolving
+    each back to its PTE through the reverse map — an expensive
+    pointer-based walk (paper §III-B).  MG-LRU's eviction walker pays the
+    same price per candidate but amortizes it by spatially scanning the
+    surrounding page-table region.  Every call returns the owning mapping
+    along with the modelled cost so callers charge it to the CPU. *)
+
+type result = {
+  mapping : (int * int) option; (** (asid, vpn), if the frame is mapped *)
+  cost_ns : int;
+}
+
+val walk : Frame_table.t -> costs:Costs.t -> pfn:int -> result
+
+val walk_many : Frame_table.t -> costs:Costs.t -> pfns:int list -> result list * int
+(** Batch walk; returns per-frame results and the summed cost. *)

@@ -1,0 +1,1 @@
+lib/policy/belady.ml: Array Hashtbl Map

@@ -1,0 +1,1 @@
+lib/policy/clock_lru.ml: Mem Policy_intf Structures

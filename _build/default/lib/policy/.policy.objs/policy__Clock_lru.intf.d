@@ -1,0 +1,1 @@
+lib/policy/clock_lru.mli: Policy_intf

@@ -1,0 +1,1 @@
+lib/policy/fifo.mli: Policy_intf

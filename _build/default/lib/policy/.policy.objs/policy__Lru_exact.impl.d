@@ -1,0 +1,1 @@
+lib/policy/lru_exact.ml: Mem Policy_intf Structures

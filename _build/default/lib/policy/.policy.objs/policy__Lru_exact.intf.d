@@ -1,0 +1,1 @@
+lib/policy/lru_exact.mli: Policy_intf

@@ -1,0 +1,1 @@
+lib/policy/mglru.ml: Array Engine Float Hashtbl List Mem Policy_intf Structures

@@ -1,0 +1,1 @@
+lib/policy/mglru.mli: Policy_intf

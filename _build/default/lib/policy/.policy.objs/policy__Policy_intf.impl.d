@@ -1,0 +1,1 @@
+lib/policy/policy_intf.ml: Engine Mem

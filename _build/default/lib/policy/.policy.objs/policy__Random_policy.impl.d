@@ -1,0 +1,1 @@
+lib/policy/random_policy.ml: Engine Mem Policy_intf

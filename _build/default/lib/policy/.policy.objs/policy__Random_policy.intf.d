@@ -1,0 +1,1 @@
+lib/policy/random_policy.mli: Policy_intf

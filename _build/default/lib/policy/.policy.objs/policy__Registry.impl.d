@@ -1,0 +1,1 @@
+lib/policy/registry.ml: Clock_lru Fifo Lru_exact Mglru Policy_intf Random_policy

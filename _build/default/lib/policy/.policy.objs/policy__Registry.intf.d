@@ -1,0 +1,1 @@
+lib/policy/registry.mli: Mglru Policy_intf

@@ -1,0 +1,118 @@
+type result = {
+  faults : int;
+  cold_faults : int;
+  accesses : int;
+}
+
+module Pair_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let simulate ~capacity ~trace =
+  if capacity <= 0 then invalid_arg "Belady.simulate: capacity must be positive";
+  let n = Array.length trace in
+  (* next_use.(i) = position of the next access to trace.(i) after i,
+     or n when there is none. *)
+  let next_use = Array.make n n in
+  let last_pos = Hashtbl.create 1024 in
+  for i = n - 1 downto 0 do
+    let page = trace.(i) in
+    (match Hashtbl.find_opt last_pos page with
+    | Some j -> next_use.(i) <- j
+    | None -> next_use.(i) <- n);
+    Hashtbl.replace last_pos page i
+  done;
+  (* Resident set as a max-heap on next use, realized as a map keyed by
+     (next_use, page) plus a residency table for lazy deletion. *)
+  let heap = ref Pair_map.empty in
+  let heap_add pos page = heap := Pair_map.add (pos, page) page !heap in
+  let resident = Hashtbl.create 1024 in (* page -> current next_use *)
+  let faults = ref 0 and cold = ref 0 and size = ref 0 in
+  let seen = Hashtbl.create 1024 in
+  for i = 0 to n - 1 do
+    let page = trace.(i) in
+    (match Hashtbl.find_opt resident page with
+    | Some _ ->
+      (* Hit: refresh its priority. *)
+      Hashtbl.replace resident page next_use.(i);
+      heap_add next_use.(i) page
+    | None ->
+      incr faults;
+      if not (Hashtbl.mem seen page) then incr cold;
+      if !size >= capacity then begin
+        (* Evict the live entry with the farthest next use (lazy pops). *)
+        let rec evict () =
+          match Pair_map.max_binding_opt !heap with
+          | None -> ()
+          | Some (((pos, _) as key), victim) ->
+            heap := Pair_map.remove key !heap;
+            (match Hashtbl.find_opt resident victim with
+            | Some cur when cur = pos ->
+              Hashtbl.remove resident victim;
+              decr size
+            | Some _ | None -> evict ())
+        in
+        evict ()
+      end;
+      Hashtbl.replace resident page next_use.(i);
+      heap_add next_use.(i) page;
+      incr size);
+    Hashtbl.replace seen page ()
+  done;
+  { faults = !faults; cold_faults = !cold; accesses = n }
+
+let list_cache_simulate ~capacity ~trace ~touch_moves_front =
+  if capacity <= 0 then invalid_arg "Belady: capacity must be positive";
+  let n = Array.length trace in
+  (* Doubly linked list over page ids via hashtables. *)
+  let next = Hashtbl.create 1024 and prev = Hashtbl.create 1024 in
+  let front = ref (-1) and back = ref (-1) and size = ref 0 in
+  let resident = Hashtbl.create 1024 in
+  let seen = Hashtbl.create 1024 in
+  let faults = ref 0 and cold = ref 0 in
+  let unlink page =
+    let p = try Hashtbl.find prev page with Not_found -> -1 in
+    let nx = try Hashtbl.find next page with Not_found -> -1 in
+    if p <> -1 then Hashtbl.replace next p nx else front := nx;
+    if nx <> -1 then Hashtbl.replace prev nx p else back := p;
+    Hashtbl.remove prev page;
+    Hashtbl.remove next page
+  in
+  let push_front page =
+    Hashtbl.replace prev page (-1);
+    Hashtbl.replace next page !front;
+    if !front <> -1 then Hashtbl.replace prev !front page else back := page;
+    front := page
+  in
+  Array.iter
+    (fun page ->
+      if Hashtbl.mem resident page then begin
+        if touch_moves_front then begin
+          unlink page;
+          push_front page
+        end
+      end
+      else begin
+        incr faults;
+        if not (Hashtbl.mem seen page) then incr cold;
+        if !size >= capacity then begin
+          let victim = !back in
+          unlink victim;
+          Hashtbl.remove resident victim;
+          decr size
+        end;
+        push_front page;
+        Hashtbl.replace resident page ();
+        incr size
+      end;
+      Hashtbl.replace seen page ())
+    trace;
+  { faults = !faults; cold_faults = !cold; accesses = n }
+
+let lru_simulate ~capacity ~trace =
+  list_cache_simulate ~capacity ~trace ~touch_moves_front:true
+
+let fifo_simulate ~capacity ~trace =
+  list_cache_simulate ~capacity ~trace ~touch_moves_front:false

@@ -1,0 +1,21 @@
+(** Belady's OPT: offline optimal replacement over a reference trace.
+
+    Not a machine policy (it needs the future); a cache simulation used
+    by tests and examples to lower-bound the fault counts of the online
+    policies on the same reference string. *)
+
+type result = {
+  faults : int;        (** misses, including cold misses *)
+  cold_faults : int;   (** first-touch misses *)
+  accesses : int;
+}
+
+val simulate : capacity:int -> trace:int array -> result
+(** Classic OPT: on a miss with a full cache of [capacity] pages, evict
+    the resident page whose next use is farthest in the future.
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val lru_simulate : capacity:int -> trace:int array -> result
+(** Exact-LRU cache simulation on the same trace, for comparison. *)
+
+val fifo_simulate : capacity:int -> trace:int array -> result

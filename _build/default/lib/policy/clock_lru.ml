@@ -1,0 +1,171 @@
+type config = {
+  scan_batch : int;
+  inactive_ratio : int;
+  new_page_active : bool;
+}
+
+(* The classic kernel adds newly mapped anonymous pages to the active
+   list; speculative readahead pages start inactive regardless. *)
+let default_config = { scan_batch = 32; inactive_ratio = 2; new_page_active = true }
+
+let active = 0
+let inactive = 1
+
+type t = {
+  env : Policy_intf.env;
+  config : config;
+  lists : Structures.Dlist.t;
+  mutable refaults : int;
+  mutable evictions : int;
+  mutable active_scans : int;
+  mutable inactive_scans : int;
+  mutable rotations : int;
+}
+
+let policy_name = "clock"
+
+let create_with ?(config = default_config) env =
+  {
+    env;
+    config;
+    lists = Structures.Dlist.create ~nodes:env.Policy_intf.total_frames ~lists:2;
+    refaults = 0;
+    evictions = 0;
+    active_scans = 0;
+    inactive_scans = 0;
+    rotations = 0;
+  }
+
+let create env = create_with env
+
+let active_size t = Structures.Dlist.size t.lists active
+
+let inactive_size t = Structures.Dlist.size t.lists inactive
+
+let on_page_mapped t ~pfn ~asid:_ ~vpn:_ ~refault ~file_backed:_ ~speculative =
+  if refault then t.refaults <- t.refaults + 1;
+  let list =
+    if speculative || not t.config.new_page_active then inactive else active
+  in
+  Structures.Dlist.move_head t.lists ~list ~node:pfn
+
+let on_page_touched _t ~pfn:_ ~write:_ = ()
+
+let pte_of t pfn =
+  match Mem.Frame_table.owner t.env.Policy_intf.frames pfn with
+  | None -> None
+  | Some (asid, vpn) ->
+    let pt = t.env.Policy_intf.page_table_of asid in
+    Some (pt, vpn, Mem.Page_table.get pt vpn)
+
+let costs t = t.env.Policy_intf.costs
+
+(* Examine one active-tail page: accessed -> rotate to head, else demote. *)
+let deactivate_one t (stats : Policy_intf.reclaim_stats) =
+  match Structures.Dlist.tail t.lists active with
+  | None -> false
+  | Some pfn ->
+    stats.scanned <- stats.scanned + 1;
+    stats.rmap_walks <- stats.rmap_walks + 1;
+    stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.rmap_walk_ns;
+    t.active_scans <- t.active_scans + 1;
+    (match pte_of t pfn with
+    | None ->
+      (* Raced with an unmap; drop from our lists. *)
+      Structures.Dlist.remove t.lists ~node:pfn;
+      true
+    | Some (pt, vpn, pte) ->
+      stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.list_op_ns;
+      if Mem.Pte.accessed pte then begin
+        Mem.Page_table.set pt vpn (Mem.Pte.clear_accessed pte);
+        Structures.Dlist.move_head t.lists ~list:active ~node:pfn;
+        t.rotations <- t.rotations + 1
+      end
+      else Structures.Dlist.move_head t.lists ~list:inactive ~node:pfn;
+      true)
+
+let rebalance t stats =
+  let continue_ = ref true in
+  while
+    !continue_
+    && active_size t > 0
+    && inactive_size t * t.config.inactive_ratio < active_size t
+  do
+    continue_ := deactivate_one t stats
+  done
+
+(* Examine one inactive-tail page: accessed -> second chance, else evict. *)
+let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
+  match Structures.Dlist.tail t.lists inactive with
+  | None -> `Empty
+  | Some pfn ->
+    stats.scanned <- stats.scanned + 1;
+    stats.rmap_walks <- stats.rmap_walks + 1;
+    stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.rmap_walk_ns;
+    t.inactive_scans <- t.inactive_scans + 1;
+    (match pte_of t pfn with
+    | None ->
+      Structures.Dlist.remove t.lists ~node:pfn;
+      `Scanned
+    | Some (pt, vpn, pte) ->
+      stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.list_op_ns;
+      if Mem.Pte.accessed pte && not force then begin
+        Mem.Page_table.set pt vpn (Mem.Pte.clear_accessed pte);
+        Structures.Dlist.move_head t.lists ~list:active ~node:pfn;
+        stats.promoted <- stats.promoted + 1;
+        `Scanned
+      end
+      else begin
+        Structures.Dlist.remove t.lists ~node:pfn;
+        t.env.Policy_intf.reclaim_page ~pfn;
+        t.evictions <- t.evictions + 1;
+        stats.freed <- stats.freed + 1;
+        `Freed
+      end)
+
+let shrink t ~want ~force stats =
+  rebalance t stats;
+  let budget = ref (max (2 * t.config.scan_batch) (4 * want)) in
+  while stats.Policy_intf.freed < want && !budget > 0 do
+    (match evict_one t ~force stats with
+    | `Empty ->
+      (* Nothing inactive: pull from the active list directly. *)
+      if not (deactivate_one t stats) then budget := 0
+    | `Scanned | `Freed -> ());
+    decr budget
+  done
+
+let direct_reclaim t ~want =
+  let stats = Policy_intf.fresh_stats () in
+  shrink t ~want ~force:false stats;
+  if stats.Policy_intf.freed = 0 then
+    (* Priority escalation: ignore accessed bits rather than deadlock. *)
+    shrink t ~want ~force:true stats;
+  stats
+
+let kswapd t () =
+  let env = t.env in
+  if env.Policy_intf.free_count () >= env.Policy_intf.high_watermark then
+    Policy_intf.Sleep_until_woken
+  else begin
+    let stats = Policy_intf.fresh_stats () in
+    shrink t ~want:t.config.scan_batch ~force:false stats;
+    if stats.Policy_intf.freed = 0 && stats.Policy_intf.scanned = 0 then
+      Policy_intf.Sleep_until_woken
+    else Policy_intf.Work (max stats.Policy_intf.cpu_ns 1_000)
+  end
+
+let kthreads t = [ { Policy_intf.kname = "kswapd"; kstep = kswapd t } ]
+
+let stats t =
+  [
+    ("active", active_size t);
+    ("inactive", inactive_size t);
+    ("refaults", t.refaults);
+    ("evictions", t.evictions);
+    ("active_scans", t.active_scans);
+    ("inactive_scans", t.inactive_scans);
+    ("rotations", t.rotations);
+  ]
+
+let check_invariants t = Structures.Dlist.check_invariants t.lists

@@ -1,0 +1,25 @@
+(** Clock-LRU: the classic Linux two-list second-chance policy.
+
+    The active list is meant to hold the working set; the inactive list
+    holds eviction candidates (paper §II-B).  kswapd periodically rebalances
+    by scanning accessed bits at the tail of the active list — resolving
+    each physical frame to its PTE through a reverse-map walk, the cost the
+    paper identifies as Clock's fundamental handicap — and reclaim scans the
+    inactive tail, giving accessed pages a second chance on the active
+    list. *)
+
+type config = {
+  scan_batch : int;       (** pages examined per kswapd step *)
+  inactive_ratio : int;   (** keep inactive >= active / ratio *)
+  new_page_active : bool; (** map new pages to the active list *)
+}
+
+val default_config : config
+
+include Policy_intf.S
+
+val create_with : ?config:config -> Policy_intf.env -> t
+
+val active_size : t -> int
+
+val inactive_size : t -> int

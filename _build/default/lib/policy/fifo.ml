@@ -1,0 +1,63 @@
+type t = {
+  env : Policy_intf.env;
+  queue : Structures.Dlist.t; (* single list 0: head = newest *)
+  mutable evictions : int;
+  mutable refaults : int;
+}
+
+let policy_name = "fifo"
+
+let create env =
+  {
+    env;
+    queue = Structures.Dlist.create ~nodes:env.Policy_intf.total_frames ~lists:1;
+    evictions = 0;
+    refaults = 0;
+  }
+
+let on_page_mapped t ~pfn ~asid:_ ~vpn:_ ~refault ~file_backed:_ ~speculative:_ =
+  if refault then t.refaults <- t.refaults + 1;
+  Structures.Dlist.move_head t.queue ~list:0 ~node:pfn
+
+let on_page_touched _t ~pfn:_ ~write:_ = ()
+
+let evict_one t (stats : Policy_intf.reclaim_stats) =
+  match Structures.Dlist.pop_tail t.queue 0 with
+  | None -> false
+  | Some pfn ->
+    stats.scanned <- stats.scanned + 1;
+    stats.cpu_ns <- stats.cpu_ns + t.env.Policy_intf.costs.Mem.Costs.list_op_ns;
+    if Mem.Frame_table.is_mapped t.env.Policy_intf.frames pfn then begin
+      t.env.Policy_intf.reclaim_page ~pfn;
+      t.evictions <- t.evictions + 1;
+      stats.freed <- stats.freed + 1
+    end;
+    true
+
+let direct_reclaim t ~want =
+  let stats = Policy_intf.fresh_stats () in
+  let continue_ = ref true in
+  while stats.Policy_intf.freed < want && !continue_ do
+    continue_ := evict_one t stats
+  done;
+  stats
+
+let kswapd t () =
+  let env = t.env in
+  if env.Policy_intf.free_count () >= env.Policy_intf.high_watermark then
+    Policy_intf.Sleep_until_woken
+  else begin
+    let stats = Policy_intf.fresh_stats () in
+    let continue_ = ref true in
+    while stats.Policy_intf.freed < 32 && !continue_ do
+      continue_ := evict_one t stats
+    done;
+    if stats.Policy_intf.freed = 0 then Policy_intf.Sleep_until_woken
+    else Policy_intf.Work (max stats.Policy_intf.cpu_ns 500)
+  end
+
+let kthreads t = [ { Policy_intf.kname = "kswapd"; kstep = kswapd t } ]
+
+let stats t = [ ("evictions", t.evictions); ("refaults", t.refaults) ]
+
+let check_invariants t = Structures.Dlist.check_invariants t.queue

@@ -1,0 +1,7 @@
+(** FIFO replacement: evict in arrival order, never consult accessed bits.
+
+    The paper notes (§V-B) that production key-value caches favour
+    FIFO-family eviction for zipfian traffic; this baseline lets the
+    harness test that observation against the LRU approximations. *)
+
+include Policy_intf.S

@@ -1,0 +1,10 @@
+(** Exact LRU: an oracle baseline with per-access recency.
+
+    Uses the [on_page_touched] oracle hook, which no hardware-realistic
+    policy can (accessed bits only say "touched since last scan").  It
+    bounds how much of Clock's and MG-LRU's behaviour is approximation
+    error versus inherent to LRU ordering itself — e.g. on YCSB's zipfian
+    traffic exact LRU is still mediocre, supporting the paper's §V-B
+    remark. *)
+
+include Policy_intf.S

@@ -1,0 +1,92 @@
+(** The contract between the simulated machine and a replacement policy.
+
+    A policy sees the world the way the kernel's reclaim code does: page
+    tables with accessed/dirty bits, the frame table / reverse map, and
+    memory-pressure watermarks.  It acts through [reclaim_page] (unmap +
+    write back + free, performed by the machine) and reports the CPU it
+    burned so the machine can charge contention and fault latency.
+
+    Policies expose background work as {!kthread}s — bounded steps the
+    machine drives through its processor-sharing CPU model, mirroring how
+    kswapd and MG-LRU's aging walker compete with application threads. *)
+
+type env = {
+  costs : Mem.Costs.t;
+  frames : Mem.Frame_table.t;
+  page_table_of : int -> Mem.Page_table.t;
+      (** resolve an address-space id *)
+  address_spaces : unit -> Mem.Page_table.t list;
+      (** every address space, for full page-table walks *)
+  rng : Engine.Rng.t;
+  now : unit -> int;
+  reclaim_page : pfn:int -> unit;
+      (** Machine callback: unmap the owning PTE, write back if needed,
+          return the frame to the allocator.  The policy must already
+          have detached the frame from its own structures. *)
+  free_count : unit -> int;
+  total_frames : int;
+  low_watermark : int;
+  high_watermark : int;
+}
+
+type reclaim_stats = {
+  mutable freed : int;       (** frames handed back via [reclaim_page] *)
+  mutable scanned : int;     (** candidate pages examined *)
+  mutable promoted : int;    (** pages saved by their accessed bit *)
+  mutable rmap_walks : int;
+  mutable pte_scans : int;   (** PTEs examined by linear/spatial scans *)
+  mutable cpu_ns : int;      (** compute consumed; the machine adds this
+                                 to the faulting thread's latency *)
+}
+
+let fresh_stats () =
+  { freed = 0; scanned = 0; promoted = 0; rmap_walks = 0; pte_scans = 0; cpu_ns = 0 }
+
+type kstep =
+  | Work of int  (** consumed this many ns of CPU; re-step when it elapses *)
+  | Sleep of int (** idle; re-step after this many ns *)
+  | Sleep_until_woken
+      (** idle until the machine signals memory pressure *)
+
+type kthread = {
+  kname : string;
+  kstep : unit -> kstep;
+}
+
+module type S = sig
+  type t
+
+  val policy_name : string
+
+  val create : env -> t
+
+  val on_page_mapped :
+    t -> pfn:int -> asid:int -> vpn:int -> refault:bool -> file_backed:bool ->
+    speculative:bool -> unit
+  (** A page was just faulted in and mapped to [pfn].  [refault] means it
+      had been evicted before (its contents came from swap);
+      [speculative] means readahead brought it in rather than a demand
+      access, so it should start its life cold. *)
+
+  val on_page_touched : t -> pfn:int -> write:bool -> unit
+  (** Oracle hook invoked on every simulated access.  Hardware-realistic
+      policies (Clock, MG-LRU) must ignore it — they only see accessed
+      bits; baselines like exact LRU may use it. *)
+
+  val direct_reclaim : t -> want:int -> reclaim_stats
+  (** Synchronously free at least one frame whenever any frame is
+      evictable, preferring [want].  Called from the allocation slow
+      path with memory exhausted. *)
+
+  val kthreads : t -> kthread list
+  (** Background workers; the machine schedules their steps. *)
+
+  val stats : t -> (string * int) list
+
+  val check_invariants : t -> unit
+  (** For tests: verify internal structures; raise on corruption. *)
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let packed_name (Packed ((module P), _)) = P.policy_name

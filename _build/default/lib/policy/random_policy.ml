@@ -1,0 +1,74 @@
+type t = {
+  env : Policy_intf.env;
+  mutable evictions : int;
+  mutable refaults : int;
+}
+
+let policy_name = "random"
+
+let create env = { env; evictions = 0; refaults = 0 }
+
+let on_page_mapped t ~pfn:_ ~asid:_ ~vpn:_ ~refault ~file_backed:_ ~speculative:_ =
+  if refault then t.refaults <- t.refaults + 1
+
+let on_page_touched _t ~pfn:_ ~write:_ = ()
+
+(* Rejection-sample a mapped frame; bounded then linear fallback. *)
+let pick_victim t =
+  let frames = t.env.Policy_intf.frames in
+  let n = t.env.Policy_intf.total_frames in
+  let rec sample tries =
+    if tries = 0 then None
+    else begin
+      let pfn = Engine.Rng.int t.env.Policy_intf.rng n in
+      if Mem.Frame_table.is_mapped frames pfn then Some pfn else sample (tries - 1)
+    end
+  in
+  match sample 64 with
+  | Some pfn -> Some pfn
+  | None ->
+    let rec linear pfn =
+      if pfn >= n then None
+      else if Mem.Frame_table.is_mapped frames pfn then Some pfn
+      else linear (pfn + 1)
+    in
+    linear 0
+
+let evict_one t (stats : Policy_intf.reclaim_stats) =
+  match pick_victim t with
+  | None -> false
+  | Some pfn ->
+    stats.scanned <- stats.scanned + 1;
+    stats.cpu_ns <- stats.cpu_ns + 100;
+    t.env.Policy_intf.reclaim_page ~pfn;
+    t.evictions <- t.evictions + 1;
+    stats.freed <- stats.freed + 1;
+    true
+
+let direct_reclaim t ~want =
+  let stats = Policy_intf.fresh_stats () in
+  let continue_ = ref true in
+  while stats.Policy_intf.freed < want && !continue_ do
+    continue_ := evict_one t stats
+  done;
+  stats
+
+let kswapd t () =
+  let env = t.env in
+  if env.Policy_intf.free_count () >= env.Policy_intf.high_watermark then
+    Policy_intf.Sleep_until_woken
+  else begin
+    let stats = Policy_intf.fresh_stats () in
+    let continue_ = ref true in
+    while stats.Policy_intf.freed < 32 && !continue_ do
+      continue_ := evict_one t stats
+    done;
+    if stats.Policy_intf.freed = 0 then Policy_intf.Sleep_until_woken
+    else Policy_intf.Work (max stats.Policy_intf.cpu_ns 500)
+  end
+
+let kthreads t = [ { Policy_intf.kname = "kswapd"; kstep = kswapd t } ]
+
+let stats t = [ ("evictions", t.evictions); ("refaults", t.refaults) ]
+
+let check_invariants _t = ()

@@ -1,0 +1,6 @@
+(** Random replacement: evict a uniformly random mapped frame.
+
+    The memoryless baseline the paper's discussion of principled
+    randomness (§VI-C) is measured against. *)
+
+include Policy_intf.S

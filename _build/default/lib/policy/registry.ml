@@ -1,0 +1,61 @@
+type spec =
+  | Clock
+  | Mglru_default
+  | Gen14
+  | Scan_all
+  | Scan_none
+  | Scan_rand of float
+  | Mglru_custom of Mglru.config
+  | Fifo
+  | Random
+  | Lru_exact
+
+let name = function
+  | Clock -> "clock"
+  | Mglru_default -> "mglru"
+  | Gen14 -> "gen14"
+  | Scan_all -> "scan-all"
+  | Scan_none -> "scan-none"
+  | Scan_rand _ -> "scan-rand"
+  | Mglru_custom _ -> "mglru-custom"
+  | Fifo -> "fifo"
+  | Random -> "random"
+  | Lru_exact -> "lru-exact"
+
+let of_name = function
+  | "clock" -> Some Clock
+  | "mglru" -> Some Mglru_default
+  | "gen14" -> Some Gen14
+  | "scan-all" -> Some Scan_all
+  | "scan-none" -> Some Scan_none
+  | "scan-rand" -> Some (Scan_rand 0.5)
+  | "fifo" -> Some Fifo
+  | "random" -> Some Random
+  | "lru-exact" -> Some Lru_exact
+  | _ -> None
+
+let known_names =
+  [ "clock"; "mglru"; "gen14"; "scan-all"; "scan-none"; "scan-rand"; "fifo";
+    "random"; "lru-exact" ]
+
+let all_paper_specs =
+  [ Clock; Mglru_default; Gen14; Scan_all; Scan_none; Scan_rand 0.5 ]
+
+let mglru_config = function
+  | Mglru_default -> Mglru.default_config
+  | Gen14 -> Mglru.gen14_config
+  | Scan_all -> Mglru.with_mode Mglru.Scan_all Mglru.default_config
+  | Scan_none -> Mglru.with_mode Mglru.Scan_none Mglru.default_config
+  | Scan_rand p -> Mglru.with_mode (Mglru.Scan_rand p) Mglru.default_config
+  | Mglru_custom c -> c
+  | Clock | Fifo | Random | Lru_exact -> invalid_arg "Registry.mglru_config"
+
+let create spec env =
+  match spec with
+  | Clock -> Policy_intf.Packed ((module Clock_lru), Clock_lru.create env)
+  | Mglru_default | Gen14 | Scan_all | Scan_none | Scan_rand _ | Mglru_custom _ ->
+    Policy_intf.Packed
+      ((module Mglru), Mglru.create_with ~config:(mglru_config spec) env)
+  | Fifo -> Policy_intf.Packed ((module Fifo), Fifo.create env)
+  | Random -> Policy_intf.Packed ((module Random_policy), Random_policy.create env)
+  | Lru_exact -> Policy_intf.Packed ((module Lru_exact), Lru_exact.create env)

@@ -1,0 +1,31 @@
+(** Policy registry: construct any policy by its experiment name.
+
+    The names match the paper's figure legends: ["clock"], ["mglru"],
+    ["gen14"], ["scan-all"], ["scan-none"], ["scan-rand"], plus the
+    extra baselines ["fifo"], ["random"], ["lru-exact"]. *)
+
+type spec =
+  | Clock
+  | Mglru_default
+  | Gen14
+  | Scan_all
+  | Scan_none
+  | Scan_rand of float
+  | Mglru_custom of Mglru.config
+  | Fifo
+  | Random
+  | Lru_exact
+
+val name : spec -> string
+(** Stable display/CLI name. *)
+
+val of_name : string -> spec option
+(** Inverse of {!name} for the CLI names; [Scan_rand] parses as
+    ["scan-rand"] with probability 0.5. *)
+
+val all_paper_specs : spec list
+(** The six configurations the paper evaluates, in figure order. *)
+
+val create : spec -> Policy_intf.env -> Policy_intf.packed
+
+val known_names : string list

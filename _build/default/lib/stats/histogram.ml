@@ -1,0 +1,100 @@
+type t = {
+  lo : float;
+  hi : float;
+  per_decade : int;
+  counts : int array; (* counts.(0) = underflow, counts.(n+1) = overflow *)
+  mutable total : int;
+  mutable sum : float;
+  mutable min_seen : float;
+  mutable max_seen : float;
+}
+
+let nbins lo hi per_decade =
+  int_of_float (ceil (log10 (hi /. lo) *. float_of_int per_decade))
+
+let create ?(buckets_per_decade = 20) ~lo ~hi () =
+  if lo <= 0.0 || hi <= lo then invalid_arg "Histogram.create: need 0 < lo < hi";
+  if buckets_per_decade <= 0 then invalid_arg "Histogram.create: buckets_per_decade";
+  let n = max 1 (nbins lo hi buckets_per_decade) in
+  {
+    lo;
+    hi;
+    per_decade = buckets_per_decade;
+    counts = Array.make (n + 2) 0;
+    total = 0;
+    sum = 0.0;
+    min_seen = infinity;
+    max_seen = neg_infinity;
+  }
+
+let inner_bins t = Array.length t.counts - 2
+
+let index t x =
+  if x < t.lo then 0
+  else if x >= t.hi then inner_bins t + 1
+  else begin
+    let i = int_of_float (log10 (x /. t.lo) *. float_of_int t.per_decade) in
+    1 + min i (inner_bins t - 1)
+  end
+
+let bounds t i =
+  (* Bounds of inner bin [i] (1-based index into counts). *)
+  let step j = t.lo *. (10.0 ** (float_of_int j /. float_of_int t.per_decade)) in
+  (step (i - 1), step i)
+
+let add t x =
+  t.counts.(index t x) <- t.counts.(index t x) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min_seen then t.min_seen <- x;
+  if x > t.max_seen then t.max_seen <- x
+
+let count t = t.total
+
+let quantile t q =
+  if t.total = 0 then invalid_arg "Histogram.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0,1]";
+  let target = int_of_float (ceil (q *. float_of_int t.total)) in
+  let target = max target 1 in
+  let rec find i acc =
+    if i >= Array.length t.counts then t.max_seen
+    else begin
+      let acc = acc + t.counts.(i) in
+      if acc >= target then
+        if i = 0 then t.min_seen
+        else if i = inner_bins t + 1 then t.max_seen
+        else begin
+          let lo, hi = bounds t i in
+          sqrt (lo *. hi)
+        end
+      else find (i + 1) acc
+    end
+  in
+  find 0 0
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let max_seen t = t.max_seen
+
+let min_seen t = t.min_seen
+
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || a.per_decade <> b.per_decade then
+    invalid_arg "Histogram.merge: layouts differ";
+  let c = create ~buckets_per_decade:a.per_decade ~lo:a.lo ~hi:a.hi () in
+  Array.iteri (fun i n -> c.counts.(i) <- n + b.counts.(i)) a.counts;
+  c.total <- a.total + b.total;
+  c.sum <- a.sum +. b.sum;
+  c.min_seen <- min a.min_seen b.min_seen;
+  c.max_seen <- max a.max_seen b.max_seen;
+  c
+
+let bins t =
+  let acc = ref [] in
+  for i = inner_bins t downto 1 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bounds t i in
+      acc := (lo, hi, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc

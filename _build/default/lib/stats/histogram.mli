@@ -1,0 +1,35 @@
+(** Streaming histograms with logarithmically spaced bins.
+
+    Request latencies in the YCSB experiments span five orders of
+    magnitude (cache hit → queued SSD fault), so log-spaced bins give
+    constant relative error for tail quantiles without retaining every
+    sample. *)
+
+type t
+
+val create : ?buckets_per_decade:int -> lo:float -> hi:float -> unit -> t
+(** Bins cover [lo, hi] (both positive) with [buckets_per_decade]
+    (default 20) bins per factor of 10; samples outside the range land in
+    underflow/overflow bins. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val quantile : t -> float -> float
+(** Approximate quantile (geometric midpoint of the containing bin).
+    @raise Invalid_argument when empty or [q] outside [0, 1]. *)
+
+val mean : t -> float
+(** Exact running mean of all added samples. *)
+
+val max_seen : t -> float
+
+val min_seen : t -> float
+
+val merge : t -> t -> t
+(** Pointwise sum; both histograms must have identical bin layout.
+    @raise Invalid_argument otherwise. *)
+
+val bins : t -> (float * float * int) list
+(** Non-empty bins as [(lower_bound, upper_bound, count)], ascending. *)

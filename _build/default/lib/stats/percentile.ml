@@ -1,0 +1,57 @@
+let quantile_sorted xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Percentile.quantile_sorted: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Percentile.quantile_sorted: q outside [0,1]";
+  if n = 1 then xs.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    xs.(lo) +. (frac *. (xs.(hi) -. xs.(lo)))
+  end
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let quantile xs q = quantile_sorted (sorted_copy xs) q
+
+let quantiles xs qs =
+  let ys = sorted_copy xs in
+  List.map (quantile_sorted ys) qs
+
+let quartiles xs =
+  match quantiles xs [ 0.25; 0.5; 0.75 ] with
+  | [ q1; q2; q3 ] -> (q1, q2, q3)
+  | _ -> assert false
+
+let iqr xs =
+  let q1, _, q3 = quartiles xs in
+  q3 -. q1
+
+type tail = {
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  p9999 : float;
+  max : float;
+}
+
+let tail_of xs =
+  let ys = sorted_copy xs in
+  let q = quantile_sorted ys in
+  {
+    p50 = q 0.5;
+    p90 = q 0.9;
+    p99 = q 0.99;
+    p999 = q 0.999;
+    p9999 = q 0.9999;
+    max = ys.(Array.length ys - 1);
+  }
+
+let pp_tail fmt t =
+  Format.fprintf fmt "p50=%.4g p90=%.4g p99=%.4g p99.9=%.4g p99.99=%.4g max=%.4g"
+    t.p50 t.p90 t.p99 t.p999 t.p9999 t.max

@@ -1,0 +1,36 @@
+(** Quantiles and tail-latency extraction.
+
+    The paper reports request latency distributions up to the 99.99th
+    percentile (Figures 3, 8, 12); these helpers compute them with linear
+    interpolation between order statistics. *)
+
+val quantile_sorted : float array -> float -> float
+(** [quantile_sorted xs q] with [xs] already ascending and [q] in
+    [0, 1].  @raise Invalid_argument on an empty array or [q] outside
+    [0, 1]. *)
+
+val quantile : float array -> float -> float
+(** Copies and sorts, then {!quantile_sorted}. *)
+
+val quantiles : float array -> float list -> float list
+(** One sort amortized over many quantiles. *)
+
+val quartiles : float array -> float * float * float
+(** [(q1, median, q3)]. *)
+
+val iqr : float array -> float
+(** Interquartile range [q3 - q1]. *)
+
+type tail = {
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  p9999 : float;
+  max : float;
+}
+(** The latency landmarks plotted in the paper's tail figures. *)
+
+val tail_of : float array -> tail
+
+val pp_tail : Format.formatter -> tail -> unit

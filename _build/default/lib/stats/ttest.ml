@@ -1,0 +1,93 @@
+type result = { t_stat : float; df : float; p_value : float }
+
+(* Lanczos approximation of ln Gamma. *)
+let gammaln x =
+  let cof =
+    [| 76.18009172947146; -86.50532032941677; 24.01409824083091;
+       -1.231739572450155; 0.1208650973866179e-2; -0.5395239384953e-5 |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let ser = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.0;
+      ser := !ser +. (c /. !y))
+    cof;
+  -.tmp +. log (2.5066282746310005 *. !ser /. x)
+
+(* Continued fraction for the incomplete beta function (Numerical Recipes). *)
+let betacf a b x =
+  let max_it = 200 and eps = 3e-12 and fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1.0 and qam = a -. 1.0 in
+  let c = ref 1.0 in
+  let d = ref (1.0 -. (qab *. x /. qap)) in
+  if abs_float !d < fpmin then d := fpmin;
+  d := 1.0 /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let finished = ref false in
+  while (not !finished) && !m <= max_it do
+    let fm = float_of_int !m in
+    let m2 = 2.0 *. fm in
+    let aa = fm *. (b -. fm) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if abs_float !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if abs_float !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. fm) *. (qab +. fm) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1.0 +. (aa *. !d);
+    if abs_float !d < fpmin then d := fpmin;
+    c := 1.0 +. (aa /. !c);
+    if abs_float !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if abs_float (del -. 1.0) < eps then finished := true;
+    incr m
+  done;
+  !h
+
+let betai a b x =
+  if x < 0.0 || x > 1.0 then invalid_arg "betai: x outside [0,1]";
+  if x = 0.0 then 0.0
+  else if x = 1.0 then 1.0
+  else begin
+    let bt =
+      exp
+        (gammaln (a +. b) -. gammaln a -. gammaln b +. (a *. log x)
+        +. (b *. log (1.0 -. x)))
+    in
+    if x < (a +. 1.0) /. (a +. b +. 2.0) then bt *. betacf a b x /. a
+    else 1.0 -. (bt *. betacf b a (1.0 -. x) /. b)
+  end
+
+let student_cdf t ~df =
+  let x = df /. (df +. (t *. t)) in
+  let p = 0.5 *. betai (df /. 2.0) 0.5 x in
+  if t >= 0.0 then 1.0 -. p else p
+
+let welch a b =
+  let na = Array.length a and nb = Array.length b in
+  if na < 2 || nb < 2 then invalid_arg "Ttest.welch: need at least 2 points per sample";
+  let sa = Summary.of_array a and sb = Summary.of_array b in
+  let va = sa.Summary.variance /. float_of_int na in
+  let vb = sb.Summary.variance /. float_of_int nb in
+  if va +. vb = 0.0 then
+    if sa.Summary.mean = sb.Summary.mean then
+      { t_stat = 0.0; df = float_of_int (na + nb - 2); p_value = 1.0 }
+    else { t_stat = infinity; df = float_of_int (na + nb - 2); p_value = 0.0 }
+  else begin
+    let t_stat = (sa.Summary.mean -. sb.Summary.mean) /. sqrt (va +. vb) in
+    let df =
+      ((va +. vb) ** 2.0)
+      /. ((va ** 2.0) /. float_of_int (na - 1) +. ((vb ** 2.0) /. float_of_int (nb - 1)))
+    in
+    let p_value = 2.0 *. (1.0 -. student_cdf (abs_float t_stat) ~df) in
+    { t_stat; df; p_value = min 1.0 (max 0.0 p_value) }
+  end
+
+let significant ?(alpha = 0.05) a b = (welch a b).p_value < alpha

@@ -1,0 +1,23 @@
+(** Welch's unequal-variance t-test.
+
+    The paper reports that Clock's 2–5 % wins over MG-LRU at relaxed
+    memory pressure are significant (p < 0.01) while the Gen-14
+    differences are not (p > 0.05) (§V-B, §V-C); this module reproduces
+    those significance calls. *)
+
+type result = {
+  t_stat : float;
+  df : float;      (** Welch–Satterthwaite degrees of freedom *)
+  p_value : float; (** two-sided *)
+}
+
+val welch : float array -> float array -> result
+(** @raise Invalid_argument when either sample has fewer than 2 points.
+    Degenerate zero-variance identical samples give [p_value = 1.0]. *)
+
+val significant : ?alpha:float -> float array -> float array -> bool
+(** [significant a b] is [true] when the two-sided p-value is below
+    [alpha] (default 0.05). *)
+
+val student_cdf : float -> df:float -> float
+(** CDF of Student's t distribution; exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/structures/bloom.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/structures/dlist.ml: Array

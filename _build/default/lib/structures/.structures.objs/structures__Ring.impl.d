@@ -1,0 +1,1 @@
+lib/structures/ring.ml: Array List

@@ -1,0 +1,61 @@
+type t = {
+  data : Bytes.t;
+  mask : int; (* bits - 1, bits a power of two *)
+  hashes : int;
+  seed : int;
+  mutable population : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(hashes = 2) ~bits ~seed () =
+  if bits <= 0 then invalid_arg "Bloom.create: bits must be positive";
+  if hashes <= 0 then invalid_arg "Bloom.create: hashes must be positive";
+  let bits = next_pow2 bits in
+  { data = Bytes.make (bits / 8 + 1) '\000'; mask = bits - 1; hashes; seed; population = 0 }
+
+let bits t = t.mask + 1
+
+let hashes t = t.hashes
+
+(* SplitMix64-style mixer (constants truncated to OCaml's 63-bit ints);
+   cheap and well distributed even for sequential keys. *)
+let mix seed key i =
+  let z = (key + (0x9E3779B9 * (i + 1))) lxor seed in
+  let z = (z lxor (z lsr 33)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 29)) * 0x1B873593 in
+  (z lxor (z lsr 32)) land max_int
+
+let bit_pos t key i = mix t.seed key i land t.mask
+
+let get_bit t pos =
+  Char.code (Bytes.get t.data (pos lsr 3)) land (1 lsl (pos land 7)) <> 0
+
+let set_bit t pos =
+  if not (get_bit t pos) then begin
+    let byte = pos lsr 3 in
+    let v = Char.code (Bytes.get t.data byte) lor (1 lsl (pos land 7)) in
+    Bytes.set t.data byte (Char.chr v);
+    t.population <- t.population + 1
+  end
+
+let add t key =
+  for i = 0 to t.hashes - 1 do
+    set_bit t (bit_pos t key i)
+  done
+
+let mem t key =
+  let rec go i = i >= t.hashes || (get_bit t (bit_pos t key i) && go (i + 1)) in
+  go 0
+
+let clear t =
+  Bytes.fill t.data 0 (Bytes.length t.data) '\000';
+  t.population <- 0
+
+let population t = t.population
+
+let fill_ratio t = float_of_int t.population /. float_of_int (bits t)
+
+let false_positive_estimate t = fill_ratio t ** float_of_int t.hashes

@@ -1,0 +1,38 @@
+(** Seeded Bloom filters over integer keys.
+
+    MG-LRU keeps two small Bloom filters per memory control group and uses
+    them to remember which page-table regions contained recently-accessed
+    entries, so the next aging pass can skip the rest of the address space
+    (see paper §III-B).  This is a faithful stand-alone implementation:
+    [k] independent hash functions derived from a seed, a power-of-two bit
+    array, no deletions. *)
+
+type t
+
+val create : ?hashes:int -> bits:int -> seed:int -> unit -> t
+(** [create ~bits ~seed ()] makes a filter with at least [bits] bits
+    (rounded up to a power of two) and [hashes] hash functions
+    (default 2, as in the kernel's implementation). *)
+
+val bits : t -> int
+(** Actual number of bits after rounding. *)
+
+val hashes : t -> int
+
+val add : t -> int -> unit
+
+val mem : t -> int -> bool
+(** Never returns [false] for a key that was [add]ed (no false
+    negatives); may return [true] for keys never added. *)
+
+val clear : t -> unit
+
+val population : t -> int
+(** Number of set bits. *)
+
+val fill_ratio : t -> float
+(** Fraction of bits set, in [0, 1]. *)
+
+val false_positive_estimate : t -> float
+(** [(fill_ratio t) ^ hashes]: the classic estimate of the current
+    false-positive probability. *)

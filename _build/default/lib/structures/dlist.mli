@@ -1,0 +1,66 @@
+(** Intrusive doubly-linked lists over dense integer node ids.
+
+    One {!t} value manages a fixed population of [nodes] (numbered
+    [0 .. nodes-1]) and a fixed set of [lists] (numbered [0 .. lists-1]).
+    Every node is on at most one list at a time.  All operations are O(1)
+    except iteration.
+
+    This mirrors how the Linux kernel threads page frames onto LRU lists:
+    the link fields live in per-frame arrays, so moving a page between
+    generations or between the active and inactive lists never allocates. *)
+
+type t
+
+val create : nodes:int -> lists:int -> t
+(** All nodes start detached (on no list). *)
+
+val nodes : t -> int
+
+val lists : t -> int
+
+val list_of : t -> int -> int option
+(** [list_of t node] is the list currently holding [node], if any. *)
+
+val size : t -> int -> int
+(** Number of nodes currently on the given list. *)
+
+val is_empty : t -> int -> bool
+
+val push_head : t -> list:int -> node:int -> unit
+(** Insert at the head.  @raise Invalid_argument if [node] is already on a
+    list. *)
+
+val push_tail : t -> list:int -> node:int -> unit
+
+val remove : t -> node:int -> unit
+(** Detach [node] from its list.  No-op if already detached. *)
+
+val move_head : t -> list:int -> node:int -> unit
+(** Detach (if attached) then [push_head]. *)
+
+val move_tail : t -> list:int -> node:int -> unit
+
+val head : t -> int -> int option
+
+val tail : t -> int -> int option
+
+val pop_tail : t -> int -> int option
+(** Remove and return the tail node. *)
+
+val pop_head : t -> int -> int option
+
+val next_towards_head : t -> int -> int option
+(** [next_towards_head t node] is the neighbour of [node] one step closer
+    to its list's head, if any. *)
+
+val iter_from_tail : t -> list:int -> (int -> unit) -> unit
+(** Iterate tail-to-head.  The callback must not mutate the list. *)
+
+val splice_all : t -> src:int -> dst:int -> unit
+(** Move every node of [src] onto the tail side of [dst], preserving
+    relative order (head of [src] ends nearer [dst]'s head side than the
+    tail of [src]).  O(length of [src]). *)
+
+val check_invariants : t -> unit
+(** Walk every list verifying link symmetry and size accounting.
+    @raise Failure on corruption.  For tests. *)

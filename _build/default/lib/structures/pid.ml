@@ -1,0 +1,41 @@
+type t = {
+  kp : float;
+  ki : float;
+  kd : float;
+  integral_limit : float;
+  mutable setpoint : float;
+  mutable integral : float;
+  mutable prev_error : float option;
+  mutable output : float;
+}
+
+let create ?(kp = 1.0) ?(ki = 0.0) ?(kd = 0.0) ?(integral_limit = 1e9) ~setpoint () =
+  if integral_limit < 0.0 then invalid_arg "Pid.create: negative integral_limit";
+  { kp; ki; kd; integral_limit; setpoint; integral = 0.0; prev_error = None; output = 0.0 }
+
+let setpoint t = t.setpoint
+
+let set_setpoint t sp = t.setpoint <- sp
+
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let update t ~measurement ~dt =
+  if dt <= 0.0 then invalid_arg "Pid.update: dt must be positive";
+  let error = t.setpoint -. measurement in
+  t.integral <-
+    clamp (-.t.integral_limit) t.integral_limit (t.integral +. (error *. dt));
+  let derivative =
+    match t.prev_error with
+    | None -> 0.0
+    | Some e -> (error -. e) /. dt
+  in
+  t.prev_error <- Some error;
+  t.output <- (t.kp *. error) +. (t.ki *. t.integral) +. (t.kd *. derivative);
+  t.output
+
+let output t = t.output
+
+let reset t =
+  t.integral <- 0.0;
+  t.prev_error <- None;
+  t.output <- 0.0

@@ -1,0 +1,31 @@
+(** Discrete proportional-integral-derivative controllers.
+
+    MG-LRU balances eviction between page "tiers" with a feedback
+    controller driven by refault rates (paper §III-D).  This module
+    provides the generic controller; the tier-protection policy built on
+    it lives in the [policy] library. *)
+
+type t
+
+val create :
+  ?kp:float -> ?ki:float -> ?kd:float ->
+  ?integral_limit:float -> setpoint:float -> unit -> t
+(** [create ~setpoint ()] builds a controller targeting [setpoint].
+    Gains default to a pure proportional controller ([kp = 1.0],
+    [ki = kd = 0.0]).  The integral term is clamped to
+    [±integral_limit] (default [1e9]) to prevent windup. *)
+
+val setpoint : t -> float
+
+val set_setpoint : t -> float -> unit
+
+val update : t -> measurement:float -> dt:float -> float
+(** One control step: feeds back [setpoint - measurement] over the time
+    interval [dt] (which must be positive) and returns the control
+    output. *)
+
+val output : t -> float
+(** Last computed output (0 before any update). *)
+
+val reset : t -> unit
+(** Clear the integral and derivative history. *)

@@ -1,0 +1,48 @@
+type 'a t = {
+  data : 'a array;
+  mutable start : int; (* index of oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity ~dummy =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make capacity dummy; start = 0; len = 0 }
+
+let capacity t = Array.length t.data
+
+let length t = t.len
+
+let push t x =
+  let cap = capacity t in
+  if t.len < cap then begin
+    t.data.((t.start + t.len) mod cap) <- x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.data.(t.start) <- x;
+    t.start <- (t.start + 1) mod cap
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring.get: index out of range";
+  t.data.((t.start + i) mod capacity t)
+
+let newest t = if t.len = 0 then None else Some (get t (t.len - 1))
+
+let oldest t = if t.len = 0 then None else Some (get t 0)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)

@@ -1,0 +1,34 @@
+(** Fixed-capacity ring buffers (sliding windows).
+
+    Used for short histories of refault rates and scan throughput when a
+    policy or the harness needs a windowed average. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Number of live elements, at most [capacity]. *)
+
+val push : 'a t -> 'a -> unit
+(** Append, evicting the oldest element when full. *)
+
+val get : 'a t -> int -> 'a
+(** [get t 0] is the oldest live element, [get t (length t - 1)] the
+    newest.  @raise Invalid_argument if out of range. *)
+
+val newest : 'a t -> 'a option
+
+val oldest : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest to newest. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)

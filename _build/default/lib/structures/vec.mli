@@ -1,0 +1,43 @@
+(** Growable arrays (dynamic vectors).
+
+    A cheap, mutable, amortized-O(1)-append vector used throughout the
+    simulator for metric accumulation and work lists.  Elements are stored
+    contiguously; [get]/[set] are bounds-checked. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector.  [dummy] fills unused slots and
+    is never observable through the API. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append one element, growing the backing store as needed. *)
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element.  @raise Invalid_argument if out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument if out of bounds. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element. *)
+
+val clear : 'a t -> unit
+(** Reset the length to zero (capacity retained). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+(** Fresh array holding exactly the current elements. *)
+
+val of_array : dummy:'a -> 'a array -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort of the live elements. *)

@@ -1,0 +1,1 @@
+lib/swapdev/device.mli:

@@ -1,0 +1,1 @@
+lib/swapdev/ssd.ml: Array Device Engine

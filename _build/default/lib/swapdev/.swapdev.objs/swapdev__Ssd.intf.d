@@ -1,0 +1,1 @@
+lib/swapdev/ssd.mli: Device Engine

@@ -1,0 +1,1 @@
+lib/swapdev/swap_manager.ml: Array Compress Device Float

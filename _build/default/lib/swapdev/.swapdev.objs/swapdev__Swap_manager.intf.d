@@ -1,0 +1,1 @@
+lib/swapdev/swap_manager.mli: Compress Device

@@ -1,0 +1,1 @@
+lib/swapdev/zram.ml: Array Device Engine Float

@@ -1,0 +1,1 @@
+lib/swapdev/zram.mli: Device Engine

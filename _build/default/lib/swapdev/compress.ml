@@ -1,0 +1,41 @@
+type klass = Zero | Columnar | Graph_csr | Numeric | Kv_item | Random
+
+(* (mean, half-width) of a uniform compressed-size fraction per class. *)
+let params = function
+  | Zero -> (0.01, 0.0)
+  | Columnar -> (0.22, 0.10)
+  | Graph_csr -> (0.40, 0.15)
+  | Numeric -> (0.45, 0.15)
+  | Kv_item -> (0.55, 0.20)
+  | Random -> (0.98, 0.02)
+
+let mean_ratio k = fst (params k)
+
+let klass_index = function
+  | Zero -> 0
+  | Columnar -> 1
+  | Graph_csr -> 2
+  | Numeric -> 3
+  | Kv_item -> 4
+  | Random -> 5
+
+(* Cheap deterministic hash to a float in [0, 1). *)
+let unit_hash a b =
+  let z = (a * 0x9E3779B9) lxor (b * 0x85EBCA6B) in
+  let z = (z lxor (z lsr 33)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 29)) land 0xFFFFFF in
+  float_of_int z /. 16777216.0
+
+let ratio k ~page_key ~seed =
+  let mean, width = params k in
+  let u = unit_hash (page_key + (klass_index k * 7919)) seed in
+  let r = mean +. (width *. ((2.0 *. u) -. 1.0)) in
+  Float.max 0.01 (Float.min 1.0 r)
+
+let klass_name = function
+  | Zero -> "zero"
+  | Columnar -> "columnar"
+  | Graph_csr -> "graph-csr"
+  | Numeric -> "numeric"
+  | Kv_item -> "kv-item"
+  | Random -> "random"

@@ -1,0 +1,25 @@
+(** Page-compressibility model for ZRAM.
+
+    ZRAM stores swapped pages compressed in RAM; the paper configures
+    LZO-RLE (§IV).  Real compression ratios depend on page content, so
+    the simulator assigns each page a deterministic pseudo-random ratio
+    drawn from a per-content-class distribution.  Published LZO-RLE
+    numbers on datacenter heaps cluster around 2.5–4x, with zero pages
+    collapsing to a marker and high-entropy pages incompressible. *)
+
+type klass =
+  | Zero        (** untouched / zeroed pages: stored as a marker *)
+  | Columnar    (** TPC-H table data: repetitive, compresses very well *)
+  | Graph_csr   (** adjacency structure: moderately compressible *)
+  | Numeric     (** rank vectors, hash payloads: moderate *)
+  | Kv_item     (** memcached values: mildly compressible *)
+  | Random      (** encrypted/high-entropy: incompressible *)
+
+val ratio : klass -> page_key:int -> seed:int -> float
+(** Compressed-size fraction in (0, 1]: 0.25 means the 4 KB page stores
+    in 1 KB.  Deterministic in [(klass, page_key, seed)]. *)
+
+val mean_ratio : klass -> float
+(** Distribution centre for a class; for capacity estimates and tests. *)
+
+val klass_name : klass -> string

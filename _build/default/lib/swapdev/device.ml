@@ -1,0 +1,16 @@
+type op = Read | Write
+
+type completion = {
+  finish_ns : int;
+  cpu_ns : int;
+}
+
+type t = {
+  name : string;
+  submit : now:int -> op:op -> size_fraction:float -> completion;
+  reads : unit -> int;
+  writes : unit -> int;
+  busy_until : unit -> int;
+}
+
+let op_name = function Read -> "read" | Write -> "write"

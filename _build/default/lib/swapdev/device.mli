@@ -1,0 +1,28 @@
+(** Common swap-device interface.
+
+    A device accepts 4 KB page reads/writes and models service time and
+    queueing.  [submit] returns both the virtual completion time and the
+    host CPU work the operation costs (interrupt handling for the SSD;
+    the whole (de)compression for ZRAM, which runs on the faulting CPU
+    in the kernel). *)
+
+type op = Read | Write
+
+type completion = {
+  finish_ns : int;  (** absolute virtual time the data is available *)
+  cpu_ns : int;     (** host compute consumed by this operation *)
+}
+
+type t = {
+  name : string;
+  submit : now:int -> op:op -> size_fraction:float -> completion;
+      (** [size_fraction] is the compressed-size fraction for
+          compressing devices; plain block devices ignore it. *)
+  reads : unit -> int;
+  writes : unit -> int;
+  busy_until : unit -> int;
+      (** latest scheduled completion over all channels; an idleness
+          probe for tests *)
+}
+
+val op_name : op -> string

@@ -1,0 +1,20 @@
+(** SSD swap model.
+
+    Matches the paper's measured medium: ~7.5 ms for a 4 KB read or
+    write (§IV — a slow SATA device under sync swap traffic).  Requests
+    queue on a small number of channels; a burst of demand faults
+    therefore sees its tail stretched by queueing, which is what makes
+    SSD-swap fault *counts* translate linearly into runtime. *)
+
+type config = {
+  read_ns : int;
+  write_ns : int;
+  channels : int;       (** concurrent in-flight operations *)
+  jitter : float;       (** multiplicative service-time noise, e.g. 0.05 *)
+  cpu_per_op_ns : int;  (** block-layer + interrupt CPU cost *)
+}
+
+val default_config : config
+(** 7.5 ms / 7.5 ms, 2 channels, 5 % jitter, 3 µs CPU per op. *)
+
+val create : ?config:config -> rng:Engine.Rng.t -> unit -> Device.t

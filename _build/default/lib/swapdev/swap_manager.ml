@@ -1,0 +1,83 @@
+type t = {
+  device : Device.t;
+  seed : int;
+  mutable ratios : float array; (* slot -> size fraction; nan = free *)
+  mutable free : int list;
+  mutable next_slot : int;
+  mutable used : int;
+  mutable peak : int;
+  mutable compressed : float; (* sum of in-use size fractions *)
+  mutable ins : int;
+  mutable outs : int;
+}
+
+let create ~device ~seed =
+  {
+    device;
+    seed;
+    ratios = Array.make 1024 nan;
+    free = [];
+    next_slot = 0;
+    used = 0;
+    peak = 0;
+    compressed = 0.0;
+    ins = 0;
+    outs = 0;
+  }
+
+let device t = t.device
+
+let grow t =
+  let n = Array.length t.ratios in
+  let ratios = Array.make (2 * n) nan in
+  Array.blit t.ratios 0 ratios 0 n;
+  t.ratios <- ratios
+
+let alloc_slot t =
+  match t.free with
+  | slot :: rest ->
+    t.free <- rest;
+    slot
+  | [] ->
+    let slot = t.next_slot in
+    t.next_slot <- slot + 1;
+    if slot >= Array.length t.ratios then grow t;
+    slot
+
+let swap_out t ~now ~klass ~page_key =
+  let slot = alloc_slot t in
+  let ratio = Compress.ratio klass ~page_key ~seed:t.seed in
+  t.ratios.(slot) <- ratio;
+  t.used <- t.used + 1;
+  if t.used > t.peak then t.peak <- t.used;
+  t.compressed <- t.compressed +. ratio;
+  t.outs <- t.outs + 1;
+  let completion = t.device.Device.submit ~now ~op:Device.Write ~size_fraction:ratio in
+  (slot, completion)
+
+let slot_in_use t slot =
+  slot >= 0 && slot < Array.length t.ratios && not (Float.is_nan t.ratios.(slot))
+
+let swap_in t ~now ~slot =
+  if not (slot_in_use t slot) then invalid_arg "Swap_manager.swap_in: slot not in use";
+  let ratio = t.ratios.(slot) in
+  t.ins <- t.ins + 1;
+  t.device.Device.submit ~now ~op:Device.Read ~size_fraction:ratio
+
+let release t ~slot =
+  if not (slot_in_use t slot) then invalid_arg "Swap_manager.release: slot not in use";
+  let ratio = t.ratios.(slot) in
+  t.ratios.(slot) <- nan;
+  t.free <- slot :: t.free;
+  t.used <- t.used - 1;
+  t.compressed <- t.compressed -. ratio
+
+let used_slots t = t.used
+
+let peak_slots t = t.peak
+
+let compressed_bytes t = t.compressed *. 4096.0
+
+let swap_ins t = t.ins
+
+let swap_outs t = t.outs

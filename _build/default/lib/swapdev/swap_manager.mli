@@ -1,0 +1,41 @@
+(** Swap-slot management over a device.
+
+    Allocates slots for swapped-out pages, remembers each slot's
+    compressed-size fraction (relevant for ZRAM service time and pool
+    accounting), and forwards the I/O to the underlying device.
+
+    Slots survive {!swap_in} — the machine keeps them as a swap cache so
+    clean pages can be evicted again without a writeback (as the kernel
+    does) — and are freed explicitly with {!release}. *)
+
+type t
+
+val create : device:Device.t -> seed:int -> t
+
+val device : t -> Device.t
+
+val swap_out :
+  t -> now:int -> klass:Compress.klass -> page_key:int -> int * Device.completion
+(** Allocate a slot, write the page; returns [(slot, completion)]. *)
+
+val swap_in : t -> now:int -> slot:int -> Device.completion
+(** Read a slot's page back.  The slot stays allocated (swap cache).
+    @raise Invalid_argument on a slot not currently in use. *)
+
+val release : t -> slot:int -> unit
+(** Free a slot without I/O (page dirtied or address space torn down).
+    @raise Invalid_argument on a slot not currently in use. *)
+
+val slot_in_use : t -> int -> bool
+
+val used_slots : t -> int
+
+val peak_slots : t -> int
+
+val compressed_bytes : t -> float
+(** Current compressed pool size assuming 4 KB pages; meaningful for
+    ZRAM-style devices. *)
+
+val swap_ins : t -> int
+
+val swap_outs : t -> int

@@ -1,0 +1,26 @@
+(** ZRAM swap model.
+
+    A compressed RAM block device (paper §IV: LZO-RLE, 20 µs reads,
+    35 µs writes for 4 KB).  Because (de)compression runs on the CPU,
+    every operation charges its full service time as host compute — the
+    paper uses ZRAM as a stand-in for remote/disaggregated memory tiers,
+    and this CPU coupling plus the two-orders-of-magnitude latency drop
+    versus SSD is what exposes the scan-speed bottleneck in §V-D. *)
+
+type config = {
+  read_ns : int;        (** decompression service for a fully incompressible page *)
+  write_ns : int;       (** compression + store service *)
+  channels : int;       (** effectively per-CPU; default 12 *)
+  jitter : float;
+  size_sensitivity : float;
+      (** fraction of service time proportional to compressed size:
+          [service = base * (1 - s + s * size_fraction / mean)] *)
+}
+
+val default_config : config
+
+val create : ?config:config -> rng:Engine.Rng.t -> unit -> Device.t
+
+val stored_bytes_estimate : pages:int -> mean_ratio:float -> int
+(** Rough compressed-pool footprint for capacity planning in the
+    harness: [pages * 4096 * mean_ratio]. *)

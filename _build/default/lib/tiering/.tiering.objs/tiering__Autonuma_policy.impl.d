@@ -1,0 +1,1 @@
+lib/tiering/autonuma_policy.ml: Mem Migration_intf

@@ -1,0 +1,1 @@
+lib/tiering/migration_intf.ml: Engine Mem

@@ -1,0 +1,1 @@
+lib/tiering/static_tier.ml: Migration_intf

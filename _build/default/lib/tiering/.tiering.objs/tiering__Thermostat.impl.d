@@ -1,0 +1,1 @@
+lib/tiering/thermostat.ml: Array Engine List Mem Migration_intf

@@ -1,0 +1,1 @@
+lib/tiering/tier_machine.ml: Array Bytes Engine List Mem Migration_intf Workload

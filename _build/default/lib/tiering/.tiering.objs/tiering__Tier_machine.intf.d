@@ -1,0 +1,1 @@
+lib/tiering/tier_machine.mli: Mem Migration_intf Workload

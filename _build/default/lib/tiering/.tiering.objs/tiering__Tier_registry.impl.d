@@ -1,0 +1,1 @@
+lib/tiering/tier_registry.ml: Autonuma_policy List Migration_intf Static_tier Thermostat Tpp

@@ -1,0 +1,1 @@
+lib/tiering/tier_registry.mli: Migration_intf

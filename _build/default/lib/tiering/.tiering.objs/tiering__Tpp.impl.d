@@ -1,0 +1,1 @@
+lib/tiering/tpp.ml: Array Mem Migration_intf Structures

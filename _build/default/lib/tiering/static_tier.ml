@@ -1,0 +1,24 @@
+(** First-touch placement with no migration: pages land in the fast
+    tier until it fills, then in the slow tier, and never move.  The
+    baseline every migration policy must beat — and what a tiered system
+    degenerates to when its policy cannot keep up. *)
+
+type t = {
+  env : Migration_intf.env;
+}
+
+let policy_name = "static"
+
+let create env = { env }
+
+let initial_tier t ~vpn:_ =
+  if t.env.Migration_intf.fast_free () > 0 then Migration_intf.Fast
+  else Migration_intf.Slow
+
+let on_placed _t ~vpn:_ _tier = ()
+
+let on_hint_fault _t ~vpn:_ _tier ~write:_ = ()
+
+let kthreads _t = []
+
+let stats _t = []

@@ -1,0 +1,366 @@
+type config = {
+  hw_threads : int;
+  fast_frames : int;
+  slow_frames : int;
+  costs : Mem.Costs.t;
+  slow_extra_ns : int;
+  hint_fault_ns : int;
+  migrate_page_ns : int;
+  segment_pages : int;
+  hit_cpu_ns : int;
+  barrier_groups : int array option;
+  kthread_jitter_ns : int;
+  max_runtime_ns : int;
+  seed : int;
+}
+
+let default_config ~fast_frames ~slow_frames ~seed =
+  {
+    hw_threads = 12;
+    fast_frames;
+    slow_frames;
+    costs =
+      Mem.Costs.scaled { Mem.Costs.default with region_size = 64; spatial_scan_max = 64 };
+    slow_extra_ns = 3_000_000;
+    hint_fault_ns = 50_000;
+    migrate_page_ns = 400_000;
+    segment_pages = 32;
+    hit_cpu_ns = 20;
+    barrier_groups = None;
+    kthread_jitter_ns = 50_000;
+    max_runtime_ns = 50_000_000_000_000;
+    seed;
+  }
+
+type result = {
+  runtime_ns : int;
+  fast_touches : int;
+  slow_touches : int;
+  cold_touches : int;
+  hint_faults : int;
+  promotions : int;
+  demotions : int;
+  failed_promotions : int;
+  fast_resident : int;
+  slow_resident : int;
+  per_thread_finish : int array;
+  policy_stats : (string * int) list;
+  policy_name : string;
+}
+
+let slow_fraction r =
+  let warm = r.fast_touches + r.slow_touches in
+  if warm = 0 then 0.0 else float_of_int r.slow_touches /. float_of_int warm
+
+type kthread_state = {
+  kt : Migration_intf.kthread;
+  mutable sleeping : bool;
+}
+
+type t = {
+  cfg : config;
+  sim : Engine.Sim.t;
+  cpu : Engine.Cpu.t;
+  rng : Engine.Rng.t;
+  pt : Mem.Page_table.t;
+  tier_of : int array; (* vpn -> 0 fast, 1 slow, -1 untouched *)
+  poisoned : Bytes.t;
+  mutable fast_used : int;
+  mutable slow_used : int;
+  workload : Workload.Chunk.packed;
+  mutable policy : Migration_intf.packed option;
+  groups : int array;
+  group_size : int array;
+  group_arrived : int array;
+  group_waiters : int list array;
+  finish_ns : int array;
+  mutable active_threads : int;
+  mutable kthreads : kthread_state array;
+  mutable drive : kthread_state -> unit;
+  mutable stopped : bool;
+  mutable fast_touches : int;
+  mutable slow_touches : int;
+  mutable cold_touches : int;
+  mutable hint_faults : int;
+  mutable promotions : int;
+  mutable demotions : int;
+  mutable failed_promotions : int;
+}
+
+let policy_of t =
+  match t.policy with
+  | Some p -> p
+  | None -> invalid_arg "Tier_machine: policy not installed"
+
+let is_poisoned t vpn = Bytes.get t.poisoned vpn = '\001'
+
+let set_poisoned t vpn v = Bytes.set t.poisoned vpn (if v then '\001' else '\000')
+
+let wake_kthreads t =
+  Array.iter
+    (fun ks ->
+      if ks.sleeping then begin
+        ks.sleeping <- false;
+        Engine.Sim.schedule t.sim ~delay:0 (fun _ -> t.drive ks)
+      end)
+    t.kthreads
+
+(* Map a page for the first time: ask the policy where it wants it, fall
+   back to whichever tier has room. *)
+let place_cold t vpn =
+  let (Migration_intf.Packed ((module P), p)) = policy_of t in
+  let preferred = P.initial_tier p ~vpn in
+  let tier =
+    match preferred with
+    | Migration_intf.Fast when t.fast_used < t.cfg.fast_frames -> 0
+    | Migration_intf.Slow when t.slow_used < t.cfg.slow_frames -> 1
+    | Migration_intf.Fast -> 1
+    | Migration_intf.Slow -> 0
+  in
+  if tier = 0 then begin
+    if t.fast_used >= t.cfg.fast_frames then failwith "Tier_machine: out of memory";
+    t.fast_used <- t.fast_used + 1
+  end
+  else begin
+    if t.slow_used >= t.cfg.slow_frames then failwith "Tier_machine: out of memory";
+    t.slow_used <- t.slow_used + 1
+  end;
+  t.tier_of.(vpn) <- tier;
+  (* Dummy identity mapping so accessed/dirty bits live in a real PTE. *)
+  Mem.Page_table.set t.pt vpn (Mem.Pte.mapped ~pfn:vpn ~file_backed:false);
+  P.on_placed p ~vpn
+    (if tier = 0 then Migration_intf.Fast else Migration_intf.Slow);
+  (* Fast tier filling up is this machine's memory-pressure signal. *)
+  if t.fast_used >= t.cfg.fast_frames then wake_kthreads t
+
+let touch t ~(cpu_acc : int ref) ~vpn ~write =
+  (match t.tier_of.(vpn) with
+  | -1 ->
+    t.cold_touches <- t.cold_touches + 1;
+    cpu_acc := !cpu_acc + t.cfg.costs.Mem.Costs.fault_trap_ns;
+    place_cold t vpn
+  | 0 ->
+    t.fast_touches <- t.fast_touches + 1;
+    cpu_acc := !cpu_acc + t.cfg.hit_cpu_ns
+  | _ ->
+    t.slow_touches <- t.slow_touches + 1;
+    cpu_acc := !cpu_acc + t.cfg.hit_cpu_ns + t.cfg.slow_extra_ns);
+  if is_poisoned t vpn then begin
+    set_poisoned t vpn false;
+    t.hint_faults <- t.hint_faults + 1;
+    cpu_acc := !cpu_acc + t.cfg.hint_fault_ns;
+    let (Migration_intf.Packed ((module P), p)) = policy_of t in
+    let tier = if t.tier_of.(vpn) = 0 then Migration_intf.Fast else Migration_intf.Slow in
+    P.on_hint_fault p ~vpn tier ~write
+  end;
+  let pte = Mem.Page_table.get t.pt vpn in
+  let pte = Mem.Pte.set_accessed pte in
+  let pte = if write then Mem.Pte.set_dirty pte else pte in
+  Mem.Page_table.set t.pt vpn pte
+
+let page_at pages i =
+  match pages with
+  | Workload.Chunk.Range { start; stride; _ } -> start + (i * stride)
+  | Workload.Chunk.Pages a -> a.(i)
+  | Workload.Chunk.Single p -> p
+
+let rec run_thread t tid =
+  if not t.stopped then
+    match Workload.Chunk.packed_next t.workload ~tid with
+    | Workload.Chunk.Chunk c -> process_segment t tid c ~index:0
+    | Workload.Chunk.Barrier -> barrier_arrive t tid
+    | Workload.Chunk.Finished -> thread_finished t tid
+
+and process_segment t tid c ~index =
+  let open Workload.Chunk in
+  let total = page_count c.pages in
+  let seg_len = min t.cfg.segment_pages (total - index) in
+  Engine.Cpu.run_begin t.cpu;
+  let cpu_acc = ref (if total = 0 then c.cpu_ns else c.cpu_ns * seg_len / total) in
+  for i = index to index + seg_len - 1 do
+    let write = c.write && i >= c.read_prefix in
+    touch t ~cpu_acc ~vpn:(page_at c.pages i) ~write
+  done;
+  Engine.Cpu.charge t.cpu !cpu_acc;
+  let wall =
+    int_of_float
+      (float_of_int (Engine.Cpu.scale t.cpu !cpu_acc) *. Engine.Rng.jitter t.rng 0.02)
+  in
+  let next_index = index + seg_len in
+  Engine.Sim.schedule t.sim ~delay:wall (fun _ ->
+      Engine.Cpu.run_end t.cpu;
+      if not t.stopped then
+        if next_index >= total then run_thread t tid
+        else process_segment t tid c ~index:next_index)
+
+and barrier_arrive t tid =
+  let g = t.groups.(tid) in
+  t.group_arrived.(g) <- t.group_arrived.(g) + 1;
+  t.group_waiters.(g) <- tid :: t.group_waiters.(g);
+  if t.group_arrived.(g) >= t.group_size.(g) then begin
+    let waiters = t.group_waiters.(g) in
+    t.group_arrived.(g) <- 0;
+    t.group_waiters.(g) <- [];
+    Engine.Sim.schedule t.sim ~delay:t.cfg.costs.Mem.Costs.barrier_ns (fun _ ->
+        List.iter (fun w -> run_thread t w) waiters)
+  end
+
+and thread_finished t tid =
+  if t.finish_ns.(tid) < 0 then begin
+    t.finish_ns.(tid) <- Engine.Sim.now t.sim;
+    t.active_threads <- t.active_threads - 1;
+    if t.active_threads <= 0 then begin
+      t.stopped <- true;
+      Engine.Sim.stop t.sim
+    end
+  end
+
+let make_driver t ks =
+  let sched_delay () =
+    if t.cfg.kthread_jitter_ns <= 0 then 0
+    else begin
+      let mean = float_of_int t.cfg.kthread_jitter_ns *. Engine.Cpu.load t.cpu in
+      int_of_float (Engine.Rng.exponential t.rng ~mean)
+    end
+  in
+  let rec drive () =
+    if not t.stopped then
+      match ks.kt.Migration_intf.kstep () with
+      | Migration_intf.Work w ->
+        Engine.Cpu.run_begin t.cpu;
+        Engine.Cpu.charge t.cpu w;
+        let wall = Engine.Cpu.scale t.cpu w in
+        Engine.Sim.schedule t.sim ~delay:(wall + sched_delay ()) (fun _ ->
+            Engine.Cpu.run_end t.cpu;
+            drive ())
+      | Migration_intf.Sleep d ->
+        Engine.Sim.schedule t.sim ~delay:(d + sched_delay ()) (fun _ -> drive ())
+      | Migration_intf.Sleep_until_woken -> ks.sleeping <- true
+  in
+  drive
+
+let run cfg ~policy ~workload =
+  let footprint = Workload.Chunk.packed_footprint workload in
+  if cfg.fast_frames + cfg.slow_frames < footprint then
+    invalid_arg "Tier_machine.run: tiers smaller than the footprint";
+  let nthreads = Workload.Chunk.packed_threads workload in
+  let rng = Engine.Rng.create cfg.seed in
+  let groups =
+    match cfg.barrier_groups with
+    | Some g ->
+      if Array.length g <> nthreads then invalid_arg "Tier_machine: barrier_groups size";
+      g
+    | None -> Array.make nthreads 0
+  in
+  let ngroups = 1 + Array.fold_left max 0 groups in
+  let group_size = Array.make ngroups 0 in
+  Array.iter (fun g -> group_size.(g) <- group_size.(g) + 1) groups;
+  let t =
+    {
+      cfg;
+      sim = Engine.Sim.create ();
+      cpu = Engine.Cpu.create ~hw_threads:cfg.hw_threads;
+      rng;
+      pt =
+        Mem.Page_table.create ~region_size:cfg.costs.Mem.Costs.region_size ~asid:0
+          ~pages:footprint ();
+      tier_of = Array.make footprint (-1);
+      poisoned = Bytes.make footprint '\000';
+      fast_used = 0;
+      slow_used = 0;
+      workload;
+      policy = None;
+      groups;
+      group_size;
+      group_arrived = Array.make ngroups 0;
+      group_waiters = Array.make ngroups [];
+      finish_ns = Array.make nthreads (-1);
+      active_threads = nthreads;
+      kthreads = [||];
+      drive = (fun _ -> ());
+      stopped = false;
+      fast_touches = 0;
+      slow_touches = 0;
+      cold_touches = 0;
+      hint_faults = 0;
+      promotions = 0;
+      demotions = 0;
+      failed_promotions = 0;
+    }
+  in
+  let promote ~vpn =
+    if t.tier_of.(vpn) = 1 && t.fast_used < cfg.fast_frames then begin
+      t.tier_of.(vpn) <- 0;
+      t.fast_used <- t.fast_used + 1;
+      t.slow_used <- t.slow_used - 1;
+      t.promotions <- t.promotions + 1;
+      true
+    end
+    else begin
+      if t.tier_of.(vpn) = 1 then t.failed_promotions <- t.failed_promotions + 1;
+      false
+    end
+  in
+  let demote ~vpn =
+    if t.tier_of.(vpn) = 0 && t.slow_used < cfg.slow_frames then begin
+      t.tier_of.(vpn) <- 1;
+      t.fast_used <- t.fast_used - 1;
+      t.slow_used <- t.slow_used + 1;
+      t.demotions <- t.demotions + 1;
+      true
+    end
+    else false
+  in
+  let env =
+    {
+      Migration_intf.costs = cfg.costs;
+      pt = t.pt;
+      rng = Engine.Rng.split rng;
+      now = (fun () -> Engine.Sim.now t.sim);
+      tier_of =
+        (fun vpn ->
+          match t.tier_of.(vpn) with
+          | 0 -> Some Migration_intf.Fast
+          | 1 -> Some Migration_intf.Slow
+          | _ -> None);
+      fast_free = (fun () -> cfg.fast_frames - t.fast_used);
+      slow_free = (fun () -> cfg.slow_frames - t.slow_used);
+      fast_capacity = cfg.fast_frames;
+      migrate_cost_ns = cfg.migrate_page_ns;
+      promote;
+      demote;
+      poison = (fun ~vpn -> set_poisoned t vpn true);
+      unpoison = (fun ~vpn -> set_poisoned t vpn false);
+    }
+  in
+  let packed = policy env in
+  t.policy <- Some packed;
+  let (Migration_intf.Packed ((module P), p)) = packed in
+  t.kthreads <-
+    Array.of_list (List.map (fun kt -> { kt; sleeping = false }) (P.kthreads p));
+  t.drive <- (fun ks -> (make_driver t ks) ());
+  Array.iter
+    (fun ks -> Engine.Sim.schedule t.sim ~delay:0 (fun _ -> t.drive ks))
+    t.kthreads;
+  for tid = 0 to nthreads - 1 do
+    Engine.Sim.schedule t.sim ~delay:0 (fun _ -> run_thread t tid)
+  done;
+  Engine.Sim.run ~until:cfg.max_runtime_ns t.sim;
+  let runtime =
+    Array.fold_left (fun acc f -> max acc f) (Engine.Sim.now t.sim) t.finish_ns
+  in
+  {
+    runtime_ns = runtime;
+    fast_touches = t.fast_touches;
+    slow_touches = t.slow_touches;
+    cold_touches = t.cold_touches;
+    hint_faults = t.hint_faults;
+    promotions = t.promotions;
+    demotions = t.demotions;
+    failed_promotions = t.failed_promotions;
+    fast_resident = t.fast_used;
+    slow_resident = t.slow_used;
+    per_thread_finish = Array.copy t.finish_ns;
+    policy_stats = P.stats p;
+    policy_name = P.policy_name;
+  }

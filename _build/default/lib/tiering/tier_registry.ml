@@ -1,0 +1,27 @@
+type spec = Static | Tpp | Thermostat | Autonuma
+
+let name = function
+  | Static -> "static"
+  | Tpp -> "tpp"
+  | Thermostat -> "thermostat"
+  | Autonuma -> "autonuma"
+
+let of_name = function
+  | "static" -> Some Static
+  | "tpp" -> Some Tpp
+  | "thermostat" -> Some Thermostat
+  | "autonuma" -> Some Autonuma
+  | _ -> None
+
+let all = [ Static; Autonuma; Thermostat; Tpp ]
+
+let known_names = List.map name all
+
+let create spec env =
+  match spec with
+  | Static -> Migration_intf.Packed ((module Static_tier), Static_tier.create env)
+  | Tpp -> Migration_intf.Packed ((module Tpp), Tpp.create env)
+  | Thermostat ->
+    Migration_intf.Packed ((module Thermostat), Thermostat.create env)
+  | Autonuma ->
+    Migration_intf.Packed ((module Autonuma_policy), Autonuma_policy.create env)

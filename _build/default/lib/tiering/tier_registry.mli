@@ -1,0 +1,17 @@
+(** Migration-policy registry, mirroring {!Policy.Registry}. *)
+
+type spec =
+  | Static
+  | Tpp
+  | Thermostat
+  | Autonuma
+
+val name : spec -> string
+
+val of_name : string -> spec option
+
+val all : spec list
+
+val known_names : string list
+
+val create : spec -> Migration_intf.env -> Migration_intf.packed

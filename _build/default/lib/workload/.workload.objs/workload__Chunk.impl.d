@@ -1,0 +1,1 @@
+lib/workload/chunk.ml: Array Swapdev

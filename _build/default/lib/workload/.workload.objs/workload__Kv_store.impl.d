@@ -1,0 +1,1 @@
+lib/workload/kv_store.ml:

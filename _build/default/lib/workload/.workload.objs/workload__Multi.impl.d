@@ -1,0 +1,1 @@
+lib/workload/multi.ml: Array Chunk List

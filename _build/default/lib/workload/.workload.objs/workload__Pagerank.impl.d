@@ -1,0 +1,1 @@
+lib/workload/pagerank.ml: Array Chunk Graph Hashtbl List Script Swapdev

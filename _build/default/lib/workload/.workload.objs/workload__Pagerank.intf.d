@@ -1,0 +1,1 @@
+lib/workload/pagerank.mli: Chunk Graph

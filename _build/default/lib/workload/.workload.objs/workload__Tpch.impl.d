@@ -1,0 +1,1 @@
+lib/workload/tpch.ml: Array Chunk Engine List Script Swapdev Zipf

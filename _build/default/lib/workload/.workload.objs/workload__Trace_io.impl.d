@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Chunk Fun List Option Printf String Swapdev Trace

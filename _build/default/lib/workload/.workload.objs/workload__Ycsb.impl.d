@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Chunk Engine Hashtbl Kv_store List Swapdev Zipf

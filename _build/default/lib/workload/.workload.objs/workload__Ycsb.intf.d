@@ -1,0 +1,1 @@
+lib/workload/ycsb.mli: Chunk Engine Kv_store

@@ -1,0 +1,84 @@
+type config = {
+  n : int;
+  avg_degree : int;
+  deg_exponent : float;
+  target_exponent : float;
+}
+
+let default_config =
+  { n = 524_288; avg_degree = 8; deg_exponent = 0.9; target_exponent = 1.2 }
+
+type t = {
+  config : config;
+  degree : int array;
+  offsets : int array; (* length n+1 *)
+  perm : int array;    (* zipf rank -> vertex id *)
+  target_zipf : Zipf.t;
+  seed : int;
+  m : int;
+  max_degree : int;
+}
+
+let generate ?(config = default_config) ~seed () =
+  if config.n <= 0 then invalid_arg "Graph.generate: n must be positive";
+  if config.avg_degree <= 0 then invalid_arg "Graph.generate: avg_degree";
+  let rng = Engine.Rng.create seed in
+  let n = config.n in
+  (* Random permutation: which vertex ids are the hubs. *)
+  let perm = Array.init n (fun i -> i) in
+  Engine.Rng.shuffle rng perm;
+  (* In-degree of the vertex at zipf rank r: c / (r+1)^theta, with c set
+     so the total lands on n * avg_degree. *)
+  let theta = config.deg_exponent in
+  let harmonic = ref 0.0 in
+  for r = 1 to n do
+    harmonic := !harmonic +. (1.0 /. (float_of_int r ** theta))
+  done;
+  let m_target = n * config.avg_degree in
+  let c = float_of_int m_target /. !harmonic in
+  let degree = Array.make n 0 in
+  for r = 0 to n - 1 do
+    let d = max 1 (int_of_float (c /. (float_of_int (r + 1) ** theta))) in
+    degree.(perm.(r)) <- d
+  done;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + degree.(v)
+  done;
+  let max_degree = Array.fold_left max 0 degree in
+  {
+    config;
+    degree;
+    offsets;
+    perm;
+    target_zipf = Zipf.create ~n ~exponent:config.target_exponent;
+    seed;
+    m = offsets.(n);
+    max_degree;
+  }
+
+let n t = t.config.n
+
+let m t = t.m
+
+let degree t v =
+  if v < 0 || v >= t.config.n then invalid_arg "Graph.degree: vertex out of range";
+  t.degree.(v)
+
+let offset t v =
+  if v < 0 || v > t.config.n then invalid_arg "Graph.offset: vertex out of range";
+  t.offsets.(v)
+
+let max_degree t = t.max_degree
+
+(* Neighbour endpoints are zipfian over raw vertex ids: out-hubs cluster
+   at low ids, as in datasets ordered by popularity or crawl time.  This
+   gives the rank array a hot head and a long lukewarm tail — the pages
+   whose eviction timing drives PageRank's runtime variance.  (In-degree
+   hubs, i.e. where the *work* lands, are permuted per trial.) *)
+let iter_in_neighbors t v f =
+  let d = degree t v in
+  let rng = Engine.Rng.create (t.seed lxor ((v + 1) * 0x5DEECE66D)) in
+  for _ = 1 to d do
+    f (Zipf.sample t.target_zipf rng)
+  done

@@ -1,0 +1,34 @@
+type t = {
+  items : int;
+  items_per_page : int;
+  meta_pages : int;
+  item_pages : int;
+}
+
+let create ?(items_per_page = 8) ?(meta_fraction = 0.06) ~items () =
+  if items <= 0 then invalid_arg "Kv_store.create: items must be positive";
+  if items_per_page <= 0 then invalid_arg "Kv_store.create: items_per_page";
+  let item_pages = (items + items_per_page - 1) / items_per_page in
+  let meta_pages = max 1 (int_of_float (float_of_int item_pages *. meta_fraction)) in
+  { items; items_per_page; meta_pages; item_pages }
+
+let items t = t.items
+
+let meta_pages t = t.meta_pages
+
+let item_pages t = t.item_pages
+
+let footprint_pages t = t.meta_pages + t.item_pages
+
+let item_page t item =
+  if item < 0 || item >= t.items then invalid_arg "Kv_store.item_page: out of range";
+  t.meta_pages + (item / t.items_per_page)
+
+let hash_key key =
+  let z = key * 0x45D9F3B in
+  let z = (z lxor (z lsr 16)) * 0x45D9F3B in
+  (z lxor (z lsr 16)) land max_int
+
+let meta_page t ~key = hash_key key mod t.meta_pages
+
+let is_meta_page t page = page >= 0 && page < t.meta_pages

@@ -1,0 +1,31 @@
+(** Memcached-like slab layout: maps items to virtual pages.
+
+    Models the memory geometry that matters for paging: items pack
+    several to a page in slab order (inserted sequentially at load time),
+    and each request also touches a hash-table metadata page determined
+    by the key's hash.  No actual values are stored — only the page
+    arithmetic the machine needs. *)
+
+type t
+
+val create : ?items_per_page:int -> ?meta_fraction:float -> items:int -> unit -> t
+(** [items_per_page] defaults to 8 (512-byte items in 4 KB pages);
+    [meta_fraction] (default 0.06) sizes the hash-table region relative
+    to the item region. *)
+
+val items : t -> int
+
+val footprint_pages : t -> int
+
+val meta_pages : t -> int
+
+val item_pages : t -> int
+
+val item_page : t -> int -> int
+(** Page holding an item id.  @raise Invalid_argument when out of
+    range. *)
+
+val meta_page : t -> key:int -> int
+(** Hash-table page consulted when looking up [key]. *)
+
+val is_meta_page : t -> int -> bool

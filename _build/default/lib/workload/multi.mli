@@ -1,0 +1,25 @@
+(** Multi-tenant composition: several workloads sharing one machine.
+
+    The paper's future-work section (§VI-D) calls out multi-tenancy as an
+    untested axis.  This combinator lays the tenants' address spaces side
+    by side in one virtual address space, merges their thread streams,
+    and exposes per-tenant barrier groups so one tenant's barriers never
+    block another (pass {!barrier_groups} to the machine config). *)
+
+type t
+
+include Chunk.WORKLOAD with type t := t
+
+val create : Chunk.packed list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val tenants : t -> int
+
+val barrier_groups : t -> int array
+(** Global thread index -> tenant index. *)
+
+val tenant_of_thread : t -> int -> int
+
+val tenant_page_range : t -> int -> int * int
+(** [(first_page, last_page)] of a tenant's slice of the shared address
+    space, inclusive. *)

@@ -1,0 +1,21 @@
+type t = {
+  steps : Chunk.step array array;
+  cursors : int array;
+}
+
+let create steps = { steps; cursors = Array.make (Array.length steps) 0 }
+
+let threads t = Array.length t.steps
+
+let next t ~tid =
+  if tid < 0 || tid >= threads t then invalid_arg "Script.next: bad thread id";
+  let pos = t.cursors.(tid) in
+  if pos >= Array.length t.steps.(tid) then Chunk.Finished
+  else begin
+    t.cursors.(tid) <- pos + 1;
+    t.steps.(tid).(pos)
+  end
+
+let remaining t ~tid =
+  if tid < 0 || tid >= threads t then invalid_arg "Script.remaining: bad thread id";
+  max 0 (Array.length t.steps.(tid) - t.cursors.(tid))

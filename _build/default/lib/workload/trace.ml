@@ -1,0 +1,40 @@
+type config = {
+  steps : Chunk.step array array;
+  footprint : int;
+  klass : int -> Swapdev.Compress.klass;
+  file_backed_pages : int -> bool;
+}
+
+type t = {
+  config : config;
+  script : Script.t;
+}
+
+let workload_name = "trace"
+
+let create config = { config; script = Script.create config.steps }
+
+let of_page_lists ?(write = false) ~footprint lists =
+  let steps =
+    [|
+      Array.of_list
+        (List.map (fun pages -> Chunk.Chunk (Chunk.chunk ~write (Chunk.Pages pages))) lists);
+    |]
+  in
+  create
+    {
+      steps;
+      footprint;
+      klass = (fun _ -> Swapdev.Compress.Numeric);
+      file_backed_pages = (fun _ -> false);
+    }
+
+let threads t = Script.threads t.script
+
+let footprint_pages t = t.config.footprint
+
+let page_klass t page = t.config.klass page
+
+let file_backed t page = t.config.file_backed_pages page
+
+let next t ~tid = Script.next t.script ~tid

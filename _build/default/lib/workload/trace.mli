@@ -1,0 +1,20 @@
+(** Trace-replay workload: drive the machine from explicit step lists.
+
+    Used by tests (deterministic access patterns against known-good
+    fault counts) and by downstream users who want to replay their own
+    application traces through the simulator. *)
+
+type config = {
+  steps : Chunk.step array array; (** one stream per thread *)
+  footprint : int;
+  klass : int -> Swapdev.Compress.klass;
+  file_backed_pages : int -> bool;
+}
+
+include Chunk.WORKLOAD
+
+val create : config -> t
+
+val of_page_lists : ?write:bool -> footprint:int -> int array list -> t
+(** Single-threaded convenience: each array becomes one read (or write)
+    chunk, no barriers. *)

@@ -1,0 +1,133 @@
+let write_pages out = function
+  | Chunk.Range { start; len; stride } -> Printf.fprintf out "range %d %d %d" start len stride
+  | Chunk.Pages a ->
+    Printf.fprintf out "pages %s"
+      (String.concat "," (Array.to_list (Array.map string_of_int a)))
+  | Chunk.Single p -> Printf.fprintf out "single %d" p
+
+let save out ~footprint steps =
+  Printf.fprintf out "# pagerepl-trace v1\n";
+  Printf.fprintf out "footprint %d\n" footprint;
+  Printf.fprintf out "threads %d\n" (Array.length steps);
+  Array.iteri
+    (fun tid stream ->
+      Array.iter
+        (fun step ->
+          match step with
+          | Chunk.Barrier -> Printf.fprintf out "%d barrier\n" tid
+          | Chunk.Finished -> ()
+          | Chunk.Chunk c ->
+            Printf.fprintf out "%d chunk write=%d prefix=%d cpu=%d lat=%d " tid
+              (if c.Chunk.write then 1 else 0)
+              c.Chunk.read_prefix c.Chunk.cpu_ns c.Chunk.latency_class;
+            write_pages out c.Chunk.pages;
+            output_char out '\n')
+        stream)
+    steps
+
+let save_file path ~footprint steps =
+  let out = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () -> save out ~footprint steps)
+
+let fail_line lineno msg = failwith (Printf.sprintf "Trace_io: line %d: %s" lineno msg)
+
+let parse_kv lineno s key =
+  match String.split_on_char '=' s with
+  | [ k; v ] when k = key -> (
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail_line lineno ("bad integer in " ^ s))
+  | _ -> fail_line lineno (Printf.sprintf "expected %s=<int>, got %s" key s)
+
+let parse_pages lineno words =
+  match words with
+  | [ "range"; start; len; stride ] -> (
+    match (int_of_string_opt start, int_of_string_opt len, int_of_string_opt stride) with
+    | Some start, Some len, Some stride -> Chunk.Range { start; len; stride }
+    | _ -> fail_line lineno "bad range")
+  | [ "pages"; csv ] ->
+    let parts = String.split_on_char ',' csv in
+    Chunk.Pages
+      (Array.of_list
+         (List.map
+            (fun s ->
+              match int_of_string_opt s with
+              | Some n -> n
+              | None -> fail_line lineno ("bad page id " ^ s))
+            parts))
+  | [ "single"; p ] -> (
+    match int_of_string_opt p with
+    | Some p -> Chunk.Single p
+    | None -> fail_line lineno "bad single page")
+  | _ -> fail_line lineno "unknown pages spec"
+
+let load inc =
+  let footprint = ref (-1) and threads = ref (-1) in
+  let streams = ref [||] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       incr lineno;
+       let line = String.trim (input_line inc) in
+       if line = "" || String.length line > 0 && line.[0] = '#' then ()
+       else begin
+         match String.split_on_char ' ' line with
+         | [ "footprint"; n ] ->
+           footprint := Option.value ~default:(-1) (int_of_string_opt n)
+         | [ "threads"; n ] ->
+           threads := Option.value ~default:(-1) (int_of_string_opt n);
+           if !threads < 0 then fail_line !lineno "bad thread count";
+           streams := Array.make !threads []
+         | tid :: rest -> (
+           let tid =
+             match int_of_string_opt tid with
+             | Some t when t >= 0 && t < Array.length !streams -> t
+             | _ -> fail_line !lineno "bad thread id (or missing threads header)"
+           in
+           match rest with
+           | [ "barrier" ] -> !streams.(tid) <- Chunk.Barrier :: !streams.(tid)
+           | "chunk" :: w :: prefix :: cpu :: lat :: pages_spec ->
+             let write = parse_kv !lineno w "write" = 1 in
+             let read_prefix = parse_kv !lineno prefix "prefix" in
+             let cpu_ns = parse_kv !lineno cpu "cpu" in
+             let latency_class = parse_kv !lineno lat "lat" in
+             let pages = parse_pages !lineno pages_spec in
+             !streams.(tid) <-
+               Chunk.Chunk
+                 (Chunk.chunk ~write ~read_prefix ~cpu_ns ~latency_class pages)
+               :: !streams.(tid)
+           | _ -> fail_line !lineno "unknown directive")
+         | [] -> ()
+       end
+     done
+   with End_of_file -> ());
+  if !footprint <= 0 then failwith "Trace_io: missing or bad footprint header";
+  if !threads < 0 then failwith "Trace_io: missing threads header";
+  {
+    Trace.steps = Array.map (fun l -> Array.of_list (List.rev l)) !streams;
+    footprint = !footprint;
+    klass = (fun _ -> Swapdev.Compress.Numeric);
+    file_backed_pages = (fun _ -> false);
+  }
+
+let load_file path =
+  let inc = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in inc)
+    (fun () -> Trace.create (load inc))
+
+let capture packed =
+  let threads = Chunk.packed_threads packed in
+  Array.init threads (fun tid ->
+      let acc = ref [] in
+      let rec go () =
+        match Chunk.packed_next packed ~tid with
+        | Chunk.Finished -> ()
+        | step ->
+          acc := step :: !acc;
+          go ()
+      in
+      go ();
+      Array.of_list (List.rev !acc))

@@ -1,0 +1,30 @@
+(** Plain-text serialization of workload traces.
+
+    Lets downstream users capture a workload's step streams once and
+    replay them later (or hand-author traces from an external profiler).
+    Format, one line per step:
+
+    {v
+    # pagerepl-trace v1
+    footprint 1024
+    threads 2
+    0 chunk write=0 prefix=0 cpu=4000 lat=-1 range 0 32 1
+    0 chunk write=1 prefix=1 cpu=250 lat=1 pages 5,9,13
+    0 barrier
+    v}
+
+    Thread ids must be in [0, threads); unlisted threads simply finish
+    immediately. *)
+
+val save : out_channel -> footprint:int -> Chunk.step array array -> unit
+
+val save_file : string -> footprint:int -> Chunk.step array array -> unit
+
+val load : in_channel -> Trace.config
+(** @raise Failure on malformed input, with a line number. *)
+
+val load_file : string -> Trace.t
+
+val capture : Chunk.packed -> Chunk.step array array
+(** Drain a workload into explicit step arrays (consumes the workload's
+    cursors). *)

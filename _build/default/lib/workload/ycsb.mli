@@ -1,0 +1,37 @@
+(** YCSB core workloads A, B, C over the slab KV store.
+
+    Matches the paper's setup (§IV): load the cache with items, then
+    issue a fixed number of zipfian-distributed requests from the
+    server's worker threads, recording per-request latency so the
+    harness can build the tail distributions of Figures 3, 8 and 12.
+
+    - A: 50 % reads / 50 % updates
+    - B: 95 % reads / 5 % updates
+    - C: 100 % reads
+
+    Scaled 1/100 from the paper's 11 M items / 110 M requests by
+    default. *)
+
+type variant = A | B | C
+
+val variant_name : variant -> string
+
+val update_fraction : variant -> float
+
+type config = {
+  items : int;
+  requests : int;        (** total across all threads *)
+  threads : int;         (** memcached default: 4 workers *)
+  zipf_exponent : float; (** YCSB default 0.99 *)
+  items_per_page : int;
+  request_cpu_ns : int;  (** service compute per request *)
+  load_batch : int;      (** items inserted per load-phase chunk *)
+}
+
+val default_config : config
+
+include Chunk.WORKLOAD
+
+val create : ?config:config -> variant:variant -> rng:Engine.Rng.t -> unit -> t
+
+val store : t -> Kv_store.t

@@ -1,0 +1,25 @@
+(** Zipfian sampling in O(1) per draw.
+
+    YCSB generates keys from a zipfian distribution (exponent ~0.99 over
+    the item population); PageRank hub structure and TPC-H probe skew
+    also use this sampler.  Implementation: Hörmann's
+    rejection-inversion, the same algorithm behind Apache Commons'
+    [RejectionInversionZipfSampler] — no per-element tables, constant
+    expected time per sample. *)
+
+type t
+
+val create : n:int -> exponent:float -> t
+(** Distribution over ranks [0 .. n-1] where rank [k] has probability
+    proportional to [1 / (k+1)^exponent].
+    @raise Invalid_argument when [n <= 0] or [exponent <= 0]. *)
+
+val n : t -> int
+
+val exponent : t -> float
+
+val sample : t -> Engine.Rng.t -> int
+(** A rank in [0, n), 0 being the hottest. *)
+
+val probability : t -> int -> float
+(** Exact probability of a rank (O(n) the first call, cached). *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Engine Hashtbl List Mem Policy Printf Testsupport

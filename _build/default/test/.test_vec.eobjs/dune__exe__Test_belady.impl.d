@@ -1,0 +1,1 @@
+test/test_belady.ml: Alcotest Array Gen Hashtbl List Policy Printf QCheck QCheck_alcotest

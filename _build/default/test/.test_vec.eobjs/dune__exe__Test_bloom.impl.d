@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest List Printf QCheck QCheck_alcotest Structures

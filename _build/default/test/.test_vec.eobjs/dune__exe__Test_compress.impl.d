@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Float Hashtbl List Printf Swapdev

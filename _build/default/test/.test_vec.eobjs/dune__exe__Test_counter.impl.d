@@ -1,0 +1,1 @@
+test/test_counter.ml: Alcotest Engine

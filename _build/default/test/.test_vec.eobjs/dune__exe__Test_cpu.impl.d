@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Engine QCheck QCheck_alcotest

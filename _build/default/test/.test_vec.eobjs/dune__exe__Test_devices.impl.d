@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Engine List Swapdev

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Engine List QCheck QCheck_alcotest

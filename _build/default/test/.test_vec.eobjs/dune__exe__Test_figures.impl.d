@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Filename Fun List Policy Repro_core Sys Unix Workload

@@ -1,0 +1,1 @@
+test/test_frame_table.ml: Alcotest List Mem QCheck QCheck_alcotest

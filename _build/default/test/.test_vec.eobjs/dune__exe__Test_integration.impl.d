@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float List Policy Printf Repro_core Stats Unix Workload

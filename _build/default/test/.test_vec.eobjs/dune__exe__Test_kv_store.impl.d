@@ -1,0 +1,1 @@
+test/test_kv_store.ml: Alcotest Hashtbl QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_mglru.ml: Alcotest List Mem Policy Printf String Testsupport

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Array Policy Repro_core Swapdev Workload

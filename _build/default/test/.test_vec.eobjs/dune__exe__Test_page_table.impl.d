@@ -1,0 +1,1 @@
+test/test_page_table.ml: Alcotest Array Mem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pagerank.ml: Alcotest Array Float List Workload

@@ -1,0 +1,1 @@
+test/test_phys_mem.ml: Alcotest Hashtbl List Mem Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pid.ml: Alcotest Float QCheck QCheck_alcotest Structures

@@ -1,0 +1,1 @@
+test/test_policy_properties.ml: Alcotest Gen List Mem Policy Printf QCheck QCheck_alcotest Testsupport

@@ -1,0 +1,1 @@
+test/test_pte.ml: Alcotest List Mem QCheck QCheck_alcotest

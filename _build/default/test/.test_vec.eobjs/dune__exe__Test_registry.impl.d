@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest List Option Policy String Testsupport

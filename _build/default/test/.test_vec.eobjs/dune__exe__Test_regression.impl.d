@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Array Engine Float Gen List QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Fun List Repro_core String Sys Unix

@@ -1,0 +1,1 @@
+test/test_rmap.ml: Alcotest List Mem

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array List Policy Repro_core Unix Workload

@@ -1,0 +1,1 @@
+test/test_script_trace.ml: Alcotest Swapdev Workload

@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Float Gen List QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_swap_manager.ml: Alcotest Engine List QCheck QCheck_alcotest Swapdev

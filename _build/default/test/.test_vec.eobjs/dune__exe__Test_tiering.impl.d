@@ -1,0 +1,1 @@
+test/test_tiering.ml: Alcotest Array List Printf Swapdev Tiering Workload

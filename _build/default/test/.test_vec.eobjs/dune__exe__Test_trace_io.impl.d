@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Array Engine Filename Fun List Policy Repro_core Sys Workload

@@ -1,0 +1,1 @@
+test/test_ttest.ml: Alcotest Array Engine Float Gen Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array List QCheck QCheck_alcotest Structures

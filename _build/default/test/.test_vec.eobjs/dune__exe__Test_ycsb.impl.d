@@ -1,0 +1,1 @@
+test/test_ycsb.ml: Alcotest Array Engine Float Hashtbl Option Printf Workload

@@ -1,0 +1,1 @@
+test/test_zipf.ml: Alcotest Array Engine Float Printf QCheck QCheck_alcotest Workload

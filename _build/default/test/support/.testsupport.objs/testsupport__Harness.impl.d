@@ -1,0 +1,1 @@
+test/support/harness.ml: Engine List Mem Policy

@@ -1,0 +1,89 @@
+module B = Policy.Belady
+
+let test_classic_example () =
+  (* A textbook OPT example: trace 1 2 3 4 1 2 5 1 2 3 4 5, capacity 3 ->
+     7 faults for OPT. *)
+  let trace = [| 1; 2; 3; 4; 1; 2; 5; 1; 2; 3; 4; 5 |] in
+  let r = B.simulate ~capacity:3 ~trace in
+  Alcotest.(check int) "OPT faults" 7 r.B.faults;
+  Alcotest.(check int) "cold faults" 5 r.B.cold_faults;
+  Alcotest.(check int) "accesses" 12 r.B.accesses
+
+let test_belady_anomaly_immune () =
+  (* FIFO shows Belady's anomaly on this trace; OPT must not. *)
+  let trace = [| 1; 2; 3; 4; 1; 2; 5; 1; 2; 3; 4; 5 |] in
+  let f3 = (B.simulate ~capacity:3 ~trace).B.faults in
+  let f4 = (B.simulate ~capacity:4 ~trace).B.faults in
+  Alcotest.(check bool) "monotone in capacity" true (f4 <= f3);
+  (* And FIFO actually exhibits the anomaly here (9 -> 10). *)
+  let fifo3 = (B.fifo_simulate ~capacity:3 ~trace).B.faults in
+  let fifo4 = (B.fifo_simulate ~capacity:4 ~trace).B.faults in
+  Alcotest.(check int) "fifo cap 3" 9 fifo3;
+  Alcotest.(check int) "fifo cap 4" 10 fifo4
+
+let test_lru_simulate () =
+  let trace = [| 1; 2; 3; 1; 4 |] in
+  (* capacity 3: faults 1,2,3 cold; hit 1; fault 4 evicting LRU(2). *)
+  let r = B.lru_simulate ~capacity:3 ~trace in
+  Alcotest.(check int) "faults" 4 r.B.faults
+
+let test_sequential_flood () =
+  (* Cyclic trace longer than capacity: LRU faults on everything, OPT
+     does much better. *)
+  let n = 10 in
+  let trace = Array.init 50 (fun i -> i mod n) in
+  let opt = (B.simulate ~capacity:5 ~trace).B.faults in
+  let lru = (B.lru_simulate ~capacity:5 ~trace).B.faults in
+  Alcotest.(check int) "LRU pathological" 50 lru;
+  Alcotest.(check bool) (Printf.sprintf "OPT %d much better" opt) true (opt <= 32)
+
+let test_capacity_one () =
+  let trace = [| 1; 1; 2; 2; 1 |] in
+  let r = B.simulate ~capacity:1 ~trace in
+  Alcotest.(check int) "faults" 3 r.B.faults
+
+let test_infinite_capacity () =
+  let trace = Array.init 100 (fun i -> i mod 7) in
+  let r = B.simulate ~capacity:1000 ~trace in
+  Alcotest.(check int) "only cold faults" 7 r.B.faults
+
+let test_validation () =
+  Alcotest.check_raises "capacity" (Invalid_argument "Belady.simulate: capacity must be positive")
+    (fun () -> ignore (B.simulate ~capacity:0 ~trace:[| 1 |]))
+
+let prop_opt_lower_bounds_lru_and_fifo =
+  QCheck.Test.make ~name:"OPT <= LRU and OPT <= FIFO" ~count:200
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(1 -- 200) (int_bound 20)))
+    (fun (capacity, trace) ->
+      let trace = Array.of_list trace in
+      let opt = (B.simulate ~capacity ~trace).B.faults in
+      let lru = (B.lru_simulate ~capacity ~trace).B.faults in
+      let fifo = (B.fifo_simulate ~capacity ~trace).B.faults in
+      opt <= lru && opt <= fifo)
+
+let prop_cold_faults_are_distinct_pages =
+  QCheck.Test.make ~name:"cold faults = distinct pages" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (int_bound 30))
+    (fun trace ->
+      let trace = Array.of_list trace in
+      let distinct = Hashtbl.create 16 in
+      Array.iter (fun p -> Hashtbl.replace distinct p ()) trace;
+      (B.simulate ~capacity:4 ~trace).B.cold_faults = Hashtbl.length distinct)
+
+let () =
+  Alcotest.run "belady"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "classic example" `Quick test_classic_example;
+          Alcotest.test_case "anomaly immunity" `Quick test_belady_anomaly_immune;
+          Alcotest.test_case "lru simulate" `Quick test_lru_simulate;
+          Alcotest.test_case "sequential flood" `Quick test_sequential_flood;
+          Alcotest.test_case "capacity one" `Quick test_capacity_one;
+          Alcotest.test_case "infinite capacity" `Quick test_infinite_capacity;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_opt_lower_bounds_lru_and_fifo; prop_cold_faults_are_distinct_pages ] );
+    ]

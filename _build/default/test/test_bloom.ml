@@ -1,0 +1,99 @@
+module B = Structures.Bloom
+
+let test_create () =
+  let b = B.create ~bits:1000 ~seed:1 () in
+  Alcotest.(check int) "rounded to pow2" 1024 (B.bits b);
+  Alcotest.(check int) "hashes" 2 (B.hashes b);
+  Alcotest.(check int) "population" 0 (B.population b)
+
+let test_membership () =
+  let b = B.create ~bits:4096 ~seed:7 () in
+  for k = 0 to 99 do
+    B.add b (k * 3)
+  done;
+  for k = 0 to 99 do
+    Alcotest.(check bool)
+      (Printf.sprintf "member %d" (k * 3))
+      true
+      (B.mem b (k * 3))
+  done
+
+let test_clear () =
+  let b = B.create ~bits:1024 ~seed:7 () in
+  B.add b 42;
+  B.clear b;
+  Alcotest.(check int) "population" 0 (B.population b);
+  Alcotest.(check bool) "cleared" false (B.mem b 42)
+
+let test_false_positive_rate () =
+  (* With 128 keys in 4096 bits the FP rate should be well under 10%. *)
+  let b = B.create ~bits:4096 ~seed:11 () in
+  for k = 0 to 127 do
+    B.add b k
+  done;
+  let fp = ref 0 in
+  for k = 1000 to 1999 do
+    if B.mem b k then incr fp
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "fp rate %d/1000 < 100" !fp)
+    true (!fp < 100);
+  Alcotest.(check bool) "estimate sane" true (B.false_positive_estimate b < 0.2)
+
+let test_fill_ratio_monotone () =
+  let b = B.create ~bits:1024 ~seed:3 () in
+  let prev = ref 0.0 in
+  for k = 0 to 50 do
+    B.add b (k * 17);
+    let r = B.fill_ratio b in
+    Alcotest.(check bool) "monotone" true (r >= !prev);
+    prev := r
+  done
+
+let test_seeds_differ () =
+  let b1 = B.create ~bits:1024 ~seed:1 () in
+  let b2 = B.create ~bits:1024 ~seed:2 () in
+  (* Same keys give different bit patterns under different seeds: find a
+     probe key that distinguishes them. *)
+  for k = 0 to 9 do
+    B.add b1 k;
+    B.add b2 k
+  done;
+  let differs = ref false in
+  for k = 100 to 4000 do
+    if B.mem b1 k <> B.mem b2 k then differs := true
+  done;
+  Alcotest.(check bool) "seeded differently" true !differs
+
+let prop_no_false_negatives =
+  QCheck.Test.make ~name:"no false negatives" ~count:200
+    QCheck.(pair small_int (list small_nat))
+    (fun (seed, keys) ->
+      let b = B.create ~bits:512 ~seed () in
+      List.iter (B.add b) keys;
+      List.for_all (B.mem b) keys)
+
+let prop_population_bounded =
+  QCheck.Test.make ~name:"population <= hashes * adds and <= bits" ~count:200
+    QCheck.(list small_nat)
+    (fun keys ->
+      let b = B.create ~bits:256 ~seed:5 () in
+      List.iter (B.add b) keys;
+      B.population b <= 2 * List.length keys && B.population b <= B.bits b)
+
+let () =
+  Alcotest.run "bloom"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create" `Quick test_create;
+          Alcotest.test_case "membership" `Quick test_membership;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "false positive rate" `Quick test_false_positive_rate;
+          Alcotest.test_case "fill ratio monotone" `Quick test_fill_ratio_monotone;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_no_false_negatives; prop_population_bounded ] );
+    ]

@@ -1,0 +1,69 @@
+module C = Swapdev.Compress
+
+let all_klasses = C.[ Zero; Columnar; Graph_csr; Numeric; Kv_item; Random ]
+
+let test_ratios_in_range () =
+  List.iter
+    (fun k ->
+      for page = 0 to 999 do
+        let r = C.ratio k ~page_key:page ~seed:7 in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s page %d in (0,1]" (C.klass_name k) page)
+          true
+          (r > 0.0 && r <= 1.0)
+      done)
+    all_klasses
+
+let test_deterministic () =
+  let r1 = C.ratio C.Columnar ~page_key:42 ~seed:3 in
+  let r2 = C.ratio C.Columnar ~page_key:42 ~seed:3 in
+  Alcotest.(check (float 1e-12)) "same" r1 r2
+
+let test_varies_by_page () =
+  let distinct = Hashtbl.create 16 in
+  for page = 0 to 99 do
+    Hashtbl.replace distinct (C.ratio C.Numeric ~page_key:page ~seed:1) ()
+  done;
+  Alcotest.(check bool) "many distinct ratios" true (Hashtbl.length distinct > 10)
+
+let test_class_ordering () =
+  (* Averages should respect the content-class ordering. *)
+  let avg k =
+    let sum = ref 0.0 in
+    for page = 0 to 999 do
+      sum := !sum +. C.ratio k ~page_key:page ~seed:9
+    done;
+    !sum /. 1000.0
+  in
+  let zero = avg C.Zero and col = avg C.Columnar and rand = avg C.Random in
+  Alcotest.(check bool) "zero < columnar" true (zero < col);
+  Alcotest.(check bool) "columnar < random" true (col < rand);
+  Alcotest.(check bool) "random incompressible" true (rand > 0.9)
+
+let test_empirical_mean_matches () =
+  List.iter
+    (fun k ->
+      let sum = ref 0.0 in
+      let n = 2000 in
+      for page = 0 to n - 1 do
+        sum := !sum +. C.ratio k ~page_key:page ~seed:5
+      done;
+      let mean = !sum /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mean %.3f near %.3f" (C.klass_name k) mean (C.mean_ratio k))
+        true
+        (Float.abs (mean -. C.mean_ratio k) < 0.05))
+    all_klasses
+
+let () =
+  Alcotest.run "compress"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "ratios in range" `Quick test_ratios_in_range;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "varies by page" `Quick test_varies_by_page;
+          Alcotest.test_case "class ordering" `Quick test_class_ordering;
+          Alcotest.test_case "empirical means" `Quick test_empirical_mean_matches;
+        ] );
+    ]

@@ -1,0 +1,54 @@
+module C = Engine.Counter
+
+let test_basic () =
+  let c = C.create () in
+  Alcotest.(check int) "missing is zero" 0 (C.get c "nope");
+  C.incr c "a";
+  C.incr c "a";
+  C.add c "b" 10;
+  Alcotest.(check int) "a" 2 (C.get c "a");
+  Alcotest.(check int) "b" 10 (C.get c "b")
+
+let test_to_list_sorted () =
+  let c = C.create () in
+  C.incr c "zebra";
+  C.incr c "apple";
+  Alcotest.(check (list (pair string int)))
+    "sorted"
+    [ ("apple", 1); ("zebra", 1) ]
+    (C.to_list c)
+
+let test_reset () =
+  let c = C.create () in
+  C.incr c "x";
+  C.reset c;
+  Alcotest.(check int) "cleared" 0 (C.get c "x");
+  Alcotest.(check (list (pair string int))) "empty" [] (C.to_list c)
+
+let test_merge () =
+  let a = C.create () and b = C.create () in
+  C.add a "x" 1;
+  C.add b "x" 2;
+  C.add b "y" 3;
+  C.merge_into ~src:b ~dst:a;
+  Alcotest.(check int) "x merged" 3 (C.get a "x");
+  Alcotest.(check int) "y merged" 3 (C.get a "y");
+  Alcotest.(check int) "src untouched" 2 (C.get b "x")
+
+let test_negative_add () =
+  let c = C.create () in
+  C.add c "x" (-4);
+  Alcotest.(check int) "negative allowed" (-4) (C.get c "x")
+
+let () =
+  Alcotest.run "counter"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "to_list sorted" `Quick test_to_list_sorted;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "negative add" `Quick test_negative_add;
+        ] );
+    ]

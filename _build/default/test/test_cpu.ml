@@ -1,0 +1,83 @@
+module C = Engine.Cpu
+
+let test_no_contention () =
+  let cpu = C.create ~hw_threads:4 in
+  C.run_begin cpu;
+  Alcotest.(check int) "runnable" 1 (C.runnable cpu);
+  Alcotest.(check int) "no stretch" 1000 (C.scale cpu 1000);
+  Alcotest.(check (float 1e-9)) "load" 1.0 (C.load cpu);
+  C.run_end cpu
+
+let test_contention_stretches () =
+  let cpu = C.create ~hw_threads:2 in
+  for _ = 1 to 6 do
+    C.run_begin cpu
+  done;
+  Alcotest.(check (float 1e-9)) "load 3x" 3.0 (C.load cpu);
+  Alcotest.(check int) "stretched" 3000 (C.scale cpu 1000);
+  for _ = 1 to 6 do
+    C.run_end cpu
+  done;
+  Alcotest.(check int) "empty again" 0 (C.runnable cpu)
+
+let test_at_capacity_no_stretch () =
+  let cpu = C.create ~hw_threads:12 in
+  for _ = 1 to 12 do
+    C.run_begin cpu
+  done;
+  Alcotest.(check int) "exactly at capacity" 500 (C.scale cpu 500)
+
+let test_underflow_rejected () =
+  let cpu = C.create ~hw_threads:1 in
+  Alcotest.check_raises "underflow"
+    (Invalid_argument "Cpu.run_end: no runnable entities") (fun () -> C.run_end cpu)
+
+let test_busy_accounting () =
+  let cpu = C.create ~hw_threads:2 in
+  C.charge cpu 100;
+  C.charge cpu 250;
+  C.charge cpu (-5);
+  Alcotest.(check int) "busy" 350 (C.busy_ns cpu)
+
+let test_zero_work () =
+  let cpu = C.create ~hw_threads:2 in
+  C.run_begin cpu;
+  Alcotest.(check int) "zero" 0 (C.scale cpu 0);
+  Alcotest.(check int) "negative clamps" 0 (C.scale cpu (-10));
+  C.run_end cpu
+
+let test_bad_create () =
+  Alcotest.check_raises "zero threads"
+    (Invalid_argument "Cpu.create: hw_threads must be positive") (fun () ->
+      ignore (C.create ~hw_threads:0))
+
+let prop_scale_monotone_in_load =
+  QCheck.Test.make ~name:"more runnable never shrinks wall time" ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 1 1_000_000))
+    (fun (hw, work) ->
+      let cpu = C.create ~hw_threads:hw in
+      let prev = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 3 * hw do
+        C.run_begin cpu;
+        let w = C.scale cpu work in
+        if w < !prev then ok := false;
+        prev := w
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "cpu"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "no contention" `Quick test_no_contention;
+          Alcotest.test_case "contention stretches" `Quick test_contention_stretches;
+          Alcotest.test_case "at capacity" `Quick test_at_capacity_no_stretch;
+          Alcotest.test_case "underflow rejected" `Quick test_underflow_rejected;
+          Alcotest.test_case "busy accounting" `Quick test_busy_accounting;
+          Alcotest.test_case "zero work" `Quick test_zero_work;
+          Alcotest.test_case "bad create" `Quick test_bad_create;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_scale_monotone_in_load ]);
+    ]

@@ -1,0 +1,92 @@
+module D = Swapdev.Device
+
+let submit_read dev ~now = dev.D.submit ~now ~op:D.Read ~size_fraction:0.5
+
+let test_ssd_service_time () =
+  let dev = Swapdev.Ssd.create ~rng:(Engine.Rng.create 1) () in
+  let c = submit_read dev ~now:0 in
+  let base = Swapdev.Ssd.default_config.Swapdev.Ssd.read_ns in
+  Alcotest.(check bool) "service near 7.5ms" true
+    (c.D.finish_ns > base * 9 / 10 && c.D.finish_ns < base * 11 / 10);
+  Alcotest.(check int) "reads counted" 1 (dev.D.reads ())
+
+let test_ssd_queueing () =
+  let config = { Swapdev.Ssd.default_config with Swapdev.Ssd.channels = 1; jitter = 0.0 } in
+  let dev = Swapdev.Ssd.create ~config ~rng:(Engine.Rng.create 1) () in
+  let c1 = submit_read dev ~now:0 in
+  let c2 = submit_read dev ~now:0 in
+  Alcotest.(check int) "second queues behind first"
+    (2 * config.Swapdev.Ssd.read_ns) c2.D.finish_ns;
+  Alcotest.(check int) "first on time" config.Swapdev.Ssd.read_ns c1.D.finish_ns
+
+let test_ssd_parallel_channels () =
+  let config = { Swapdev.Ssd.default_config with Swapdev.Ssd.channels = 4; jitter = 0.0 } in
+  let dev = Swapdev.Ssd.create ~config ~rng:(Engine.Rng.create 1) () in
+  let finishes = List.init 4 (fun _ -> (submit_read dev ~now:0).D.finish_ns) in
+  List.iter
+    (fun f -> Alcotest.(check int) "all run in parallel" config.Swapdev.Ssd.read_ns f)
+    finishes
+
+let test_ssd_idle_gap () =
+  let config = { Swapdev.Ssd.default_config with Swapdev.Ssd.channels = 1; jitter = 0.0 } in
+  let dev = Swapdev.Ssd.create ~config ~rng:(Engine.Rng.create 1) () in
+  ignore (submit_read dev ~now:0);
+  let c = submit_read dev ~now:100_000_000 in
+  Alcotest.(check int) "no queueing after idle"
+    (100_000_000 + config.Swapdev.Ssd.read_ns) c.D.finish_ns
+
+let test_zram_much_faster () =
+  let ssd = Swapdev.Ssd.create ~rng:(Engine.Rng.create 1) () in
+  let zram = Swapdev.Zram.create ~rng:(Engine.Rng.create 1) () in
+  let cs = submit_read ssd ~now:0 in
+  let cz = submit_read zram ~now:0 in
+  Alcotest.(check bool) "two orders of magnitude" true
+    (cz.D.finish_ns * 100 < cs.D.finish_ns)
+
+let test_zram_write_slower_than_read () =
+  let config = { Swapdev.Zram.default_config with Swapdev.Zram.jitter = 0.0 } in
+  let dev = Swapdev.Zram.create ~config ~rng:(Engine.Rng.create 1) () in
+  let r = dev.D.submit ~now:0 ~op:D.Read ~size_fraction:0.5 in
+  let w = dev.D.submit ~now:0 ~op:D.Write ~size_fraction:0.5 in
+  Alcotest.(check bool) "write > read" true (w.D.finish_ns - 0 > r.D.finish_ns - 0)
+
+let test_zram_cpu_coupled () =
+  let dev = Swapdev.Zram.create ~rng:(Engine.Rng.create 1) () in
+  let c = dev.D.submit ~now:0 ~op:D.Read ~size_fraction:0.5 in
+  Alcotest.(check int) "compression runs on the CPU" c.D.finish_ns c.D.cpu_ns;
+  let ssd = Swapdev.Ssd.create ~rng:(Engine.Rng.create 1) () in
+  let cs = ssd.D.submit ~now:0 ~op:D.Read ~size_fraction:0.5 in
+  Alcotest.(check bool) "ssd cpu tiny" true (cs.D.cpu_ns * 100 < cs.D.finish_ns)
+
+let test_zram_size_sensitivity () =
+  let config = { Swapdev.Zram.default_config with Swapdev.Zram.jitter = 0.0 } in
+  let dev = Swapdev.Zram.create ~config ~rng:(Engine.Rng.create 1) () in
+  let small = dev.D.submit ~now:0 ~op:D.Read ~size_fraction:0.1 in
+  let dev2 = Swapdev.Zram.create ~config ~rng:(Engine.Rng.create 1) () in
+  let big = dev2.D.submit ~now:0 ~op:D.Read ~size_fraction:1.0 in
+  Alcotest.(check bool) "compressible pages faster" true
+    (small.D.finish_ns < big.D.finish_ns)
+
+let test_stored_bytes_estimate () =
+  Alcotest.(check int) "estimate" (4096 * 25)
+    (Swapdev.Zram.stored_bytes_estimate ~pages:100 ~mean_ratio:0.25)
+
+let () =
+  Alcotest.run "devices"
+    [
+      ( "ssd",
+        [
+          Alcotest.test_case "service time" `Quick test_ssd_service_time;
+          Alcotest.test_case "queueing" `Quick test_ssd_queueing;
+          Alcotest.test_case "parallel channels" `Quick test_ssd_parallel_channels;
+          Alcotest.test_case "idle gap" `Quick test_ssd_idle_gap;
+        ] );
+      ( "zram",
+        [
+          Alcotest.test_case "much faster than ssd" `Quick test_zram_much_faster;
+          Alcotest.test_case "write slower than read" `Quick test_zram_write_slower_than_read;
+          Alcotest.test_case "cpu coupled" `Quick test_zram_cpu_coupled;
+          Alcotest.test_case "size sensitivity" `Quick test_zram_size_sensitivity;
+          Alcotest.test_case "stored bytes" `Quick test_stored_bytes_estimate;
+        ] );
+    ]

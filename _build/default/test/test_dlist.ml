@@ -1,0 +1,114 @@
+module D = Structures.Dlist
+
+let test_basic () =
+  let d = D.create ~nodes:8 ~lists:2 in
+  Alcotest.(check int) "nodes" 8 (D.nodes d);
+  Alcotest.(check int) "lists" 2 (D.lists d);
+  Alcotest.(check bool) "empty" true (D.is_empty d 0);
+  D.push_head d ~list:0 ~node:3;
+  D.push_head d ~list:0 ~node:5;
+  Alcotest.(check int) "size" 2 (D.size d 0);
+  Alcotest.(check (option int)) "head" (Some 5) (D.head d 0);
+  Alcotest.(check (option int)) "tail" (Some 3) (D.tail d 0);
+  Alcotest.(check (option int)) "list_of" (Some 0) (D.list_of d 3);
+  D.check_invariants d
+
+let test_push_tail_order () =
+  let d = D.create ~nodes:4 ~lists:1 in
+  D.push_tail d ~list:0 ~node:0;
+  D.push_tail d ~list:0 ~node:1;
+  D.push_tail d ~list:0 ~node:2;
+  Alcotest.(check (option int)) "head" (Some 0) (D.head d 0);
+  Alcotest.(check (option int)) "pop tail" (Some 2) (D.pop_tail d 0);
+  Alcotest.(check (option int)) "pop tail again" (Some 1) (D.pop_tail d 0);
+  D.check_invariants d
+
+let test_remove_middle () =
+  let d = D.create ~nodes:4 ~lists:1 in
+  List.iter (fun node -> D.push_tail d ~list:0 ~node) [ 0; 1; 2; 3 ];
+  D.remove d ~node:2;
+  Alcotest.(check int) "size" 3 (D.size d 0);
+  Alcotest.(check (option int)) "list_of removed" None (D.list_of d 2);
+  Alcotest.(check (option int)) "pop" (Some 3) (D.pop_tail d 0);
+  Alcotest.(check (option int)) "pop" (Some 1) (D.pop_tail d 0);
+  D.check_invariants d
+
+let test_double_insert_rejected () =
+  let d = D.create ~nodes:4 ~lists:2 in
+  D.push_head d ~list:0 ~node:1;
+  Alcotest.check_raises "reinsert"
+    (Invalid_argument "Dlist.push_head: node already on a list") (fun () ->
+      D.push_head d ~list:1 ~node:1)
+
+let test_move_between_lists () =
+  let d = D.create ~nodes:4 ~lists:2 in
+  D.push_head d ~list:0 ~node:1;
+  D.move_head d ~list:1 ~node:1;
+  Alcotest.(check int) "src empty" 0 (D.size d 0);
+  Alcotest.(check (option int)) "dst" (Some 1) (D.head d 1);
+  (* moving a detached node is an insert *)
+  D.move_tail d ~list:1 ~node:2;
+  Alcotest.(check (option int)) "tail" (Some 2) (D.tail d 1);
+  D.check_invariants d
+
+let test_iter_from_tail () =
+  let d = D.create ~nodes:4 ~lists:1 in
+  List.iter (fun node -> D.push_tail d ~list:0 ~node) [ 0; 1; 2 ];
+  let order = ref [] in
+  D.iter_from_tail d ~list:0 (fun n -> order := n :: !order);
+  Alcotest.(check (list int)) "tail-to-head" [ 0; 1; 2 ] !order
+
+let test_next_towards_head () =
+  let d = D.create ~nodes:4 ~lists:1 in
+  List.iter (fun node -> D.push_tail d ~list:0 ~node) [ 0; 1; 2 ];
+  Alcotest.(check (option int)) "neighbour of 2" (Some 1) (D.next_towards_head d 2);
+  Alcotest.(check (option int)) "neighbour of 0" None (D.next_towards_head d 0)
+
+let test_splice () =
+  let d = D.create ~nodes:6 ~lists:2 in
+  List.iter (fun node -> D.push_tail d ~list:0 ~node) [ 0; 1; 2 ];
+  List.iter (fun node -> D.push_tail d ~list:1 ~node) [ 3; 4 ];
+  D.splice_all d ~src:0 ~dst:1;
+  Alcotest.(check int) "src drained" 0 (D.size d 0);
+  Alcotest.(check int) "dst grew" 5 (D.size d 1);
+  D.check_invariants d
+
+(* Random operation sequences keep the structure consistent. *)
+let prop_random_ops =
+  QCheck.Test.make ~name:"random ops preserve invariants" ~count:100
+    QCheck.(list (pair (int_bound 3) (pair (int_bound 15) (int_bound 3))))
+    (fun ops ->
+      let d = D.create ~nodes:16 ~lists:4 in
+      List.iter
+        (fun (op, (node, list)) ->
+          match op with
+          | 0 -> D.move_head d ~list ~node
+          | 1 -> D.move_tail d ~list ~node
+          | 2 -> D.remove d ~node
+          | _ -> ignore (D.pop_tail d list))
+        ops;
+      D.check_invariants d;
+      (* Total population equals nodes attached to some list. *)
+      let total = List.init 4 (D.size d) |> List.fold_left ( + ) 0 in
+      let attached = ref 0 in
+      for n = 0 to 15 do
+        if D.list_of d n <> None then incr attached
+      done;
+      total = !attached)
+
+let () =
+  Alcotest.run "dlist"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "push_tail order" `Quick test_push_tail_order;
+          Alcotest.test_case "remove middle" `Quick test_remove_middle;
+          Alcotest.test_case "double insert rejected" `Quick test_double_insert_rejected;
+          Alcotest.test_case "move between lists" `Quick test_move_between_lists;
+          Alcotest.test_case "iter from tail" `Quick test_iter_from_tail;
+          Alcotest.test_case "next towards head" `Quick test_next_towards_head;
+          Alcotest.test_case "splice" `Quick test_splice;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_ops ]);
+    ]

@@ -1,0 +1,89 @@
+module Q = Engine.Event_queue
+
+let test_empty () =
+  let q = Q.create () in
+  Alcotest.(check bool) "empty" true (Q.is_empty q);
+  Alcotest.(check (option int)) "peek" None (Q.peek_time q);
+  Alcotest.(check bool) "pop" true (Q.pop q = None)
+
+let test_time_order () =
+  let q = Q.create () in
+  Q.add q ~time:30 "c";
+  Q.add q ~time:10 "a";
+  Q.add q ~time:20 "b";
+  Alcotest.(check (option int)) "peek" (Some 10) (Q.peek_time q);
+  Alcotest.(check (option (pair int string))) "pop a" (Some (10, "a")) (Q.pop q);
+  Alcotest.(check (option (pair int string))) "pop b" (Some (20, "b")) (Q.pop q);
+  Alcotest.(check (option (pair int string))) "pop c" (Some (30, "c")) (Q.pop q);
+  Alcotest.(check bool) "drained" true (Q.is_empty q)
+
+let test_fifo_at_equal_times () =
+  let q = Q.create () in
+  for i = 0 to 9 do
+    Q.add q ~time:5 i
+  done;
+  for i = 0 to 9 do
+    Alcotest.(check (option (pair int int))) "insertion order" (Some (5, i)) (Q.pop q)
+  done
+
+let test_negative_time_rejected () =
+  let q = Q.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Event_queue.add: negative time")
+    (fun () -> Q.add q ~time:(-1) ())
+
+let test_clear () =
+  let q = Q.create () in
+  Q.add q ~time:1 ();
+  Q.clear q;
+  Alcotest.(check int) "size" 0 (Q.size q)
+
+let test_interleaved_add_pop () =
+  let q = Q.create () in
+  Q.add q ~time:10 10;
+  Q.add q ~time:5 5;
+  Alcotest.(check bool) "pop 5" true (Q.pop q = Some (5, 5));
+  Q.add q ~time:1 1;
+  Alcotest.(check bool) "pop 1" true (Q.pop q = Some (1, 1));
+  Alcotest.(check bool) "pop 10" true (Q.pop q = Some (10, 10))
+
+let prop_pops_sorted =
+  QCheck.Test.make ~name:"pops come out time-sorted" ~count:200
+    QCheck.(list small_nat)
+    (fun times ->
+      let q = Q.create () in
+      List.iter (fun t -> Q.add q ~time:t t) times;
+      let rec drain acc =
+        match Q.pop q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare times)
+
+let prop_size_tracks =
+  QCheck.Test.make ~name:"size tracks adds and pops" ~count:200
+    QCheck.(list (int_bound 100))
+    (fun times ->
+      let q = Q.create () in
+      List.iter (fun t -> Q.add q ~time:t ()) times;
+      let n = List.length times in
+      Q.size q = n
+      &&
+      (ignore (Q.pop q);
+       Q.size q = max 0 (n - 1)))
+
+let () =
+  Alcotest.run "event_queue"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "time order" `Quick test_time_order;
+          Alcotest.test_case "fifo at equal times" `Quick test_fifo_at_equal_times;
+          Alcotest.test_case "negative time rejected" `Quick test_negative_time_rejected;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "interleaved" `Quick test_interleaved_add_pop;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_pops_sorted; prop_size_tracks ] );
+    ]

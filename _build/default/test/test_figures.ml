@@ -1,0 +1,106 @@
+(* Figure-harness data checks at the fast profile (the printed tables
+   are exercised by the bench; here we validate the returned data). *)
+
+let () =
+  Unix.putenv "REPRO_FAST" "1";
+  Unix.putenv "REPRO_TRIALS" "1";
+  Unix.putenv "REPRO_YCSB_TRIALS" "1"
+
+let test_cell_metrics () =
+  let c =
+    Repro_core.Figures.cell ~workload:Repro_core.Runner.Tpch
+      ~policy:Policy.Registry.Clock ~ratio:0.5 ~swap:Repro_core.Runner.Ssd
+  in
+  Alcotest.(check bool) "perf positive" true (c.Repro_core.Figures.perf > 0.0);
+  Alcotest.(check bool) "faults positive" true (c.Repro_core.Figures.mean_faults > 0.0);
+  Alcotest.(check int) "one trial" 1 (List.length c.Repro_core.Figures.results)
+
+let test_ycsb_cell_uses_latency () =
+  let c =
+    Repro_core.Figures.cell
+      ~workload:(Repro_core.Runner.Ycsb Workload.Ycsb.C)
+      ~policy:Policy.Registry.Clock ~ratio:0.5 ~swap:Repro_core.Runner.Ssd
+  in
+  (* The fig-1 metric for YCSB is mean request latency in ns: far larger
+     than any plausible runtime-in-seconds number. *)
+  Alcotest.(check bool) "metric is a latency" true (c.Repro_core.Figures.perf > 1_000.0)
+
+let test_fig1_data () =
+  let data = Repro_core.Figures.fig1 () in
+  Alcotest.(check int) "five workloads" 5 (List.length data);
+  List.iter
+    (fun (name, perf, faults) ->
+      Alcotest.(check bool) (name ^ " perf ratio sane") true (perf > 0.2 && perf < 5.0);
+      Alcotest.(check bool) (name ^ " fault ratio sane") true
+        (faults > 0.2 && faults < 5.0))
+    data
+
+let test_fig4_data () =
+  let data = Repro_core.Figures.fig4 () in
+  (* 5 workloads x 5 variants *)
+  Alcotest.(check int) "rows" 25 (List.length data);
+  (* The default-MG-LRU rows normalize to exactly 1. *)
+  List.iter
+    (fun (_w, variant, perf, _faults) ->
+      if variant = "mglru" then
+        Alcotest.(check (float 1e-9)) "self-normalized" 1.0 perf)
+    data
+
+let test_fig9_fig10_data () =
+  let perf = Repro_core.Figures.fig9 () in
+  let faults = Repro_core.Figures.fig10 () in
+  Alcotest.(check int) "perf rows" 30 (List.length perf);
+  Alcotest.(check int) "fault rows" 30 (List.length faults);
+  List.iter
+    (fun (_w, p, v) ->
+      if p = "mglru" then Alcotest.(check (float 1e-9)) "base" 1.0 v)
+    perf
+
+let test_fig11_data () =
+  let data = Repro_core.Figures.fig11 () in
+  Alcotest.(check int) "five workloads" 5 (List.length data);
+  List.iter
+    (fun (name, rt, faults) ->
+      Alcotest.(check bool) (name ^ ": zram faster") true (rt < 1.0);
+      Alcotest.(check bool) (name ^ ": faults not reduced") true (faults > 0.8))
+    data
+
+let test_run_dispatch_bounds () =
+  Alcotest.check_raises "figure 0" (Invalid_argument "Figures.run: no figure 0")
+    (fun () -> Repro_core.Figures.run 0);
+  Alcotest.check_raises "figure 13" (Invalid_argument "Figures.run: no figure 13")
+    (fun () -> Repro_core.Figures.run 13)
+
+let test_csv_quoting () =
+  let path = Filename.temp_file "csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Repro_core.Csv_export.write ~path ~header:[ "a"; "b" ]
+        [ [ "x,y"; "he said \"hi\"" ]; [ "plain"; "1" ] ];
+      let inc = open_in path in
+      let l1 = input_line inc in
+      let l2 = input_line inc in
+      let l3 = input_line inc in
+      let lines = [ l1; l2; l3 ] in
+      close_in inc;
+      Alcotest.(check (list string))
+        "quoted correctly"
+        [ "a,b"; "\"x,y\",\"he said \"\"hi\"\"\""; "plain,1" ]
+        lines)
+
+let () =
+  Alcotest.run "figures"
+    [
+      ( "data",
+        [
+          Alcotest.test_case "cell metrics" `Slow test_cell_metrics;
+          Alcotest.test_case "ycsb latency metric" `Slow test_ycsb_cell_uses_latency;
+          Alcotest.test_case "fig1" `Slow test_fig1_data;
+          Alcotest.test_case "fig4" `Slow test_fig4_data;
+          Alcotest.test_case "fig9/fig10" `Slow test_fig9_fig10_data;
+          Alcotest.test_case "fig11" `Slow test_fig11_data;
+          Alcotest.test_case "dispatch bounds" `Quick test_run_dispatch_bounds;
+          Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+        ] );
+    ]

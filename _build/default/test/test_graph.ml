@@ -1,0 +1,98 @@
+module G = Workload.Graph
+
+let small_config =
+  { G.n = 2_000; avg_degree = 4; deg_exponent = 0.9; target_exponent = 1.2 }
+
+let test_basic_counts () =
+  let g = G.generate ~config:small_config ~seed:1 () in
+  Alcotest.(check int) "n" 2000 (G.n g);
+  Alcotest.(check bool) "m near n * avg_degree" true
+    (G.m g >= 2000 * 2 && G.m g <= 2000 * 8);
+  Alcotest.(check int) "offsets end at m" (G.m g) (G.offset g 2000);
+  Alcotest.(check int) "offsets start at 0" 0 (G.offset g 0)
+
+let test_degrees_positive_and_consistent () =
+  let g = G.generate ~config:small_config ~seed:2 () in
+  let sum = ref 0 in
+  for v = 0 to G.n g - 1 do
+    let d = G.degree g v in
+    Alcotest.(check bool) "degree >= 1" true (d >= 1);
+    Alcotest.(check int) "offset diff = degree" d (G.offset g (v + 1) - G.offset g v);
+    sum := !sum + d
+  done;
+  Alcotest.(check int) "degrees sum to m" (G.m g) !sum
+
+let test_power_law_skew () =
+  let g = G.generate ~config:small_config ~seed:3 () in
+  let avg = G.m g / G.n g in
+  Alcotest.(check bool)
+    (Printf.sprintf "max degree %d >> avg %d" (G.max_degree g) avg)
+    true
+    (G.max_degree g > 10 * avg)
+
+let test_neighbors_deterministic () =
+  let g = G.generate ~config:small_config ~seed:4 () in
+  let collect v =
+    let acc = ref [] in
+    G.iter_in_neighbors g v (fun u -> acc := u :: !acc);
+    !acc
+  in
+  Alcotest.(check (list int)) "same every call" (collect 17) (collect 17);
+  Alcotest.(check int) "count = degree" (G.degree g 17) (List.length (collect 17))
+
+let test_neighbors_in_range () =
+  let g = G.generate ~config:small_config ~seed:5 () in
+  for v = 0 to 99 do
+    G.iter_in_neighbors g v (fun u ->
+        if u < 0 || u >= G.n g then Alcotest.fail "neighbour out of range")
+  done
+
+let test_hubs_at_low_ids () =
+  (* Target sampling is zipfian over raw ids: low ids should be read far
+     more often (the hot rank-page head). *)
+  let g = G.generate ~config:small_config ~seed:6 () in
+  let low = ref 0 and high = ref 0 in
+  for v = 0 to 499 do
+    G.iter_in_neighbors g v (fun u ->
+        if u < G.n g / 10 then incr low
+        else if u >= G.n g / 2 then incr high)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "low-id reads %d > high-id reads %d" !low !high)
+    true (!low > !high)
+
+let test_seeds_give_different_graphs () =
+  let g1 = G.generate ~config:small_config ~seed:7 () in
+  let g2 = G.generate ~config:small_config ~seed:8 () in
+  let differs = ref false in
+  for v = 0 to G.n g1 - 1 do
+    if G.degree g1 v <> G.degree g2 v then differs := true
+  done;
+  Alcotest.(check bool) "degree placement differs" true !differs
+
+let prop_offsets_monotone =
+  QCheck.Test.make ~name:"offsets monotone" ~count:20
+    QCheck.(pair (int_range 10 500) small_int)
+    (fun (n, seed) ->
+      let g = G.generate ~config:{ small_config with G.n } ~seed () in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if G.offset g (v + 1) < G.offset g v then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic counts" `Quick test_basic_counts;
+          Alcotest.test_case "degrees consistent" `Quick test_degrees_positive_and_consistent;
+          Alcotest.test_case "power law skew" `Quick test_power_law_skew;
+          Alcotest.test_case "neighbours deterministic" `Quick test_neighbors_deterministic;
+          Alcotest.test_case "neighbours in range" `Quick test_neighbors_in_range;
+          Alcotest.test_case "hubs at low ids" `Quick test_hubs_at_low_ids;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_give_different_graphs;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_offsets_monotone ]);
+    ]

@@ -1,0 +1,66 @@
+module K = Workload.Kv_store
+
+let test_geometry () =
+  let s = K.create ~items_per_page:8 ~items:1000 () in
+  Alcotest.(check int) "items" 1000 (K.items s);
+  Alcotest.(check int) "item pages" 125 (K.item_pages s);
+  Alcotest.(check bool) "meta region exists" true (K.meta_pages s >= 1);
+  Alcotest.(check int) "footprint"
+    (K.meta_pages s + K.item_pages s)
+    (K.footprint_pages s)
+
+let test_item_page_layout () =
+  let s = K.create ~items_per_page:4 ~items:100 () in
+  (* Slab order: consecutive items share pages. *)
+  Alcotest.(check int) "item 0 and 3 same page" (K.item_page s 0) (K.item_page s 3);
+  Alcotest.(check bool) "item 4 next page" true (K.item_page s 4 > K.item_page s 3);
+  Alcotest.(check bool) "items after meta region" true
+    (K.item_page s 0 >= K.meta_pages s);
+  Alcotest.check_raises "out of range" (Invalid_argument "Kv_store.item_page: out of range")
+    (fun () -> ignore (K.item_page s 100))
+
+let test_meta_page_range () =
+  let s = K.create ~items:10_000 () in
+  for key = 0 to 999 do
+    let p = K.meta_page s ~key in
+    Alcotest.(check bool) "meta page in meta region" true (K.is_meta_page s p)
+  done
+
+let test_meta_hash_spreads () =
+  let s = K.create ~items:10_000 () in
+  let seen = Hashtbl.create 64 in
+  for key = 0 to 999 do
+    Hashtbl.replace seen (K.meta_page s ~key) ()
+  done;
+  Alcotest.(check bool) "uses many meta pages" true
+    (Hashtbl.length seen > K.meta_pages s / 2)
+
+let test_validation () =
+  Alcotest.check_raises "items" (Invalid_argument "Kv_store.create: items must be positive")
+    (fun () -> ignore (K.create ~items:0 ()))
+
+let prop_every_item_has_a_page =
+  QCheck.Test.make ~name:"every item maps inside the footprint" ~count:100
+    QCheck.(pair (int_range 1 5_000) (int_range 1 16))
+    (fun (items, per_page) ->
+      let s = K.create ~items_per_page:per_page ~items () in
+      let ok = ref true in
+      for i = 0 to items - 1 do
+        let p = K.item_page s i in
+        if p < 0 || p >= K.footprint_pages s then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "kv_store"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "geometry" `Quick test_geometry;
+          Alcotest.test_case "item layout" `Quick test_item_page_layout;
+          Alcotest.test_case "meta range" `Quick test_meta_page_range;
+          Alcotest.test_case "meta spreads" `Quick test_meta_hash_spreads;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_every_item_has_a_page ]);
+    ]

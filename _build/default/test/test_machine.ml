@@ -1,0 +1,189 @@
+module M = Repro_core.Machine
+module C = Workload.Chunk
+
+(* A tiny deterministic workload: one thread touching an explicit page
+   sequence. *)
+let trace_workload ?(footprint = 64) lists =
+  let w = Workload.Trace.of_page_lists ~footprint lists in
+  C.Packed ((module Workload.Trace), w)
+
+let config ?(capacity = 16) ?(swap = M.ssd) ?(readahead = 0) () =
+  {
+    (M.default_config ~capacity_frames:capacity ~seed:7) with
+    M.swap;
+    readahead;
+    kthread_jitter_ns = 0;
+  }
+
+let run ?capacity ?swap ?readahead ~policy lists =
+  M.run
+    (config ?capacity ?swap ?readahead ())
+    ~policy:(Policy.Registry.create policy)
+    ~workload:(trace_workload lists)
+
+let test_minor_faults_only () =
+  (* Footprint below capacity: everything zero-fills, nothing swaps. *)
+  let r = run ~capacity:32 ~policy:Policy.Registry.Clock [ Array.init 16 (fun i -> i) ] in
+  Alcotest.(check int) "minor faults" 16 r.M.minor_faults;
+  Alcotest.(check int) "no major faults" 0 r.M.major_faults;
+  Alcotest.(check int) "no swap" 0 r.M.swap_ins;
+  Alcotest.(check int) "all resident" 16 r.M.resident_at_end;
+  Alcotest.(check bool) "time advanced" true (r.M.runtime_ns > 0)
+
+let test_thrash_counts_faults () =
+  (* Touch 32 pages twice with capacity 16: second pass must major-fault. *)
+  let pass = Array.init 32 (fun i -> i) in
+  let r = run ~capacity:16 ~policy:Policy.Registry.Clock [ pass; pass ] in
+  Alcotest.(check int) "first pass minor" 32 r.M.minor_faults;
+  Alcotest.(check bool) "second pass majors" true (r.M.major_faults >= 16);
+  Alcotest.(check bool) "swap outs happened" true (r.M.swap_outs > 0);
+  Alcotest.(check bool) "residency bounded by capacity" true (r.M.resident_at_end <= 16)
+
+let test_determinism () =
+  let pass = Array.init 32 (fun i -> (i * 7) mod 32) in
+  let r1 = run ~capacity:16 ~policy:Policy.Registry.Mglru_default [ pass; pass; pass ] in
+  let r2 = run ~capacity:16 ~policy:Policy.Registry.Mglru_default [ pass; pass; pass ] in
+  Alcotest.(check int) "same runtime" r1.M.runtime_ns r2.M.runtime_ns;
+  Alcotest.(check int) "same faults" r1.M.major_faults r2.M.major_faults
+
+let test_zram_faster_than_ssd () =
+  let pass = Array.init 32 (fun i -> i) in
+  let r_ssd = run ~capacity:16 ~swap:M.ssd ~policy:Policy.Registry.Clock [ pass; pass ] in
+  let r_zram = run ~capacity:16 ~swap:M.zram ~policy:Policy.Registry.Clock [ pass; pass ] in
+  Alcotest.(check bool) "zram much faster" true
+    (r_zram.M.runtime_ns * 5 < r_ssd.M.runtime_ns)
+
+let test_swap_cache_avoids_clean_writeback () =
+  (* Read-only thrash: after the first eviction cycle, pages are clean
+     copies and should mostly not be rewritten. *)
+  let pass = Array.init 32 (fun i -> i) in
+  let r = run ~capacity:16 ~policy:Policy.Registry.Fifo [ pass; pass; pass; pass ] in
+  (* Every page is written at most once (its contents never change). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "outs %d bounded by footprint" r.M.swap_outs)
+    true
+    (r.M.swap_outs <= 32 + 4);
+  Alcotest.(check bool) "ins keep happening" true (r.M.swap_ins > 40)
+
+let test_dirty_pages_rewritten () =
+  let pass = Array.init 32 (fun i -> i) in
+  let w =
+    Workload.Trace.create
+      {
+        Workload.Trace.steps =
+          [|
+            Array.of_list
+              (List.concat_map
+                 (fun _ -> [ C.Chunk (C.chunk ~write:true (C.Pages pass)) ])
+                 [ (); (); (); () ]);
+          |];
+        footprint = 64;
+        klass = (fun _ -> Swapdev.Compress.Numeric);
+        file_backed_pages = (fun _ -> false);
+      }
+  in
+  let r =
+    M.run (config ~capacity:16 ())
+      ~policy:(Policy.Registry.create Policy.Registry.Fifo)
+      ~workload:(C.Packed ((module Workload.Trace), w))
+  in
+  (* Dirty pages must be written back on every eviction cycle. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "outs %d track evictions" r.M.swap_outs)
+    true
+    (r.M.swap_outs > 64)
+
+let test_readahead_helps_sequential () =
+  let pass = Array.init 48 (fun i -> i) in
+  let without = run ~capacity:16 ~readahead:0 ~policy:Policy.Registry.Fifo [ pass; pass; pass ] in
+  let with_ra =
+    M.run
+      { (config ~capacity:16 ()) with M.readahead = 8 }
+      ~policy:(Policy.Registry.create Policy.Registry.Fifo)
+      ~workload:(trace_workload [ pass; pass; pass ])
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "majors %d < %d" with_ra.M.major_faults without.M.major_faults)
+    true
+    (with_ra.M.major_faults < without.M.major_faults)
+
+let test_barrier_synchronizes () =
+  (* Two threads: thread 1 does nothing but must still wait at the
+     barrier until thread 0's slow chunk completes. *)
+  let steps =
+    [|
+      [| C.Chunk (C.chunk ~cpu_ns:1_000_000 (C.Single 0)); C.Barrier;
+         C.Chunk (C.chunk (C.Single 1)) |];
+      [| C.Barrier; C.Chunk (C.chunk (C.Single 2)) |];
+    |]
+  in
+  let w =
+    Workload.Trace.create
+      {
+        Workload.Trace.steps = steps;
+        footprint = 16;
+        klass = (fun _ -> Swapdev.Compress.Numeric);
+        file_backed_pages = (fun _ -> false);
+      }
+  in
+  let r =
+    M.run (config ~capacity:8 ())
+      ~policy:(Policy.Registry.create Policy.Registry.Clock)
+      ~workload:(C.Packed ((module Workload.Trace), w))
+  in
+  Alcotest.(check bool) "thread 1 finished after thread 0's compute" true
+    (r.M.per_thread_finish.(1) >= 1_000_000)
+
+let test_latency_recording () =
+  let steps =
+    [|
+      [|
+        C.Chunk (C.chunk ~latency_class:C.read_class (C.Single 0));
+        C.Chunk (C.chunk ~latency_class:C.write_class ~write:true (C.Single 1));
+        C.Chunk (C.chunk ~latency_class:C.read_class (C.Single 2));
+      |];
+    |]
+  in
+  let w =
+    Workload.Trace.create
+      {
+        Workload.Trace.steps = steps;
+        footprint = 16;
+        klass = (fun _ -> Swapdev.Compress.Numeric);
+        file_backed_pages = (fun _ -> false);
+      }
+  in
+  let r =
+    M.run (config ~capacity:8 ())
+      ~policy:(Policy.Registry.create Policy.Registry.Clock)
+      ~workload:(C.Packed ((module Workload.Trace), w))
+  in
+  Alcotest.(check int) "two reads" 2 (Array.length r.M.read_latencies);
+  Alcotest.(check int) "one write" 1 (Array.length r.M.write_latencies);
+  Array.iter
+    (fun l -> Alcotest.(check bool) "latency positive" true (l > 0.0))
+    r.M.read_latencies
+
+let test_policy_stats_surface () =
+  let pass = Array.init 32 (fun i -> i) in
+  let r = run ~capacity:16 ~policy:Policy.Registry.Mglru_default [ pass; pass ] in
+  Alcotest.(check string) "policy name" "mglru" r.M.policy_name;
+  Alcotest.(check bool) "stats exported" true (List.length r.M.policy_stats > 0)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "minor faults only" `Quick test_minor_faults_only;
+          Alcotest.test_case "thrash counts faults" `Quick test_thrash_counts_faults;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "zram faster" `Quick test_zram_faster_than_ssd;
+          Alcotest.test_case "swap cache" `Quick test_swap_cache_avoids_clean_writeback;
+          Alcotest.test_case "dirty rewritten" `Quick test_dirty_pages_rewritten;
+          Alcotest.test_case "readahead helps" `Quick test_readahead_helps_sequential;
+          Alcotest.test_case "barrier" `Quick test_barrier_synchronizes;
+          Alcotest.test_case "latency recording" `Quick test_latency_recording;
+          Alcotest.test_case "policy stats" `Quick test_policy_stats_surface;
+        ] );
+    ]

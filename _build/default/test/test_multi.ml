@@ -1,0 +1,94 @@
+module M = Workload.Multi
+module C = Workload.Chunk
+
+let tenant_a () =
+  C.Packed
+    ((module Workload.Trace),
+     Workload.Trace.of_page_lists ~footprint:100 [ [| 0; 1 |]; [| 2 |] ])
+
+let tenant_b () =
+  C.Packed
+    ((module Workload.Trace),
+     Workload.Trace.of_page_lists ~footprint:50 [ [| 0 |] ])
+
+let test_geometry () =
+  let m = M.create [ tenant_a (); tenant_b () ] in
+  Alcotest.(check int) "tenants" 2 (M.tenants m);
+  Alcotest.(check int) "threads merged" 2 (M.threads m);
+  Alcotest.(check int) "footprint summed" 150 (M.footprint_pages m);
+  Alcotest.(check (pair int int)) "tenant 0 range" (0, 99) (M.tenant_page_range m 0);
+  Alcotest.(check (pair int int)) "tenant 1 range" (100, 149) (M.tenant_page_range m 1);
+  Alcotest.(check (array int)) "barrier groups" [| 0; 1 |] (M.barrier_groups m);
+  Alcotest.(check int) "thread 1 belongs to tenant 1" 1 (M.tenant_of_thread m 1)
+
+let test_page_translation () =
+  let m = M.create [ tenant_a (); tenant_b () ] in
+  (* Tenant 0's pages pass through unshifted. *)
+  (match M.next m ~tid:0 with
+  | C.Chunk c ->
+    (match c.C.pages with
+    | C.Pages [| 0; 1 |] -> ()
+    | _ -> Alcotest.fail "tenant 0 pages should be unshifted")
+  | _ -> Alcotest.fail "expected chunk");
+  (* Tenant 1's page 0 lands at its base, 100. *)
+  (match M.next m ~tid:1 with
+  | C.Chunk c ->
+    (match c.C.pages with
+    | C.Pages [| 100 |] -> ()
+    | _ -> Alcotest.fail "tenant 1 pages should shift by 100")
+  | _ -> Alcotest.fail "expected chunk");
+  Alcotest.(check bool) "tenant 1 finishes" true (M.next m ~tid:1 = C.Finished)
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Multi.create: no tenants")
+    (fun () -> ignore (M.create []))
+
+let test_runs_on_machine () =
+  let m = M.create [ tenant_a (); tenant_b () ] in
+  let cfg =
+    {
+      (Repro_core.Machine.default_config ~capacity_frames:64 ~seed:3) with
+      Repro_core.Machine.barrier_groups = Some (M.barrier_groups m);
+      kthread_jitter_ns = 0;
+    }
+  in
+  let r =
+    Repro_core.Machine.run cfg
+      ~policy:(Policy.Registry.create Policy.Registry.Clock)
+      ~workload:(C.Packed ((module M), m))
+  in
+  Alcotest.(check int) "four distinct pages touched" 4
+    r.Repro_core.Machine.minor_faults;
+  Alcotest.(check int) "both threads finished" 2
+    (Array.length r.Repro_core.Machine.per_thread_finish)
+
+let test_klass_delegates () =
+  let custom =
+    Workload.Trace.create
+      {
+        Workload.Trace.steps = [| [||] |];
+        footprint = 10;
+        klass = (fun _ -> Swapdev.Compress.Random);
+        file_backed_pages = (fun _ -> false);
+      }
+  in
+  let m =
+    M.create [ tenant_a (); C.Packed ((module Workload.Trace), custom) ]
+  in
+  Alcotest.(check bool) "tenant 0 klass" true
+    (M.page_klass m 5 = Swapdev.Compress.Numeric);
+  Alcotest.(check bool) "tenant 1 klass shifted" true
+    (M.page_klass m 105 = Swapdev.Compress.Random)
+
+let () =
+  Alcotest.run "multi"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "geometry" `Quick test_geometry;
+          Alcotest.test_case "page translation" `Quick test_page_translation;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "runs on machine" `Quick test_runs_on_machine;
+          Alcotest.test_case "klass delegates" `Quick test_klass_delegates;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+module P = Workload.Pagerank
+module C = Workload.Chunk
+
+let small_config =
+  {
+    P.default_config with
+    P.graph =
+      { Workload.Graph.n = 8_192; avg_degree = 4; deg_exponent = 0.9; target_exponent = 1.2 };
+    threads = 4;
+    iterations = 3;
+    block_vertices = 1_024;
+  }
+
+let make seed = P.create ~config:small_config ~seed ()
+
+let test_geometry () =
+  let w = make 1 in
+  Alcotest.(check int) "threads" 4 (P.threads w);
+  Alcotest.(check bool) "footprint positive" true (P.footprint_pages w > 0);
+  Alcotest.(check bool) "rank pages sized" true (P.rank_pages w >= 16);
+  Alcotest.(check int) "graph n" 8192 (Workload.Graph.n (P.graph_of w))
+
+let drain w tid =
+  let chunks = ref 0 and barriers = ref 0 and writes = ref 0 in
+  let rec go () =
+    match P.next w ~tid with
+    | C.Finished -> ()
+    | C.Barrier ->
+      incr barriers;
+      go ()
+    | C.Chunk c ->
+      incr chunks;
+      if c.C.write then incr writes;
+      go ()
+  in
+  go ();
+  (!chunks, !barriers, !writes)
+
+let test_iteration_structure () =
+  let w = make 2 in
+  let _chunks, barriers, writes = drain w 0 in
+  Alcotest.(check int) "one barrier per iteration" 3 barriers;
+  Alcotest.(check bool) "each block writes its dst ranks" true (writes > 0)
+
+let test_pages_in_footprint () =
+  let w = make 3 in
+  let fp = P.footprint_pages w in
+  for tid = 0 to 3 do
+    let rec go () =
+      match P.next w ~tid with
+      | C.Finished -> ()
+      | C.Barrier -> go ()
+      | C.Chunk c ->
+        C.iter_pages
+          (fun p -> if p < 0 || p >= fp then Alcotest.fail "page out of range")
+          c.C.pages;
+        go ()
+    in
+    go ()
+  done
+
+let test_plan_cache_reused () =
+  let w1 = make 5 in
+  let w2 = make 5 in
+  (* Same seed gives physically equal cached plans. *)
+  Alcotest.(check bool) "same graph object" true (P.graph_of w1 == P.graph_of w2)
+
+let test_work_imbalance_varies_by_seed () =
+  (* Thread edge loads vary across seeds via the degree permutation. *)
+  let imbalance seed =
+    let w = make seed in
+    let cpu = Array.make 4 0 in
+    for tid = 0 to 3 do
+      let rec go () =
+        match P.next w ~tid with
+        | C.Finished -> ()
+        | C.Barrier -> go ()
+        | C.Chunk c ->
+          cpu.(tid) <- cpu.(tid) + c.C.cpu_ns;
+          go ()
+      in
+      go ()
+    done;
+    let mx = Array.fold_left max 0 cpu and mn = Array.fold_left min max_int cpu in
+    float_of_int mx /. float_of_int (max 1 mn)
+  in
+  let a = imbalance 10 and b = imbalance 20 in
+  Alcotest.(check bool) "some imbalance exists" true (a > 1.01 || b > 1.01);
+  Alcotest.(check bool) "imbalance differs across seeds" true
+    (Float.abs (a -. b) > 1e-6)
+
+let test_rank_region_alternates () =
+  (* Iterations alternate src/dst rank regions: collect write ranges per
+     iteration and check they alternate between two bases. *)
+  let w = make 7 in
+  let bases = ref [] in
+  let rec go iter_writes =
+    match P.next w ~tid:0 with
+    | C.Finished -> ()
+    | C.Barrier ->
+      (match iter_writes with
+      | first :: _ -> bases := first :: !bases
+      | [] -> ());
+      go []
+    | C.Chunk c ->
+      (match c.C.pages with
+      | C.Range { start; _ } when c.C.write -> go (start :: iter_writes)
+      | _ -> go iter_writes)
+  in
+  go [];
+  match List.rev !bases with
+  | a :: b :: _ -> Alcotest.(check bool) "dst alternates" true (a <> b)
+  | _ -> Alcotest.fail "expected at least two iterations"
+
+let () =
+  Alcotest.run "pagerank"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "geometry" `Quick test_geometry;
+          Alcotest.test_case "iteration structure" `Quick test_iteration_structure;
+          Alcotest.test_case "pages in footprint" `Quick test_pages_in_footprint;
+          Alcotest.test_case "plan cache" `Quick test_plan_cache_reused;
+          Alcotest.test_case "imbalance varies" `Quick test_work_imbalance_varies_by_seed;
+          Alcotest.test_case "rank regions alternate" `Quick test_rank_region_alternates;
+        ] );
+    ]

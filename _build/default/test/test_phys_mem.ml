@@ -1,0 +1,101 @@
+module M = Mem.Phys_mem
+
+let test_alloc_free () =
+  let m = M.create ~frames:4 () in
+  Alcotest.(check int) "free" 4 (M.free_count m);
+  let a = Option.get (M.alloc m) in
+  let b = Option.get (M.alloc m) in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check int) "used" 2 (M.used_count m);
+  M.free m a;
+  Alcotest.(check int) "free again" 3 (M.free_count m);
+  Alcotest.(check bool) "is_free" true (M.is_free m a);
+  Alcotest.(check bool) "not free" false (M.is_free m b)
+
+let test_exhaustion () =
+  let m = M.create ~frames:2 () in
+  ignore (M.alloc m);
+  ignore (M.alloc m);
+  Alcotest.(check (option int)) "exhausted" None (M.alloc m)
+
+let test_double_free_rejected () =
+  let m = M.create ~frames:2 () in
+  let a = Option.get (M.alloc m) in
+  M.free m a;
+  Alcotest.check_raises "double free" (Invalid_argument "Phys_mem.free: double free")
+    (fun () -> M.free m a)
+
+let test_watermarks () =
+  let m = M.create ~frames:100 ~low_watermark:10 ~high_watermark:20 () in
+  Alcotest.(check int) "low" 10 (M.low_watermark m);
+  Alcotest.(check int) "high" 20 (M.high_watermark m);
+  Alcotest.(check bool) "above high initially" true (M.above_high m);
+  let held = ref [] in
+  for _ = 1 to 95 do
+    held := Option.get (M.alloc m) :: !held
+  done;
+  Alcotest.(check bool) "below low at 5 free" true (M.below_low m);
+  Alcotest.(check bool) "not above high" false (M.above_high m);
+  List.iter (M.free m) !held;
+  Alcotest.(check bool) "recovered" true (M.above_high m)
+
+let test_default_watermarks_ordered () =
+  let m = M.create ~frames:10_000 () in
+  Alcotest.(check bool) "0 < low <= high" true
+    (M.low_watermark m > 0 && M.low_watermark m <= M.high_watermark m)
+
+let test_bad_watermarks () =
+  Alcotest.check_raises "low > high" (Invalid_argument "Phys_mem.create: bad watermarks")
+    (fun () -> ignore (M.create ~frames:10 ~low_watermark:5 ~high_watermark:2 ()))
+
+let prop_conservation =
+  QCheck.Test.make ~name:"free + used = total under random ops" ~count:200
+    QCheck.(list bool)
+    (fun ops ->
+      let m = M.create ~frames:8 () in
+      let held = ref [] in
+      List.iter
+        (fun alloc ->
+          if alloc then (
+            match M.alloc m with Some pfn -> held := pfn :: !held | None -> ())
+          else
+            match !held with
+            | pfn :: rest ->
+              M.free m pfn;
+              held := rest
+            | [] -> ())
+        ops;
+      M.free_count m + M.used_count m = M.frames m
+      && M.used_count m = List.length !held)
+
+let prop_alloc_unique =
+  QCheck.Test.make ~name:"allocations are unique" ~count:100
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let m = M.create ~frames:n () in
+      let seen = Hashtbl.create 16 in
+      let ok = ref true in
+      for _ = 1 to n do
+        match M.alloc m with
+        | Some pfn ->
+          if Hashtbl.mem seen pfn then ok := false;
+          Hashtbl.add seen pfn ()
+        | None -> ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "phys_mem"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_alloc_free;
+          Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+          Alcotest.test_case "double free" `Quick test_double_free_rejected;
+          Alcotest.test_case "watermarks" `Quick test_watermarks;
+          Alcotest.test_case "default watermarks" `Quick test_default_watermarks_ordered;
+          Alcotest.test_case "bad watermarks" `Quick test_bad_watermarks;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_conservation; prop_alloc_unique ] );
+    ]

@@ -1,0 +1,84 @@
+module P = Structures.Pid
+
+let test_proportional () =
+  let pid = P.create ~kp:2.0 ~setpoint:10.0 () in
+  let out = P.update pid ~measurement:6.0 ~dt:1.0 in
+  Alcotest.(check (float 1e-9)) "kp * error" 8.0 out;
+  Alcotest.(check (float 1e-9)) "output stored" 8.0 (P.output pid)
+
+let test_integral_accumulates () =
+  let pid = P.create ~kp:0.0 ~ki:1.0 ~setpoint:1.0 () in
+  let o1 = P.update pid ~measurement:0.0 ~dt:1.0 in
+  let o2 = P.update pid ~measurement:0.0 ~dt:1.0 in
+  Alcotest.(check (float 1e-9)) "first" 1.0 o1;
+  Alcotest.(check (float 1e-9)) "second" 2.0 o2
+
+let test_integral_windup_clamped () =
+  let pid = P.create ~kp:0.0 ~ki:1.0 ~integral_limit:3.0 ~setpoint:1.0 () in
+  for _ = 1 to 100 do
+    ignore (P.update pid ~measurement:0.0 ~dt:1.0)
+  done;
+  Alcotest.(check (float 1e-9)) "clamped" 3.0 (P.output pid)
+
+let test_derivative () =
+  let pid = P.create ~kp:0.0 ~kd:1.0 ~setpoint:0.0 () in
+  ignore (P.update pid ~measurement:0.0 ~dt:1.0);
+  let out = P.update pid ~measurement:(-2.0) ~dt:1.0 in
+  (* error went 0 -> 2, derivative = 2 *)
+  Alcotest.(check (float 1e-9)) "derivative" 2.0 out
+
+let test_reset () =
+  let pid = P.create ~kp:1.0 ~ki:1.0 ~setpoint:5.0 () in
+  ignore (P.update pid ~measurement:0.0 ~dt:1.0);
+  P.reset pid;
+  Alcotest.(check (float 1e-9)) "output reset" 0.0 (P.output pid);
+  let out = P.update pid ~measurement:0.0 ~dt:1.0 in
+  Alcotest.(check (float 1e-9)) "fresh integral" 10.0 out
+
+let test_setpoint_change () =
+  let pid = P.create ~setpoint:1.0 () in
+  P.set_setpoint pid 3.0;
+  Alcotest.(check (float 1e-9)) "setpoint" 3.0 (P.setpoint pid);
+  let out = P.update pid ~measurement:1.0 ~dt:1.0 in
+  Alcotest.(check (float 1e-9)) "error uses new setpoint" 2.0 out
+
+let test_bad_dt () =
+  let pid = P.create ~setpoint:0.0 () in
+  Alcotest.check_raises "dt must be positive"
+    (Invalid_argument "Pid.update: dt must be positive") (fun () ->
+      ignore (P.update pid ~measurement:0.0 ~dt:0.0))
+
+(* A pure-P controller drives a simple first-order plant toward the
+   setpoint. *)
+let test_converges_on_plant () =
+  let pid = P.create ~kp:0.5 ~setpoint:1.0 () in
+  let state = ref 0.0 in
+  for _ = 1 to 200 do
+    let u = P.update pid ~measurement:!state ~dt:1.0 in
+    state := !state +. (0.5 *. u)
+  done;
+  Alcotest.(check bool) "converged" true (Float.abs (!state -. 1.0) < 0.01)
+
+let prop_zero_error_zero_p_output =
+  QCheck.Test.make ~name:"measurement at setpoint gives zero P output" ~count:100
+    QCheck.(float_bound_exclusive 100.0)
+    (fun sp ->
+      let pid = P.create ~kp:3.0 ~setpoint:sp () in
+      Float.abs (P.update pid ~measurement:sp ~dt:1.0) < 1e-9)
+
+let () =
+  Alcotest.run "pid"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "proportional" `Quick test_proportional;
+          Alcotest.test_case "integral accumulates" `Quick test_integral_accumulates;
+          Alcotest.test_case "windup clamped" `Quick test_integral_windup_clamped;
+          Alcotest.test_case "derivative" `Quick test_derivative;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "setpoint change" `Quick test_setpoint_change;
+          Alcotest.test_case "bad dt" `Quick test_bad_dt;
+          Alcotest.test_case "converges on plant" `Quick test_converges_on_plant;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_zero_error_zero_p_output ]);
+    ]

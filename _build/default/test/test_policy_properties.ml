@@ -1,0 +1,93 @@
+(* Property tests run against EVERY registered policy: whatever the
+   replacement decisions, the memory-accounting invariants must hold. *)
+
+module PI = Policy.Policy_intf
+
+let specs = List.filter_map Policy.Registry.of_name Policy.Registry.known_names
+
+(* Replay a random sequence of page touches through the harness and
+   check conservation + structural invariants at the end. *)
+let replay spec ops =
+  let frames = 12 and pages = 48 in
+  let world = Testsupport.Harness.make_world ~frames ~pages () in
+  let packed = Policy.Registry.create spec world.Testsupport.Harness.env in
+  let (PI.Packed ((module P), p)) = packed in
+  List.iter
+    (fun (vpn, write) ->
+      let vpn = vpn mod pages in
+      let pte = Mem.Page_table.get world.Testsupport.Harness.pt vpn in
+      if Mem.Pte.present pte then Testsupport.Harness.touch world packed ~write vpn
+      else ignore (Testsupport.Harness.map_page world packed ~write vpn))
+    ops;
+  P.check_invariants p;
+  (world, packed)
+
+let ops_gen = QCheck.(list_of_size Gen.(5 -- 300) (pair small_nat bool))
+
+let prop_conservation spec =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: frames conserved" (Policy.Registry.name spec))
+    ~count:50 ops_gen
+    (fun ops ->
+      let world, _ = replay spec ops in
+      let mem = world.Testsupport.Harness.mem in
+      let used = Mem.Phys_mem.used_count mem in
+      let resident = Testsupport.Harness.resident world in
+      let mapped = Mem.Frame_table.mapped_count world.Testsupport.Harness.frames in
+      used = resident && used = mapped
+      && used <= Mem.Phys_mem.frames mem)
+
+let prop_no_resident_above_capacity spec =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: residency bounded" (Policy.Registry.name spec))
+    ~count:50 ops_gen
+    (fun ops ->
+      let world, _ = replay spec ops in
+      Testsupport.Harness.resident world <= 12)
+
+let prop_evicted_pages_become_swapped spec =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: evicted pages are swapped" (Policy.Registry.name spec))
+    ~count:30 ops_gen
+    (fun ops ->
+      let world, _ = replay spec ops in
+      (* Every page the policy reclaimed and never refaulted must be in
+         swapped state; either way it must not be present AND reclaimed. *)
+      List.for_all
+        (fun vpn ->
+          let pte = Mem.Page_table.get world.Testsupport.Harness.pt vpn in
+          Mem.Pte.present pte || Mem.Pte.swapped pte)
+        world.Testsupport.Harness.reclaimed_vpns)
+
+let prop_pfn_owner_agrees spec =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: frame-table/PTE agreement" (Policy.Registry.name spec))
+    ~count:30 ops_gen
+    (fun ops ->
+      let world, _ = replay spec ops in
+      let pt = world.Testsupport.Harness.pt in
+      let ok = ref true in
+      for vpn = 0 to Mem.Page_table.pages pt - 1 do
+        let pte = Mem.Page_table.get pt vpn in
+        if Mem.Pte.present pte then begin
+          match Mem.Frame_table.owner world.Testsupport.Harness.frames (Mem.Pte.pfn pte) with
+          | Some (0, v) when v = vpn -> ()
+          | _ -> ok := false
+        end
+      done;
+      !ok)
+
+let () =
+  let props =
+    List.concat_map
+      (fun spec ->
+        [
+          prop_conservation spec;
+          prop_no_resident_above_capacity spec;
+          prop_evicted_pages_become_swapped spec;
+          prop_pfn_owner_agrees spec;
+        ])
+      specs
+  in
+  Alcotest.run "policy_properties"
+    [ ("invariants", List.map QCheck_alcotest.to_alcotest props) ]

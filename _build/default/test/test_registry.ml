@@ -1,0 +1,56 @@
+module R = Policy.Registry
+
+let test_name_roundtrip () =
+  List.iter
+    (fun name ->
+      match R.of_name name with
+      | Some spec -> Alcotest.(check string) name name (R.name spec)
+      | None -> Alcotest.fail (name ^ " should parse"))
+    R.known_names
+
+let test_unknown_name () =
+  Alcotest.(check bool) "unknown" true (R.of_name "nonsense" = None)
+
+let test_paper_specs () =
+  Alcotest.(check int) "six configurations" 6 (List.length R.all_paper_specs);
+  Alcotest.(check (list string)) "figure order"
+    [ "clock"; "mglru"; "gen14"; "scan-all"; "scan-none"; "scan-rand" ]
+    (List.map R.name R.all_paper_specs)
+
+let test_create_all_known () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (R.of_name name) in
+      let world = Testsupport.Harness.make_world () in
+      let packed = R.create spec world.Testsupport.Harness.env in
+      (* Each constructed policy can absorb a page. *)
+      ignore (Testsupport.Harness.map_page world packed 0);
+      Alcotest.(check bool) (name ^ " works") true
+        (String.length (Policy.Policy_intf.packed_name packed) > 0))
+    R.known_names
+
+let test_scan_rand_parses_with_half () =
+  match R.of_name "scan-rand" with
+  | Some (R.Scan_rand p) -> Alcotest.(check (float 1e-9)) "p" 0.5 p
+  | _ -> Alcotest.fail "expected Scan_rand"
+
+let test_custom_config () =
+  let config = { Policy.Mglru.default_config with Policy.Mglru.max_gens = 8 } in
+  let world = Testsupport.Harness.make_world () in
+  let packed = R.create (R.Mglru_custom config) world.Testsupport.Harness.env in
+  Alcotest.(check string) "mglru under the hood" "mglru"
+    (Policy.Policy_intf.packed_name packed)
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "name roundtrip" `Quick test_name_roundtrip;
+          Alcotest.test_case "unknown name" `Quick test_unknown_name;
+          Alcotest.test_case "paper specs" `Quick test_paper_specs;
+          Alcotest.test_case "create all" `Quick test_create_all_known;
+          Alcotest.test_case "scan-rand default" `Quick test_scan_rand_parses_with_half;
+          Alcotest.test_case "custom config" `Quick test_custom_config;
+        ] );
+    ]

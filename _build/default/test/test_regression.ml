@@ -1,0 +1,84 @@
+module R = Stats.Regression
+
+let test_perfect_line () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let y = Array.map (fun v -> 2.0 +. (3.0 *. v)) x in
+  let f = R.fit ~x ~y in
+  Alcotest.(check (float 1e-9)) "slope" 3.0 f.R.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 2.0 f.R.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 f.R.r2;
+  Alcotest.(check (float 1e-9)) "pearson" 1.0 f.R.pearson
+
+let test_negative_slope () =
+  let x = [| 0.0; 1.0; 2.0 |] in
+  let y = [| 4.0; 2.0; 0.0 |] in
+  let f = R.fit ~x ~y in
+  Alcotest.(check (float 1e-9)) "slope" (-2.0) f.R.slope;
+  Alcotest.(check (float 1e-9)) "pearson" (-1.0) f.R.pearson;
+  Alcotest.(check (float 1e-9)) "r2 still 1" 1.0 f.R.r2
+
+let test_noise_degrades_r2 () =
+  let rng = Engine.Rng.create 7 in
+  let n = 200 in
+  let x = Array.init n float_of_int in
+  let y_clean = Array.map (fun v -> 1.0 +. (0.5 *. v)) x in
+  let y_noisy =
+    Array.map (fun v -> v +. Engine.Rng.gaussian rng ~mu:0.0 ~sigma:30.0) y_clean
+  in
+  let f_clean = R.fit ~x ~y:y_clean in
+  let f_noisy = R.fit ~x ~y:y_noisy in
+  Alcotest.(check bool) "clean r2 = 1" true (f_clean.R.r2 > 0.999);
+  Alcotest.(check bool) "noisy r2 lower" true (f_noisy.R.r2 < f_clean.R.r2);
+  Alcotest.(check bool) "slope roughly recovered" true
+    (Float.abs (f_noisy.R.slope -. 0.5) < 0.15)
+
+let test_constant_x () =
+  let f = R.fit ~x:[| 2.0; 2.0; 2.0 |] ~y:[| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "slope 0" 0.0 f.R.slope;
+  Alcotest.(check (float 1e-9)) "r2 0" 0.0 f.R.r2;
+  Alcotest.(check (float 1e-9)) "intercept = mean y" 2.0 f.R.intercept
+
+let test_constant_y () =
+  let f = R.fit ~x:[| 1.0; 2.0; 3.0 |] ~y:[| 5.0; 5.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "slope 0" 0.0 f.R.slope;
+  Alcotest.(check (float 1e-9)) "r2 1 (perfectly explained)" 1.0 f.R.r2
+
+let test_bad_inputs () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Regression.fit: length mismatch") (fun () ->
+      ignore (R.fit ~x:[| 1.0 |] ~y:[| 1.0; 2.0 |]));
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Regression.fit: need at least 2 points") (fun () ->
+      ignore (R.fit ~x:[| 1.0 |] ~y:[| 1.0 |]))
+
+let test_predict () =
+  let f = R.fit ~x:[| 0.0; 1.0 |] ~y:[| 1.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "predict" 5.0 (R.predict f 2.0)
+
+let prop_r2_in_unit_interval =
+  QCheck.Test.make ~name:"r2 in [0,1]" ~count:300
+    QCheck.(
+      list_of_size
+        Gen.(2 -- 30)
+        (pair (float_range (-100.0) 100.0) (float_range (-100.0) 100.0)))
+    (fun pts ->
+      let x = Array.of_list (List.map fst pts) in
+      let y = Array.of_list (List.map snd pts) in
+      let f = R.fit ~x ~y in
+      f.R.r2 >= -1e-9 && f.R.r2 <= 1.0 +. 1e-9)
+
+let () =
+  Alcotest.run "regression"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "perfect line" `Quick test_perfect_line;
+          Alcotest.test_case "negative slope" `Quick test_negative_slope;
+          Alcotest.test_case "noise degrades r2" `Quick test_noise_degrades_r2;
+          Alcotest.test_case "constant x" `Quick test_constant_x;
+          Alcotest.test_case "constant y" `Quick test_constant_y;
+          Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+          Alcotest.test_case "predict" `Quick test_predict;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_r2_in_unit_interval ]);
+    ]

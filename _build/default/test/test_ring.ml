@@ -1,0 +1,61 @@
+module R = Structures.Ring
+
+let test_push_within_capacity () =
+  let r = R.create ~capacity:4 ~dummy:0 in
+  R.push r 1;
+  R.push r 2;
+  Alcotest.(check int) "length" 2 (R.length r);
+  Alcotest.(check (option int)) "oldest" (Some 1) (R.oldest r);
+  Alcotest.(check (option int)) "newest" (Some 2) (R.newest r)
+
+let test_eviction () =
+  let r = R.create ~capacity:3 ~dummy:0 in
+  List.iter (R.push r) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "capped" 3 (R.length r);
+  Alcotest.(check (list int)) "window" [ 3; 4; 5 ] (R.to_list r)
+
+let test_get_bounds () =
+  let r = R.create ~capacity:2 ~dummy:0 in
+  R.push r 9;
+  Alcotest.(check int) "get 0" 9 (R.get r 0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Ring.get: index out of range") (fun () -> ignore (R.get r 1))
+
+let test_clear () =
+  let r = R.create ~capacity:2 ~dummy:0 in
+  R.push r 1;
+  R.clear r;
+  Alcotest.(check int) "empty" 0 (R.length r);
+  R.push r 5;
+  Alcotest.(check (list int)) "usable" [ 5 ] (R.to_list r)
+
+let test_fold () =
+  let r = R.create ~capacity:3 ~dummy:0 in
+  List.iter (R.push r) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "sum of window" 9 (R.fold ( + ) 0 r)
+
+let prop_window_is_suffix =
+  QCheck.Test.make ~name:"ring holds the last capacity elements" ~count:200
+    QCheck.(pair (int_range 1 8) (list small_int))
+    (fun (cap, xs) ->
+      let r = R.create ~capacity:cap ~dummy:0 in
+      List.iter (R.push r) xs;
+      let expected =
+        let n = List.length xs in
+        List.filteri (fun i _ -> i >= n - cap) xs
+      in
+      R.to_list r = expected)
+
+let () =
+  Alcotest.run "ring"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "push within capacity" `Quick test_push_within_capacity;
+          Alcotest.test_case "eviction" `Quick test_eviction;
+          Alcotest.test_case "get bounds" `Quick test_get_bounds;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "fold" `Quick test_fold;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_window_is_suffix ]);
+    ]

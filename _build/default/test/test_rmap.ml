@@ -1,0 +1,53 @@
+let test_walk_mapped () =
+  let frames = Mem.Frame_table.create ~frames:8 in
+  Mem.Frame_table.set_owner frames ~pfn:3 ~asid:0 ~vpn:77;
+  let r = Mem.Rmap.walk frames ~costs:Mem.Costs.default ~pfn:3 in
+  Alcotest.(check (option (pair int int))) "mapping" (Some (0, 77)) r.Mem.Rmap.mapping;
+  Alcotest.(check int) "cost" Mem.Costs.default.Mem.Costs.rmap_walk_ns r.Mem.Rmap.cost_ns
+
+let test_walk_unmapped () =
+  let frames = Mem.Frame_table.create ~frames:8 in
+  let r = Mem.Rmap.walk frames ~costs:Mem.Costs.default ~pfn:0 in
+  Alcotest.(check (option (pair int int))) "no mapping" None r.Mem.Rmap.mapping;
+  Alcotest.(check bool) "cost still paid" true (r.Mem.Rmap.cost_ns > 0)
+
+let test_walk_many () =
+  let frames = Mem.Frame_table.create ~frames:8 in
+  Mem.Frame_table.set_owner frames ~pfn:1 ~asid:0 ~vpn:10;
+  let results, total =
+    Mem.Rmap.walk_many frames ~costs:Mem.Costs.default ~pfns:[ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "three results" 3 (List.length results);
+  Alcotest.(check int) "summed cost"
+    (3 * Mem.Costs.default.Mem.Costs.rmap_walk_ns)
+    total
+
+let test_costs_scaled () =
+  let c = Mem.Costs.scaled ~factor:10 Mem.Costs.default in
+  Alcotest.(check int) "pte scan x10"
+    (10 * Mem.Costs.default.Mem.Costs.pte_scan_ns)
+    c.Mem.Costs.pte_scan_ns;
+  Alcotest.(check int) "rmap x5"
+    (10 * Mem.Costs.default.Mem.Costs.rmap_walk_ns / 2)
+    c.Mem.Costs.rmap_walk_ns;
+  Alcotest.(check int) "region size untouched"
+    Mem.Costs.default.Mem.Costs.region_size c.Mem.Costs.region_size
+
+let test_rmap_much_more_expensive_than_scan () =
+  (* The asymmetry the paper's §III-B is built on. *)
+  let c = Mem.Costs.default in
+  Alcotest.(check bool) "rmap >> pte scan" true
+    (c.Mem.Costs.rmap_walk_ns > 100 * c.Mem.Costs.pte_scan_ns)
+
+let () =
+  Alcotest.run "rmap"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "walk mapped" `Quick test_walk_mapped;
+          Alcotest.test_case "walk unmapped" `Quick test_walk_unmapped;
+          Alcotest.test_case "walk many" `Quick test_walk_many;
+          Alcotest.test_case "costs scaled" `Quick test_costs_scaled;
+          Alcotest.test_case "cost asymmetry" `Quick test_rmap_much_more_expensive_than_scan;
+        ] );
+    ]

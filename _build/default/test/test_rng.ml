@@ -1,0 +1,147 @@
+module R = Engine.Rng
+
+let test_determinism () =
+  let a = R.create 123 and b = R.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (R.bits64 a) (R.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = R.create 1 and b = R.create 2 in
+  Alcotest.(check bool) "different streams" true (R.bits64 a <> R.bits64 b)
+
+let test_copy_independent () =
+  let a = R.create 9 in
+  let b = R.copy a in
+  Alcotest.(check int64) "copy aligned" (R.bits64 a) (R.bits64 b);
+  ignore (R.bits64 a);
+  (* b not advanced by a's draw *)
+  let a2 = R.bits64 a and b2 = R.bits64 b in
+  Alcotest.(check bool) "diverged" true (a2 <> b2)
+
+let test_int_range () =
+  let rng = R.create 5 in
+  for _ = 1 to 10_000 do
+    let v = R.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (R.int rng 0))
+
+let test_int_in () =
+  let rng = R.create 5 in
+  for _ = 1 to 1000 do
+    let v = R.int_in rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "inclusive range" true (v >= -5 && v <= 5)
+  done
+
+let test_int_uniformity () =
+  (* Chi-square-ish sanity: 10 buckets, 100k draws, each within 20% of
+     expectation. *)
+  let rng = R.create 77 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = R.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d count %d" i c)
+        true
+        (c > n / 10 * 8 / 10 && c < n / 10 * 12 / 10))
+    counts
+
+let test_float_range () =
+  let rng = R.create 11 in
+  for _ = 1 to 10_000 do
+    let v = R.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bool_probability () =
+  let rng = R.create 13 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if R.bool rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "rate %.3f near 0.3" rate) true
+    (Float.abs (rate -. 0.3) < 0.01)
+
+let test_gaussian_moments () =
+  let rng = R.create 17 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> R.gaussian rng ~mu:3.0 ~sigma:2.0) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs /. float_of_int n
+  in
+  Alcotest.(check bool) "mean" true (Float.abs (mean -. 3.0) < 0.05);
+  Alcotest.(check bool) "variance" true (Float.abs (var -. 4.0) < 0.15)
+
+let test_exponential_mean () =
+  let rng = R.create 19 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = R.exponential rng ~mean:5.0 in
+    Alcotest.(check bool) "nonnegative" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (mean -. 5.0) < 0.2)
+
+let test_jitter_bounds () =
+  let rng = R.create 23 in
+  for _ = 1 to 1000 do
+    let v = R.jitter rng 0.1 in
+    Alcotest.(check bool) "in [0.9, 1.1)" true (v >= 0.9 && v < 1.1)
+  done
+
+let test_shuffle_permutes () =
+  let rng = R.create 29 in
+  let a = Array.init 100 (fun i -> i) in
+  R.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 (fun i -> i)) sorted;
+  Alcotest.(check bool) "actually moved" true (a <> Array.init 100 (fun i -> i))
+
+let test_split_independent () =
+  let parent = R.create 31 in
+  let c1 = R.split parent in
+  let c2 = R.split parent in
+  Alcotest.(check bool) "children differ" true (R.bits64 c1 <> R.bits64 c2)
+
+let prop_int_nonnegative =
+  QCheck.Test.make ~name:"int is in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = R.create seed in
+      let v = R.int rng bound in
+      v >= 0 && v < bound)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "bool probability" `Quick test_bool_probability;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "jitter bounds" `Quick test_jitter_bounds;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+          Alcotest.test_case "split independent" `Quick test_split_independent;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_int_nonnegative ]);
+    ]

@@ -1,0 +1,94 @@
+module R = Repro_core.Runner
+
+(* These tests force the fast profile via the environment to stay quick;
+   the profile is memoized, so set it before anything reads it. *)
+let () =
+  Unix.putenv "REPRO_FAST" "1";
+  Unix.putenv "REPRO_TRIALS" "2";
+  Unix.putenv "REPRO_YCSB_TRIALS" "1"
+
+let test_profile_env () =
+  let p = R.profile () in
+  Alcotest.(check bool) "fast" true p.R.fast;
+  Alcotest.(check int) "trials" 2 p.R.trials;
+  Alcotest.(check int) "ycsb trials" 1 p.R.ycsb_trials;
+  Alcotest.(check int) "trials_for tpch" 2 (R.trials_for R.Tpch);
+  Alcotest.(check int) "trials_for ycsb" 1 (R.trials_for (R.Ycsb Workload.Ycsb.A))
+
+let test_names () =
+  Alcotest.(check string) "tpch" "tpch" (R.workload_kind_name R.Tpch);
+  Alcotest.(check string) "ycsb" "ycsb-b" (R.workload_kind_name (R.Ycsb Workload.Ycsb.B));
+  Alcotest.(check string) "swap" "zram" (R.swap_name R.Zram);
+  Alcotest.(check int) "five workloads" 5 (List.length R.all_workloads)
+
+let test_workload_seeds_paired () =
+  (* Same (kind, trial) must build identical workloads regardless of
+     policy: check footprints and first steps match. *)
+  let w1 = R.make_workload R.Tpch ~trial:3 in
+  let w2 = R.make_workload R.Tpch ~trial:3 in
+  Alcotest.(check int) "same footprint" (Workload.Chunk.packed_footprint w1)
+    (Workload.Chunk.packed_footprint w2);
+  let s1 = Workload.Chunk.packed_next w1 ~tid:0 in
+  let s2 = Workload.Chunk.packed_next w2 ~tid:0 in
+  Alcotest.(check bool) "same first step" true (s1 = s2)
+
+let test_run_exp_cached () =
+  let e = { R.workload = R.Tpch; policy = Policy.Registry.Clock; ratio = 0.5;
+            swap = R.Ssd; trial = 0 } in
+  let r1 = R.run_exp e in
+  let r2 = R.run_exp e in
+  Alcotest.(check bool) "cache returns same result" true (r1 == r2);
+  R.clear_cache ();
+  let r3 = R.run_exp e in
+  Alcotest.(check bool) "recomputed deterministically" true
+    (r3.Repro_core.Machine.runtime_ns = r1.Repro_core.Machine.runtime_ns)
+
+let test_run_cell () =
+  let results =
+    R.run_cell ~workload:R.Tpch ~policy:Policy.Registry.Clock ~ratio:0.5 ~swap:R.Ssd
+  in
+  Alcotest.(check int) "trials per profile" 2 (List.length results);
+  let rts = R.runtimes_s results in
+  Alcotest.(check bool) "runtimes positive" true (Array.for_all (fun x -> x > 0.0) rts);
+  Alcotest.(check bool) "mean positive" true (R.mean_runtime_s results > 0.0);
+  Alcotest.(check bool) "faults positive" true (R.mean_faults results > 0.0)
+
+let test_capacity_scales_with_ratio () =
+  let small =
+    R.run_exp
+      { R.workload = R.Tpch; policy = Policy.Registry.Clock; ratio = 0.5;
+        swap = R.Ssd; trial = 0 }
+  in
+  let large =
+    R.run_exp
+      { R.workload = R.Tpch; policy = Policy.Registry.Clock; ratio = 0.9;
+        swap = R.Ssd; trial = 0 }
+  in
+  Alcotest.(check bool) "more memory, fewer faults" true
+    (large.Repro_core.Machine.major_faults < small.Repro_core.Machine.major_faults)
+
+let test_pooled_latencies () =
+  let results =
+    R.run_cell ~workload:(R.Ycsb Workload.Ycsb.A) ~policy:Policy.Registry.Clock
+      ~ratio:0.5 ~swap:R.Zram
+  in
+  let reads = R.pooled_read_latencies results in
+  let writes = R.pooled_write_latencies results in
+  Alcotest.(check bool) "reads recorded" true (Array.length reads > 1000);
+  Alcotest.(check bool) "writes recorded" true (Array.length writes > 100);
+  Alcotest.(check bool) "mean read positive" true (R.mean_read_latency_ns results > 0.0)
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "profile env" `Quick test_profile_env;
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "paired seeds" `Quick test_workload_seeds_paired;
+          Alcotest.test_case "cache" `Quick test_run_exp_cached;
+          Alcotest.test_case "run_cell" `Quick test_run_cell;
+          Alcotest.test_case "ratio scaling" `Quick test_capacity_scales_with_ratio;
+          Alcotest.test_case "pooled latencies" `Quick test_pooled_latencies;
+        ] );
+    ]

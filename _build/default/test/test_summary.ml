@@ -1,0 +1,70 @@
+module S = Stats.Summary
+
+let test_known_values () =
+  let s = S.of_array [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check int) "n" 8 s.S.n;
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.S.mean;
+  (* Sample variance with n-1: sum sq dev = 32, / 7 *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) s.S.variance;
+  Alcotest.(check (float 1e-9)) "min" 2.0 s.S.min;
+  Alcotest.(check (float 1e-9)) "max" 9.0 s.S.max;
+  Alcotest.(check (float 1e-9)) "sum" 40.0 s.S.sum
+
+let test_singleton () =
+  let s = S.of_array [| 3.0 |] in
+  Alcotest.(check (float 1e-9)) "variance zero" 0.0 s.S.variance;
+  Alcotest.(check (float 1e-9)) "stddev zero" 0.0 s.S.stddev
+
+let test_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty sample")
+    (fun () -> ignore (S.of_array [||]))
+
+let test_cv_and_spread () =
+  let s = S.of_array [| 1.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "spread" 3.0 (S.spread s);
+  Alcotest.(check bool) "cv positive" true (S.cv s > 0.0);
+  let z = S.of_array [| 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "cv of zeros" 0.0 (S.cv z)
+
+let test_of_list_and_ints () =
+  let a = S.of_list [ 1.0; 2.0 ] in
+  let b = S.of_ints [| 1; 2 |] in
+  Alcotest.(check (float 1e-9)) "same mean" a.S.mean b.S.mean
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"min <= mean <= max" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = S.of_list xs in
+      s.S.min <= s.S.mean +. 1e-9 && s.S.mean <= s.S.max +. 1e-9)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance nonnegative" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let s = S.of_list xs in
+      s.S.variance >= 0.0)
+
+let prop_shift_invariance =
+  QCheck.Test.make ~name:"variance invariant under shift" ~count:200
+    QCheck.(list_of_size Gen.(2 -- 30) (float_range (-50.0) 50.0))
+    (fun xs ->
+      let s1 = S.of_list xs in
+      let s2 = S.of_list (List.map (fun x -> x +. 10.0) xs) in
+      Float.abs (s1.S.variance -. s2.S.variance) < 1e-6)
+
+let () =
+  Alcotest.run "summary"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "empty raises" `Quick test_empty_raises;
+          Alcotest.test_case "cv and spread" `Quick test_cv_and_spread;
+          Alcotest.test_case "of_list / of_ints" `Quick test_of_list_and_ints;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_mean_bounded; prop_variance_nonneg; prop_shift_invariance ] );
+    ]

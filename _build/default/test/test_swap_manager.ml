@@ -1,0 +1,96 @@
+module SM = Swapdev.Swap_manager
+module D = Swapdev.Device
+
+let make () =
+  let dev = Swapdev.Zram.create ~rng:(Engine.Rng.create 1) () in
+  SM.create ~device:dev ~seed:9
+
+let test_out_in_release () =
+  let m = make () in
+  let slot, c = SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:5 in
+  Alcotest.(check bool) "write completion in future" true (c.D.finish_ns > 0);
+  Alcotest.(check bool) "slot in use" true (SM.slot_in_use m slot);
+  Alcotest.(check int) "used" 1 (SM.used_slots m);
+  (* swap_in keeps the slot (swap cache) *)
+  let _c2 = SM.swap_in m ~now:100 ~slot in
+  Alcotest.(check bool) "still in use" true (SM.slot_in_use m slot);
+  Alcotest.(check int) "ins" 1 (SM.swap_ins m);
+  SM.release m ~slot;
+  Alcotest.(check bool) "released" false (SM.slot_in_use m slot);
+  Alcotest.(check int) "used back to zero" 0 (SM.used_slots m)
+
+let test_slot_reuse () =
+  let m = make () in
+  let s1, _ = SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:1 in
+  SM.release m ~slot:s1;
+  let s2, _ = SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:2 in
+  Alcotest.(check int) "freed slot reused" s1 s2
+
+let test_bad_slot_ops () =
+  let m = make () in
+  Alcotest.check_raises "swap_in bad slot"
+    (Invalid_argument "Swap_manager.swap_in: slot not in use") (fun () ->
+      ignore (SM.swap_in m ~now:0 ~slot:3));
+  Alcotest.check_raises "release bad slot"
+    (Invalid_argument "Swap_manager.release: slot not in use") (fun () ->
+      SM.release m ~slot:3)
+
+let test_peak_tracking () =
+  let m = make () in
+  let slots =
+    List.init 5 (fun i ->
+        fst (SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Kv_item ~page_key:i))
+  in
+  List.iter (fun slot -> SM.release m ~slot) slots;
+  Alcotest.(check int) "peak" 5 (SM.peak_slots m);
+  Alcotest.(check int) "now zero" 0 (SM.used_slots m)
+
+let test_compressed_accounting () =
+  let m = make () in
+  let slot, _ = SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Columnar ~page_key:7 in
+  let bytes = SM.compressed_bytes m in
+  Alcotest.(check bool) "positive and under a page" true (bytes > 0.0 && bytes < 4096.0);
+  SM.release m ~slot;
+  Alcotest.(check (float 1e-6)) "empty pool" 0.0 (SM.compressed_bytes m)
+
+let test_many_slots_grow () =
+  let m = make () in
+  for i = 0 to 4999 do
+    ignore (SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:i)
+  done;
+  Alcotest.(check int) "all live" 5000 (SM.used_slots m);
+  Alcotest.(check int) "outs counted" 5000 (SM.swap_outs m)
+
+let prop_used_never_negative =
+  QCheck.Test.make ~name:"slot accounting stays consistent" ~count:100
+    QCheck.(list bool)
+    (fun ops ->
+      let m = make () in
+      let live = ref [] in
+      List.iter
+        (fun out ->
+          if out then
+            live := fst (SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:0) :: !live
+          else
+            match !live with
+            | slot :: rest ->
+              SM.release m ~slot;
+              live := rest
+            | [] -> ())
+        ops;
+      SM.used_slots m = List.length !live)
+
+let () =
+  Alcotest.run "swap_manager"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "out/in/release" `Quick test_out_in_release;
+          Alcotest.test_case "slot reuse" `Quick test_slot_reuse;
+          Alcotest.test_case "bad slot ops" `Quick test_bad_slot_ops;
+          Alcotest.test_case "peak tracking" `Quick test_peak_tracking;
+          Alcotest.test_case "compressed accounting" `Quick test_compressed_accounting;
+          Alcotest.test_case "many slots" `Quick test_many_slots_grow;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_used_never_negative ]);
+    ]

@@ -1,0 +1,153 @@
+module TM = Tiering.Tier_machine
+module TR = Tiering.Tier_registry
+module MI = Tiering.Migration_intf
+module C = Workload.Chunk
+
+let trace_workload ?(footprint = 128) lists =
+  C.Packed
+    ((module Workload.Trace), Workload.Trace.of_page_lists ~footprint lists)
+
+let config ?(fast = 32) ?(slow = 128) () =
+  {
+    (TM.default_config ~fast_frames:fast ~slow_frames:slow ~seed:11) with
+    TM.kthread_jitter_ns = 0;
+  }
+
+let run ?fast ?slow ~policy lists =
+  TM.run (config ?fast ?slow ()) ~policy:(TR.create policy)
+    ~workload:(trace_workload lists)
+
+let seq n = Array.init n (fun i -> i)
+
+let test_static_placement () =
+  (* 48 pages, 32 fast frames: first 32 land fast, the rest slow. *)
+  let r = run ~policy:TR.Static [ seq 48; seq 48 ] in
+  Alcotest.(check int) "cold touches" 48 r.TM.cold_touches;
+  Alcotest.(check int) "fast resident" 32 r.TM.fast_resident;
+  Alcotest.(check int) "slow resident" 16 r.TM.slow_resident;
+  Alcotest.(check int) "no migrations" 0 (r.TM.promotions + r.TM.demotions);
+  (* Second pass: 32 fast + 16 slow touches. *)
+  Alcotest.(check int) "fast touches" 32 r.TM.fast_touches;
+  Alcotest.(check int) "slow touches" 16 r.TM.slow_touches
+
+let test_slow_touches_cost_more () =
+  let all_fast = run ~fast:128 ~slow:64 ~policy:TR.Static [ seq 48; seq 48 ] in
+  let half_slow = run ~fast:24 ~slow:128 ~policy:TR.Static [ seq 48; seq 48 ] in
+  Alcotest.(check bool) "slow placement slower" true
+    (half_slow.TM.runtime_ns > all_fast.TM.runtime_ns)
+
+let test_capacity_check () =
+  Alcotest.check_raises "tiers too small"
+    (Invalid_argument "Tier_machine.run: tiers smaller than the footprint")
+    (fun () ->
+      ignore
+        (TM.run (config ~fast:4 ~slow:4 ()) ~policy:(TR.create TR.Static)
+           ~workload:(trace_workload ~footprint:128 [ seq 16 ])))
+
+(* A skewed workload: 16 hot pages touched constantly, 100 cold pages
+   touched once after placement fills the fast tier with cold pages. *)
+let skew_steps =
+  (* Cold pages 16..115 first (fill fast with junk), then hot 0..15
+     hammered repeatedly. *)
+  Array.init 100 (fun i -> 16 + i)
+  :: List.concat_map
+       (fun _ -> [ Array.init 16 (fun i -> i) ])
+       (List.init 60 (fun i -> i))
+
+let test_tpp_promotes_hot_set () =
+  let static = run ~fast:32 ~slow:128 ~policy:TR.Static skew_steps in
+  let tpp = run ~fast:32 ~slow:128 ~policy:TR.Tpp skew_steps in
+  Alcotest.(check bool) "tpp promoted something" true (tpp.TM.promotions > 0);
+  Alcotest.(check bool) "tpp demoted to make room" true (tpp.TM.demotions > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "tpp slow share %.2f < static %.2f" (TM.slow_fraction tpp)
+       (TM.slow_fraction static))
+    true
+    (TM.slow_fraction tpp < TM.slow_fraction static);
+  Alcotest.(check bool) "tpp faster" true (tpp.TM.runtime_ns < static.TM.runtime_ns)
+
+let test_thermostat_migrates () =
+  (* Thermostat is epoch-based, so the trial must span several epochs of
+     virtual time: attach compute to each hot pass. *)
+  (* Hot pages 0-15 get their own page-table region; the cold filler
+     lives in regions of its own (Thermostat classifies per region). *)
+  let steps =
+    [|
+      Array.of_list
+        (C.Chunk (C.chunk (C.Pages (Array.init 100 (fun i -> 64 + i))))
+        :: List.init 120 (fun _ ->
+               C.Chunk
+                 (C.chunk ~cpu_ns:2_000_000 (C.Pages (Array.init 16 (fun i -> i))))));
+    |]
+  in
+  let w =
+    Workload.Trace.create
+      {
+        Workload.Trace.steps;
+        footprint = 192;
+        klass = (fun _ -> Swapdev.Compress.Numeric);
+        file_backed_pages = (fun _ -> false);
+      }
+  in
+  let r =
+    TM.run (config ~fast:32 ~slow:192 ()) ~policy:(TR.create TR.Thermostat)
+      ~workload:(C.Packed ((module Workload.Trace), w))
+  in
+  Alcotest.(check bool) "sampled" true (List.assoc "samples_armed" r.TM.policy_stats > 0);
+  Alcotest.(check bool) "hint faults observed" true (r.TM.hint_faults > 0);
+  Alcotest.(check bool) "promoted hot regions" true (r.TM.promotions > 0)
+
+let test_autonuma_cannot_demote () =
+  let r = run ~fast:32 ~slow:128 ~policy:TR.Autonuma skew_steps in
+  Alcotest.(check int) "no demotions ever" 0 r.TM.demotions;
+  (* Fast tier was filled by cold pages; promotions must fail. *)
+  Alcotest.(check int) "no promotions possible" 0 r.TM.promotions;
+  Alcotest.(check bool) "failed promotions recorded" true (r.TM.failed_promotions > 0)
+
+let test_conservation () =
+  List.iter
+    (fun policy ->
+      let r = run ~fast:32 ~slow:128 ~policy skew_steps in
+      Alcotest.(check int)
+        (TR.name policy ^ ": residency = footprint")
+        116
+        (r.TM.fast_resident + r.TM.slow_resident);
+      Alcotest.(check bool)
+        (TR.name policy ^ ": fast within capacity")
+        true (r.TM.fast_resident <= 32))
+    TR.all
+
+let test_registry () =
+  List.iter
+    (fun n ->
+      match TR.of_name n with
+      | Some spec -> Alcotest.(check string) n n (TR.name spec)
+      | None -> Alcotest.fail n)
+    TR.known_names;
+  Alcotest.(check bool) "unknown" true (TR.of_name "nope" = None)
+
+let test_determinism () =
+  let a = run ~policy:TR.Tpp skew_steps in
+  let b = run ~policy:TR.Tpp skew_steps in
+  Alcotest.(check int) "same runtime" a.TM.runtime_ns b.TM.runtime_ns;
+  Alcotest.(check int) "same promotions" a.TM.promotions b.TM.promotions
+
+let () =
+  Alcotest.run "tiering"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "static placement" `Quick test_static_placement;
+          Alcotest.test_case "slow cost" `Quick test_slow_touches_cost_more;
+          Alcotest.test_case "capacity check" `Quick test_capacity_check;
+          Alcotest.test_case "conservation" `Quick test_conservation;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "tpp promotes hot set" `Quick test_tpp_promotes_hot_set;
+          Alcotest.test_case "thermostat migrates" `Quick test_thermostat_migrates;
+          Alcotest.test_case "autonuma cannot demote" `Quick test_autonuma_cannot_demote;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+    ]

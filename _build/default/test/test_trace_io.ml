@@ -1,0 +1,120 @@
+module C = Workload.Chunk
+module T = Workload.Trace
+module IO = Workload.Trace_io
+
+let sample_steps =
+  [|
+    [|
+      C.Chunk (C.chunk ~cpu_ns:500 (C.Range { start = 0; len = 8; stride = 2 }));
+      C.Barrier;
+      C.Chunk
+        (C.chunk ~write:true ~read_prefix:1 ~latency_class:1 (C.Pages [| 3; 7; 11 |]));
+    |];
+    [| C.Barrier; C.Chunk (C.chunk (C.Single 42)) |];
+  |]
+
+let roundtrip steps footprint =
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      IO.save_file path ~footprint steps;
+      IO.load_file path)
+
+let drain w tid =
+  let acc = ref [] in
+  let rec go () =
+    match T.next w ~tid with
+    | C.Finished -> ()
+    | s ->
+      acc := s :: !acc;
+      go ()
+  in
+  go ();
+  List.rev !acc
+
+let test_roundtrip () =
+  let w = roundtrip sample_steps 100 in
+  Alcotest.(check int) "threads" 2 (T.threads w);
+  Alcotest.(check int) "footprint" 100 (T.footprint_pages w);
+  Alcotest.(check bool) "thread 0 stream preserved" true
+    (drain w 0 = Array.to_list sample_steps.(0));
+  Alcotest.(check bool) "thread 1 stream preserved" true
+    (drain w 1 = Array.to_list sample_steps.(1))
+
+let test_capture_then_save () =
+  (* Capture a real workload, serialize it, reload it: the replay must
+     behave identically on the machine. *)
+  let fresh () =
+    Workload.Ycsb.create
+      ~config:
+        { Workload.Ycsb.default_config with Workload.Ycsb.items = 2_000;
+          requests = 8_000; threads = 2 }
+      ~variant:Workload.Ycsb.A
+      ~rng:(Engine.Rng.create 5) ()
+  in
+  let captured =
+    IO.capture (C.Packed ((module Workload.Ycsb), fresh ()))
+  in
+  let footprint = Workload.Ycsb.footprint_pages (fresh ()) in
+  let replay = roundtrip captured footprint in
+  let run workload =
+    let cfg =
+      {
+        (Repro_core.Machine.default_config ~capacity_frames:(footprint / 2) ~seed:1)
+        with
+        Repro_core.Machine.kthread_jitter_ns = 0;
+      }
+    in
+    Repro_core.Machine.run cfg
+      ~policy:(Policy.Registry.create Policy.Registry.Clock)
+      ~workload
+  in
+  let a = run (C.Packed ((module Workload.Ycsb), fresh ())) in
+  let b = run (C.Packed ((module T), replay)) in
+  Alcotest.(check int) "same faults" a.Repro_core.Machine.major_faults
+    b.Repro_core.Machine.major_faults;
+  Alcotest.(check int) "same runtime" a.Repro_core.Machine.runtime_ns
+    b.Repro_core.Machine.runtime_ns
+
+let test_malformed_rejected () =
+  let check_fails content =
+    let path = Filename.temp_file "trace" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let out = open_out path in
+        output_string out content;
+        close_out out;
+        match IO.load_file path with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail ("should reject: " ^ content))
+  in
+  check_fails "0 chunk write=1 prefix=0 cpu=0 lat=-1 range 1 2 3\n";
+  (* no headers *)
+  check_fails "footprint 10\nthreads 1\n0 chunk write=x prefix=0 cpu=0 lat=-1 single 1\n";
+  check_fails "footprint 10\nthreads 1\n5 barrier\n";
+  check_fails "threads 1\n"
+
+let test_comments_and_blanks_ignored () =
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let out = open_out path in
+      output_string out "# hello\n\nfootprint 5\nthreads 1\n\n# mid\n0 barrier\n";
+      close_out out;
+      let w = IO.load_file path in
+      Alcotest.(check bool) "one barrier" true (T.next w ~tid:0 = C.Barrier))
+
+let () =
+  Alcotest.run "trace_io"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "capture/save/replay" `Quick test_capture_then_save;
+          Alcotest.test_case "malformed rejected" `Quick test_malformed_rejected;
+          Alcotest.test_case "comments ignored" `Quick test_comments_and_blanks_ignored;
+        ] );
+    ]

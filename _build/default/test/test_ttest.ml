@@ -1,0 +1,81 @@
+module T = Stats.Ttest
+
+let test_student_cdf_known_values () =
+  (* t=0 -> 0.5 for any df *)
+  Alcotest.(check (float 1e-6)) "cdf(0)" 0.5 (T.student_cdf 0.0 ~df:5.0);
+  (* For df=1 (Cauchy), cdf(1) = 0.75 *)
+  Alcotest.(check (float 1e-4)) "cauchy cdf(1)" 0.75 (T.student_cdf 1.0 ~df:1.0);
+  (* Large df approximates the normal: cdf(1.96) ~ 0.975 *)
+  Alcotest.(check (float 2e-3)) "normal limit" 0.975 (T.student_cdf 1.96 ~df:1000.0);
+  (* Symmetry *)
+  let p = T.student_cdf 1.3 ~df:7.0 in
+  Alcotest.(check (float 1e-9)) "symmetry" (1.0 -. p) (T.student_cdf (-1.3) ~df:7.0)
+
+let test_identical_samples_not_significant () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let r = T.welch a a in
+  Alcotest.(check (float 1e-9)) "t" 0.0 r.T.t_stat;
+  Alcotest.(check (float 1e-9)) "p" 1.0 r.T.p_value
+
+let test_clearly_different () =
+  let rng = Engine.Rng.create 3 in
+  let a = Array.init 30 (fun _ -> Engine.Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let b = Array.init 30 (fun _ -> Engine.Rng.gaussian rng ~mu:5.0 ~sigma:1.0) in
+  let r = T.welch a b in
+  Alcotest.(check bool) "significant" true (r.T.p_value < 0.001);
+  Alcotest.(check bool) "direction" true (r.T.t_stat < 0.0);
+  Alcotest.(check bool) "helper agrees" true (T.significant a b)
+
+let test_same_distribution_usually_insignificant () =
+  (* Not flaky: fixed seed. *)
+  let rng = Engine.Rng.create 11 in
+  let a = Array.init 25 (fun _ -> Engine.Rng.gaussian rng ~mu:10.0 ~sigma:2.0) in
+  let b = Array.init 25 (fun _ -> Engine.Rng.gaussian rng ~mu:10.0 ~sigma:2.0) in
+  let r = T.welch a b in
+  Alcotest.(check bool) (Printf.sprintf "p=%.3f > 0.01" r.T.p_value) true
+    (r.T.p_value > 0.01)
+
+let test_small_shift_needs_power () =
+  let rng = Engine.Rng.create 13 in
+  let a = Array.init 200 (fun _ -> Engine.Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let b = Array.init 200 (fun _ -> Engine.Rng.gaussian rng ~mu:0.5 ~sigma:1.0) in
+  Alcotest.(check bool) "detected with n=200" true (T.significant ~alpha:0.05 a b)
+
+let test_degenerate_zero_variance () =
+  let r = T.welch [| 2.0; 2.0 |] [| 3.0; 3.0 |] in
+  Alcotest.(check (float 1e-9)) "p = 0 for distinct constants" 0.0 r.T.p_value;
+  let r2 = T.welch [| 2.0; 2.0 |] [| 2.0; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "p = 1 for equal constants" 1.0 r2.T.p_value
+
+let test_too_small_rejected () =
+  Alcotest.check_raises "n < 2"
+    (Invalid_argument "Ttest.welch: need at least 2 points per sample") (fun () ->
+      ignore (T.welch [| 1.0 |] [| 1.0; 2.0 |]))
+
+let prop_p_value_valid =
+  QCheck.Test.make ~name:"p-value in [0,1] and symmetric" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(2 -- 20) (float_range 0.0 10.0))
+        (list_of_size Gen.(2 -- 20) (float_range 0.0 10.0)))
+    (fun (xs, ys) ->
+      let a = Array.of_list xs and b = Array.of_list ys in
+      let r1 = T.welch a b and r2 = T.welch b a in
+      r1.T.p_value >= 0.0 && r1.T.p_value <= 1.0
+      && Float.abs (r1.T.p_value -. r2.T.p_value) < 1e-9)
+
+let () =
+  Alcotest.run "ttest"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "student cdf" `Quick test_student_cdf_known_values;
+          Alcotest.test_case "identical samples" `Quick test_identical_samples_not_significant;
+          Alcotest.test_case "clearly different" `Quick test_clearly_different;
+          Alcotest.test_case "same distribution" `Quick test_same_distribution_usually_insignificant;
+          Alcotest.test_case "small shift, large n" `Quick test_small_shift_needs_power;
+          Alcotest.test_case "degenerate variance" `Quick test_degenerate_zero_variance;
+          Alcotest.test_case "too small rejected" `Quick test_too_small_rejected;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_p_value_valid ]);
+    ]

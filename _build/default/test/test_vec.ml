@@ -1,0 +1,81 @@
+let test_empty () =
+  let v = Structures.Vec.create ~dummy:0 () in
+  Alcotest.(check int) "length" 0 (Structures.Vec.length v);
+  Alcotest.(check bool) "is_empty" true (Structures.Vec.is_empty v);
+  Alcotest.(check (option int)) "pop" None (Structures.Vec.pop v)
+
+let test_push_get () =
+  let v = Structures.Vec.create ~capacity:2 ~dummy:0 () in
+  for i = 0 to 99 do
+    Structures.Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Structures.Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Structures.Vec.get v 0);
+  Alcotest.(check int) "get 99" 9801 (Structures.Vec.get v 99);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Structures.Vec.get v 100))
+
+let test_set () =
+  let v = Structures.Vec.of_array ~dummy:0 [| 1; 2; 3 |] in
+  Structures.Vec.set v 1 42;
+  Alcotest.(check int) "set" 42 (Structures.Vec.get v 1);
+  Alcotest.check_raises "set out of bounds"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      Structures.Vec.set v 3 0)
+
+let test_pop_clear () =
+  let v = Structures.Vec.of_array ~dummy:0 [| 1; 2; 3 |] in
+  Alcotest.(check (option int)) "pop" (Some 3) (Structures.Vec.pop v);
+  Alcotest.(check int) "length after pop" 2 (Structures.Vec.length v);
+  Structures.Vec.clear v;
+  Alcotest.(check int) "length after clear" 0 (Structures.Vec.length v);
+  Structures.Vec.push v 7;
+  Alcotest.(check int) "usable after clear" 7 (Structures.Vec.get v 0)
+
+let test_iter_fold () =
+  let v = Structures.Vec.of_array ~dummy:0 [| 1; 2; 3; 4 |] in
+  let sum = Structures.Vec.fold ( + ) 0 v in
+  Alcotest.(check int) "fold" 10 sum;
+  let acc = ref [] in
+  Structures.Vec.iter (fun x -> acc := x :: !acc) v;
+  Alcotest.(check (list int)) "iter order" [ 4; 3; 2; 1 ] !acc
+
+let test_sort () =
+  let v = Structures.Vec.of_array ~dummy:0 [| 3; 1; 2 |] in
+  Structures.Vec.sort compare v;
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 3 |] (Structures.Vec.to_array v)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"push-then-to_array roundtrips" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let v = Structures.Vec.create ~dummy:0 () in
+      List.iter (Structures.Vec.push v) xs;
+      Structures.Vec.to_array v = Array.of_list xs)
+
+let prop_pop_inverts_push =
+  QCheck.Test.make ~name:"pop inverts push" ~count:200
+    QCheck.(pair (list int) int)
+    (fun (xs, x) ->
+      let v = Structures.Vec.of_array ~dummy:0 (Array.of_list xs) in
+      Structures.Vec.push v x;
+      Structures.Vec.pop v = Some x
+      && Structures.Vec.length v = List.length xs)
+
+let () =
+  Alcotest.run "vec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "push/get" `Quick test_push_get;
+          Alcotest.test_case "set" `Quick test_set;
+          Alcotest.test_case "pop/clear" `Quick test_pop_clear;
+          Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+          Alcotest.test_case "sort" `Quick test_sort;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_pop_inverts_push ]
+      );
+    ]
