@@ -87,6 +87,14 @@ let fig_cmd =
 
 (* ---------------- run ---------------- *)
 
+let fault_plan_conv =
+  let parse s =
+    match Swapdev.Faulty_device.plan_of_name (String.lowercase_ascii s) with
+    | Some plan -> Ok plan
+    | None -> Error (`Msg (Printf.sprintf "unknown fault plan %S" s))
+  in
+  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<fault-plan>")
+
 let run_cmd =
   let workload =
     Arg.(value & opt workload_conv Repro_core.Runner.Tpch
@@ -111,8 +119,26 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-policy internal counters.")
   in
-  let run workload policy ratio swap verbose trials ycsb_trials fast =
+  let faults =
+    Arg.(value & opt fault_plan_conv Swapdev.Faulty_device.none
+         & info [ "faults" ] ~docv:"PLAN"
+             ~doc:
+               "Swap I/O fault-injection plan: none | light | heavy. Deterministic \
+                per seed; $(b,none) leaves results bit-identical.")
+  in
+  let audit_every =
+    Arg.(value & opt int 0
+         & info [ "audit-every" ] ~docv:"MS"
+             ~doc:
+               "Audit machine-state invariants every MS simulated milliseconds \
+                (0 = end-of-run only).")
+  in
+  let run workload policy ratio swap verbose faults audit_every trials ycsb_trials
+      fast =
     set_profile_env trials ycsb_trials fast;
+    Repro_core.Runner.set_fault_plan faults;
+    Repro_core.Runner.set_audit_every_ns (max 0 audit_every * 1_000_000);
+    let faults_on = not (Swapdev.Faulty_device.is_none faults) in
     let n = Repro_core.Runner.trials_for workload in
     Printf.printf "%s / %s / %.0f%% / %s  (%d trial%s)\n"
       (Repro_core.Runner.workload_kind_name workload)
@@ -134,6 +160,7 @@ let run_cmd =
         (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_ins))
         (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_outs))
         r.Repro_core.Machine.direct_reclaims;
+      if faults_on || audit_every > 0 then Repro_core.Report.fault_summary r;
       if verbose then
         List.iter
           (fun (k, v) -> Printf.printf "      %-24s %d\n" k v)
@@ -166,8 +193,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment cell and print its metrics.")
     Term.(
-      const run $ workload $ policy $ ratio $ swap $ verbose $ trials_arg
-      $ ycsb_trials_arg $ fast_arg)
+      const run $ workload $ policy $ ratio $ swap $ verbose $ faults
+      $ audit_every $ trials_arg $ ycsb_trials_arg $ fast_arg)
 
 (* ---------------- list ---------------- *)
 

@@ -1,0 +1,87 @@
+type violation = {
+  check : string;
+  subject : int;
+  detail : string;
+}
+
+let v check subject fmt = Printf.ksprintf (fun detail -> { check; subject; detail }) fmt
+
+let audit ~pt ~frames ~mem ~swap ~retained_slot =
+  let out = ref [] in
+  let add x = out := x :: !out in
+  (* Frame side: every mapped frame points at a present PTE that points
+     back, and an allocated (non-free) physical frame. *)
+  for pfn = 0 to Mem.Frame_table.frames frames - 1 do
+    match Mem.Frame_table.owner frames pfn with
+    | None -> ()
+    | Some (asid, vpn) ->
+      if asid <> 0 then add (v "frame-asid" pfn "unknown asid %d" asid);
+      if Mem.Phys_mem.is_free mem pfn then
+        add (v "frame-free" pfn "mapped frame is on the free list");
+      if vpn < 0 || vpn >= Mem.Page_table.pages pt then
+        add (v "frame-vpn-range" pfn "owner vpn %d out of range" vpn)
+      else begin
+        let pte = Mem.Page_table.get pt vpn in
+        if not (Mem.Pte.present pte) then
+          add (v "frame-pte-absent" pfn "owner vpn %d has a non-present PTE" vpn)
+        else if Mem.Pte.pfn pte <> pfn then
+          add (v "frame-pte-mismatch" pfn "owner vpn %d maps pfn %d" vpn
+                 (Mem.Pte.pfn pte))
+      end
+  done;
+  (* Page-table side: present PTEs own their frame; swapped PTEs name a
+     live slot; the swap cache only covers resident pages. *)
+  for vpn = 0 to Mem.Page_table.pages pt - 1 do
+    let pte = Mem.Page_table.get pt vpn in
+    if Mem.Pte.present pte && Mem.Pte.swapped pte then
+      add (v "pte-state" vpn "PTE both present and swapped");
+    if Mem.Pte.present pte then begin
+      let pfn = Mem.Pte.pfn pte in
+      match Mem.Frame_table.owner frames pfn with
+      | None -> add (v "pte-unowned-frame" vpn "present PTE maps unowned pfn %d" pfn)
+      | Some (_, owner_vpn) ->
+        if owner_vpn <> vpn then
+          add (v "pte-rmap-mismatch" vpn "pfn %d owned by vpn %d" pfn owner_vpn)
+    end;
+    if Mem.Pte.swapped pte then begin
+      let slot = Mem.Pte.swap_slot pte in
+      if not (Swapdev.Swap_manager.slot_in_use swap slot) then
+        add (v "pte-dead-slot" vpn "swapped PTE names freed slot %d" slot)
+    end;
+    let retained = retained_slot.(vpn) in
+    if retained >= 0 then begin
+      if not (Mem.Pte.present pte) then
+        add (v "swap-cache-nonresident" vpn "retained slot %d without a resident page"
+               retained);
+      if not (Swapdev.Swap_manager.slot_in_use swap retained) then
+        add (v "swap-cache-dead-slot" vpn "retained slot %d is freed" retained)
+    end
+  done;
+  (* Global accounting ties the three structures together. *)
+  let mapped = Mem.Frame_table.mapped_count frames in
+  let resident = Mem.Page_table.resident pt in
+  if mapped <> resident then
+    add (v "count-mapped-resident" mapped "mapped frames %d <> resident PTEs %d"
+           mapped resident);
+  let used = Mem.Phys_mem.used_count mem in
+  if used <> mapped then
+    add (v "count-used-mapped" used "allocated frames %d <> mapped frames %d" used
+           mapped);
+  List.rev !out
+
+let pp_violation fmt x =
+  Format.fprintf fmt "[%s] subject %d: %s" x.check x.subject x.detail
+
+let report violations =
+  match violations with
+  | [] -> "invariants: ok"
+  | vs ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "invariants: %d violation(s)\n" (List.length vs));
+    List.iter
+      (fun x ->
+        Buffer.add_string buf
+          (Printf.sprintf "  [%s] subject %d: %s\n" x.check x.subject x.detail))
+      vs;
+    Buffer.contents buf

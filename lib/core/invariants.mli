@@ -1,0 +1,32 @@
+(** Machine-state consistency audit.
+
+    Cross-checks the four structures that must agree at every event
+    boundary: the frame table (reverse map ground truth), the page
+    table, the physical-memory allocator, and the swap-slot manager —
+    plus the machine's swap-cache array ([retained_slot]).  The audit is
+    read-only and draws no randomness, so wiring it into a run at any
+    cadence never perturbs simulated behaviour.
+
+    The machine runs it after every trial and, optionally, every
+    [audit_every_ns] of simulated time (see {!Machine.config}). *)
+
+type violation = {
+  check : string;  (** stable kebab-case identifier of the failed check *)
+  subject : int;   (** the pfn / vpn / count the check tripped on *)
+  detail : string;
+}
+
+val audit :
+  pt:Mem.Page_table.t ->
+  frames:Mem.Frame_table.t ->
+  mem:Mem.Phys_mem.t ->
+  swap:Swapdev.Swap_manager.t ->
+  retained_slot:int array ->
+  violation list
+(** Empty list = consistent.  [retained_slot.(vpn)] is the machine's
+    clean swap-cache slot for a resident page, or [-1]. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val report : violation list -> string
+(** Multi-line human-readable summary. *)

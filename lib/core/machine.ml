@@ -22,6 +22,10 @@ type config = {
           OS-noise term the paper blames for scan-timing variance *)
   max_runtime_ns : int;
   seed : int;
+  fault_plan : Swapdev.Faulty_device.plan;
+  io_max_retries : int;
+  io_retry_backoff_ns : int;
+  audit_every_ns : int;
 }
 
 let default_config ~capacity_frames ~seed =
@@ -46,6 +50,10 @@ let default_config ~capacity_frames ~seed =
     kthread_jitter_ns = 50_000;
     max_runtime_ns = 50_000_000_000_000;
     seed;
+    fault_plan = Swapdev.Faulty_device.none;
+    io_max_retries = 4;
+    io_retry_backoff_ns = 100_000;
+    audit_every_ns = 0;
   }
 
 type result = {
@@ -63,6 +71,18 @@ type result = {
   policy_stats : (string * int) list;
   policy_name : string;
   resident_at_end : int;
+  (* Fault-injection and degradation accounting. *)
+  io_retries : int;
+  io_remaps : int;
+  injected_transient : int;
+  injected_permanent : int;
+  injected_stalls : int;
+  injected_tail_spikes : int;
+  poisoned_reads : int;
+  writeback_failures : int;
+  oom_kills : int;
+  oom_discarded_pages : int;
+  invariant_violations : int;
 }
 
 type kthread_state = {
@@ -79,6 +99,7 @@ type t = {
   frames : Mem.Frame_table.t;
   mem : Mem.Phys_mem.t;
   swap : Swapdev.Swap_manager.t;
+  fault_counters : Swapdev.Faulty_device.counters;
   workload : Workload.Chunk.packed;
   mutable policy : Policy.Policy_intf.packed option;
   retained_slot : int array; (* vpn -> clean swap-cache slot, or -1 *)
@@ -90,6 +111,7 @@ type t = {
   mutable active_threads : int;
   mutable kthreads : kthread_state array;
   mutable drive : kthread_state -> unit;
+  mutable restart_thread : int -> unit;
   mutable stopped : bool;
   (* Fault accounting. *)
   mutable major_faults : int;
@@ -111,6 +133,17 @@ type t = {
   ra_window : int array; (* per zone *)
   ra_hits : int array;
   ra_misses : int array;
+  (* Degradation state: pages whose writeback permanently failed cannot
+     leave memory; per-thread residency feeds OOM victim selection. *)
+  pinned : bool array;     (* vpn -> unreclaimable *)
+  faulted_by : int array;  (* vpn -> tid that faulted the page in, or -1 *)
+  thread_rss : int array;  (* tid -> resident pages it faulted in *)
+  killed : bool array;
+  mutable poisoned_reads : int;
+  mutable writeback_failures : int;
+  mutable oom_kills : int;
+  mutable oom_discarded : int;
+  mutable invariant_violations : int;
 }
 
 let ra_zone_pages = 512
@@ -165,86 +198,192 @@ let wake_kthreads t =
       end)
     t.kthreads
 
+let rss_page_mapped t ~tid ~vpn =
+  t.faulted_by.(vpn) <- tid;
+  t.thread_rss.(tid) <- t.thread_rss.(tid) + 1
+
+let rss_page_unmapped t ~vpn =
+  let tid = t.faulted_by.(vpn) in
+  if tid >= 0 then begin
+    t.thread_rss.(tid) <- t.thread_rss.(tid) - 1;
+    t.faulted_by.(vpn) <- -1
+  end
+
 (* The machine unmaps, writes back and frees a frame on the policy's
    behalf.  Clean pages with a retained swap-cache copy are dropped
    without I/O; dirty (or never-swapped) pages cost a device write,
-   which stalls the faulting thread when reclaim is direct. *)
+   which stalls the faulting thread when reclaim is direct.  A write
+   that fails permanently (even after retries and slot remapping) pins
+   the page in memory: it cannot leave until the OOM killer tears its
+   owner down. *)
 let reclaim_page t ~pfn =
   match Mem.Frame_table.owner t.frames pfn with
   | None -> ()
   | Some (_asid, vpn) ->
     let pte = Mem.Page_table.get t.pt vpn in
-    if Mem.Pte.present pte then begin
+    if Mem.Pte.present pte && not t.pinned.(vpn) then begin
       let retained = t.retained_slot.(vpn) in
       let now = t.reclaim_now in
       let slot =
         if Mem.Pte.dirty pte || retained < 0 then begin
-          if retained >= 0 then Swapdev.Swap_manager.release t.swap ~slot:retained;
+          if retained >= 0 then begin
+            Swapdev.Swap_manager.release t.swap ~slot:retained;
+            t.retained_slot.(vpn) <- -1
+          end;
           let klass = Workload.Chunk.packed_klass t.workload vpn in
-          let slot, completion =
+          let slot_opt, io =
             Swapdev.Swap_manager.swap_out t.swap ~now ~klass ~page_key:vpn
           in
           if t.in_direct then begin
             t.direct_stall_until <-
-              max t.direct_stall_until completion.Swapdev.Device.finish_ns;
-            t.direct_cpu_extra <- t.direct_cpu_extra + completion.Swapdev.Device.cpu_ns
+              max t.direct_stall_until io.Swapdev.Swap_manager.finish_ns;
+            t.direct_cpu_extra <-
+              t.direct_cpu_extra + io.Swapdev.Swap_manager.cpu_ns
           end
-          else Engine.Cpu.charge t.cpu completion.Swapdev.Device.cpu_ns;
-          slot
+          else Engine.Cpu.charge t.cpu io.Swapdev.Swap_manager.cpu_ns;
+          slot_opt
         end
-        else retained
+        else Some retained
       in
-      Mem.Page_table.set t.pt vpn (Mem.Pte.to_swapped pte ~slot);
-      t.retained_slot.(vpn) <- -1;
-      ra_note_evicted t vpn;
-      Mem.Frame_table.clear_owner t.frames ~pfn;
-      Mem.Phys_mem.free t.mem pfn
+      match slot with
+      | None ->
+        (* Writeback failed for good: the page stays resident and
+           becomes unreclaimable. *)
+        t.pinned.(vpn) <- true;
+        t.writeback_failures <- t.writeback_failures + 1
+      | Some slot ->
+        Mem.Page_table.set t.pt vpn (Mem.Pte.to_swapped pte ~slot);
+        t.retained_slot.(vpn) <- -1;
+        ra_note_evicted t vpn;
+        rss_page_unmapped t ~vpn;
+        Mem.Frame_table.clear_owner t.frames ~pfn;
+        Mem.Phys_mem.free t.mem pfn
     end
 
-let map_page t ~pfn ~vpn ~refault ~write ~demand =
+let map_page t ~tid ~pfn ~vpn ~refault ~write ~demand =
   let file_backed = Workload.Chunk.packed_file_backed t.workload vpn in
   Mem.Frame_table.set_owner t.frames ~pfn ~asid:0 ~vpn;
   let pte = Mem.Pte.mapped ~pfn ~file_backed in
   let pte = if demand then Mem.Pte.set_accessed pte else pte in
   let pte = if write then Mem.Pte.set_dirty pte else pte in
   Mem.Page_table.set t.pt vpn pte;
+  rss_page_mapped t ~tid ~vpn;
   on_mapped t ~pfn ~vpn ~refault ~file_backed ~speculative:(not demand);
   if demand then on_touched t ~pfn ~write
 
+(* Model the OOM killer: pick the live thread with the largest resident
+   share, terminate it, and tear down its pages — resident pages are
+   freed without writeback (their contents die with the thread, pinned
+   or not) and its swap slots are released.  Returns false only if no
+   live thread remains. *)
+let oom_kill t =
+  let victim = ref (-1) in
+  Array.iteri
+    (fun tid finish ->
+      if finish < 0 && not t.killed.(tid) then
+        if !victim < 0 || t.thread_rss.(tid) > t.thread_rss.(!victim) then
+          victim := tid)
+    t.finish_ns;
+  if !victim < 0 then false
+  else begin
+    let v = !victim in
+    t.killed.(v) <- true;
+    t.oom_kills <- t.oom_kills + 1;
+    for vpn = 0 to Mem.Page_table.pages t.pt - 1 do
+      if t.faulted_by.(vpn) = v then begin
+        let pte = Mem.Page_table.get t.pt vpn in
+        if Mem.Pte.present pte then begin
+          let pfn = Mem.Pte.pfn pte in
+          if t.retained_slot.(vpn) >= 0 then begin
+            Swapdev.Swap_manager.release t.swap ~slot:t.retained_slot.(vpn);
+            t.retained_slot.(vpn) <- -1
+          end;
+          Mem.Page_table.set t.pt vpn Mem.Pte.empty;
+          Mem.Frame_table.clear_owner t.frames ~pfn;
+          Mem.Phys_mem.free t.mem pfn;
+          t.pinned.(vpn) <- false;
+          t.ra_pending.(vpn) <- false;
+          t.oom_discarded <- t.oom_discarded + 1
+        end;
+        t.faulted_by.(vpn) <- -1
+      end
+    done;
+    t.thread_rss.(v) <- 0;
+    (* Future barriers must not wait for the dead thread; if its group
+       is already assembled at one, release the survivors. *)
+    let g = t.groups.(v) in
+    if List.mem v t.group_waiters.(g) then begin
+      t.group_waiters.(g) <- List.filter (fun w -> w <> v) t.group_waiters.(g);
+      t.group_arrived.(g) <- t.group_arrived.(g) - 1
+    end;
+    t.group_size.(g) <- t.group_size.(g) - 1;
+    if
+      t.group_size.(g) > 0
+      && t.group_arrived.(g) >= t.group_size.(g)
+      && t.group_waiters.(g) <> []
+    then begin
+      let waiters = t.group_waiters.(g) in
+      t.group_arrived.(g) <- 0;
+      t.group_waiters.(g) <- [];
+      Engine.Sim.schedule t.sim ~delay:t.cfg.costs.Mem.Costs.barrier_ns (fun _ ->
+          List.iter (fun w -> t.restart_thread w) waiters)
+    end;
+    if t.finish_ns.(v) < 0 then begin
+      t.finish_ns.(v) <- Engine.Sim.now t.sim;
+      t.active_threads <- t.active_threads - 1;
+      if t.active_threads <= 0 then begin
+        t.stopped <- true;
+        Engine.Sim.stop t.sim
+      end
+    end;
+    true
+  end
+
 (* Allocation slow path: run the policy synchronously and charge its CPU
-   and writeback stalls to the faulting thread. *)
-let alloc_frame t ~(cursor : int ref) =
+   and writeback stalls to the faulting thread.  When reclaim cannot
+   free memory, degrade through the OOM killer rather than aborting the
+   trial; [None] means the faulting thread itself was chosen and its
+   fault must unwind. *)
+let alloc_frame t ~tid ~(cursor : int ref) =
   match Mem.Phys_mem.alloc t.mem with
   | Some pfn ->
     if Mem.Phys_mem.below_low t.mem then wake_kthreads t;
-    pfn
+    Some pfn
   | None ->
     let (Policy.Policy_intf.Packed ((module P), p)) = policy_of t in
     let rec retry attempts =
-      if attempts > 64 then failwith "Machine: direct reclaim cannot free memory";
-      t.direct_reclaims <- t.direct_reclaims + 1;
-      t.in_direct <- true;
-      t.reclaim_now <- !cursor;
-      t.direct_stall_until <- !cursor;
-      t.direct_cpu_extra <- 0;
-      let stats = P.direct_reclaim p ~want:t.cfg.direct_reclaim_batch in
-      t.in_direct <- false;
-      let cpu = stats.Policy.Policy_intf.cpu_ns + t.direct_cpu_extra in
-      Engine.Cpu.charge t.cpu cpu;
-      let before = !cursor in
-      cursor := max (!cursor + Engine.Cpu.scale t.cpu cpu) t.direct_stall_until;
-      t.direct_reclaim_ns <- t.direct_reclaim_ns + (!cursor - before);
-      wake_kthreads t;
-      match Mem.Phys_mem.alloc t.mem with
-      | Some pfn -> pfn
-      | None -> retry (attempts + 1)
+      if t.killed.(tid) then None
+      else if attempts > 64 then
+        if oom_kill t && not t.killed.(tid) then
+          match Mem.Phys_mem.alloc t.mem with
+          | Some pfn -> Some pfn
+          | None -> retry 0
+        else None
+      else begin
+        t.direct_reclaims <- t.direct_reclaims + 1;
+        t.in_direct <- true;
+        t.reclaim_now <- !cursor;
+        t.direct_stall_until <- !cursor;
+        t.direct_cpu_extra <- 0;
+        let stats = P.direct_reclaim p ~want:t.cfg.direct_reclaim_batch in
+        t.in_direct <- false;
+        let cpu = stats.Policy.Policy_intf.cpu_ns + t.direct_cpu_extra in
+        Engine.Cpu.charge t.cpu cpu;
+        let before = !cursor in
+        cursor := max (!cursor + Engine.Cpu.scale t.cpu cpu) t.direct_stall_until;
+        t.direct_reclaim_ns <- t.direct_reclaim_ns + (!cursor - before);
+        wake_kthreads t;
+        match Mem.Phys_mem.alloc t.mem with
+        | Some pfn -> Some pfn
+        | None -> retry (attempts + 1)
+      end
     in
     retry 0
 
 (* Opportunistic swap-in of the sequential neighbours of a demand fault,
    like the kernel's swap readahead cluster.  Only when memory is easy:
    readahead must never trigger reclaim. *)
-let readahead t ~(cursor : int ref) vpn =
+let readahead t ~tid ~(cursor : int ref) vpn =
   let n = min t.cfg.readahead t.ra_window.(ra_zone vpn) in
   if n > 1 && Mem.Phys_mem.free_count t.mem > n + Mem.Phys_mem.low_watermark t.mem
   then begin
@@ -258,35 +397,56 @@ let readahead t ~(cursor : int ref) vpn =
           | None -> stop := true
           | Some pfn ->
             let slot = Mem.Pte.swap_slot pte in
-            let completion = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
-            Engine.Cpu.charge t.cpu completion.Swapdev.Device.cpu_ns;
-            t.retained_slot.(v) <- slot;
-            t.ra_pending.(v) <- true;
-            map_page t ~pfn ~vpn:v ~refault:true ~write:false ~demand:false
+            let io = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
+            Engine.Cpu.charge t.cpu io.Swapdev.Swap_manager.cpu_ns;
+            if io.Swapdev.Swap_manager.failed then begin
+              (* Speculative read failed: abandon the cluster.  The page
+                 stays swapped; a demand fault will retry (and poison it
+                 if the slot really is gone). *)
+              Mem.Phys_mem.free t.mem pfn;
+              stop := true
+            end
+            else begin
+              t.retained_slot.(v) <- slot;
+              t.ra_pending.(v) <- true;
+              map_page t ~tid ~pfn ~vpn:v ~refault:true ~write:false ~demand:false
+            end
         end
       end
     done
   end
 
-let handle_fault t ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
+let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
   cpu_acc := !cpu_acc + t.cfg.costs.Mem.Costs.fault_trap_ns;
-  let pfn = alloc_frame t ~cursor in
-  let pte = Mem.Page_table.get t.pt vpn in
-  if Mem.Pte.swapped pte then begin
-    t.major_faults <- t.major_faults + 1;
-    let slot = Mem.Pte.swap_slot pte in
-    let completion = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
-    cpu_acc := !cpu_acc + completion.Swapdev.Device.cpu_ns;
-    cursor := max !cursor completion.Swapdev.Device.finish_ns;
-    t.retained_slot.(vpn) <- slot;
-    map_page t ~pfn ~vpn ~refault:true ~write ~demand:true;
-    readahead t ~cursor vpn
-  end
-  else begin
-    t.minor_faults <- t.minor_faults + 1;
-    cpu_acc := !cpu_acc + t.cfg.minor_fault_ns;
-    map_page t ~pfn ~vpn ~refault:false ~write ~demand:true
-  end
+  match alloc_frame t ~tid ~cursor with
+  | None -> () (* the faulting thread lost the OOM lottery *)
+  | Some pfn ->
+    let pte = Mem.Page_table.get t.pt vpn in
+    if Mem.Pte.swapped pte then begin
+      t.major_faults <- t.major_faults + 1;
+      let slot = Mem.Pte.swap_slot pte in
+      let io = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
+      cpu_acc := !cpu_acc + io.Swapdev.Swap_manager.cpu_ns;
+      cursor := max !cursor io.Swapdev.Swap_manager.finish_ns;
+      if io.Swapdev.Swap_manager.failed then begin
+        (* The stored copy is unrecoverable: poison the mapping.  The
+           thread continues on a zero-filled page, and the loss is
+           visible in [poisoned_reads]. *)
+        t.poisoned_reads <- t.poisoned_reads + 1;
+        Swapdev.Swap_manager.release t.swap ~slot;
+        map_page t ~tid ~pfn ~vpn ~refault:false ~write ~demand:true
+      end
+      else begin
+        t.retained_slot.(vpn) <- slot;
+        map_page t ~tid ~pfn ~vpn ~refault:true ~write ~demand:true;
+        readahead t ~tid ~cursor vpn
+      end
+    end
+    else begin
+      t.minor_faults <- t.minor_faults + 1;
+      cpu_acc := !cpu_acc + t.cfg.minor_fault_ns;
+      map_page t ~tid ~pfn ~vpn ~refault:false ~write ~demand:true
+    end
 
 let page_at pages i =
   match pages with
@@ -296,7 +456,7 @@ let page_at pages i =
 
 (* Touch one page: fast path sets the accessed (and dirty) bits exactly
    like the hardware walker; misses enter the fault path. *)
-let touch t ~cursor ~cpu_acc ~vpn ~write =
+let touch t ~tid ~cursor ~cpu_acc ~vpn ~write =
   let pte = Mem.Page_table.get t.pt vpn in
   if Mem.Pte.present pte then begin
     let pte = Mem.Pte.set_accessed pte in
@@ -306,7 +466,7 @@ let touch t ~cursor ~cpu_acc ~vpn ~write =
     ra_note_hit t vpn;
     on_touched t ~pfn:(Mem.Pte.pfn pte) ~write
   end
-  else handle_fault t ~cursor ~cpu_acc ~vpn ~write
+  else handle_fault t ~tid ~cursor ~cpu_acc ~vpn ~write
 
 let record_latency t (c : Workload.Chunk.t) ns =
   if c.Workload.Chunk.latency_class = Workload.Chunk.read_class then
@@ -315,7 +475,7 @@ let record_latency t (c : Workload.Chunk.t) ns =
     Structures.Vec.push t.write_lat (float_of_int ns)
 
 let rec run_thread t tid =
-  if not t.stopped then
+  if not t.stopped && not t.killed.(tid) then
     match Workload.Chunk.packed_next t.workload ~tid with
     | Workload.Chunk.Chunk c ->
       process_segment t tid c ~index:0 ~chunk_start:(Engine.Sim.now t.sim)
@@ -336,8 +496,10 @@ and process_segment t tid c ~index ~chunk_start =
     ref (if total = 0 then c.cpu_ns else c.cpu_ns * seg_len / total)
   in
   for i = index to index + seg_len - 1 do
-    let write = c.write && i >= c.read_prefix in
-    touch t ~cursor ~cpu_acc ~vpn:(page_at c.pages i) ~write
+    if not t.killed.(tid) then begin
+      let write = c.write && i >= c.read_prefix in
+      touch t ~tid ~cursor ~cpu_acc ~vpn:(page_at c.pages i) ~write
+    end
   done;
   Engine.Cpu.charge t.cpu !cpu_acc;
   let cpu_wall =
@@ -349,7 +511,7 @@ and process_segment t tid c ~index ~chunk_start =
   if Mem.Phys_mem.below_low t.mem then wake_kthreads t;
   let next_index = index + seg_len in
   Engine.Sim.schedule t.sim ~delay:(cpu_wall + io_wait) (fun _ ->
-      if not t.stopped then begin
+      if not t.stopped && not t.killed.(tid) then begin
         if next_index >= total then begin
           if c.latency_class >= 0 then
             record_latency t c (Engine.Sim.now t.sim - chunk_start);
@@ -409,15 +571,28 @@ let make_driver t ks =
   in
   drive
 
+let audit t =
+  Invariants.audit ~pt:t.pt ~frames:t.frames ~mem:t.mem ~swap:t.swap
+    ~retained_slot:t.retained_slot
+
 let run cfg ~policy ~workload =
   if cfg.capacity_frames <= 0 then invalid_arg "Machine.run: capacity_frames";
   let footprint = Workload.Chunk.packed_footprint workload in
   let nthreads = Workload.Chunk.packed_threads workload in
   let rng = Engine.Rng.create cfg.seed in
-  let device =
+  let base_device =
     match cfg.swap with
     | Ssd_swap c -> Swapdev.Ssd.create ~config:c ~rng:(Engine.Rng.split rng) ()
     | Zram_swap c -> Swapdev.Zram.create ~config:c ~rng:(Engine.Rng.split rng) ()
+  in
+  (* A disabled plan must not even split the RNG, so fault-free runs are
+     bit-identical to builds that predate the fault layer. *)
+  let device, fault_counters =
+    if Swapdev.Faulty_device.is_none cfg.fault_plan then
+      (base_device, Swapdev.Faulty_device.fresh_counters ())
+    else
+      Swapdev.Faulty_device.wrap ~plan:cfg.fault_plan
+        ~rng:(Engine.Rng.split rng) base_device
   in
   let groups =
     match cfg.barrier_groups with
@@ -441,8 +616,10 @@ let run cfg ~policy ~workload =
       frames = Mem.Frame_table.create ~frames:cfg.capacity_frames;
       mem = Mem.Phys_mem.create ~frames:cfg.capacity_frames ();
       swap =
-        Swapdev.Swap_manager.create ~device
-          ~seed:(Engine.Rng.int rng (1 lsl 30));
+        Swapdev.Swap_manager.create ~max_retries:cfg.io_max_retries
+          ~backoff_ns:cfg.io_retry_backoff_ns ~device
+          ~seed:(Engine.Rng.int rng (1 lsl 30)) ();
+      fault_counters;
       workload;
       policy = None;
       retained_slot = Array.make footprint (-1);
@@ -454,6 +631,7 @@ let run cfg ~policy ~workload =
       active_threads = nthreads;
       kthreads = [||];
       drive = (fun _ -> ());
+      restart_thread = (fun _ -> ());
       stopped = false;
       major_faults = 0;
       minor_faults = 0;
@@ -469,6 +647,15 @@ let run cfg ~policy ~workload =
       ra_window = Array.make ((footprint / ra_zone_pages) + 1) (max 1 cfg.readahead);
       ra_hits = Array.make ((footprint / ra_zone_pages) + 1) 0;
       ra_misses = Array.make ((footprint / ra_zone_pages) + 1) 0;
+      pinned = Array.make footprint false;
+      faulted_by = Array.make footprint (-1);
+      thread_rss = Array.make nthreads 0;
+      killed = Array.make nthreads false;
+      poisoned_reads = 0;
+      writeback_failures = 0;
+      oom_kills = 0;
+      oom_discarded = 0;
+      invariant_violations = 0;
     }
   in
   let env =
@@ -496,11 +683,23 @@ let run cfg ~policy ~workload =
     Array.of_list
       (List.map (fun kt -> { kt; sleeping = false }) (P.kthreads p));
   t.drive <- (fun ks -> (make_driver t ks) ());
+  t.restart_thread <- (fun tid -> run_thread t tid);
   Array.iter (fun ks -> Engine.Sim.schedule t.sim ~delay:0 (fun _ -> t.drive ks)) t.kthreads;
   for tid = 0 to nthreads - 1 do
     Engine.Sim.schedule t.sim ~delay:0 (fun _ -> run_thread t tid)
   done;
+  if cfg.audit_every_ns > 0 then begin
+    let rec tick _ =
+      if not t.stopped && t.active_threads > 0 then begin
+        t.invariant_violations <-
+          t.invariant_violations + List.length (audit t);
+        Engine.Sim.schedule t.sim ~delay:cfg.audit_every_ns tick
+      end
+    in
+    Engine.Sim.schedule t.sim ~delay:cfg.audit_every_ns tick
+  end;
   Engine.Sim.run ~until:cfg.max_runtime_ns t.sim;
+  t.invariant_violations <- t.invariant_violations + List.length (audit t);
   let runtime =
     Array.fold_left (fun acc f -> max acc f) (Engine.Sim.now t.sim) t.finish_ns
   in
@@ -519,4 +718,15 @@ let run cfg ~policy ~workload =
     policy_stats = P.stats p;
     policy_name = P.policy_name;
     resident_at_end = Mem.Page_table.resident t.pt;
+    io_retries = Swapdev.Swap_manager.io_retries t.swap;
+    io_remaps = Swapdev.Swap_manager.io_remaps t.swap;
+    injected_transient = t.fault_counters.Swapdev.Faulty_device.transient_errors;
+    injected_permanent = t.fault_counters.Swapdev.Faulty_device.permanent_errors;
+    injected_stalls = t.fault_counters.Swapdev.Faulty_device.stalls;
+    injected_tail_spikes = t.fault_counters.Swapdev.Faulty_device.tail_spikes;
+    poisoned_reads = t.poisoned_reads;
+    writeback_failures = t.writeback_failures;
+    oom_kills = t.oom_kills;
+    oom_discarded_pages = t.oom_discarded;
+    invariant_violations = t.invariant_violations;
   }

@@ -8,7 +8,15 @@
     a writeback.  Direct reclaim — entered when the free list is empty —
     runs the policy synchronously and charges its CPU time and any
     synchronous writeback stalls to the faulting thread, which is where
-    the tail-latency differences between policies come from (§VI-A). *)
+    the tail-latency differences between policies come from (§VI-A).
+
+    The machine also survives storage faults (see {!Swapdev.Faulty_device}):
+    transient errors are retried with backoff, permanent read errors
+    poison the page (the thread continues on zero-fill), permanent write
+    errors pin the page in memory, and when reclaim can no longer free
+    anything an OOM killer terminates the fattest thread instead of
+    aborting the trial.  {!Invariants.audit} cross-checks machine state
+    after every run and optionally on a cadence. *)
 
 type swap_kind =
   | Ssd_swap of Swapdev.Ssd.config
@@ -38,18 +46,27 @@ type config = {
           for scan-timing variance (§VI-A); 0 disables *)
   max_runtime_ns : int;      (** safety stop *)
   seed : int;
+  fault_plan : Swapdev.Faulty_device.plan;
+      (** swap I/O fault injection; {!Swapdev.Faulty_device.none} keeps
+          runs bit-identical to a build without the fault layer *)
+  io_max_retries : int;      (** per-op retry budget on transient errors *)
+  io_retry_backoff_ns : int; (** base of the exponential retry backoff *)
+  audit_every_ns : int;
+      (** run {!Invariants.audit} every this many simulated ns; 0 =
+          end-of-run only *)
 }
 
 val default_config : capacity_frames:int -> seed:int -> config
 (** SSD swap, 12 hardware threads, experiment-scaled cost model
-    (64-PTE page-table regions; see DESIGN.md on footprint scaling). *)
+    (64-PTE page-table regions; see DESIGN.md on footprint scaling).
+    Fault injection disabled. *)
 
 type result = {
   runtime_ns : int;
   major_faults : int;        (** demand faults that required device reads *)
   minor_faults : int;        (** zero-fill first touches *)
-  swap_ins : int;            (** device reads, including readahead *)
-  swap_outs : int;           (** device writes *)
+  swap_ins : int;            (** successful device reads, incl. readahead *)
+  swap_outs : int;           (** successful device writes *)
   direct_reclaims : int;
   direct_reclaim_ns : int;   (** total fault-path reclaim latency *)
   read_latencies : float array;  (** per-request ns, latency class 0 *)
@@ -59,6 +76,18 @@ type result = {
   policy_stats : (string * int) list;
   policy_name : string;
   resident_at_end : int;
+  io_retries : int;          (** resubmissions after transient errors *)
+  io_remaps : int;           (** writes moved off a bad slot *)
+  injected_transient : int;  (** faults the injector produced *)
+  injected_permanent : int;
+  injected_stalls : int;
+  injected_tail_spikes : int;
+  poisoned_reads : int;      (** demand reads whose data was lost *)
+  writeback_failures : int;  (** evictions abandoned; page pinned *)
+  oom_kills : int;
+  oom_discarded_pages : int; (** resident pages freed by OOM teardown *)
+  invariant_violations : int;
+      (** total across periodic and end-of-run audits; 0 expected *)
 }
 
 val run :
@@ -66,5 +95,5 @@ val run :
   policy:(Policy.Policy_intf.env -> Policy.Policy_intf.packed) ->
   workload:Workload.Chunk.packed ->
   result
-(** Execute one trial to completion (every workload thread [Finished])
-    and collect the metrics the paper reports. *)
+(** Execute one trial to completion (every workload thread [Finished] or
+    OOM-killed) and collect the metrics the paper reports. *)

@@ -60,3 +60,24 @@ let fns x =
   else Printf.sprintf "%.0fns" x
 
 let note s = Printf.printf "  %s\n" s
+
+let fault_summary (r : Machine.result) =
+  let injected =
+    r.Machine.injected_transient + r.Machine.injected_permanent
+    + r.Machine.injected_stalls + r.Machine.injected_tail_spikes
+  in
+  Printf.printf
+    "      injected %d (transient %d, permanent %d, stalls %d, tail spikes %d)\n"
+    injected r.Machine.injected_transient r.Machine.injected_permanent
+    r.Machine.injected_stalls r.Machine.injected_tail_spikes;
+  Printf.printf
+    "      recovery: retries %d, slot remaps %d, poisoned reads %d, pinned \
+     writebacks %d\n"
+    r.Machine.io_retries r.Machine.io_remaps r.Machine.poisoned_reads
+    r.Machine.writeback_failures;
+  if r.Machine.oom_kills > 0 then
+    Printf.printf "      oom: %d kill(s), %d page(s) discarded\n"
+      r.Machine.oom_kills r.Machine.oom_discarded_pages;
+  Printf.printf "      invariants: %s\n"
+    (if r.Machine.invariant_violations = 0 then "ok"
+     else Printf.sprintf "%d violation(s)" r.Machine.invariant_violations)

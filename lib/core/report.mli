@@ -27,3 +27,8 @@ val fns : float -> string
 
 val note : string -> unit
 (** Indented free-form commentary line. *)
+
+val fault_summary : Machine.result -> unit
+(** Per-trial fault-injection block: injected faults by kind, recovery
+    actions (retries / remaps / poisons / pins), OOM kills, and the
+    invariant-audit verdict. *)

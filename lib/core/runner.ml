@@ -125,6 +125,20 @@ let cache : (exp, Machine.result) Hashtbl.t = Hashtbl.create 256
 
 let clear_cache () = Hashtbl.reset cache
 
+(* Session-wide fault-injection / audit settings.  Cached results are
+   invalidated on change: they were produced under other conditions. *)
+let fault_plan = ref Swapdev.Faulty_device.none
+
+let audit_every = ref 0
+
+let set_fault_plan p =
+  fault_plan := p;
+  clear_cache ()
+
+let set_audit_every_ns ns =
+  audit_every := max 0 ns;
+  clear_cache ()
+
 let run_exp e =
   match Hashtbl.find_opt cache e with
   | Some r -> r
@@ -138,6 +152,8 @@ let run_exp e =
            ~seed:(workload_seed e.workload ~trial:e.trial + 17))
         with
         Machine.swap = machine_swap e.swap;
+        fault_plan = !fault_plan;
+        audit_every_ns = !audit_every;
       }
     in
     let r = Machine.run cfg ~policy:(Policy.Registry.create e.policy) ~workload in

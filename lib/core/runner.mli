@@ -60,6 +60,14 @@ val run_cell :
 
 val clear_cache : unit -> unit
 
+val set_fault_plan : Swapdev.Faulty_device.plan -> unit
+(** Inject swap I/O faults into every subsequent trial (default
+    {!Swapdev.Faulty_device.none}).  Clears the result cache. *)
+
+val set_audit_every_ns : int -> unit
+(** Periodic {!Invariants} audit cadence in simulated ns (0 = end-of-run
+    only, the default).  Clears the result cache. *)
+
 val runtimes_s : Machine.result list -> float array
 
 val faults : Machine.result list -> float array

@@ -1,8 +1,13 @@
 type op = Read | Write
 
+type error = Transient | Permanent
+
+type status = Done | Failed of error
+
 type completion = {
   finish_ns : int;
   cpu_ns : int;
+  status : status;
 }
 
 type t = {
@@ -14,3 +19,7 @@ type t = {
 }
 
 let op_name = function Read -> "read" | Write -> "write"
+
+let error_name = function Transient -> "transient" | Permanent -> "permanent"
+
+let ok completion = completion.status = Done

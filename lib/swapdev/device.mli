@@ -4,13 +4,29 @@
     queueing.  [submit] returns both the virtual completion time and the
     host CPU work the operation costs (interrupt handling for the SSD;
     the whole (de)compression for ZRAM, which runs on the faulting CPU
-    in the kernel). *)
+    in the kernel).
+
+    An operation can fail: [status] distinguishes successful completions
+    from transient errors (a retry may succeed — link resets, ECC
+    recoveries) and permanent ones (the block is gone — media wear,
+    controller death).  The physical device models ({!Ssd}, {!Zram})
+    never fail; errors are injected by wrapping them in
+    {!Faulty_device}. *)
 
 type op = Read | Write
 
+type error =
+  | Transient  (** retrying the same operation may succeed *)
+  | Permanent  (** the addressed block is unrecoverable *)
+
+type status = Done | Failed of error
+
 type completion = {
-  finish_ns : int;  (** absolute virtual time the data is available *)
+  finish_ns : int;  (** absolute virtual time the operation resolved —
+                        data available on [Done], error reported on
+                        [Failed] *)
   cpu_ns : int;     (** host compute consumed by this operation *)
+  status : status;
 }
 
 type t = {
@@ -26,3 +42,8 @@ type t = {
 }
 
 val op_name : op -> string
+
+val error_name : error -> string
+
+val ok : completion -> bool
+(** [status = Done]. *)

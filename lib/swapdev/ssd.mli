@@ -12,9 +12,15 @@ type config = {
   channels : int;       (** concurrent in-flight operations *)
   jitter : float;       (** multiplicative service-time noise, e.g. 0.05 *)
   cpu_per_op_ns : int;  (** block-layer + interrupt CPU cost *)
+  size_sensitivity : float;
+      (** how strongly service time tracks [size_fraction]: 0 ignores it
+          (whole-page transfers, the default), 1 is fully proportional.
+          A transfer with [size_fraction = 1.0] costs the base service
+          time at every sensitivity. *)
 }
 
 val default_config : config
-(** 7.5 ms / 7.5 ms, 2 channels, 5 % jitter, 3 µs CPU per op. *)
+(** 7.5 ms / 7.5 ms, 8 channels, 5 % jitter, 3 µs CPU per op,
+    size-insensitive. *)
 
 val create : ?config:config -> rng:Engine.Rng.t -> unit -> Device.t

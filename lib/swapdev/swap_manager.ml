@@ -1,6 +1,8 @@
 type t = {
   device : Device.t;
   seed : int;
+  max_retries : int;
+  backoff_ns : int;
   mutable ratios : float array; (* slot -> size fraction; nan = free *)
   mutable free : int list;
   mutable next_slot : int;
@@ -9,12 +11,26 @@ type t = {
   mutable compressed : float; (* sum of in-use size fractions *)
   mutable ins : int;
   mutable outs : int;
+  mutable retries : int;
+  mutable remaps : int;
+  mutable read_failures : int;
+  mutable write_failures : int;
 }
 
-let create ~device ~seed =
+type io = {
+  finish_ns : int;
+  cpu_ns : int;
+  io_retries : int;
+  failed : bool;
+}
+
+let create ?(max_retries = 4) ?(backoff_ns = 100_000) ~device ~seed () =
+  if max_retries < 0 then invalid_arg "Swap_manager.create: max_retries";
   {
     device;
     seed;
+    max_retries;
+    backoff_ns;
     ratios = Array.make 1024 nan;
     free = [];
     next_slot = 0;
@@ -23,6 +39,10 @@ let create ~device ~seed =
     compressed = 0.0;
     ins = 0;
     outs = 0;
+    retries = 0;
+    remaps = 0;
+    read_failures = 0;
+    write_failures = 0;
   }
 
 let device t = t.device
@@ -44,25 +64,8 @@ let alloc_slot t =
     if slot >= Array.length t.ratios then grow t;
     slot
 
-let swap_out t ~now ~klass ~page_key =
-  let slot = alloc_slot t in
-  let ratio = Compress.ratio klass ~page_key ~seed:t.seed in
-  t.ratios.(slot) <- ratio;
-  t.used <- t.used + 1;
-  if t.used > t.peak then t.peak <- t.used;
-  t.compressed <- t.compressed +. ratio;
-  t.outs <- t.outs + 1;
-  let completion = t.device.Device.submit ~now ~op:Device.Write ~size_fraction:ratio in
-  (slot, completion)
-
 let slot_in_use t slot =
   slot >= 0 && slot < Array.length t.ratios && not (Float.is_nan t.ratios.(slot))
-
-let swap_in t ~now ~slot =
-  if not (slot_in_use t slot) then invalid_arg "Swap_manager.swap_in: slot not in use";
-  let ratio = t.ratios.(slot) in
-  t.ins <- t.ins + 1;
-  t.device.Device.submit ~now ~op:Device.Read ~size_fraction:ratio
 
 let release t ~slot =
   if not (slot_in_use t slot) then invalid_arg "Swap_manager.release: slot not in use";
@@ -71,6 +74,77 @@ let release t ~slot =
   t.free <- slot :: t.free;
   t.used <- t.used - 1;
   t.compressed <- t.compressed -. ratio
+
+let take_slot t ratio =
+  let slot = alloc_slot t in
+  t.ratios.(slot) <- ratio;
+  t.used <- t.used + 1;
+  if t.used > t.peak then t.peak <- t.used;
+  t.compressed <- t.compressed +. ratio;
+  slot
+
+(* Exponential backoff in *simulated* time: the retry is submitted only
+   after the failure was observed plus the backoff delay. *)
+let backoff t tries = t.backoff_ns * (1 lsl min tries 10)
+
+let swap_out t ~now ~klass ~page_key =
+  let ratio = Compress.ratio klass ~page_key ~seed:t.seed in
+  let rec attempt ~slot ~now ~tries ~cpu =
+    let c = t.device.Device.submit ~now ~op:Device.Write ~size_fraction:ratio in
+    let cpu = cpu + c.Device.cpu_ns in
+    match c.Device.status with
+    | Device.Done ->
+      t.outs <- t.outs + 1;
+      ( Some slot,
+        { finish_ns = c.Device.finish_ns; cpu_ns = cpu; io_retries = tries;
+          failed = false } )
+    | Device.Failed kind ->
+      if tries >= t.max_retries then begin
+        release t ~slot;
+        t.write_failures <- t.write_failures + 1;
+        ( None,
+          { finish_ns = c.Device.finish_ns; cpu_ns = cpu; io_retries = tries;
+            failed = true } )
+      end
+      else begin
+        t.retries <- t.retries + 1;
+        let slot =
+          match kind with
+          | Device.Transient -> slot
+          | Device.Permanent ->
+            (* The block is bad: remap the page to a fresh slot. *)
+            release t ~slot;
+            t.remaps <- t.remaps + 1;
+            take_slot t ratio
+        in
+        attempt ~slot ~now:(c.Device.finish_ns + backoff t tries)
+          ~tries:(tries + 1) ~cpu
+      end
+  in
+  attempt ~slot:(take_slot t ratio) ~now ~tries:0 ~cpu:0
+
+let swap_in t ~now ~slot =
+  if not (slot_in_use t slot) then invalid_arg "Swap_manager.swap_in: slot not in use";
+  let ratio = t.ratios.(slot) in
+  let rec attempt ~now ~tries ~cpu =
+    let c = t.device.Device.submit ~now ~op:Device.Read ~size_fraction:ratio in
+    let cpu = cpu + c.Device.cpu_ns in
+    match c.Device.status with
+    | Device.Done ->
+      t.ins <- t.ins + 1;
+      { finish_ns = c.Device.finish_ns; cpu_ns = cpu; io_retries = tries;
+        failed = false }
+    | Device.Failed Device.Transient when tries < t.max_retries ->
+      t.retries <- t.retries + 1;
+      attempt ~now:(c.Device.finish_ns + backoff t tries) ~tries:(tries + 1) ~cpu
+    | Device.Failed _ ->
+      (* Permanent, or transient retries exhausted: the stored page is
+         unreachable — the caller must poison the mapping. *)
+      t.read_failures <- t.read_failures + 1;
+      { finish_ns = c.Device.finish_ns; cpu_ns = cpu; io_retries = tries;
+        failed = true }
+  in
+  attempt ~now ~tries:0 ~cpu:0
 
 let used_slots t = t.used
 
@@ -81,3 +155,11 @@ let compressed_bytes t = t.compressed *. 4096.0
 let swap_ins t = t.ins
 
 let swap_outs t = t.outs
+
+let io_retries t = t.retries
+
+let io_remaps t = t.remaps
+
+let read_failures t = t.read_failures
+
+let write_failures t = t.write_failures

@@ -1,4 +1,4 @@
-(** Swap-slot management over a device.
+(** Swap-slot management over a device, with fault recovery.
 
     Allocates slots for swapped-out pages, remembers each slot's
     compressed-size fraction (relevant for ZRAM service time and pool
@@ -6,20 +6,44 @@
 
     Slots survive {!swap_in} — the machine keeps them as a swap cache so
     clean pages can be evicted again without a writeback (as the kernel
-    does) — and are freed explicitly with {!release}. *)
+    does) — and are freed explicitly with {!release}.
+
+    Device errors (see {!Device.status}) are absorbed here: transient
+    errors are retried with exponential backoff in simulated time, a
+    permanent write error remaps the page to a fresh slot, and a
+    permanent read error (or transient retries exhausted) surfaces as
+    [failed = true] so the machine can poison the page.  The {!io}
+    result aggregates the timing and CPU of every attempt. *)
 
 type t
 
-val create : device:Device.t -> seed:int -> t
+val create :
+  ?max_retries:int -> ?backoff_ns:int -> device:Device.t -> seed:int -> unit -> t
+(** [max_retries] (default 4) bounds resubmissions per operation;
+    [backoff_ns] (default 100 µs) is the base of the exponential
+    backoff, doubling per attempt. *)
 
 val device : t -> Device.t
 
-val swap_out :
-  t -> now:int -> klass:Compress.klass -> page_key:int -> int * Device.completion
-(** Allocate a slot, write the page; returns [(slot, completion)]. *)
+(** Outcome of one logical swap operation, including every retry. *)
+type io = {
+  finish_ns : int;  (** when the final attempt resolved *)
+  cpu_ns : int;     (** host CPU summed over all attempts *)
+  io_retries : int; (** resubmissions performed *)
+  failed : bool;    (** gave up: data unwritten (writes) or lost (reads) *)
+}
 
-val swap_in : t -> now:int -> slot:int -> Device.completion
+val swap_out :
+  t -> now:int -> klass:Compress.klass -> page_key:int -> int option * io
+(** Allocate a slot and write the page; returns [(Some slot, io)] on
+    success.  [(None, io)] means the write failed permanently even after
+    retries and remapping — no slot holds the page, and the caller must
+    keep it resident. *)
+
+val swap_in : t -> now:int -> slot:int -> io
 (** Read a slot's page back.  The slot stays allocated (swap cache).
+    [failed = true] means the data is unrecoverable; the caller should
+    {!release} the slot and poison the page.
     @raise Invalid_argument on a slot not currently in use. *)
 
 val release : t -> slot:int -> unit
@@ -37,5 +61,19 @@ val compressed_bytes : t -> float
     ZRAM-style devices. *)
 
 val swap_ins : t -> int
+(** Successful page reads (failed attempts are not counted). *)
 
 val swap_outs : t -> int
+(** Successful page writes. *)
+
+val io_retries : t -> int
+(** Resubmissions after transient errors (reads and writes). *)
+
+val io_remaps : t -> int
+(** Writes moved to a fresh slot after a permanent error. *)
+
+val read_failures : t -> int
+(** Reads abandoned: page contents lost. *)
+
+val write_failures : t -> int
+(** Writes abandoned: page could not leave memory. *)

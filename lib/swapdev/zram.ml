@@ -42,7 +42,7 @@ let create ?(config = default_config) ~rng () =
     let finish = start + service in
     free_at.(ch) <- finish;
     (* Compression work runs on the host CPU, not a device controller. *)
-    { Device.finish_ns = finish; cpu_ns = service }
+    { Device.finish_ns = finish; cpu_ns = service; status = Device.Done }
   in
   {
     Device.name = "zram";

@@ -67,6 +67,60 @@ let test_zram_size_sensitivity () =
   Alcotest.(check bool) "compressible pages faster" true
     (small.D.finish_ns < big.D.finish_ns)
 
+let test_ssd_size_insensitive_by_default () =
+  (* Swap moves whole pages: with the default config, service time must
+     not depend on the stored fraction. *)
+  let config = { Swapdev.Ssd.default_config with Swapdev.Ssd.jitter = 0.0 } in
+  let small = (Swapdev.Ssd.create ~config ~rng:(Engine.Rng.create 1) ()).D.submit
+                ~now:0 ~op:D.Read ~size_fraction:0.1 in
+  let big = (Swapdev.Ssd.create ~config ~rng:(Engine.Rng.create 1) ()).D.submit
+              ~now:0 ~op:D.Read ~size_fraction:1.0 in
+  Alcotest.(check int) "same service time" big.D.finish_ns small.D.finish_ns;
+  Alcotest.(check int) "base service time" config.Swapdev.Ssd.read_ns big.D.finish_ns
+
+let test_ssd_size_sensitivity_opt_in () =
+  let config =
+    { Swapdev.Ssd.default_config with Swapdev.Ssd.jitter = 0.0; size_sensitivity = 0.5 }
+  in
+  let at f =
+    ((Swapdev.Ssd.create ~config ~rng:(Engine.Rng.create 1) ()).D.submit
+       ~now:0 ~op:D.Read ~size_fraction:f).D.finish_ns
+  in
+  (* a full-page transfer still costs exactly the base time... *)
+  Alcotest.(check int) "full page unchanged" config.Swapdev.Ssd.read_ns (at 1.0);
+  (* ...while compressible pages get proportionally cheaper *)
+  Alcotest.(check bool) "half page cheaper" true (at 0.5 < at 1.0);
+  Alcotest.(check int) "interpolated cost"
+    (int_of_float (float_of_int config.Swapdev.Ssd.read_ns *. 0.75))
+    (at 0.5)
+
+(* Property: under any op sequence, a device's busy horizon never moves
+   backwards and completions never finish before submission. *)
+let prop_time_sanity name make_dev =
+  let rng = Engine.Rng.create 77 in
+  let dev = make_dev () in
+  let now = ref 0 in
+  let last_busy = ref (dev.D.busy_until ()) in
+  for i = 0 to 499 do
+    now := !now + Engine.Rng.int rng 3_000_000;
+    let op = if Engine.Rng.bool rng 0.5 then D.Read else D.Write in
+    let size_fraction = 0.05 +. (0.95 *. Engine.Rng.float rng 1.0) in
+    let c = dev.D.submit ~now:!now ~op ~size_fraction in
+    if c.D.finish_ns < !now then
+      Alcotest.failf "%s op %d: finish %d before submit %d" name i c.D.finish_ns !now;
+    let busy = dev.D.busy_until () in
+    if busy < !last_busy then
+      Alcotest.failf "%s op %d: busy_until went backwards (%d < %d)" name i busy
+        !last_busy;
+    last_busy := busy
+  done
+
+let test_ssd_time_sanity () =
+  prop_time_sanity "ssd" (fun () -> Swapdev.Ssd.create ~rng:(Engine.Rng.create 5) ())
+
+let test_zram_time_sanity () =
+  prop_time_sanity "zram" (fun () -> Swapdev.Zram.create ~rng:(Engine.Rng.create 5) ())
+
 let test_stored_bytes_estimate () =
   Alcotest.(check int) "estimate" (4096 * 25)
     (Swapdev.Zram.stored_bytes_estimate ~pages:100 ~mean_ratio:0.25)
@@ -80,6 +134,15 @@ let () =
           Alcotest.test_case "queueing" `Quick test_ssd_queueing;
           Alcotest.test_case "parallel channels" `Quick test_ssd_parallel_channels;
           Alcotest.test_case "idle gap" `Quick test_ssd_idle_gap;
+          Alcotest.test_case "size-insensitive default" `Quick
+            test_ssd_size_insensitive_by_default;
+          Alcotest.test_case "size sensitivity opt-in" `Quick
+            test_ssd_size_sensitivity_opt_in;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "ssd time sanity" `Quick test_ssd_time_sanity;
+          Alcotest.test_case "zram time sanity" `Quick test_zram_time_sanity;
         ] );
       ( "zram",
         [

@@ -1,0 +1,134 @@
+module D = Swapdev.Device
+module F = Swapdev.Faulty_device
+
+let inner () =
+  let config = { Swapdev.Zram.default_config with Swapdev.Zram.jitter = 0.0 } in
+  Swapdev.Zram.create ~config ~rng:(Engine.Rng.create 3) ()
+
+let wrap ?(seed = 42) plan =
+  F.wrap ~plan ~rng:(Engine.Rng.create seed) (inner ())
+
+let drive dev n =
+  List.init n (fun i ->
+      let op = if i mod 3 = 0 then D.Write else D.Read in
+      dev.D.submit ~now:(i * 50_000) ~op ~size_fraction:0.5)
+
+let test_none_injects_nothing () =
+  Alcotest.(check bool) "none is none" true (F.is_none F.none);
+  Alcotest.(check bool) "light is not" false (F.is_none F.light);
+  Alcotest.(check bool) "heavy is not" false (F.is_none F.heavy);
+  let dev, counters = wrap F.none in
+  let plain = inner () in
+  List.iter2
+    (fun c p ->
+      Alcotest.(check bool) "status ok" true (D.ok c);
+      Alcotest.(check int) "timing untouched" p.D.finish_ns c.D.finish_ns)
+    (drive dev 200) (drive plain 200);
+  Alcotest.(check int) "no injections" 0 (F.injected counters)
+
+let test_deterministic_replay () =
+  let summarize c =
+    ( c.D.finish_ns,
+      match c.D.status with
+      | D.Done -> 0
+      | D.Failed D.Transient -> 1
+      | D.Failed D.Permanent -> 2 )
+  in
+  let once () =
+    let dev, counters = wrap F.heavy in
+    let completions = List.map summarize (drive dev 500) in
+    (completions, F.injected counters)
+  in
+  let r1, n1 = once () in
+  let r2, n2 = once () in
+  Alcotest.(check bool) "same completions" true (r1 = r2);
+  Alcotest.(check int) "same injection count" n1 n2;
+  Alcotest.(check bool) "something was injected" true (n1 > 0)
+
+let test_burst_window () =
+  let plan =
+    { F.none with F.burst_every_ops = 10; burst_len_ops = 3; burst_permanent = true }
+  in
+  let dev, counters = wrap plan in
+  let statuses = List.map (fun c -> c.D.status) (drive dev 40) in
+  List.iteri
+    (fun i status ->
+      let expect_fail = i mod 10 < 3 in
+      Alcotest.(check bool)
+        (Printf.sprintf "op %d %s" i (if expect_fail then "fails" else "succeeds"))
+        expect_fail
+        (status = D.Failed D.Permanent))
+    statuses;
+  Alcotest.(check int) "permanent counter" 12 counters.F.permanent_errors;
+  Alcotest.(check int) "no transient" 0 counters.F.transient_errors
+
+let test_stall_cadence () =
+  let plan = { F.none with F.stall_every_ops = 8; stall_ns = 1_000_000 } in
+  let dev, counters = wrap plan in
+  let faulty = drive dev 32 in
+  let plain = drive (inner ()) 32 in
+  List.iteri
+    (fun i (f, p) ->
+      let expect = if i mod 8 = 7 then 1_000_000 else 0 in
+      Alcotest.(check int)
+        (Printf.sprintf "op %d stall" i)
+        expect
+        (f.D.finish_ns - p.D.finish_ns))
+    (List.combine faulty plain);
+  Alcotest.(check int) "stalls counted" 4 counters.F.stalls
+
+let test_tail_spike_scales_latency () =
+  let plan = { F.none with F.tail_prob = 1.0; tail_multiplier = 10.0 } in
+  let dev, counters = wrap plan in
+  let c = dev.D.submit ~now:1_000 ~op:D.Read ~size_fraction:0.5 in
+  let p = (inner ()).D.submit ~now:1_000 ~op:D.Read ~size_fraction:0.5 in
+  Alcotest.(check int) "observed latency x10"
+    ((p.D.finish_ns - 1_000) * 10)
+    (c.D.finish_ns - 1_000);
+  Alcotest.(check int) "spike counted" 1 counters.F.tail_spikes
+
+let test_probabilistic_rates () =
+  let plan = { F.none with F.read_error_prob = 0.2; write_error_prob = 0.2 } in
+  let dev, counters = wrap plan in
+  ignore (drive dev 2000);
+  let errors = counters.F.transient_errors + counters.F.permanent_errors in
+  Alcotest.(check bool)
+    (Printf.sprintf "error rate near 20%% (got %d/2000)" errors)
+    true
+    (errors > 300 && errors < 500);
+  (* permanent_fraction = 0 -> every error is transient *)
+  Alcotest.(check int) "all transient" 0 counters.F.permanent_errors
+
+let test_failed_ops_occupy_channel () =
+  (* Errors happen after the op ran: device counters and queueing state
+     advance exactly as on the clean device. *)
+  let dev, _ = wrap { F.none with F.burst_every_ops = 1; burst_len_ops = 1 } in
+  ignore (drive dev 10);
+  let plain = inner () in
+  ignore (drive plain 10);
+  Alcotest.(check int) "reads counted" (plain.D.reads ()) (dev.D.reads ());
+  Alcotest.(check int) "writes counted" (plain.D.writes ()) (dev.D.writes ());
+  Alcotest.(check int) "busy horizon equal" (plain.D.busy_until ()) (dev.D.busy_until ())
+
+let test_plan_of_name () =
+  Alcotest.(check bool) "none" true (F.plan_of_name "none" = Some F.none);
+  Alcotest.(check bool) "light" true (F.plan_of_name "light" = Some F.light);
+  Alcotest.(check bool) "heavy" true (F.plan_of_name "heavy" = Some F.heavy);
+  Alcotest.(check bool) "unknown" true (F.plan_of_name "broken" = None)
+
+let () =
+  Alcotest.run "faulty_device"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "none injects nothing" `Quick test_none_injects_nothing;
+          Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+          Alcotest.test_case "burst window" `Quick test_burst_window;
+          Alcotest.test_case "stall cadence" `Quick test_stall_cadence;
+          Alcotest.test_case "tail spike" `Quick test_tail_spike_scales_latency;
+          Alcotest.test_case "probabilistic rates" `Quick test_probabilistic_rates;
+          Alcotest.test_case "failed ops occupy channel" `Quick
+            test_failed_ops_occupy_channel;
+          Alcotest.test_case "plan names" `Quick test_plan_of_name;
+        ] );
+    ]

@@ -170,6 +170,119 @@ let test_policy_stats_surface () =
   Alcotest.(check string) "policy name" "mglru" r.M.policy_name;
   Alcotest.(check bool) "stats exported" true (List.length r.M.policy_stats > 0)
 
+(* ---- fault injection & degradation ---- *)
+
+let run_plan ?(capacity = 16) ?audit_every_ns ~plan ~policy lists =
+  let cfg = config ~capacity () in
+  let cfg =
+    { cfg with M.fault_plan = plan;
+      audit_every_ns = Option.value audit_every_ns ~default:cfg.M.audit_every_ns }
+  in
+  M.run cfg ~policy:(Policy.Registry.create policy) ~workload:(trace_workload lists)
+
+let thrash_lists n =
+  [ Array.init n (fun i -> i); Array.init n (fun i -> (i * 7) mod n);
+    Array.init n (fun i -> i) ]
+
+let test_zero_plan_identical () =
+  (* An explicit all-zero plan must not perturb anything: the device is
+     not even wrapped, so the RNG stream is untouched. *)
+  let base = run ~capacity:16 ~policy:Policy.Registry.Mglru_default (thrash_lists 32) in
+  let zeroed =
+    run_plan ~plan:Swapdev.Faulty_device.none ~policy:Policy.Registry.Mglru_default
+      (thrash_lists 32)
+  in
+  Alcotest.(check int) "same runtime" base.M.runtime_ns zeroed.M.runtime_ns;
+  Alcotest.(check int) "same majors" base.M.major_faults zeroed.M.major_faults;
+  Alcotest.(check int) "nothing injected" 0
+    (zeroed.M.injected_transient + zeroed.M.injected_permanent
+    + zeroed.M.injected_stalls + zeroed.M.injected_tail_spikes);
+  Alcotest.(check int) "no oom" 0 zeroed.M.oom_kills;
+  Alcotest.(check int) "invariants hold" 0 zeroed.M.invariant_violations
+
+let test_transient_errors_retried () =
+  let plan =
+    { Swapdev.Faulty_device.none with
+      Swapdev.Faulty_device.read_error_prob = 0.4; write_error_prob = 0.4 }
+  in
+  let r =
+    run_plan ~plan ~audit_every_ns:1_000_000 ~policy:Policy.Registry.Clock
+      (thrash_lists 48)
+  in
+  Alcotest.(check bool) "errors injected" true (r.M.injected_transient > 0);
+  Alcotest.(check bool) "retries absorbed them" true (r.M.io_retries > 0);
+  Alcotest.(check bool) "every thread finished" true
+    (Array.for_all (fun f -> f >= 0) r.M.per_thread_finish);
+  Alcotest.(check int) "invariants hold" 0 r.M.invariant_violations
+
+let test_permanent_reads_poison () =
+  let plan =
+    { Swapdev.Faulty_device.none with
+      Swapdev.Faulty_device.read_error_prob = 1.0; permanent_fraction = 1.0 }
+  in
+  let r = run_plan ~plan ~policy:Policy.Registry.Clock (thrash_lists 48) in
+  Alcotest.(check bool) "reads poisoned" true (r.M.poisoned_reads > 0);
+  Alcotest.(check bool) "run completed" true
+    (Array.for_all (fun f -> f >= 0) r.M.per_thread_finish);
+  Alcotest.(check int) "no oom needed" 0 r.M.oom_kills;
+  Alcotest.(check int) "invariants hold" 0 r.M.invariant_violations
+
+let test_permanent_writes_pin_then_oom () =
+  (* Nothing can ever be written out, so reclaim pins page after page
+     until the OOM killer must step in; the trial still terminates. *)
+  let plan =
+    { Swapdev.Faulty_device.none with
+      Swapdev.Faulty_device.write_error_prob = 1.0; permanent_fraction = 1.0 }
+  in
+  let r =
+    run_plan ~plan ~audit_every_ns:1_000_000 ~policy:Policy.Registry.Clock
+      (thrash_lists 64)
+  in
+  Alcotest.(check bool) "writebacks failed" true (r.M.writeback_failures > 0);
+  Alcotest.(check bool) "oom killer fired" true (r.M.oom_kills >= 1);
+  Alcotest.(check bool) "pages discarded" true (r.M.oom_discarded_pages > 0);
+  Alcotest.(check bool) "run completed" true
+    (Array.for_all (fun f -> f >= 0) r.M.per_thread_finish);
+  Alcotest.(check int) "invariants hold" 0 r.M.invariant_violations
+
+let test_oom_spares_survivors () =
+  (* Two threads on disjoint ranges; the fatter one is sacrificed and
+     the other must still run to completion. *)
+  let plan =
+    { Swapdev.Faulty_device.none with
+      Swapdev.Faulty_device.write_error_prob = 1.0; permanent_fraction = 1.0 }
+  in
+  let big = Array.init 48 (fun i -> i) in
+  let small = Array.init 8 (fun i -> 48 + i) in
+  let w =
+    Workload.Trace.of_page_lists ~footprint:64
+      [ Array.concat [ big; big ]; Array.concat [ small; small; small ] ]
+  in
+  let cfg = { (config ~capacity:24 ()) with M.fault_plan = plan } in
+  let r =
+    M.run cfg
+      ~policy:(Policy.Registry.create Policy.Registry.Clock)
+      ~workload:(Workload.Chunk.Packed ((module Workload.Trace), w))
+  in
+  Alcotest.(check bool) "oom fired" true (r.M.oom_kills >= 1);
+  Alcotest.(check bool) "both threads terminated" true
+    (Array.for_all (fun f -> f >= 0) r.M.per_thread_finish);
+  Alcotest.(check int) "invariants hold" 0 r.M.invariant_violations
+
+let test_heavy_plan_deterministic () =
+  let go () =
+    run_plan ~plan:Swapdev.Faulty_device.heavy ~audit_every_ns:5_000_000
+      ~policy:Policy.Registry.Mglru_default (thrash_lists 64)
+  in
+  let r1 = go () in
+  let r2 = go () in
+  Alcotest.(check int) "same runtime" r1.M.runtime_ns r2.M.runtime_ns;
+  Alcotest.(check int) "same poisons" r1.M.poisoned_reads r2.M.poisoned_reads;
+  Alcotest.(check int) "same retries" r1.M.io_retries r2.M.io_retries;
+  Alcotest.(check bool) "faults actually injected" true
+    (r1.M.injected_transient + r1.M.injected_permanent > 0);
+  Alcotest.(check int) "invariants hold" 0 r1.M.invariant_violations
+
 let () =
   Alcotest.run "machine"
     [
@@ -185,5 +298,16 @@ let () =
           Alcotest.test_case "barrier" `Quick test_barrier_synchronizes;
           Alcotest.test_case "latency recording" `Quick test_latency_recording;
           Alcotest.test_case "policy stats" `Quick test_policy_stats_surface;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "zero plan identical" `Quick test_zero_plan_identical;
+          Alcotest.test_case "transient retried" `Quick test_transient_errors_retried;
+          Alcotest.test_case "permanent reads poison" `Quick test_permanent_reads_poison;
+          Alcotest.test_case "permanent writes pin then oom" `Quick
+            test_permanent_writes_pin_then_oom;
+          Alcotest.test_case "oom spares survivors" `Quick test_oom_spares_survivors;
+          Alcotest.test_case "heavy plan deterministic" `Quick
+            test_heavy_plan_deterministic;
         ] );
     ]

@@ -1,18 +1,25 @@
 module SM = Swapdev.Swap_manager
-module D = Swapdev.Device
 
 let make () =
   let dev = Swapdev.Zram.create ~rng:(Engine.Rng.create 1) () in
-  SM.create ~device:dev ~seed:9
+  SM.create ~device:dev ~seed:9 ()
+
+(* swap_out on a fault-free device always yields a slot. *)
+let out_exn m ~now ~klass ~page_key =
+  match SM.swap_out m ~now ~klass ~page_key with
+  | Some slot, io -> (slot, io)
+  | None, _ -> Alcotest.fail "swap_out failed on a fault-free device"
 
 let test_out_in_release () =
   let m = make () in
-  let slot, c = SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:5 in
-  Alcotest.(check bool) "write completion in future" true (c.D.finish_ns > 0);
+  let slot, io = out_exn m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:5 in
+  Alcotest.(check bool) "write completion in future" true (io.SM.finish_ns > 0);
+  Alcotest.(check bool) "no retries needed" true (io.SM.io_retries = 0 && not io.SM.failed);
   Alcotest.(check bool) "slot in use" true (SM.slot_in_use m slot);
   Alcotest.(check int) "used" 1 (SM.used_slots m);
   (* swap_in keeps the slot (swap cache) *)
-  let _c2 = SM.swap_in m ~now:100 ~slot in
+  let io2 = SM.swap_in m ~now:100 ~slot in
+  Alcotest.(check bool) "read succeeded" false io2.SM.failed;
   Alcotest.(check bool) "still in use" true (SM.slot_in_use m slot);
   Alcotest.(check int) "ins" 1 (SM.swap_ins m);
   SM.release m ~slot;
@@ -21,9 +28,9 @@ let test_out_in_release () =
 
 let test_slot_reuse () =
   let m = make () in
-  let s1, _ = SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:1 in
+  let s1, _ = out_exn m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:1 in
   SM.release m ~slot:s1;
-  let s2, _ = SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:2 in
+  let s2, _ = out_exn m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:2 in
   Alcotest.(check int) "freed slot reused" s1 s2
 
 let test_bad_slot_ops () =
@@ -35,11 +42,19 @@ let test_bad_slot_ops () =
     (Invalid_argument "Swap_manager.release: slot not in use") (fun () ->
       SM.release m ~slot:3)
 
+let test_double_release () =
+  let m = make () in
+  let slot, _ = out_exn m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:1 in
+  SM.release m ~slot;
+  Alcotest.check_raises "double release rejected"
+    (Invalid_argument "Swap_manager.release: slot not in use") (fun () ->
+      SM.release m ~slot)
+
 let test_peak_tracking () =
   let m = make () in
   let slots =
     List.init 5 (fun i ->
-        fst (SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Kv_item ~page_key:i))
+        fst (out_exn m ~now:0 ~klass:Swapdev.Compress.Kv_item ~page_key:i))
   in
   List.iter (fun slot -> SM.release m ~slot) slots;
   Alcotest.(check int) "peak" 5 (SM.peak_slots m);
@@ -47,7 +62,7 @@ let test_peak_tracking () =
 
 let test_compressed_accounting () =
   let m = make () in
-  let slot, _ = SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Columnar ~page_key:7 in
+  let slot, _ = out_exn m ~now:0 ~klass:Swapdev.Compress.Columnar ~page_key:7 in
   let bytes = SM.compressed_bytes m in
   Alcotest.(check bool) "positive and under a page" true (bytes > 0.0 && bytes < 4096.0);
   SM.release m ~slot;
@@ -61,6 +76,28 @@ let test_many_slots_grow () =
   Alcotest.(check int) "all live" 5000 (SM.used_slots m);
   Alcotest.(check int) "outs counted" 5000 (SM.swap_outs m)
 
+(* The slot array starts at 1024 entries; crossing the boundary must not
+   lose or corrupt accounting for slots on either side. *)
+let test_grow_boundary () =
+  let m = make () in
+  let slots =
+    Array.init 1025 (fun i ->
+        fst (out_exn m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:i))
+  in
+  Alcotest.(check int) "1025 live across the boundary" 1025 (SM.used_slots m);
+  Alcotest.(check bool) "slot 1023 live" true (SM.slot_in_use m slots.(1023));
+  Alcotest.(check bool) "slot 1024 live" true (SM.slot_in_use m slots.(1024));
+  SM.release m ~slot:slots.(1023);
+  SM.release m ~slot:slots.(1024);
+  Alcotest.(check bool) "1023 released" false (SM.slot_in_use m slots.(1023));
+  Alcotest.(check bool) "1024 released" false (SM.slot_in_use m slots.(1024));
+  Alcotest.(check int) "used tracks releases" 1023 (SM.used_slots m);
+  (* both freed slots come back before the array grows again *)
+  let s1, _ = out_exn m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:2000 in
+  let s2, _ = out_exn m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:2001 in
+  Alcotest.(check bool) "freed boundary slots reused" true
+    (List.sort compare [ s1; s2 ] = List.sort compare [ slots.(1023); slots.(1024) ])
+
 let prop_used_never_negative =
   QCheck.Test.make ~name:"slot accounting stays consistent" ~count:100
     QCheck.(list bool)
@@ -70,7 +107,9 @@ let prop_used_never_negative =
       List.iter
         (fun out ->
           if out then
-            live := fst (SM.swap_out m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:0) :: !live
+            live :=
+              fst (out_exn m ~now:0 ~klass:Swapdev.Compress.Numeric ~page_key:0)
+              :: !live
           else
             match !live with
             | slot :: rest ->
@@ -88,9 +127,11 @@ let () =
           Alcotest.test_case "out/in/release" `Quick test_out_in_release;
           Alcotest.test_case "slot reuse" `Quick test_slot_reuse;
           Alcotest.test_case "bad slot ops" `Quick test_bad_slot_ops;
+          Alcotest.test_case "double release" `Quick test_double_release;
           Alcotest.test_case "peak tracking" `Quick test_peak_tracking;
           Alcotest.test_case "compressed accounting" `Quick test_compressed_accounting;
           Alcotest.test_case "many slots" `Quick test_many_slots_grow;
+          Alcotest.test_case "grow at 1024 boundary" `Quick test_grow_boundary;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_used_never_negative ]);
     ]
