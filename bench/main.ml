@@ -157,10 +157,18 @@ let () =
   | None -> run_benchmarks ());
   print_newline ();
   print_endline "=== Full figure reproduction ===";
-  Printf.printf "profile: trials=%d ycsb_trials=%d fast=%b\n"
-    (Repro_core.Runner.profile ()).Repro_core.Runner.trials
-    (Repro_core.Runner.profile ()).Repro_core.Runner.ycsb_trials
-    (Repro_core.Runner.profile ()).Repro_core.Runner.fast;
+  let profile = Repro_core.Runner.profile_from_env () in
+  (* Figure timings default to the serial path so numbers stay
+     comparable across machines; REPRO_JOBS opts into the pool. *)
+  let jobs =
+    match Sys.getenv_opt "REPRO_JOBS" with
+    | Some s -> (match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+    | None -> 1
+  in
+  let ctx = Repro_core.Runner.make_ctx ~profile ~jobs () in
+  Printf.printf "profile: trials=%d ycsb_trials=%d fast=%b jobs=%d\n"
+    profile.Repro_core.Runner.trials profile.Repro_core.Runner.ycsb_trials
+    profile.Repro_core.Runner.fast jobs;
   let t0 = Unix.gettimeofday () in
-  Repro_core.Figures.run_all ();
+  Repro_core.Figures.run_all ctx;
   Printf.printf "\n(total figure time: %.1fs)\n" (Unix.gettimeofday () -. t0)

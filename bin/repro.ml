@@ -3,18 +3,17 @@
    repro fig 1 .. 12 | all    reproduce the paper's figures
    repro run ...              run one experiment cell
    repro list                 show available workloads and policies
-   repro sweep ...            capacity-ratio sweep for one workload *)
+   repro sweep ...            capacity-ratio sweep for one workload
+
+   Every subcommand builds one explicit Repro_core.Runner.ctx from its
+   flags (scaling profile, fault plan, audit cadence, --jobs) and
+   threads it through the drivers; the REPRO_TRIALS / REPRO_YCSB_TRIALS
+   / REPRO_FAST environment variables remain as documented fallbacks,
+   read in exactly one place (Runner.profile_from_env). *)
 
 open Cmdliner
 
-let set_profile_env trials ycsb_trials fast =
-  (match trials with
-  | Some n -> Unix.putenv "REPRO_TRIALS" (string_of_int n)
-  | None -> ());
-  (match ycsb_trials with
-  | Some n -> Unix.putenv "REPRO_YCSB_TRIALS" (string_of_int n)
-  | None -> ());
-  if fast then Unix.putenv "REPRO_FAST" "1"
+(* ---------------- the shared run-context terms ---------------- *)
 
 let trials_arg =
   Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N"
@@ -26,6 +25,65 @@ let ycsb_trials_arg =
 
 let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc:"Shrink workloads ~4x for a quick look.")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:
+           "Run trials on N domains in parallel (default: the machine's \
+            recommended domain count). Output is bit-identical to $(b,--jobs 1): \
+            every trial owns its seeded RNG and simulator, and aggregation \
+            is deterministic.")
+
+let fault_plan_conv =
+  let parse s =
+    match Swapdev.Faulty_device.plan_of_name (String.lowercase_ascii s) with
+    | Some plan -> Ok plan
+    | None -> Error (`Msg (Printf.sprintf "unknown fault plan %S" s))
+  in
+  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<fault-plan>")
+
+let faults_arg =
+  Arg.(value & opt fault_plan_conv Swapdev.Faulty_device.none
+       & info [ "faults" ] ~docv:"PLAN"
+           ~doc:
+             "Swap I/O fault-injection plan: none | light | heavy. Deterministic \
+              per seed; $(b,none) leaves results bit-identical.")
+
+let audit_every_arg =
+  Arg.(value & opt int 0
+       & info [ "audit-every" ] ~docv:"MS"
+           ~doc:
+             "Audit machine-state invariants every MS simulated milliseconds \
+              (0 = end-of-run only).")
+
+(* Flags override the environment fallbacks; the fast flag is sticky in
+   the or-direction so REPRO_FAST=1 keeps working under any flags. *)
+let build_ctx trials ycsb_trials fast jobs faults audit_every_ms =
+  let base = Repro_core.Runner.profile_from_env () in
+  let profile =
+    {
+      Repro_core.Runner.trials =
+        (match trials with Some n -> max 1 n | None -> base.Repro_core.Runner.trials);
+      ycsb_trials =
+        (match ycsb_trials with
+        | Some n -> max 1 n
+        | None -> base.Repro_core.Runner.ycsb_trials);
+      fast = fast || base.Repro_core.Runner.fast;
+    }
+  in
+  let jobs =
+    match jobs with Some n -> max 1 n | None -> Engine.Pool.default_jobs ()
+  in
+  Repro_core.Runner.make_ctx ~profile ~fault_plan:faults
+    ~audit_every_ns:(max 0 audit_every_ms * 1_000_000)
+    ~jobs ()
+
+let ctx_term =
+  Term.(
+    const build_ctx $ trials_arg $ ycsb_trials_arg $ fast_arg $ jobs_arg
+    $ faults_arg $ audit_every_arg)
+
+(* ---------------- argument converters ---------------- *)
 
 let workload_conv =
   let parse s =
@@ -66,15 +124,14 @@ let fig_cmd =
       & pos_all string []
       & info [] ~docv:"FIGURE" ~doc:"Figure numbers (1-12) or $(b,all).")
   in
-  let run figures trials ycsb_trials fast =
-    set_profile_env trials ycsb_trials fast;
+  let run ctx figures =
     try
-      if List.mem "all" figures then Repro_core.Figures.run_all ()
+      if List.mem "all" figures then Repro_core.Figures.run_all ctx
       else
         List.iter
           (fun s ->
             match int_of_string_opt s with
-            | Some n when n >= 1 && n <= 12 -> Repro_core.Figures.run n
+            | Some n when n >= 1 && n <= 12 -> Repro_core.Figures.run ctx n
             | Some _ | None ->
               raise (Invalid_argument (Printf.sprintf "no figure %S" s)))
           figures;
@@ -83,17 +140,9 @@ let fig_cmd =
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Reproduce one or more of the paper's figures (1-12).")
-    Term.(ret (const run $ figures $ trials_arg $ ycsb_trials_arg $ fast_arg))
+    Term.(ret (const run $ ctx_term $ figures))
 
 (* ---------------- run ---------------- *)
-
-let fault_plan_conv =
-  let parse s =
-    match Swapdev.Faulty_device.plan_of_name (String.lowercase_ascii s) with
-    | Some plan -> Ok plan
-    | None -> Error (`Msg (Printf.sprintf "unknown fault plan %S" s))
-  in
-  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<fault-plan>")
 
 let run_cmd =
   let workload =
@@ -119,54 +168,36 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-policy internal counters.")
   in
-  let faults =
-    Arg.(value & opt fault_plan_conv Swapdev.Faulty_device.none
-         & info [ "faults" ] ~docv:"PLAN"
-             ~doc:
-               "Swap I/O fault-injection plan: none | light | heavy. Deterministic \
-                per seed; $(b,none) leaves results bit-identical.")
-  in
-  let audit_every =
-    Arg.(value & opt int 0
-         & info [ "audit-every" ] ~docv:"MS"
-             ~doc:
-               "Audit machine-state invariants every MS simulated milliseconds \
-                (0 = end-of-run only).")
-  in
-  let run workload policy ratio swap verbose faults audit_every trials ycsb_trials
-      fast =
-    set_profile_env trials ycsb_trials fast;
-    Repro_core.Runner.set_fault_plan faults;
-    Repro_core.Runner.set_audit_every_ns (max 0 audit_every * 1_000_000);
-    let faults_on = not (Swapdev.Faulty_device.is_none faults) in
-    let n = Repro_core.Runner.trials_for workload in
+  let run ctx workload policy ratio swap verbose =
+    let faults_on =
+      not (Swapdev.Faulty_device.is_none (Repro_core.Runner.fault_plan ctx))
+    in
+    let audits_on = Repro_core.Runner.audit_every_ns ctx > 0 in
+    let n = Repro_core.Runner.trials_for ctx workload in
     Printf.printf "%s / %s / %.0f%% / %s  (%d trial%s)\n"
       (Repro_core.Runner.workload_kind_name workload)
       (Policy.Registry.name policy) (ratio *. 100.0)
       (Repro_core.Runner.swap_name swap) n
       (if n = 1 then "" else "s");
-    let results = ref [] in
-    for trial = 0 to n - 1 do
-      let r =
-        Repro_core.Runner.run_exp
-          { Repro_core.Runner.workload; policy; ratio; swap; trial }
-      in
-      results := r :: !results;
-      Printf.printf
-        "  trial %2d: runtime %10s  major %9s  ins %9s  outs %9s  direct %6d\n%!"
-        trial
-        (Repro_core.Report.fsec (float_of_int r.Repro_core.Machine.runtime_ns /. 1e9))
-        (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.major_faults))
-        (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_ins))
-        (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_outs))
-        r.Repro_core.Machine.direct_reclaims;
-      if faults_on || audit_every > 0 then Repro_core.Report.fault_summary r;
-      if verbose then
-        List.iter
-          (fun (k, v) -> Printf.printf "      %-24s %d\n" k v)
-          r.Repro_core.Machine.policy_stats
-    done;
-    let results = List.rev !results in
+    (* The cell's trials compute in parallel; the per-trial lines print
+       from the cache afterwards, in trial order. *)
+    let results = Repro_core.Runner.run_cell ctx ~workload ~policy ~ratio ~swap in
+    List.iteri
+      (fun trial r ->
+        Printf.printf
+          "  trial %2d: runtime %10s  major %9s  ins %9s  outs %9s  direct %6d\n%!"
+          trial
+          (Repro_core.Report.fsec (float_of_int r.Repro_core.Machine.runtime_ns /. 1e9))
+          (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.major_faults))
+          (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_ins))
+          (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_outs))
+          r.Repro_core.Machine.direct_reclaims;
+        if faults_on || audits_on then Repro_core.Report.fault_summary r;
+        if verbose then
+          List.iter
+            (fun (k, v) -> Printf.printf "      %-24s %d\n" k v)
+            r.Repro_core.Machine.policy_stats)
+      results;
     if n > 1 then begin
       let rt = Stats.Summary.of_array (Repro_core.Runner.runtimes_s results) in
       let fl = Stats.Summary.of_array (Repro_core.Runner.faults results) in
@@ -192,9 +223,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment cell and print its metrics.")
-    Term.(
-      const run $ workload $ policy $ ratio $ swap $ verbose $ faults
-      $ audit_every $ trials_arg $ ycsb_trials_arg $ fast_arg)
+    Term.(const run $ ctx_term $ workload $ policy $ ratio $ swap $ verbose)
 
 (* ---------------- list ---------------- *)
 
@@ -224,9 +253,17 @@ let sweep_cmd =
     Arg.(value & opt swap_conv Repro_core.Runner.Ssd
          & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
   in
-  let run workload swap trials ycsb_trials fast =
-    set_profile_env trials ycsb_trials fast;
+  let run ctx workload swap =
     let ratios = [ 0.5; 0.75; 0.9 ] in
+    (* Fan the whole policy x ratio grid out through the pool at once. *)
+    Repro_core.Runner.prefetch ctx
+      (List.concat_map
+         (fun policy ->
+           List.concat_map
+             (fun ratio ->
+               Repro_core.Runner.cell_exps ctx ~workload ~policy ~ratio ~swap)
+             ratios)
+         Policy.Registry.all_paper_specs);
     let header =
       ("policy"
       :: List.map (fun r -> Printf.sprintf "%.0f%% rt" (r *. 100.0)) ratios)
@@ -237,7 +274,8 @@ let sweep_cmd =
         (fun policy ->
           let cells =
             List.map
-              (fun ratio -> Repro_core.Runner.run_cell ~workload ~policy ~ratio ~swap)
+              (fun ratio ->
+                Repro_core.Runner.run_cell ctx ~workload ~policy ~ratio ~swap)
               ratios
           in
           (Policy.Registry.name policy
@@ -257,7 +295,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep capacity ratios for every paper policy.")
-    Term.(const run $ workload $ swap $ trials_arg $ ycsb_trials_arg $ fast_arg)
+    Term.(const run $ ctx_term $ workload $ swap)
 
 (* ---------------- ablate ---------------- *)
 
@@ -269,15 +307,14 @@ let ablate_cmd =
           ~doc:
             "generations | bloom | spatial | readahead | scan-rand | all")
   in
-  let run studies trials ycsb_trials fast =
-    set_profile_env trials ycsb_trials fast;
+  let run ctx studies =
     let dispatch = function
-      | "generations" -> Repro_core.Ablation.generations ()
-      | "bloom" -> Repro_core.Ablation.bloom_density ()
-      | "spatial" -> Repro_core.Ablation.spatial_scan ()
-      | "readahead" -> Repro_core.Ablation.readahead ()
-      | "scan-rand" -> Repro_core.Ablation.scan_probability ()
-      | "all" -> Repro_core.Ablation.run_all ()
+      | "generations" -> Repro_core.Ablation.generations ctx
+      | "bloom" -> Repro_core.Ablation.bloom_density ctx
+      | "spatial" -> Repro_core.Ablation.spatial_scan ctx
+      | "readahead" -> Repro_core.Ablation.readahead ctx
+      | "scan-rand" -> Repro_core.Ablation.scan_probability ctx
+      | "all" -> Repro_core.Ablation.run_all ctx
       | s -> raise (Invalid_argument (Printf.sprintf "no ablation study %S" s))
     in
     try
@@ -287,7 +324,7 @@ let ablate_cmd =
   in
   Cmd.v
     (Cmd.info "ablate" ~doc:"Ablate MG-LRU/machine design choices (DESIGN.md \\S5).")
-    Term.(ret (const run $ studies $ trials_arg $ ycsb_trials_arg $ fast_arg))
+    Term.(ret (const run $ ctx_term $ studies))
 
 (* ---------------- tier ---------------- *)
 
@@ -300,14 +337,13 @@ let tier_cmd =
   let tier_trials =
     Arg.(value & opt int 3 & info [ "tier-trials" ] ~docv:"N" ~doc:"Trials per cell.")
   in
-  let run fast_frac tier_trials trials ycsb_trials fast =
-    set_profile_env trials ycsb_trials fast;
-    Repro_core.Tier_study.study ~fast_frac ~trials:tier_trials ()
+  let run ctx fast_frac tier_trials =
+    Repro_core.Tier_study.study ~fast_frac ~trials:tier_trials ctx ()
   in
   Cmd.v
     (Cmd.info "tier"
        ~doc:"Compare page-migration policies (TPP/Thermostat/AutoNUMA) on tiered memory.")
-    Term.(const run $ fast_frac $ tier_trials $ trials_arg $ ycsb_trials_arg $ fast_arg)
+    Term.(const run $ ctx_term $ fast_frac $ tier_trials)
 
 (* ---------------- export ---------------- *)
 
@@ -316,14 +352,13 @@ let export_cmd =
     Arg.(value & opt string "figures-csv"
          & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory for CSV files.")
   in
-  let run dir trials ycsb_trials fast =
-    set_profile_env trials ycsb_trials fast;
-    Repro_core.Csv_export.export_all ~dir;
+  let run ctx dir =
+    Repro_core.Csv_export.export_all ctx ~dir;
     Printf.printf "wrote figure CSVs to %s/\n" dir
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export every figure's underlying data as CSV.")
-    Term.(const run $ dir $ trials_arg $ ycsb_trials_arg $ fast_arg)
+    Term.(const run $ ctx_term $ dir)
 
 let main =
   let doc =

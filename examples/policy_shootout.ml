@@ -6,8 +6,11 @@
    seeds make the comparison paired. *)
 
 let () =
-  Unix.putenv "REPRO_FAST" "1";
-  Unix.putenv "REPRO_TRIALS" "2";
+  let ctx =
+    Repro_core.Runner.make_ctx
+      ~profile:{ Repro_core.Runner.trials = 2; ycsb_trials = 1; fast = true }
+      ()
+  in
   let policies =
     List.filter_map Policy.Registry.of_name Policy.Registry.known_names
   in
@@ -16,8 +19,8 @@ let () =
     List.map
       (fun policy ->
         let results =
-          Repro_core.Runner.run_cell ~workload:Repro_core.Runner.Tpch ~policy
-            ~ratio:0.5 ~swap:Repro_core.Runner.Ssd
+          Repro_core.Runner.run_cell ctx ~workload:Repro_core.Runner.Tpch
+            ~policy ~ratio:0.5 ~swap:Repro_core.Runner.Ssd
         in
         let rt = Repro_core.Runner.mean_runtime_s results in
         let faults = Repro_core.Runner.mean_faults results in

@@ -4,14 +4,17 @@
      dune exec examples/tail_latency.exe *)
 
 let () =
-  Unix.putenv "REPRO_FAST" "1";
-  Unix.putenv "REPRO_YCSB_TRIALS" "1";
+  let ctx =
+    Repro_core.Runner.make_ctx
+      ~profile:{ Repro_core.Runner.trials = 2; ycsb_trials = 1; fast = true }
+      ()
+  in
   Repro_core.Report.section "YCSB-B tail latencies (SSD, 50% capacity)";
   let rows =
     List.concat_map
       (fun policy ->
         let results =
-          Repro_core.Runner.run_cell
+          Repro_core.Runner.run_cell ctx
             ~workload:(Repro_core.Runner.Ycsb Workload.Ycsb.B)
             ~policy ~ratio:0.5 ~swap:Repro_core.Runner.Ssd
         in

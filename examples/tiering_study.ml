@@ -1,3 +1,7 @@
 let () =
-  Unix.putenv "REPRO_FAST" "1";
-  Repro_core.Tier_study.study ~trials:1 ()
+  let ctx =
+    Repro_core.Runner.make_ctx
+      ~profile:{ Repro_core.Runner.trials = 2; ycsb_trials = 1; fast = true }
+      ()
+  in
+  Repro_core.Tier_study.study ~trials:1 ctx ()

@@ -4,11 +4,14 @@
      dune exec examples/zram_vs_ssd.exe *)
 
 let () =
-  Unix.putenv "REPRO_FAST" "1";
-  Unix.putenv "REPRO_TRIALS" "2";
+  let ctx =
+    Repro_core.Runner.make_ctx
+      ~profile:{ Repro_core.Runner.trials = 2; ycsb_trials = 1; fast = true }
+      ()
+  in
   Repro_core.Report.section "ZRAM vs SSD: PageRank under MG-LRU and Clock (50%)";
   let cell policy swap =
-    Repro_core.Runner.run_cell ~workload:Repro_core.Runner.Pagerank ~policy
+    Repro_core.Runner.run_cell ctx ~workload:Repro_core.Runner.Pagerank ~policy
       ~ratio:0.5 ~swap
   in
   let rows =

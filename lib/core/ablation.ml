@@ -1,9 +1,22 @@
 let workloads = [ Runner.Tpch; Runner.Pagerank ]
 
-let cells ~policy =
+(* Warm the trial cache for every (config-derived) policy in one pool
+   batch, so a sweep's cells compute in parallel while the tables below
+   still print in deterministic serial order. *)
+let prefetch_policies ctx policies =
+  Runner.prefetch ctx
+    (List.concat_map
+       (fun policy ->
+         List.concat_map
+           (fun workload ->
+             Runner.cell_exps ctx ~workload ~policy ~ratio:0.5 ~swap:Runner.Ssd)
+           workloads)
+       policies)
+
+let cells ctx ~policy =
   List.map
     (fun workload ->
-      let results = Runner.run_cell ~workload ~policy ~ratio:0.5 ~swap:Runner.Ssd in
+      let results = Runner.run_cell ctx ~workload ~policy ~ratio:0.5 ~swap:Runner.Ssd in
       (workload, Runner.mean_runtime_s results, Runner.mean_faults results))
     workloads
 
@@ -23,31 +36,34 @@ let row_of label cell_list =
        (fun (_w, rt, faults) -> [ Report.fsec rt; Report.fcount faults ])
        cell_list
 
-let mglru_sweep ~label_of configs =
-  List.map
-    (fun config ->
-      let policy = Policy.Registry.Mglru_custom config in
-      row_of (label_of config) (cells ~policy))
-    configs
+let mglru_sweep ctx ~label_of configs =
+  let policies = List.map (fun c -> Policy.Registry.Mglru_custom c) configs in
+  prefetch_policies ctx policies;
+  List.map2
+    (fun config policy -> row_of (label_of config) (cells ctx ~policy))
+    configs policies
 
-let generations () =
+let generations ctx =
   Report.section "Ablation: generation-window cap (SSD, 50%)";
   let configs =
     List.map
       (fun max_gens -> { Policy.Mglru.default_config with Policy.Mglru.max_gens })
       [ 2; 4; 8; 16; 1 lsl 14 ]
   in
+  prefetch_policies ctx
+    (Policy.Registry.Clock
+    :: List.map (fun c -> Policy.Registry.Mglru_custom c) configs);
   sweep_table
     ~rows:
-      (row_of "clock (2 lists)" (cells ~policy:Policy.Registry.Clock)
-      :: mglru_sweep
+      (row_of "clock (2 lists)" (cells ctx ~policy:Policy.Registry.Clock)
+      :: mglru_sweep ctx
            ~label_of:(fun c ->
              Printf.sprintf "mglru max_gens=%d" c.Policy.Mglru.max_gens)
            configs);
   Report.note "Paper SV-B: the cap barely moves the means because promotion and";
   Report.note "eviction rules are unchanged - only the recency resolution grows."
 
-let bloom_density () =
+let bloom_density ctx =
   Report.section "Ablation: Bloom-filter admission density (SSD, 50%)";
   let configs =
     List.map
@@ -57,7 +73,7 @@ let bloom_density () =
   in
   sweep_table
     ~rows:
-      (mglru_sweep
+      (mglru_sweep ctx
          ~label_of:(fun c ->
            Printf.sprintf "density >= 1/%d of region"
              (1 lsl c.Policy.Mglru.bloom_density_shift))
@@ -65,7 +81,7 @@ let bloom_density () =
   Report.note "Shift 0 admits only fully-accessed regions (filter nearly empty);";
   Report.note "large shifts admit everything (converging on Scan-All behaviour)."
 
-let spatial_scan () =
+let spatial_scan ctx =
   Report.section "Ablation: eviction-side spatial scan (SSD, 50%)";
   let configs =
     [
@@ -73,53 +89,67 @@ let spatial_scan () =
       ("look-around off", { Policy.Mglru.default_config with Policy.Mglru.spatial_scan = false });
     ]
   in
+  prefetch_policies ctx
+    (List.map (fun (_, config) -> Policy.Registry.Mglru_custom config) configs);
   sweep_table
     ~rows:
       (List.map
          (fun (label, config) ->
-           row_of label (cells ~policy:(Policy.Registry.Mglru_custom config)))
+           row_of label (cells ctx ~policy:(Policy.Registry.Mglru_custom config)))
          configs);
   Report.note "Without the look-around, every rescue costs a full rmap walk - the";
   Report.note "Clock cost structure the paper says MG-LRU amortizes (SIII-C)."
 
-let readahead () =
+let readahead ctx =
   Report.section "Ablation: swap readahead window (machine-level, SSD, 50%)";
-  (* Readahead is a machine knob, so bypass the cached runner. *)
+  (* Readahead is a machine knob, so bypass the cached runner.  The
+     (window, workload) grid still runs through the domain pool: results
+     come back in input order, so the table is schedule-independent. *)
+  let windows = [ 0; 2; 8; 32 ] in
+  let grid =
+    List.concat_map
+      (fun window -> List.map (fun kind -> (window, kind)) workloads)
+      windows
+  in
+  let run_one (window, kind) =
+    let workload = Runner.make_workload ctx kind ~trial:0 in
+    let footprint = Workload.Chunk.packed_footprint workload in
+    let cfg =
+      {
+        (Machine.default_config
+           ~capacity_frames:(footprint / 2)
+           ~seed:4242)
+        with
+        Machine.readahead = window;
+      }
+    in
+    let r =
+      Machine.run cfg
+        ~policy:(Policy.Registry.create Policy.Registry.Mglru_default)
+        ~workload
+    in
+    ( kind,
+      float_of_int r.Machine.runtime_ns /. 1e9,
+      float_of_int r.Machine.major_faults )
+  in
+  let results =
+    Engine.Pool.with_pool
+      ~jobs:(min (Runner.jobs ctx) (List.length grid))
+      (fun pool -> Engine.Pool.map_list pool run_one grid)
+  in
+  let per_window = List.length workloads in
   let rows =
-    List.map
-      (fun window ->
-        let cells =
-          List.map
-            (fun kind ->
-              let workload = Runner.make_workload kind ~trial:0 in
-              let footprint = Workload.Chunk.packed_footprint workload in
-              let cfg =
-                {
-                  (Machine.default_config
-                     ~capacity_frames:(footprint / 2)
-                     ~seed:4242)
-                  with
-                  Machine.readahead = window;
-                }
-              in
-              let r =
-                Machine.run cfg
-                  ~policy:(Policy.Registry.create Policy.Registry.Mglru_default)
-                  ~workload
-              in
-              ( kind,
-                float_of_int r.Machine.runtime_ns /. 1e9,
-                float_of_int r.Machine.major_faults ))
-            workloads
-        in
+    List.mapi
+      (fun i window ->
+        let cells = List.filteri (fun j _ -> j / per_window = i) results in
         row_of (Printf.sprintf "window=%d" window) cells)
-      [ 0; 2; 8; 32 ]
+      windows
   in
   sweep_table ~rows;
   Report.note "Sequential regions benefit; the per-zone success heuristic keeps";
   Report.note "random regions from being polluted even at large windows."
 
-let scan_probability () =
+let scan_probability ctx =
   Report.section "Ablation: Scan-Rand probability (SSD, 50%)";
   let configs =
     List.map
@@ -129,7 +159,7 @@ let scan_probability () =
   in
   sweep_table
     ~rows:
-      (mglru_sweep
+      (mglru_sweep ctx
          ~label_of:(fun c ->
            match c.Policy.Mglru.scan_mode with
            | Policy.Mglru.Scan_rand p -> Printf.sprintf "p=%.2f" p
@@ -138,9 +168,9 @@ let scan_probability () =
   Report.note "The paper fixes p=0.5 and asks (SVI-C) whether principled randomness";
   Report.note "can replace the Bloom filter outright."
 
-let run_all () =
-  generations ();
-  bloom_density ();
-  spatial_scan ();
-  readahead ();
-  scan_probability ()
+let run_all ctx =
+  generations ctx;
+  bloom_density ctx;
+  spatial_scan ctx;
+  readahead ctx;
+  scan_probability ctx

@@ -15,16 +15,18 @@
     - {!scan_probability}: Scan-Rand's probability, which the paper
       fixes at 50 % (§VI-C asks whether other points are better).
 
-    [run_all] prints every study. *)
+    Every study prefetches its sweep through the context's domain pool
+    and prints from the cache, so output does not depend on
+    [Runner.jobs].  [run_all] prints every study. *)
 
-val generations : unit -> unit
+val generations : Runner.ctx -> unit
 
-val bloom_density : unit -> unit
+val bloom_density : Runner.ctx -> unit
 
-val spatial_scan : unit -> unit
+val spatial_scan : Runner.ctx -> unit
 
-val readahead : unit -> unit
+val readahead : Runner.ctx -> unit
 
-val scan_probability : unit -> unit
+val scan_probability : Runner.ctx -> unit
 
-val run_all : unit -> unit
+val run_all : Runner.ctx -> unit

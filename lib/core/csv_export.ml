@@ -20,16 +20,16 @@ let pname = Policy.Registry.name
 
 let specs = Policy.Registry.all_paper_specs
 
-let norm_file ~path ~metric ~base_policy ~ratio ~swap =
+let norm_file ctx ~path ~metric ~base_policy ~ratio ~swap =
   let rows =
     List.concat_map
       (fun workload ->
         let base =
-          Figures.cell ~workload ~policy:base_policy ~ratio ~swap
+          Figures.cell ctx ~workload ~policy:base_policy ~ratio ~swap
         in
         List.map
           (fun policy ->
-            let c = Figures.cell ~workload ~policy ~ratio ~swap in
+            let c = Figures.cell ctx ~workload ~policy ~ratio ~swap in
             [
               wname workload;
               pname policy;
@@ -40,13 +40,13 @@ let norm_file ~path ~metric ~base_policy ~ratio ~swap =
   in
   write ~path ~header:[ "workload"; "policy"; "normalized" ] rows
 
-let points_file ~path ~policies =
+let points_file ctx ~path ~policies =
   let rows =
     List.concat_map
       (fun workload ->
         List.concat_map
           (fun policy ->
-            let c = Figures.cell ~workload ~policy ~ratio:0.5 ~swap:Runner.Ssd in
+            let c = Figures.cell ctx ~workload ~policy ~ratio:0.5 ~swap:Runner.Ssd in
             List.mapi
               (fun trial r ->
                 [
@@ -64,14 +64,14 @@ let points_file ~path ~policies =
     ~header:[ "workload"; "policy"; "trial"; "runtime_s"; "major_faults" ]
     rows
 
-let tails_file ~path ~ratio ~swap =
+let tails_file ctx ~path ~ratio ~swap =
   let rows =
     List.concat_map
       (fun variant ->
         let workload = Runner.Ycsb variant in
         List.concat_map
           (fun policy ->
-            let c = Figures.cell ~workload ~policy ~ratio ~swap in
+            let c = Figures.cell ctx ~workload ~policy ~ratio ~swap in
             let row op lat =
               if Array.length lat = 0 then []
               else begin
@@ -97,20 +97,20 @@ let tails_file ~path ~ratio ~swap =
         "p9999_ns"; "max_ns" ]
     rows
 
-let box_file ~path =
+let box_file ctx ~path =
   let rows =
     List.concat_map
       (fun ratio ->
         List.concat_map
           (fun workload ->
             let base =
-              Figures.cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio
+              Figures.cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio
                 ~swap:Runner.Ssd
             in
             let norm = Float.max 1e-9 base.Figures.mean_faults in
             List.map
               (fun policy ->
-                let c = Figures.cell ~workload ~policy ~ratio ~swap:Runner.Ssd in
+                let c = Figures.cell ctx ~workload ~policy ~ratio ~swap:Runner.Ssd in
                 let fl = Array.map (fun x -> x /. norm) (Runner.faults c.Figures.results) in
                 let q1, q2, q3 = Stats.Percentile.quartiles fl in
                 let s = Stats.Summary.of_array fl in
@@ -126,19 +126,19 @@ let box_file ~path =
     ~header:[ "ratio"; "workload"; "policy"; "min"; "q1"; "median"; "q3"; "max" ]
     rows
 
-let ratio_file ~path =
+let ratio_file ctx ~path =
   let rows =
     List.concat_map
       (fun ratio ->
         List.concat_map
           (fun workload ->
             let base =
-              Figures.cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio
+              Figures.cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio
                 ~swap:Runner.Ssd
             in
             List.map
               (fun policy ->
-                let c = Figures.cell ~workload ~policy ~ratio ~swap:Runner.Ssd in
+                let c = Figures.cell ctx ~workload ~policy ~ratio ~swap:Runner.Ssd in
                 [
                   f ratio; wname workload; pname policy;
                   f (c.Figures.perf /. Float.max 1e-9 base.Figures.perf);
@@ -149,16 +149,16 @@ let ratio_file ~path =
   in
   write ~path ~header:[ "ratio"; "workload"; "policy"; "normalized_perf" ] rows
 
-let zram_vs_ssd_file ~path =
+let zram_vs_ssd_file ctx ~path =
   let rows =
     List.map
       (fun workload ->
         let ssd =
-          Figures.cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio:0.5
+          Figures.cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio:0.5
             ~swap:Runner.Ssd
         in
         let zr =
-          Figures.cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio:0.5
+          Figures.cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio:0.5
             ~swap:Runner.Zram
         in
         [
@@ -173,26 +173,29 @@ let zram_vs_ssd_file ~path =
     ~header:[ "workload"; "runtime_zram_over_ssd"; "faults_zram_over_ssd" ]
     rows
 
-let export_all ~dir =
+let export_all ctx ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (* One bulk parallel prefetch of every figure's grid; the writers
+     below then read the warm cache serially. *)
+  Figures.prefetch ctx (List.init 12 (fun i -> i + 1));
   let p name = Filename.concat dir name in
   (* fig1: vs clock at ssd/50 *)
-  norm_file ~path:(p "fig1.csv") ~metric:(fun c -> c.Figures.perf)
+  norm_file ctx ~path:(p "fig1.csv") ~metric:(fun c -> c.Figures.perf)
     ~base_policy:Policy.Registry.Clock ~ratio:0.5 ~swap:Runner.Ssd;
-  points_file ~path:(p "fig2_points.csv")
+  points_file ctx ~path:(p "fig2_points.csv")
     ~policies:Policy.Registry.[ Clock; Mglru_default ];
-  tails_file ~path:(p "fig3_tails.csv") ~ratio:0.5 ~swap:Runner.Ssd;
-  norm_file ~path:(p "fig4.csv") ~metric:(fun c -> c.Figures.perf)
+  tails_file ctx ~path:(p "fig3_tails.csv") ~ratio:0.5 ~swap:Runner.Ssd;
+  norm_file ctx ~path:(p "fig4.csv") ~metric:(fun c -> c.Figures.perf)
     ~base_policy:Policy.Registry.Mglru_default ~ratio:0.5 ~swap:Runner.Ssd;
-  points_file ~path:(p "fig5_points.csv")
+  points_file ctx ~path:(p "fig5_points.csv")
     ~policies:
       Policy.Registry.[ Mglru_default; Gen14; Scan_all; Scan_none; Scan_rand 0.5 ];
-  ratio_file ~path:(p "fig6.csv");
-  box_file ~path:(p "fig7_box.csv");
-  tails_file ~path:(p "fig8_tails.csv") ~ratio:0.75 ~swap:Runner.Ssd;
-  norm_file ~path:(p "fig9.csv") ~metric:(fun c -> c.Figures.perf)
+  ratio_file ctx ~path:(p "fig6.csv");
+  box_file ctx ~path:(p "fig7_box.csv");
+  tails_file ctx ~path:(p "fig8_tails.csv") ~ratio:0.75 ~swap:Runner.Ssd;
+  norm_file ctx ~path:(p "fig9.csv") ~metric:(fun c -> c.Figures.perf)
     ~base_policy:Policy.Registry.Mglru_default ~ratio:0.5 ~swap:Runner.Zram;
-  norm_file ~path:(p "fig10.csv") ~metric:(fun c -> c.Figures.mean_faults)
+  norm_file ctx ~path:(p "fig10.csv") ~metric:(fun c -> c.Figures.mean_faults)
     ~base_policy:Policy.Registry.Mglru_default ~ratio:0.5 ~swap:Runner.Zram;
-  zram_vs_ssd_file ~path:(p "fig11.csv");
-  tails_file ~path:(p "fig12_tails.csv") ~ratio:0.5 ~swap:Runner.Zram
+  zram_vs_ssd_file ctx ~path:(p "fig11.csv");
+  tails_file ctx ~path:(p "fig12_tails.csv") ~ratio:0.5 ~swap:Runner.Zram

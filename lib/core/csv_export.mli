@@ -1,6 +1,6 @@
 (** CSV export of every figure's underlying data, for external plotting.
 
-    [export_all ~dir ()] writes one file per figure family into [dir]
+    [export_all ctx ~dir] writes one file per figure family into [dir]
     (created if missing):
 
     - [fig1.csv], [fig4.csv], [fig6.csv], [fig9.csv], [fig10.csv],
@@ -11,10 +11,20 @@
       latency landmarks;
     - [fig7_box.csv] — per-policy fault-count quartile boxes.
 
-    Cells come from the shared trial cache, so exporting after a figure
-    run reuses its results. *)
+    Cells come from the context's trial cache — [export_all] first
+    prefetches every figure's grid through the domain pool
+    ([Runner.jobs ctx] wide), and exporting after a figure run on the
+    same ctx reuses its results.  The bytes written are identical for
+    every [jobs] value. *)
 
 val write : path:string -> header:string list -> string list list -> unit
 (** Minimal CSV writer with quoting of commas/quotes/newlines. *)
 
-val export_all : dir:string -> unit
+val norm_file :
+  Runner.ctx -> path:string -> metric:(Figures.cell -> float) ->
+  base_policy:Policy.Registry.spec -> ratio:float -> swap:Runner.swap_medium ->
+  unit
+(** One normalized-means family (workload x policy, metric normalized to
+    [base_policy]) — the fig 1/4/9/10 format. *)
+
+val export_all : Runner.ctx -> dir:string -> unit

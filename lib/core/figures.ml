@@ -22,8 +22,8 @@ let perf_of workload results =
       (Array.fold_left ( +. ) 0.0 reads +. Array.fold_left ( +. ) 0.0 writes)
       /. float_of_int n
 
-let cell ~workload ~policy ~ratio ~swap =
-  let results = Runner.run_cell ~workload ~policy ~ratio ~swap in
+let cell ctx ~workload ~policy ~ratio ~swap =
+  let results = Runner.run_cell ctx ~workload ~policy ~ratio ~swap in
   {
     workload;
     policy;
@@ -44,17 +44,70 @@ let all_specs = Policy.Registry.all_paper_specs
 
 let ratio_default = 0.5
 
+let clock_vs_mglru = Policy.Registry.[ Clock; Mglru_default ]
+
+let batch_workloads = [ Runner.Tpch; Runner.Pagerank ]
+
+let ycsb_workloads =
+  List.map (fun v -> Runner.Ycsb v) Workload.Ycsb.[ A; B; C ]
+
+(* ------------------------------------------------------------------ *)
+(* Grid enumeration: which cells a figure touches.  [run] prefetches   *)
+(* them through the domain pool before the serial printing pass, so a  *)
+(* parallel run computes exactly the cells a serial run would, then    *)
+(* prints from the cache.                                              *)
 (* ------------------------------------------------------------------ *)
 
-let fig1 () =
+let cross workloads policies ratios swaps =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun policy ->
+          List.concat_map
+            (fun ratio -> List.map (fun swap -> (workload, policy, ratio, swap)) swaps)
+            ratios)
+        policies)
+    workloads
+
+let cells_of_figure = function
+  | 1 -> cross Runner.all_workloads clock_vs_mglru [ ratio_default ] [ Runner.Ssd ]
+  | 2 -> cross batch_workloads clock_vs_mglru [ ratio_default ] [ Runner.Ssd ]
+  | 3 -> cross ycsb_workloads clock_vs_mglru [ ratio_default ] [ Runner.Ssd ]
+  | 4 -> cross Runner.all_workloads variants [ ratio_default ] [ Runner.Ssd ]
+  | 5 -> cross batch_workloads variants [ ratio_default ] [ Runner.Ssd ]
+  | 6 -> cross Runner.all_workloads all_specs [ 0.75; 0.9 ] [ Runner.Ssd ]
+  | 7 -> cross batch_workloads all_specs [ 0.5; 0.75; 0.9 ] [ Runner.Ssd ]
+  | 8 -> cross ycsb_workloads clock_vs_mglru [ 0.75; 0.9 ] [ Runner.Ssd ]
+  | 9 | 10 -> cross Runner.all_workloads all_specs [ ratio_default ] [ Runner.Zram ]
+  | 11 ->
+    cross Runner.all_workloads
+      [ Policy.Registry.Mglru_default ]
+      [ ratio_default ]
+      [ Runner.Ssd; Runner.Zram ]
+  | 12 -> cross ycsb_workloads clock_vs_mglru [ ratio_default ] [ Runner.Zram ]
+  | n -> invalid_arg (Printf.sprintf "Figures.cells_of_figure: no figure %d" n)
+
+let prefetch ctx figures =
+  Runner.prefetch ctx
+    (List.concat_map
+       (fun n ->
+         List.concat_map
+           (fun (workload, policy, ratio, swap) ->
+             Runner.cell_exps ctx ~workload ~policy ~ratio ~swap)
+           (cells_of_figure n))
+       figures)
+
+(* ------------------------------------------------------------------ *)
+
+let fig1 ctx =
   Report.section "Figure 1: MG-LRU vs Clock, SSD swap, 50% capacity-footprint";
   Report.note "Mean performance and faults normalized to Clock-LRU (lower is better).";
   let rows, data =
     List.fold_left
       (fun (rows, data) workload ->
-        let clock = cell ~workload ~policy:Policy.Registry.Clock ~ratio:ratio_default ~swap:Runner.Ssd in
+        let clock = cell ctx ~workload ~policy:Policy.Registry.Clock ~ratio:ratio_default ~swap:Runner.Ssd in
         let mglru =
-          cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default ~swap:Runner.Ssd
+          cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default ~swap:Runner.Ssd
         in
         let p = mglru.perf /. Float.max 1e-9 clock.perf in
         let f = mglru.mean_faults /. Float.max 1e-9 clock.mean_faults in
@@ -102,18 +155,18 @@ let joint_rows cells =
 let joint_header =
   [ "policy"; "mean rt"; "min rt"; "max rt"; "spread"; "mean faults"; "fault CV"; "r2(rt~faults)" ]
 
-let fig2 () =
+let fig2 ctx =
   Report.section "Figure 2: joint runtime/fault distributions (SSD, 50%)";
   List.iter
     (fun workload ->
       Report.subsection (wname workload);
       let cells =
         List.map
-          (fun policy -> cell ~workload ~policy ~ratio:ratio_default ~swap:Runner.Ssd)
-          Policy.Registry.[ Clock; Mglru_default ]
+          (fun policy -> cell ctx ~workload ~policy ~ratio:ratio_default ~swap:Runner.Ssd)
+          clock_vs_mglru
       in
       Report.table ~header:joint_header (joint_rows cells))
-    [ Runner.Tpch; Runner.Pagerank ];
+    batch_workloads;
   Report.note "Paper shape: TPC-H runtime is a nearly perfect linear function of its";
   Report.note "fault count (r2 > 0.98) with a ~3x fastest-to-slowest spread; PageRank";
   Report.note "runtime decorrelates from faults, and MG-LRU adds variance that Clock";
@@ -140,7 +193,7 @@ let tail_rows label lat =
 
 let tail_header = [ "policy/op"; "p50"; "p90"; "p99"; "p99.9"; "p99.99"; "max" ]
 
-let tail_figure ~swap ~ratio =
+let tail_figure ctx ~swap ~ratio =
   List.iter
     (fun variant ->
       let workload = Runner.Ycsb variant in
@@ -148,38 +201,38 @@ let tail_figure ~swap ~ratio =
       let rows =
         List.concat_map
           (fun policy ->
-            let c = cell ~workload ~policy ~ratio ~swap in
+            let c = cell ctx ~workload ~policy ~ratio ~swap in
             let reads = Runner.pooled_read_latencies c.results in
             let writes = Runner.pooled_write_latencies c.results in
             tail_rows (pname policy ^ " read") reads
             @ tail_rows (pname policy ^ " write") writes)
-          Policy.Registry.[ Clock; Mglru_default ]
+          clock_vs_mglru
       in
       Report.table ~header:tail_header rows)
     Workload.Ycsb.[ A; B; C ]
 
-let fig3 () =
+let fig3 ctx =
   Report.section "Figure 3: YCSB tail latencies (SSD, 50%)";
-  tail_figure ~swap:Runner.Ssd ~ratio:ratio_default;
+  tail_figure ctx ~swap:Runner.Ssd ~ratio:ratio_default;
   Report.note "Paper shape: MG-LRU trades higher read tails (20-40% at p99.99) for";
   Report.note "lower write tails (Clock 10-50% higher past p99)."
 
 (* ------------------------------------------------------------------ *)
 
-let fig4 () =
+let fig4 ctx =
   Report.section "Figure 4: MG-LRU parameter variants (SSD, 50%)";
   Report.note "Mean performance and faults normalized to default MG-LRU.";
   let data = ref [] in
   List.iter
     (fun workload ->
       let base =
-        cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default
+        cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default
           ~swap:Runner.Ssd
       in
       let rows =
         List.map
           (fun policy ->
-            let c = cell ~workload ~policy ~ratio:ratio_default ~swap:Runner.Ssd in
+            let c = cell ctx ~workload ~policy ~ratio:ratio_default ~swap:Runner.Ssd in
             let p = c.perf /. Float.max 1e-9 base.perf in
             let f = c.mean_faults /. Float.max 1e-9 base.mean_faults in
             data := (wname workload, pname policy, p, f) :: !data;
@@ -194,25 +247,25 @@ let fig4 () =
   Report.note "PageRank; all variants tie on YCSB's zipfian traffic.";
   List.rev !data
 
-let fig5 () =
+let fig5 ctx =
   Report.section "Figure 5: variant joint runtime/fault distributions (SSD, 50%)";
   List.iter
     (fun workload ->
       Report.subsection (wname workload);
       let cells =
         List.map
-          (fun policy -> cell ~workload ~policy ~ratio:ratio_default ~swap:Runner.Ssd)
+          (fun policy -> cell ctx ~workload ~policy ~ratio:ratio_default ~swap:Runner.Ssd)
           variants
       in
       Report.table ~header:joint_header (joint_rows cells))
-    [ Runner.Tpch; Runner.Pagerank ];
+    batch_workloads;
   Report.note "Paper shape: TPC-H keeps its linear faults->runtime relation for every";
   Report.note "variant, with Scan-All on a steeper slope (straggler threads); PageRank";
   Report.note "stays decorrelated."
 
 (* ------------------------------------------------------------------ *)
 
-let fig6 () =
+let fig6 ctx =
   Report.section "Figure 6: mean performance at 75% and 90% capacity (SSD)";
   Report.note "Normalized to default MG-LRU at the same ratio; Welch p-value vs MG-LRU.";
   List.iter
@@ -222,18 +275,18 @@ let fig6 () =
       let rows =
         List.map
           (fun workload ->
-            let base = cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio ~swap:Runner.Ssd in
+            let base = cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio ~swap:Runner.Ssd in
             let per_spec =
               List.map
                 (fun policy ->
-                  let c = cell ~workload ~policy ~ratio ~swap:Runner.Ssd in
+                  let c = cell ctx ~workload ~policy ~ratio ~swap:Runner.Ssd in
                   Report.fnorm (c.perf /. Float.max 1e-9 base.perf))
                 all_specs
             in
             let p_value =
               match workload with
               | Runner.Tpch | Runner.Pagerank ->
-                let clock = cell ~workload ~policy:Policy.Registry.Clock ~ratio ~swap:Runner.Ssd in
+                let clock = cell ctx ~workload ~policy:Policy.Registry.Clock ~ratio ~swap:Runner.Ssd in
                 let a = Runner.runtimes_s clock.results in
                 let b = Runner.runtimes_s base.results in
                 if Array.length a > 1 && Array.length b > 1 then
@@ -250,7 +303,7 @@ let fig6 () =
   Report.note "MG-LRU by a small (2-5%) but statistically significant margin in some";
   Report.note "cells, inverting the 50% result."
 
-let fig7 () =
+let fig7 ctx =
   Report.section "Figure 7: fault distributions across capacities (SSD)";
   Report.note "Quartiles/min/max of per-trial fault counts, normalized to the mean of";
   Report.note "default MG-LRU at the same ratio.";
@@ -259,12 +312,12 @@ let fig7 () =
       Report.subsection (Printf.sprintf "ratio %.0f%%" (ratio *. 100.0));
       List.iter
         (fun workload ->
-          let base = cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio ~swap:Runner.Ssd in
+          let base = cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio ~swap:Runner.Ssd in
           let norm = Float.max 1e-9 base.mean_faults in
           let rows =
             List.map
               (fun policy ->
-                let c = cell ~workload ~policy ~ratio ~swap:Runner.Ssd in
+                let c = cell ctx ~workload ~policy ~ratio ~swap:Runner.Ssd in
                 let fl = Array.map (fun x -> x /. norm) (Runner.faults c.results) in
                 let q1, q2, q3 = Stats.Percentile.quartiles fl in
                 let s = Stats.Summary.of_array fl in
@@ -280,25 +333,25 @@ let fig7 () =
           in
           Report.subsection (wname workload);
           Report.table ~header:[ "policy"; "min"; "q1"; "median"; "q3"; "max" ] rows)
-        [ Runner.Tpch; Runner.Pagerank ])
+        batch_workloads)
     [ 0.5; 0.75; 0.9 ];
   Report.note "Paper shape: at 75% PageRank shows rare outlier executions with up to";
   Report.note "~6x the mean fault count under every MG-LRU configuration, while the";
   Report.note "interquartile range stays tight; Clock's distribution stays narrow."
 
-let fig8 () =
+let fig8 ctx =
   Report.section "Figure 8: YCSB tail latencies at 75% and 90% capacity (SSD)";
   List.iter
     (fun ratio ->
       Report.subsection (Printf.sprintf "ratio %.0f%%" (ratio *. 100.0));
-      tail_figure ~swap:Runner.Ssd ~ratio)
+      tail_figure ctx ~swap:Runner.Ssd ~ratio)
     [ 0.75; 0.9 ];
   Report.note "Paper shape: Clock keeps lower read tails; write-tail comparisons become";
   Report.note "workload-dependent as capacity grows and read tails converge."
 
 (* ------------------------------------------------------------------ *)
 
-let zram_norm_figure ~metric ~metric_name =
+let zram_norm_figure ctx ~metric ~metric_name =
   Report.note (Printf.sprintf "%s normalized to default MG-LRU (ZRAM, 50%%)." metric_name);
   let data = ref [] in
   let header = "workload" :: List.map pname all_specs in
@@ -306,13 +359,13 @@ let zram_norm_figure ~metric ~metric_name =
     List.map
       (fun workload ->
         let base =
-          cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default
+          cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default
             ~swap:Runner.Zram
         in
         let cols =
           List.map
             (fun policy ->
-              let c = cell ~workload ~policy ~ratio:ratio_default ~swap:Runner.Zram in
+              let c = cell ctx ~workload ~policy ~ratio:ratio_default ~swap:Runner.Zram in
               let v = metric c /. Float.max 1e-9 (metric base) in
               data := (wname workload, pname policy, v) :: !data;
               Report.fnorm v)
@@ -324,31 +377,31 @@ let zram_norm_figure ~metric ~metric_name =
   Report.table ~header rows;
   List.rev !data
 
-let fig9 () =
+let fig9 ctx =
   Report.section "Figure 9: mean performance with ZRAM swap (50%)";
-  let data = zram_norm_figure ~metric:(fun c -> c.perf) ~metric_name:"Performance" in
+  let data = zram_norm_figure ctx ~metric:(fun c -> c.perf) ~metric_name:"Performance" in
   Report.note "Paper shape: Clock matches MG-LRU on every workload except PageRank.";
   data
 
-let fig10 () =
+let fig10 ctx =
   Report.section "Figure 10: mean faults with ZRAM swap (50%)";
-  let data = zram_norm_figure ~metric:(fun c -> c.mean_faults) ~metric_name:"Faults" in
+  let data = zram_norm_figure ctx ~metric:(fun c -> c.mean_faults) ~metric_name:"Faults" in
   Report.note "Paper shape: fault counts track the runtime result - Clock faults as";
   Report.note "much as MG-LRU everywhere but PageRank.";
   data
 
-let fig11 () =
+let fig11 ctx =
   Report.section "Figure 11: ZRAM vs SSD - change in runtime and faults (MG-LRU, 50%)";
   let data = ref [] in
   let rows =
     List.map
       (fun workload ->
         let ssd =
-          cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default
+          cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default
             ~swap:Runner.Ssd
         in
         let zr =
-          cell ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default
+          cell ctx ~workload ~policy:Policy.Registry.Mglru_default ~ratio:ratio_default
             ~swap:Runner.Zram
         in
         let rt =
@@ -365,30 +418,38 @@ let fig11 () =
   Report.note "YCSB fault counts stay roughly flat.";
   List.rev !data
 
-let fig12 () =
+let fig12 ctx =
   Report.section "Figure 12: YCSB tail latencies with ZRAM swap (50%)";
-  tail_figure ~swap:Runner.Zram ~ratio:ratio_default;
+  tail_figure ctx ~swap:Runner.Zram ~ratio:ratio_default;
   Report.note "Paper shape: MG-LRU's p99.99 tails inflate 2-5x over Clock for both";
   Report.note "reads and writes - Clock strictly wins the tail in this configuration."
 
 (* ------------------------------------------------------------------ *)
 
-let run = function
-  | 1 -> ignore (fig1 ())
-  | 2 -> fig2 ()
-  | 3 -> fig3 ()
-  | 4 -> ignore (fig4 ())
-  | 5 -> fig5 ()
-  | 6 -> fig6 ()
-  | 7 -> fig7 ()
-  | 8 -> fig8 ()
-  | 9 -> ignore (fig9 ())
-  | 10 -> ignore (fig10 ())
-  | 11 -> ignore (fig11 ())
-  | 12 -> fig12 ()
-  | n -> invalid_arg (Printf.sprintf "Figures.run: no figure %d" n)
+let run ctx n =
+  if n < 1 || n > 12 then
+    invalid_arg (Printf.sprintf "Figures.run: no figure %d" n);
+  prefetch ctx [ n ];
+  match n with
+  | 1 -> ignore (fig1 ctx)
+  | 2 -> fig2 ctx
+  | 3 -> fig3 ctx
+  | 4 -> ignore (fig4 ctx)
+  | 5 -> fig5 ctx
+  | 6 -> fig6 ctx
+  | 7 -> fig7 ctx
+  | 8 -> fig8 ctx
+  | 9 -> ignore (fig9 ctx)
+  | 10 -> ignore (fig10 ctx)
+  | 11 -> ignore (fig11 ctx)
+  | 12 -> fig12 ctx
+  | _ -> assert false
 
-let run_all () =
-  for n = 1 to 12 do
-    run n
-  done
+let all_figures = List.init 12 (fun i -> i + 1)
+
+let run_all ctx =
+  (* One bulk prefetch across the union of every figure's grid keeps the
+     domain pool saturated instead of draining at each figure boundary
+     (prefetch deduplicates shared cells). *)
+  prefetch ctx all_figures;
+  List.iter (run ctx) all_figures

@@ -1,11 +1,15 @@
 (** Reproductions of the paper's Figures 1-12.
 
-    Each [figN] runs (or fetches from the trial cache) the grid cells the
-    corresponding figure needs and prints the same series the paper
-    plots: normalized means, joint runtime/fault distributions, tail
-    latencies, quartile boxes.  [run_all] regenerates the entire
-    evaluation section.  EXPERIMENTS.md records the paper-vs-measured
-    comparison for every figure.
+    Each [figN] runs (or fetches from the {!Runner.ctx} trial cache) the
+    grid cells the corresponding figure needs and prints the same series
+    the paper plots: normalized means, joint runtime/fault
+    distributions, tail latencies, quartile boxes.  [run_all]
+    regenerates the entire evaluation section.  EXPERIMENTS.md records
+    the paper-vs-measured comparison for every figure.
+
+    {!run} first {!prefetch}es the figure's whole grid through the
+    context's domain pool, then prints serially from the cache — so the
+    bytes a figure emits are identical for every [Runner.jobs] value.
 
     Numeric data is also returned so tests and the bench harness can
     assert the paper's qualitative shapes without re-parsing text. *)
@@ -23,40 +27,56 @@ type cell = {
 }
 
 val cell :
-  workload:Runner.workload_kind -> policy:Policy.Registry.spec -> ratio:float ->
-  swap:Runner.swap_medium -> cell
+  Runner.ctx -> workload:Runner.workload_kind -> policy:Policy.Registry.spec ->
+  ratio:float -> swap:Runner.swap_medium -> cell
 
-val fig1 : unit -> (string * float * float) list
+val all_figures : int list
+(** [1; 2; ...; 12]. *)
+
+val cells_of_figure :
+  int ->
+  (Runner.workload_kind * Policy.Registry.spec * float * Runner.swap_medium) list
+(** The grid cells figure [n] reads, in deterministic order.
+    @raise Invalid_argument outside 1-12. *)
+
+val prefetch : Runner.ctx -> int list -> unit
+(** Compute every listed figure's uncached cells through the context's
+    domain pool (deduplicated across figures). *)
+
+val fig1 : Runner.ctx -> (string * float * float) list
 (** [(workload, mglru_perf/clock_perf, mglru_faults/clock_faults)] —
     SSD, 50 % ratio. *)
 
-val fig2 : unit -> unit
+val fig2 : Runner.ctx -> unit
 
-val fig3 : unit -> unit
+val fig3 : Runner.ctx -> unit
 
-val fig4 : unit -> (string * string * float * float) list
+val fig4 : Runner.ctx -> (string * string * float * float) list
 (** [(workload, variant, perf/default, faults/default)]. *)
 
-val fig5 : unit -> unit
+val fig5 : Runner.ctx -> unit
 
-val fig6 : unit -> unit
+val fig6 : Runner.ctx -> unit
 
-val fig7 : unit -> unit
+val fig7 : Runner.ctx -> unit
 
-val fig8 : unit -> unit
+val fig8 : Runner.ctx -> unit
 
-val fig9 : unit -> (string * string * float) list
+val fig9 : Runner.ctx -> (string * string * float) list
 (** [(workload, policy, perf/mglru)] under ZRAM at 50 %. *)
 
-val fig10 : unit -> (string * string * float) list
+val fig10 : Runner.ctx -> (string * string * float) list
 
-val fig11 : unit -> (string * float * float) list
+val fig11 : Runner.ctx -> (string * float * float) list
 (** [(workload, runtime_zram/runtime_ssd, faults_zram/faults_ssd)] for
     default MG-LRU. *)
 
-val fig12 : unit -> unit
+val fig12 : Runner.ctx -> unit
 
-val run : int -> unit
-(** Run one figure by number.  @raise Invalid_argument outside 1-12. *)
+val run : Runner.ctx -> int -> unit
+(** Prefetch and run one figure by number.
+    @raise Invalid_argument outside 1-12. *)
 
-val run_all : unit -> unit
+val run_all : Runner.ctx -> unit
+(** Bulk-prefetch the union of every figure's grid, then print all 12
+    figures in order. *)

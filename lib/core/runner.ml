@@ -29,36 +29,122 @@ let exp_name e =
     (Policy.Registry.name e.policy)
     (e.ratio *. 100.0) (swap_name e.swap) e.trial
 
+(* Cache key: like [exp_name] but injective — the policy part encodes
+   every parameter (two distinct [Mglru_custom] configs must not alias),
+   and the ratio keeps full precision. *)
+let exp_key e =
+  Printf.sprintf "%s/%s/%.9g/%s/t%d"
+    (workload_kind_name e.workload)
+    (Policy.Registry.cache_key e.policy)
+    e.ratio (swap_name e.swap) e.trial
+
 type profile = {
   trials : int;
   ycsb_trials : int;
   fast : bool;
 }
 
+let default_profile = { trials = 25; ycsb_trials = 2; fast = false }
+
 let env_int name default =
   match Sys.getenv_opt name with
   | Some v -> (try max 1 (int_of_string (String.trim v)) with Failure _ -> default)
   | None -> default
 
-let profile_memo = ref None
+(* The single place the REPRO_* fallback variables are read. *)
+let profile_from_env () =
+  {
+    trials = env_int "REPRO_TRIALS" default_profile.trials;
+    ycsb_trials = env_int "REPRO_YCSB_TRIALS" default_profile.ycsb_trials;
+    fast = Sys.getenv_opt "REPRO_FAST" <> None;
+  }
 
-let profile () =
-  match !profile_memo with
-  | Some p -> p
-  | None ->
-    let p =
-      {
-        trials = env_int "REPRO_TRIALS" 25;
-        ycsb_trials = env_int "REPRO_YCSB_TRIALS" 2;
-        fast = Sys.getenv_opt "REPRO_FAST" <> None;
-      }
-    in
-    profile_memo := Some p;
-    p
+(* ------------------------------------------------------------------ *)
+(* Run context: everything that shapes a trial's result, as one        *)
+(* explicit value instead of process-global mutation.                  *)
+(* ------------------------------------------------------------------ *)
 
-let trials_for = function
-  | Tpch | Pagerank -> (profile ()).trials
-  | Ycsb _ -> (profile ()).ycsb_trials
+(* The result cache is sharded so parallel trials can publish results
+   without serializing on one lock.  Shard count is a power of two well
+   above any sane [jobs]. *)
+let cache_shards = 32
+
+type shard = {
+  lock : Mutex.t;
+  tbl : (string, Machine.result) Hashtbl.t;
+}
+
+type ctx = {
+  profile : profile;
+  fault_plan : Swapdev.Faulty_device.plan;
+  audit_every_ns : int;
+  jobs : int;
+  cache : shard array;
+}
+
+let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
+    ?(audit_every_ns = 0) ?(jobs = 1) () =
+  let profile =
+    match profile with Some p -> p | None -> profile_from_env ()
+  in
+  {
+    profile;
+    fault_plan;
+    audit_every_ns = max 0 audit_every_ns;
+    jobs = max 1 jobs;
+    cache =
+      Array.init cache_shards (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 32 });
+  }
+
+let profile ctx = ctx.profile
+
+let fault_plan ctx = ctx.fault_plan
+
+let audit_every_ns ctx = ctx.audit_every_ns
+
+let jobs ctx = ctx.jobs
+
+let shard_of ctx key =
+  ctx.cache.(Hashtbl.hash key land (cache_shards - 1))
+
+let cache_find ctx key =
+  let s = shard_of ctx key in
+  Mutex.lock s.lock;
+  let r = Hashtbl.find_opt s.tbl key in
+  Mutex.unlock s.lock;
+  r
+
+(* First insert wins, so concurrent duplicate computations (which are
+   deterministic and identical anyway) keep physical equality stable for
+   later lookups. *)
+let cache_store ctx key result =
+  let s = shard_of ctx key in
+  Mutex.lock s.lock;
+  let kept =
+    match Hashtbl.find_opt s.tbl key with
+    | Some existing -> existing
+    | None ->
+      Hashtbl.add s.tbl key result;
+      result
+  in
+  Mutex.unlock s.lock;
+  kept
+
+let cached_results ctx =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = acc + Hashtbl.length s.tbl in
+      Mutex.unlock s.lock;
+      n)
+    0 ctx.cache
+
+(* ------------------------------------------------------------------ *)
+
+let trials_for ctx = function
+  | Tpch | Pagerank -> ctx.profile.trials
+  | Ycsb _ -> ctx.profile.ycsb_trials
 
 let kind_id = function
   | Tpch -> 1
@@ -98,9 +184,9 @@ let fast_ycsb =
     requests = 220_000;
   }
 
-let make_workload kind ~trial =
+let make_workload ctx kind ~trial =
   let seed = workload_seed kind ~trial in
-  let fast = (profile ()).fast in
+  let fast = ctx.profile.fast in
   match kind with
   | Tpch ->
     let config = if fast then fast_tpch else Workload.Tpch.default_config in
@@ -121,48 +207,67 @@ let machine_swap = function
   | Ssd -> Machine.ssd
   | Zram -> Machine.zram
 
-let cache : (exp, Machine.result) Hashtbl.t = Hashtbl.create 256
+(* One trial, computed from scratch: deterministic in (ctx, e) — the
+   workload, machine and policy all seed from (kind, trial). *)
+let compute_exp ctx e =
+  let workload = make_workload ctx e.workload ~trial:e.trial in
+  let footprint = Workload.Chunk.packed_footprint workload in
+  let capacity = max 64 (int_of_float (float_of_int footprint *. e.ratio)) in
+  let cfg =
+    {
+      (Machine.default_config ~capacity_frames:capacity
+         ~seed:(workload_seed e.workload ~trial:e.trial + 17))
+      with
+      Machine.swap = machine_swap e.swap;
+      fault_plan = ctx.fault_plan;
+      audit_every_ns = ctx.audit_every_ns;
+    }
+  in
+  Machine.run cfg ~policy:(Policy.Registry.create e.policy) ~workload
 
-let clear_cache () = Hashtbl.reset cache
-
-(* Session-wide fault-injection / audit settings.  Cached results are
-   invalidated on change: they were produced under other conditions. *)
-let fault_plan = ref Swapdev.Faulty_device.none
-
-let audit_every = ref 0
-
-let set_fault_plan p =
-  fault_plan := p;
-  clear_cache ()
-
-let set_audit_every_ns ns =
-  audit_every := max 0 ns;
-  clear_cache ()
-
-let run_exp e =
-  match Hashtbl.find_opt cache e with
+let run_exp ctx e =
+  let key = exp_key e in
+  match cache_find ctx key with
   | Some r -> r
-  | None ->
-    let workload = make_workload e.workload ~trial:e.trial in
-    let footprint = Workload.Chunk.packed_footprint workload in
-    let capacity = max 64 (int_of_float (float_of_int footprint *. e.ratio)) in
-    let cfg =
-      {
-        (Machine.default_config ~capacity_frames:capacity
-           ~seed:(workload_seed e.workload ~trial:e.trial + 17))
-        with
-        Machine.swap = machine_swap e.swap;
-        fault_plan = !fault_plan;
-        audit_every_ns = !audit_every;
-      }
-    in
-    let r = Machine.run cfg ~policy:(Policy.Registry.create e.policy) ~workload in
-    Hashtbl.add cache e r;
-    r
+  | None -> cache_store ctx key (compute_exp ctx e)
 
-let run_cell ~workload ~policy ~ratio ~swap =
-  List.init (trials_for workload) (fun trial ->
-      run_exp { workload; policy; ratio; swap; trial })
+(* Parallel fill of the cache.  Uncached experiments are deduplicated,
+   then sharded across a transient domain pool; the results land in the
+   cache, so subsequent serial reads (table printing, aggregation) see
+   exactly what a serial run would have computed.  [jobs = 1] runs them
+   in the calling domain. *)
+let prefetch ctx exps =
+  let seen = Hashtbl.create 64 in
+  let todo =
+    List.filter
+      (fun e ->
+        let key = exp_key e in
+        if Hashtbl.mem seen key || cache_find ctx key <> None then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      exps
+  in
+  match todo with
+  | [] -> ()
+  | [ e ] -> ignore (run_exp ctx e)
+  | todo ->
+    if ctx.jobs = 1 then List.iter (fun e -> ignore (run_exp ctx e)) todo
+    else
+      Engine.Pool.with_pool
+        ~jobs:(min ctx.jobs (List.length todo))
+        (fun pool ->
+          ignore (Engine.Pool.map_list pool (fun e -> ignore (run_exp ctx e)) todo))
+
+let cell_exps ctx ~workload ~policy ~ratio ~swap =
+  List.init (trials_for ctx workload) (fun trial ->
+      { workload; policy; ratio; swap; trial })
+
+let run_cell ctx ~workload ~policy ~ratio ~swap =
+  let exps = cell_exps ctx ~workload ~policy ~ratio ~swap in
+  prefetch ctx exps;
+  List.map (run_exp ctx) exps
 
 let runtimes_s results =
   Array.of_list

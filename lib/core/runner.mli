@@ -1,4 +1,4 @@
-(** Experiment configurations and the cached trial runner.
+(** Experiment configurations and the cached, parallel trial runner.
 
     An {!exp} names one cell of the paper's grid: workload x policy x
     capacity ratio x swap medium x trial index.  Workload seeds depend
@@ -7,8 +7,20 @@
     paper's paired comparisons — while each fresh trial is a fresh
     "reboot".
 
-    Results are memoized in-process: figures that share cells (1 and 2,
-    4 and 5, 9-11) do not recompute them. *)
+    Every run happens under an explicit {!ctx}: the scaling profile,
+    fault-injection plan, invariant-audit cadence and parallelism are
+    fields of a value threaded through the drivers, not process-global
+    state.  Each [ctx] owns its own result cache (keyed by a stable
+    string, sharded and mutex-protected), so figures that share cells
+    (1 and 2, 4 and 5, 9-11) do not recompute them, and two contexts
+    with different fault plans can never serve each other stale results.
+
+    {b Parallelism and determinism.}  Trials are embarrassingly
+    parallel: each owns its seeded RNG, workload instance and simulated
+    machine.  {!prefetch} shards uncached trials across a domain pool
+    ({!Engine.Pool}) and stores the results; the drivers then read,
+    aggregate and print serially from the cache, so output is
+    bit-identical for every [jobs] value. *)
 
 type workload_kind =
   | Tpch
@@ -33,40 +45,87 @@ val all_workloads : workload_kind list
 val swap_name : swap_medium -> string
 
 val exp_name : exp -> string
+(** Human-readable cell name (display only; not injective for
+    parameterized policies — see {!exp_key}). *)
 
-(** Scaling profile, read once from the environment:
-    [REPRO_TRIALS] (default 25) — trials per TPC-H/PageRank cell;
-    [REPRO_YCSB_TRIALS] (default 2) — trials per YCSB cell;
-    [REPRO_FAST] (any value) — shrink workloads ~4x for quick runs. *)
+val exp_key : exp -> string
+(** Stable, injective cache key: encodes every policy parameter via
+    {!Policy.Registry.cache_key}, so distinct [Mglru_custom] configs
+    never alias, and no structural hashing of closures can occur. *)
+
+(** Scaling profile: trials per TPC-H/PageRank cell, trials per YCSB
+    cell, and whether workloads are shrunk ~4x for quick runs. *)
 type profile = {
   trials : int;
   ycsb_trials : int;
   fast : bool;
 }
 
-val profile : unit -> profile
+val default_profile : profile
+(** The paper's scale: 25 trials, 2 YCSB trials, full-size workloads. *)
 
-val trials_for : workload_kind -> int
+val profile_from_env : unit -> profile
+(** {!default_profile} overridden by the documented fallback variables
+    [REPRO_TRIALS], [REPRO_YCSB_TRIALS] and [REPRO_FAST] (any value).
+    This is the only place those variables are read; CLI flags build a
+    {!ctx} on top of this. *)
 
-val make_workload : workload_kind -> trial:int -> Workload.Chunk.packed
+(** {1 Run contexts} *)
 
-val run_exp : exp -> Machine.result
-(** Run (or fetch from cache) one trial. *)
+type ctx
+(** An immutable run context: profile, fault plan, audit cadence and
+    parallelism, plus this context's private result cache. *)
+
+val make_ctx :
+  ?profile:profile ->
+  ?fault_plan:Swapdev.Faulty_device.plan ->
+  ?audit_every_ns:int ->
+  ?jobs:int ->
+  unit ->
+  ctx
+(** Defaults: [profile_from_env ()], no fault injection, end-of-run
+    audits only, [jobs = 1] (serial).  [jobs] is clamped to at least 1;
+    [audit_every_ns] to at least 0. *)
+
+val profile : ctx -> profile
+
+val fault_plan : ctx -> Swapdev.Faulty_device.plan
+
+val audit_every_ns : ctx -> int
+
+val jobs : ctx -> int
+
+val cached_results : ctx -> int
+(** Number of trial results currently memoized in this context. *)
+
+(** {1 Running trials} *)
+
+val trials_for : ctx -> workload_kind -> int
+
+val make_workload : ctx -> workload_kind -> trial:int -> Workload.Chunk.packed
+
+val run_exp : ctx -> exp -> Machine.result
+(** Run (or fetch from this context's cache) one trial. *)
+
+val cell_exps :
+  ctx -> workload:workload_kind -> policy:Policy.Registry.spec -> ratio:float ->
+  swap:swap_medium -> exp list
+(** The trials of one grid cell under [ctx]'s profile, in trial order. *)
+
+val prefetch : ctx -> exp list -> unit
+(** Compute every uncached experiment in the list (deduplicated) across
+    [jobs ctx] domains and memoize the results.  With [jobs = 1] this
+    degenerates to a serial loop in the calling domain.  Drivers call
+    this with a figure's whole grid before printing; the serial
+    read-back then hits only the cache, which is how parallel runs stay
+    bit-identical to serial ones. *)
 
 val run_cell :
-  workload:workload_kind -> policy:Policy.Registry.spec -> ratio:float ->
+  ctx -> workload:workload_kind -> policy:Policy.Registry.spec -> ratio:float ->
   swap:swap_medium -> Machine.result list
-(** All trials of one grid cell, per {!profile}. *)
+(** All trials of one grid cell, prefetched in parallel per the ctx. *)
 
-val clear_cache : unit -> unit
-
-val set_fault_plan : Swapdev.Faulty_device.plan -> unit
-(** Inject swap I/O faults into every subsequent trial (default
-    {!Swapdev.Faulty_device.none}).  Clears the result cache. *)
-
-val set_audit_every_ns : int -> unit
-(** Periodic {!Invariants} audit cadence in simulated ns (0 = end-of-run
-    only, the default).  Clears the result cache. *)
+(** {1 Aggregation helpers} *)
 
 val runtimes_s : Machine.result list -> float array
 

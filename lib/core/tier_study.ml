@@ -1,5 +1,5 @@
-let run_one ~workload ~policy ~fast_frac ~trial =
-  let w = Runner.make_workload workload ~trial in
+let run_one ctx ~workload ~policy ~fast_frac ~trial =
+  let w = Runner.make_workload ctx workload ~trial in
   let footprint = Workload.Chunk.packed_footprint w in
   let fast = max 64 (int_of_float (float_of_int footprint *. fast_frac)) in
   let slow = footprint - fast + (footprint / 10) in
@@ -11,23 +11,59 @@ let run_one ~workload ~policy ~fast_frac ~trial =
     ~policy:(Tiering.Tier_registry.create policy)
     ~workload:w
 
-let study ?(fast_frac = 0.5) ?(trials = 3) () =
+let study_workloads = [ Runner.Tpch; Runner.Pagerank; Runner.Ycsb Workload.Ycsb.B ]
+
+let study ?(fast_frac = 0.5) ?(trials = 3) ctx () =
   Report.section
     (Printf.sprintf "Tiered memory study: fast tier = %.0f%% of footprint"
        (fast_frac *. 100.0));
   Report.note
     "Runtime, slow-tier access share and migration traffic per policy; no";
   Report.note "swap device - every touch completes, slow ones just cost more.";
+  (* The whole workload x policy x trial grid runs through the domain
+     pool in one batch; each trial builds its own workload and tier
+     machine, so cells are independent.  Results come back in input
+     order and feed the serial table pass below. *)
+  let grid =
+    List.concat_map
+      (fun workload ->
+        List.concat_map
+          (fun policy ->
+            List.init trials (fun trial -> (workload, policy, trial)))
+          Tiering.Tier_registry.all)
+      study_workloads
+  in
+  let all_results =
+    Engine.Pool.with_pool
+      ~jobs:(min (Runner.jobs ctx) (List.length grid))
+      (fun pool ->
+        Engine.Pool.map_list pool
+          (fun (workload, policy, trial) ->
+            run_one ctx ~workload ~policy ~fast_frac ~trial)
+          grid)
+  in
+  let results_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter2
+      (fun (workload, policy, _trial) r ->
+        let key = (workload, Tiering.Tier_registry.name policy) in
+        Hashtbl.replace tbl key
+          (match Hashtbl.find_opt tbl key with
+          | Some rs -> rs @ [ r ]
+          | None -> [ r ]))
+      grid all_results;
+    fun workload policy ->
+      match Hashtbl.find_opt tbl (workload, Tiering.Tier_registry.name policy) with
+      | Some rs -> rs
+      | None -> []
+  in
   List.iter
     (fun workload ->
       Report.subsection (Runner.workload_kind_name workload);
       let rows =
         List.map
           (fun policy ->
-            let results =
-              List.init trials (fun trial ->
-                  run_one ~workload ~policy ~fast_frac ~trial)
-            in
+            let results = results_of workload policy in
             let mean f =
               List.fold_left (fun acc r -> acc +. f r) 0.0 results
               /. float_of_int trials
@@ -56,7 +92,7 @@ let study ?(fast_frac = 0.5) ?(trials = 3) () =
           [ "policy"; "runtime"; "slow touches"; "promotions"; "demotions";
             "hint faults"; "failed promo" ]
         rows)
-    [ Runner.Tpch; Runner.Pagerank; Runner.Ycsb Workload.Ycsb.B ];
+    study_workloads;
   Report.note
     "Expected shape (paper SII-C): static pins whatever loaded first;";
   Report.note

@@ -6,9 +6,15 @@
     traffic — the tiering analogue of the replacement figures.  Not part
     of the paper's evaluation, but the design space its background
     section frames (and the context in which it reads MG-LRU's
-    data structures). *)
+    data structures).
+
+    The workload x policy x trial grid is fanned out through the
+    context's domain pool ({!Runner.jobs}); every trial seeds its own
+    workload and machine, and results are aggregated in input order, so
+    the printed tables do not depend on the parallelism. *)
 
 val run_one :
+  Runner.ctx ->
   workload:Runner.workload_kind ->
   policy:Tiering.Tier_registry.spec ->
   fast_frac:float ->
@@ -17,6 +23,6 @@ val run_one :
 (** One trial: fast tier sized at [fast_frac] of the footprint, the slow
     tier holding the rest (plus slack). *)
 
-val study : ?fast_frac:float -> ?trials:int -> unit -> unit
+val study : ?fast_frac:float -> ?trials:int -> Runner.ctx -> unit -> unit
 (** Print the full comparison table for TPC-H, PageRank and YCSB-B at
     [fast_frac] (default 0.5) of the footprint in the fast tier. *)

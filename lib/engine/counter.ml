@@ -10,7 +10,9 @@ let cell t name =
     Hashtbl.add t name r;
     r
 
-let add t name n = cell t name := !(cell t name) + n
+let add t name n =
+  let c = cell t name in
+  c := !c + n
 
 let incr t name = add t name 1
 
@@ -23,3 +25,8 @@ let to_list t =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let merge_into ~src ~dst = Hashtbl.iter (fun name r -> add dst name !r) src
+
+let merge_all ts =
+  let dst = create () in
+  List.iter (fun src -> merge_into ~src ~dst) ts;
+  dst

@@ -3,7 +3,14 @@
     A lightweight metrics registry: policies and devices report how many
     PTEs they scanned, rmap walks they performed, pages they promoted,
     and so on.  Hot-path counts inside the machine itself use plain
-    mutable fields; this registry is for everything else. *)
+    mutable fields; this registry is for everything else.
+
+    {b Domain ownership.}  A registry is single-domain state: it is not
+    locked, and concurrent mutation from several domains would lose
+    updates.  Under the parallel trial engine each domain accumulates
+    into its own registry and the results are combined {e after} the
+    domains have been joined, with {!merge_into} or {!merge_all} —
+    never by sharing one registry across running domains. *)
 
 type t
 
@@ -22,4 +29,10 @@ val to_list : t -> (string * int) list
 (** All counters, sorted by name. *)
 
 val merge_into : src:t -> dst:t -> unit
-(** Add every counter of [src] into [dst]. *)
+(** Add every counter of [src] into [dst].  Both registries must be
+    quiescent (no domain is mutating them) — merge per-domain registries
+    post-join, not mid-flight. *)
+
+val merge_all : t list -> t
+(** A fresh registry holding the sum of every input: the post-join
+    aggregation step for per-domain registries. *)

@@ -1,0 +1,139 @@
+(* Chunked self-scheduling across domains: one mutex-protected claim
+   index per batch.  Tasks here are whole simulation trials (seconds),
+   so a claim under a mutex costs nothing relative to the work and gives
+   dynamic load balancing — a slow trial does not hold up the queue the
+   way a static block partition would. *)
+
+type batch = {
+  run_task : int -> unit; (* must not raise; map wraps exceptions *)
+  total : int;
+  mutable next : int;     (* next unclaimed index *)
+  mutable finished : int; (* tasks fully executed *)
+}
+
+type t = {
+  n_jobs : int;
+  mu : Mutex.t;
+  work : Condition.t;  (* workers: a batch arrived, or shutdown *)
+  done_ : Condition.t; (* submitter: the current batch completed *)
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (min (Domain.recommended_domain_count ()) 16)
+
+(* Run claimable tasks of [b] until none remain.  Called (and returns)
+   with [t.mu] held. *)
+let drain t b =
+  while b.next < b.total do
+    let i = b.next in
+    b.next <- i + 1;
+    Mutex.unlock t.mu;
+    b.run_task i;
+    Mutex.lock t.mu;
+    b.finished <- b.finished + 1;
+    if b.finished = b.total then begin
+      t.batch <- None;
+      Condition.broadcast t.done_
+    end
+  done
+
+let worker t =
+  Mutex.lock t.mu;
+  let rec idle () =
+    match t.batch with
+    | Some b when b.next < b.total ->
+      drain t b;
+      idle ()
+    | Some _ | None ->
+      if t.stop then Mutex.unlock t.mu
+      else begin
+        Condition.wait t.work t.mu;
+        idle ()
+      end
+  in
+  idle ()
+
+let create ~jobs =
+  let n_jobs = max 1 jobs in
+  let t =
+    {
+      n_jobs;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      batch = None;
+      stop = false;
+      workers = [];
+    }
+  in
+  (* The submitting domain is worker number [n_jobs]. *)
+  t.workers <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.n_jobs
+
+let exec t run_task total =
+  if total > 0 then
+    if t.n_jobs = 1 then
+      (* Degenerate pool: no domains, no locking — plain serial code. *)
+      for i = 0 to total - 1 do
+        run_task i
+      done
+    else begin
+      Mutex.lock t.mu;
+      if t.stop then begin
+        Mutex.unlock t.mu;
+        invalid_arg "Pool.exec: pool is shut down"
+      end;
+      let b = { run_task; total; next = 0; finished = 0 } in
+      t.batch <- Some b;
+      Condition.broadcast t.work;
+      drain t b;
+      (* Our claimable work is gone, but stolen tasks may still be in
+         flight on other domains. *)
+      while b.finished < b.total do
+        Condition.wait t.done_ t.mu
+      done;
+      Mutex.unlock t.mu
+    end
+
+let map t f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  (* Slots are written by at most one domain each, so the arrays need no
+     lock; the batch-completion handshake publishes them to the caller. *)
+  let run_task i =
+    match f tasks.(i) with
+    | v -> results.(i) <- Some v
+    | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+  in
+  exec t run_task n;
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors;
+  Array.map
+    (function
+      | Some v -> v
+      | None -> assert false)
+    results
+
+let map_list t f tasks = Array.to_list (map t f (Array.of_list tasks))
+
+let run t thunks = map_list t (fun f -> f ()) thunks
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

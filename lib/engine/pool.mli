@@ -1,0 +1,54 @@
+(** A fixed-size pool of OCaml 5 domains for embarrassingly parallel
+    task batches.
+
+    The experiment grid (workload x policy x ratio x swap x trial) is
+    embarrassingly parallel: every trial owns its seeded RNG, workload
+    instance and simulated machine, so trials never share mutable state.
+    The pool schedules such independent tasks across domains with
+    chunked self-scheduling (each worker claims the next unclaimed index
+    under a mutex — cheap work stealing for coarse tasks) and returns
+    results {e in task order}, so callers that print or aggregate
+    serially produce output bit-identical to a serial run.
+
+    Exceptions raised by tasks are caught per task; after the batch
+    completes, the exception of the {e lowest-indexed} failing task is
+    re-raised in the caller, regardless of which domain ran it or when —
+    error reporting is deterministic too.
+
+    A pool with [jobs = 1] spawns no domains at all and runs every task
+    in the calling domain: the degenerate case is plain serial code.
+
+    Pools are not re-entrant: tasks must not submit to the pool that is
+    running them (they may create their own). *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool that runs batches on [max 1 jobs] domains.  [jobs - 1]
+    worker domains are spawned eagerly (the submitting domain is the
+    remaining worker); they idle on a condition variable between
+    batches. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], capped to a sane ceiling for
+    coarse simulation trials (at least 1). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f tasks] applies [f] to every element, in parallel across
+    the pool's domains, and returns the results in input order.
+    Re-raises the lowest-indexed task exception, if any, after every
+    task has finished. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run pool thunks] = [map_list pool (fun f -> f ()) thunks]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool cannot be used
+    afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run the callback, and [shutdown] (also on exception). *)

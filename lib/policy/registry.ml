@@ -22,6 +22,28 @@ let name = function
   | Random -> "random"
   | Lru_exact -> "lru-exact"
 
+let scan_mode_key = function
+  | Mglru.Bloom_filtered -> "bloom"
+  | Mglru.Scan_all -> "all"
+  | Mglru.Scan_none -> "none"
+  | Mglru.Scan_rand p -> Printf.sprintf "rand%.6g" p
+
+(* Every config field goes into the key: two distinct custom configs
+   must never alias one cache entry. *)
+let mglru_config_key (c : Mglru.config) =
+  Printf.sprintf "g%d.%d-%s-b%d.%d.%d-t%d%s-e%d-a%d-s%b" c.Mglru.max_gens
+    c.Mglru.min_gens (scan_mode_key c.Mglru.scan_mode) c.Mglru.bloom_bits
+    c.Mglru.bloom_hashes c.Mglru.bloom_density_shift c.Mglru.tiers
+    (if c.Mglru.tier_protection then "p" else "")
+    c.Mglru.evict_batch c.Mglru.aging_regions_per_step c.Mglru.spatial_scan
+
+let cache_key = function
+  | Scan_rand p -> Printf.sprintf "scan-rand:%.6g" p
+  | Mglru_custom c -> "mglru-custom:" ^ mglru_config_key c
+  | (Clock | Mglru_default | Gen14 | Scan_all | Scan_none | Fifo | Random
+    | Lru_exact) as spec ->
+    name spec
+
 let of_name = function
   | "clock" -> Some Clock
   | "mglru" -> Some Mglru_default

@@ -17,7 +17,14 @@ type spec =
   | Lru_exact
 
 val name : spec -> string
-(** Stable display/CLI name. *)
+(** Stable display/CLI name.  Not injective: every [Mglru_custom] and
+    every [Scan_rand] probability shares one display name. *)
+
+val cache_key : spec -> string
+(** A stable string that {e is} injective over specs (parameters and
+    custom-config fields included), usable as a memo-table key.  Unlike
+    structural hashing of a spec, this stays total even if a future
+    config variant carries closures. *)
 
 val of_name : string -> spec option
 (** Inverse of {!name} for the CLI names; [Scan_rand] parses as

@@ -35,6 +35,27 @@ let test_merge () =
   Alcotest.(check int) "y merged" 3 (C.get a "y");
   Alcotest.(check int) "src untouched" 2 (C.get b "x")
 
+let test_merge_all () =
+  (* The parallel-aggregation path: per-domain registries merged after
+     the join must equal one registry that saw every increment. *)
+  let parts =
+    List.map
+      (fun base ->
+        let c = C.create () in
+        C.add c "shared" base;
+        C.add c (Printf.sprintf "only-%d" base) 1;
+        c)
+      [ 1; 2; 3 ]
+  in
+  let merged = C.merge_all parts in
+  Alcotest.(check int) "shared summed" 6 (C.get merged "shared");
+  Alcotest.(check int) "only-2 kept" 1 (C.get merged "only-2");
+  List.iter (fun c -> Alcotest.(check int) "sources untouched" 1
+                        (C.get c (Printf.sprintf "only-%d" (C.get c "shared"))))
+    parts;
+  Alcotest.(check (list (pair string int))) "empty merge" []
+    (C.to_list (C.merge_all []))
+
 let test_negative_add () =
   let c = C.create () in
   C.add c "x" (-4);
@@ -49,6 +70,7 @@ let () =
           Alcotest.test_case "to_list sorted" `Quick test_to_list_sorted;
           Alcotest.test_case "reset" `Quick test_reset;
           Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "merge_all" `Quick test_merge_all;
           Alcotest.test_case "negative add" `Quick test_negative_add;
         ] );
     ]

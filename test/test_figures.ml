@@ -1,14 +1,14 @@
 (* Figure-harness data checks at the fast profile (the printed tables
    are exercised by the bench; here we validate the returned data). *)
 
-let () =
-  Unix.putenv "REPRO_FAST" "1";
-  Unix.putenv "REPRO_TRIALS" "1";
-  Unix.putenv "REPRO_YCSB_TRIALS" "1"
+let ctx =
+  Repro_core.Runner.make_ctx
+    ~profile:{ Repro_core.Runner.trials = 1; ycsb_trials = 1; fast = true }
+    ()
 
 let test_cell_metrics () =
   let c =
-    Repro_core.Figures.cell ~workload:Repro_core.Runner.Tpch
+    Repro_core.Figures.cell ctx ~workload:Repro_core.Runner.Tpch
       ~policy:Policy.Registry.Clock ~ratio:0.5 ~swap:Repro_core.Runner.Ssd
   in
   Alcotest.(check bool) "perf positive" true (c.Repro_core.Figures.perf > 0.0);
@@ -17,7 +17,7 @@ let test_cell_metrics () =
 
 let test_ycsb_cell_uses_latency () =
   let c =
-    Repro_core.Figures.cell
+    Repro_core.Figures.cell ctx
       ~workload:(Repro_core.Runner.Ycsb Workload.Ycsb.C)
       ~policy:Policy.Registry.Clock ~ratio:0.5 ~swap:Repro_core.Runner.Ssd
   in
@@ -26,7 +26,7 @@ let test_ycsb_cell_uses_latency () =
   Alcotest.(check bool) "metric is a latency" true (c.Repro_core.Figures.perf > 1_000.0)
 
 let test_fig1_data () =
-  let data = Repro_core.Figures.fig1 () in
+  let data = Repro_core.Figures.fig1 ctx in
   Alcotest.(check int) "five workloads" 5 (List.length data);
   List.iter
     (fun (name, perf, faults) ->
@@ -36,7 +36,7 @@ let test_fig1_data () =
     data
 
 let test_fig4_data () =
-  let data = Repro_core.Figures.fig4 () in
+  let data = Repro_core.Figures.fig4 ctx in
   (* 5 workloads x 5 variants *)
   Alcotest.(check int) "rows" 25 (List.length data);
   (* The default-MG-LRU rows normalize to exactly 1. *)
@@ -47,8 +47,8 @@ let test_fig4_data () =
     data
 
 let test_fig9_fig10_data () =
-  let perf = Repro_core.Figures.fig9 () in
-  let faults = Repro_core.Figures.fig10 () in
+  let perf = Repro_core.Figures.fig9 ctx in
+  let faults = Repro_core.Figures.fig10 ctx in
   Alcotest.(check int) "perf rows" 30 (List.length perf);
   Alcotest.(check int) "fault rows" 30 (List.length faults);
   List.iter
@@ -57,7 +57,7 @@ let test_fig9_fig10_data () =
     perf
 
 let test_fig11_data () =
-  let data = Repro_core.Figures.fig11 () in
+  let data = Repro_core.Figures.fig11 ctx in
   Alcotest.(check int) "five workloads" 5 (List.length data);
   List.iter
     (fun (name, rt, faults) ->
@@ -65,11 +65,21 @@ let test_fig11_data () =
       Alcotest.(check bool) (name ^ ": faults not reduced") true (faults > 0.8))
     data
 
+let test_cells_of_figure () =
+  List.iter
+    (fun n ->
+      let cells = Repro_core.Figures.cells_of_figure n in
+      Alcotest.(check bool)
+        (Printf.sprintf "figure %d has cells" n)
+        true
+        (List.length cells > 0))
+    Repro_core.Figures.all_figures
+
 let test_run_dispatch_bounds () =
   Alcotest.check_raises "figure 0" (Invalid_argument "Figures.run: no figure 0")
-    (fun () -> Repro_core.Figures.run 0);
+    (fun () -> Repro_core.Figures.run ctx 0);
   Alcotest.check_raises "figure 13" (Invalid_argument "Figures.run: no figure 13")
-    (fun () -> Repro_core.Figures.run 13)
+    (fun () -> Repro_core.Figures.run ctx 13)
 
 let test_csv_quoting () =
   let path = Filename.temp_file "csv" ".csv" in
@@ -100,6 +110,7 @@ let () =
           Alcotest.test_case "fig4" `Slow test_fig4_data;
           Alcotest.test_case "fig9/fig10" `Slow test_fig9_fig10_data;
           Alcotest.test_case "fig11" `Slow test_fig11_data;
+          Alcotest.test_case "cells_of_figure" `Quick test_cells_of_figure;
           Alcotest.test_case "dispatch bounds" `Quick test_run_dispatch_bounds;
           Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
         ] );

@@ -4,13 +4,11 @@
 module R = Repro_core.Runner
 module M = Repro_core.Machine
 
-let () =
-  Unix.putenv "REPRO_FAST" "1";
-  Unix.putenv "REPRO_TRIALS" "1";
-  Unix.putenv "REPRO_YCSB_TRIALS" "1"
+let ctx =
+  R.make_ctx ~profile:{ R.trials = 1; ycsb_trials = 1; fast = true } ()
 
 let run workload policy ~ratio ~swap =
-  R.run_exp { R.workload; policy; ratio; swap; trial = 0 }
+  R.run_exp ctx { R.workload; policy; ratio; swap; trial = 0 }
 
 let test_all_workload_policy_pairs_complete () =
   List.iter
@@ -74,7 +72,7 @@ let test_ycsb_latency_capture () =
 
 let test_conservation_after_run () =
   let r = run R.Tpch Policy.Registry.Mglru_default ~ratio:0.5 ~swap:R.Ssd in
-  let w = R.make_workload R.Tpch ~trial:0 in
+  let w = R.make_workload ctx R.Tpch ~trial:0 in
   let footprint = Workload.Chunk.packed_footprint w in
   let capacity = int_of_float (float_of_int footprint *. 0.5) in
   Alcotest.(check bool)

@@ -1,0 +1,122 @@
+(* Domain-pool unit tests: ordering, exception determinism, the jobs=1
+   degenerate case, reuse across batches, and actual parallel speedup. *)
+
+module P = Engine.Pool
+
+let test_map_ordering () =
+  (* Jittered task durations so completion order differs from input
+     order; results must still come back in input order. *)
+  P.with_pool ~jobs:4 (fun pool ->
+      let inputs = Array.init 64 (fun i -> i) in
+      let out =
+        P.map pool
+          (fun i ->
+            if i land 3 = 0 then Unix.sleepf 0.002;
+            i * i)
+          inputs
+      in
+      Alcotest.(check (array int)) "squares in order"
+        (Array.init 64 (fun i -> i * i))
+        out)
+
+let test_map_list_ordering () =
+  P.with_pool ~jobs:3 (fun pool ->
+      let out = P.map_list pool (fun s -> s ^ "!") [ "a"; "b"; "c"; "d" ] in
+      Alcotest.(check (list string)) "in order" [ "a!"; "b!"; "c!"; "d!" ] out)
+
+let test_jobs_one_degenerate () =
+  let pool = P.create ~jobs:1 in
+  Alcotest.(check int) "one job" 1 (P.jobs pool);
+  let seen = ref [] in
+  let out = P.map_list pool (fun i -> seen := i :: !seen; i + 1) [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4 ] out;
+  (* Serial execution visits tasks in order in the calling domain. *)
+  Alcotest.(check (list int)) "executed in order" [ 3; 2; 1 ] !seen;
+  P.shutdown pool
+
+let test_jobs_clamped () =
+  let pool = P.create ~jobs:(-3) in
+  Alcotest.(check int) "clamped to 1" 1 (P.jobs pool);
+  P.shutdown pool;
+  Alcotest.(check bool) "default jobs sane" true (P.default_jobs () >= 1)
+
+let test_lowest_index_exception () =
+  (* Several tasks fail; the re-raised exception must be the one from
+     the lowest-indexed failing task, every time. *)
+  P.with_pool ~jobs:4 (fun pool ->
+      for _ = 1 to 5 do
+        match
+          P.map pool
+            (fun i ->
+              if i = 3 then failwith "task 3";
+              if i = 7 then failwith "task 7";
+              if i = 11 then invalid_arg "task 11";
+              i)
+            (Array.init 16 (fun i -> i))
+        with
+        | _ -> Alcotest.fail "batch should have raised"
+        | exception Failure msg ->
+          Alcotest.(check string) "lowest-indexed failure wins" "task 3" msg
+      done)
+
+let test_exception_leaves_pool_usable () =
+  P.with_pool ~jobs:2 (fun pool ->
+      (match P.run pool [ (fun () -> failwith "boom") ] with
+      | _ -> Alcotest.fail "should raise"
+      | exception Failure _ -> ());
+      let out = P.map_list pool (fun i -> i * 2) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "next batch fine" [ 2; 4; 6 ] out)
+
+let test_reuse_across_batches () =
+  P.with_pool ~jobs:4 (fun pool ->
+      for round = 1 to 10 do
+        let out = P.map_list pool (fun i -> i + round) [ 1; 2; 3; 4; 5 ] in
+        Alcotest.(check (list int))
+          "round results"
+          (List.map (fun i -> i + round) [ 1; 2; 3; 4; 5 ])
+          out
+      done)
+
+let test_empty_and_singleton () =
+  P.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (P.map_list pool (fun i -> i) []);
+      Alcotest.(check (list int)) "singleton" [ 9 ]
+        (P.map_list pool (fun i -> i + 1) [ 8 ]))
+
+let test_speedup () =
+  (* Eight 50 ms sleeps: serial floor 0.4 s, four domains ~0.1 s.
+     sleepf does not contend the CPU, so >2x holds even on loaded CI
+     as long as the machine has >= 4 cores. *)
+  if Domain.recommended_domain_count () < 4 then ()
+  else begin
+    let tasks = List.init 8 (fun i -> i) in
+    let time jobs =
+      P.with_pool ~jobs (fun pool ->
+          let t0 = Unix.gettimeofday () in
+          ignore (P.map_list pool (fun _ -> Unix.sleepf 0.05) tasks);
+          Unix.gettimeofday () -. t0)
+    in
+    let serial = time 1 in
+    let parallel = time 4 in
+    Alcotest.(check bool)
+      (Printf.sprintf "serial %.3fs / parallel %.3fs > 2x" serial parallel)
+      true
+      (serial > 2.0 *. parallel)
+  end
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "map ordering" `Quick test_map_ordering;
+          Alcotest.test_case "map_list ordering" `Quick test_map_list_ordering;
+          Alcotest.test_case "jobs=1 degenerate" `Quick test_jobs_one_degenerate;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "lowest-index exception" `Quick test_lowest_index_exception;
+          Alcotest.test_case "usable after exception" `Quick test_exception_leaves_pool_usable;
+          Alcotest.test_case "reuse across batches" `Quick test_reuse_across_batches;
+          Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+          Alcotest.test_case "speedup" `Slow test_speedup;
+        ] );
+    ]

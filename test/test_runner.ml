@@ -1,19 +1,38 @@
 module R = Repro_core.Runner
 
-(* These tests force the fast profile via the environment to stay quick;
-   the profile is memoized, so set it before anything reads it. *)
-let () =
-  Unix.putenv "REPRO_FAST" "1";
-  Unix.putenv "REPRO_TRIALS" "2";
-  Unix.putenv "REPRO_YCSB_TRIALS" "1"
+(* Fast, explicit profile: no environment round-trips. *)
+let fast_profile = { R.trials = 2; ycsb_trials = 1; fast = true }
 
-let test_profile_env () =
-  let p = R.profile () in
+let ctx = R.make_ctx ~profile:fast_profile ()
+
+let test_ctx_fields () =
+  let p = R.profile ctx in
   Alcotest.(check bool) "fast" true p.R.fast;
   Alcotest.(check int) "trials" 2 p.R.trials;
   Alcotest.(check int) "ycsb trials" 1 p.R.ycsb_trials;
-  Alcotest.(check int) "trials_for tpch" 2 (R.trials_for R.Tpch);
-  Alcotest.(check int) "trials_for ycsb" 1 (R.trials_for (R.Ycsb Workload.Ycsb.A))
+  Alcotest.(check int) "trials_for tpch" 2 (R.trials_for ctx R.Tpch);
+  Alcotest.(check int) "trials_for ycsb" 1
+    (R.trials_for ctx (R.Ycsb Workload.Ycsb.A));
+  Alcotest.(check int) "default jobs" 1 (R.jobs ctx);
+  Alcotest.(check bool) "no faults by default" true
+    (Swapdev.Faulty_device.is_none (R.fault_plan ctx));
+  Alcotest.(check int) "audits end-of-run only" 0 (R.audit_every_ns ctx)
+
+let test_make_ctx_clamps () =
+  let c = R.make_ctx ~profile:fast_profile ~jobs:0 ~audit_every_ns:(-5) () in
+  Alcotest.(check int) "jobs clamped to 1" 1 (R.jobs c);
+  Alcotest.(check int) "audit clamped to 0" 0 (R.audit_every_ns c)
+
+let test_profile_defaults () =
+  (* Environment fallbacks untouched in the test runner, so this is the
+     paper's scale unless the caller exported REPRO_* - in which case the
+     parse must still produce positive values. *)
+  let p = R.profile_from_env () in
+  Alcotest.(check bool) "trials positive" true (p.R.trials >= 1);
+  Alcotest.(check bool) "ycsb trials positive" true (p.R.ycsb_trials >= 1);
+  Alcotest.(check int) "default trials" 25 R.default_profile.R.trials;
+  Alcotest.(check int) "default ycsb trials" 2 R.default_profile.R.ycsb_trials;
+  Alcotest.(check bool) "default full-size" false R.default_profile.R.fast
 
 let test_names () =
   Alcotest.(check string) "tpch" "tpch" (R.workload_kind_name R.Tpch);
@@ -21,11 +40,31 @@ let test_names () =
   Alcotest.(check string) "swap" "zram" (R.swap_name R.Zram);
   Alcotest.(check int) "five workloads" 5 (List.length R.all_workloads)
 
+let test_exp_key_injective () =
+  let exp policy =
+    { R.workload = R.Tpch; policy; ratio = 0.5; swap = R.Ssd; trial = 0 }
+  in
+  let base = Policy.Registry.Mglru_default in
+  let custom gens = Policy.Registry.Mglru_custom
+      { Policy.Mglru.default_config with Policy.Mglru.max_gens = gens }
+  in
+  (* Display names may collide; cache keys must not. *)
+  Alcotest.(check bool) "distinct customs distinct keys" true
+    (R.exp_key (exp (custom 2)) <> R.exp_key (exp (custom 8)));
+  Alcotest.(check bool) "custom differs from default" true
+    (R.exp_key (exp base) <> R.exp_key (exp (custom 4)));
+  Alcotest.(check bool) "scan-rand p encoded" true
+    (R.exp_key (exp (Policy.Registry.Scan_rand 0.25))
+    <> R.exp_key (exp (Policy.Registry.Scan_rand 0.5)));
+  Alcotest.(check bool) "trial encoded" true
+    (R.exp_key (exp base)
+    <> R.exp_key { (exp base) with R.trial = 1 })
+
 let test_workload_seeds_paired () =
   (* Same (kind, trial) must build identical workloads regardless of
      policy: check footprints and first steps match. *)
-  let w1 = R.make_workload R.Tpch ~trial:3 in
-  let w2 = R.make_workload R.Tpch ~trial:3 in
+  let w1 = R.make_workload ctx R.Tpch ~trial:3 in
+  let w2 = R.make_workload ctx R.Tpch ~trial:3 in
   Alcotest.(check int) "same footprint" (Workload.Chunk.packed_footprint w1)
     (Workload.Chunk.packed_footprint w2);
   let s1 = Workload.Chunk.packed_next w1 ~tid:0 in
@@ -33,19 +72,43 @@ let test_workload_seeds_paired () =
   Alcotest.(check bool) "same first step" true (s1 = s2)
 
 let test_run_exp_cached () =
+  let c = R.make_ctx ~profile:fast_profile () in
   let e = { R.workload = R.Tpch; policy = Policy.Registry.Clock; ratio = 0.5;
             swap = R.Ssd; trial = 0 } in
-  let r1 = R.run_exp e in
-  let r2 = R.run_exp e in
+  Alcotest.(check int) "fresh ctx empty" 0 (R.cached_results c);
+  let r1 = R.run_exp c e in
+  Alcotest.(check int) "one result memoized" 1 (R.cached_results c);
+  let r2 = R.run_exp c e in
   Alcotest.(check bool) "cache returns same result" true (r1 == r2);
-  R.clear_cache ();
-  let r3 = R.run_exp e in
+  (* A fresh context recomputes deterministically. *)
+  let c' = R.make_ctx ~profile:fast_profile () in
+  let r3 = R.run_exp c' e in
   Alcotest.(check bool) "recomputed deterministically" true
     (r3.Repro_core.Machine.runtime_ns = r1.Repro_core.Machine.runtime_ns)
 
+let test_ctx_caches_isolated () =
+  (* Two contexts with different fault plans must not share results. *)
+  let e = { R.workload = R.Tpch; policy = Policy.Registry.Clock; ratio = 0.5;
+            swap = R.Ssd; trial = 0 } in
+  let clean = R.make_ctx ~profile:fast_profile () in
+  let faulty =
+    R.make_ctx ~profile:fast_profile ~fault_plan:Swapdev.Faulty_device.heavy ()
+  in
+  let r_clean = R.run_exp clean e in
+  let r_faulty = R.run_exp faulty e in
+  Alcotest.(check bool) "distinct results" true (r_clean != r_faulty);
+  let injected r =
+    r.Repro_core.Machine.injected_transient + r.Repro_core.Machine.injected_permanent
+    + r.Repro_core.Machine.injected_stalls
+    + r.Repro_core.Machine.injected_tail_spikes
+  in
+  Alcotest.(check bool) "faults only under the faulty plan" true
+    (injected r_clean = 0 && injected r_faulty > 0)
+
 let test_run_cell () =
   let results =
-    R.run_cell ~workload:R.Tpch ~policy:Policy.Registry.Clock ~ratio:0.5 ~swap:R.Ssd
+    R.run_cell ctx ~workload:R.Tpch ~policy:Policy.Registry.Clock ~ratio:0.5
+      ~swap:R.Ssd
   in
   Alcotest.(check int) "trials per profile" 2 (List.length results);
   let rts = R.runtimes_s results in
@@ -53,14 +116,21 @@ let test_run_cell () =
   Alcotest.(check bool) "mean positive" true (R.mean_runtime_s results > 0.0);
   Alcotest.(check bool) "faults positive" true (R.mean_faults results > 0.0)
 
+let test_prefetch_dedupes () =
+  let c = R.make_ctx ~profile:fast_profile () in
+  let e = { R.workload = R.Tpch; policy = Policy.Registry.Clock; ratio = 0.5;
+            swap = R.Ssd; trial = 0 } in
+  R.prefetch c [ e; e; e ];
+  Alcotest.(check int) "one cached result" 1 (R.cached_results c)
+
 let test_capacity_scales_with_ratio () =
   let small =
-    R.run_exp
+    R.run_exp ctx
       { R.workload = R.Tpch; policy = Policy.Registry.Clock; ratio = 0.5;
         swap = R.Ssd; trial = 0 }
   in
   let large =
-    R.run_exp
+    R.run_exp ctx
       { R.workload = R.Tpch; policy = Policy.Registry.Clock; ratio = 0.9;
         swap = R.Ssd; trial = 0 }
   in
@@ -69,8 +139,8 @@ let test_capacity_scales_with_ratio () =
 
 let test_pooled_latencies () =
   let results =
-    R.run_cell ~workload:(R.Ycsb Workload.Ycsb.A) ~policy:Policy.Registry.Clock
-      ~ratio:0.5 ~swap:R.Zram
+    R.run_cell ctx ~workload:(R.Ycsb Workload.Ycsb.A)
+      ~policy:Policy.Registry.Clock ~ratio:0.5 ~swap:R.Zram
   in
   let reads = R.pooled_read_latencies results in
   let writes = R.pooled_write_latencies results in
@@ -83,11 +153,16 @@ let () =
     [
       ( "unit",
         [
-          Alcotest.test_case "profile env" `Quick test_profile_env;
+          Alcotest.test_case "ctx fields" `Quick test_ctx_fields;
+          Alcotest.test_case "make_ctx clamps" `Quick test_make_ctx_clamps;
+          Alcotest.test_case "profile defaults" `Quick test_profile_defaults;
           Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "exp_key injective" `Quick test_exp_key_injective;
           Alcotest.test_case "paired seeds" `Quick test_workload_seeds_paired;
           Alcotest.test_case "cache" `Quick test_run_exp_cached;
+          Alcotest.test_case "ctx caches isolated" `Quick test_ctx_caches_isolated;
           Alcotest.test_case "run_cell" `Quick test_run_cell;
+          Alcotest.test_case "prefetch dedupes" `Quick test_prefetch_dedupes;
           Alcotest.test_case "ratio scaling" `Quick test_capacity_scales_with_ratio;
           Alcotest.test_case "pooled latencies" `Quick test_pooled_latencies;
         ] );
