@@ -4,12 +4,16 @@
    repro run ...              run one experiment cell
    repro list                 show available workloads and policies
    repro sweep ...            capacity-ratio sweep for one workload
+   repro trace-summary FILE   aggregate a JSONL trace into tables
 
    Every subcommand builds one explicit Repro_core.Runner.ctx from its
-   flags (scaling profile, fault plan, audit cadence, --jobs) and
-   threads it through the drivers; the REPRO_TRIALS / REPRO_YCSB_TRIALS
-   / REPRO_FAST environment variables remain as documented fallbacks,
-   read in exactly one place (Runner.profile_from_env). *)
+   flags (scaling profile, fault plan, audit cadence, --jobs, telemetry)
+   and threads it through the drivers; the REPRO_TRIALS /
+   REPRO_YCSB_TRIALS / REPRO_FAST environment variables remain as
+   documented fallbacks, read in exactly one place
+   (Runner.profile_from_env).  --trace / --sample-every write their
+   files after the experiment output, from the deterministic trace log,
+   so traced runs stay byte-identical across --jobs values. *)
 
 open Cmdliner
 
@@ -56,9 +60,41 @@ let audit_every_arg =
              "Audit machine-state invariants every MS simulated milliseconds \
               (0 = end-of-run only).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:
+             "Record every reclaim/eviction/promotion/swap/OOM event with its \
+              simulated timestamp and write them as JSON Lines to FILE after \
+              the run. Observation only: results are identical to an untraced \
+              run, and the file is byte-identical for every $(b,--jobs) value.")
+
+let sample_every_arg =
+  Arg.(value & opt int 0
+       & info [ "sample-every" ] ~docv:"NS"
+           ~doc:
+             "Sample machine state (free frames, residency, refault rate, \
+              swap occupancy, per-policy gauges) every NS simulated \
+              nanoseconds; 0 disables. Written as long-format CSV (see \
+              $(b,--samples)).")
+
+let samples_arg =
+  Arg.(value & opt string "samples.csv"
+       & info [ "samples" ] ~docv:"FILE"
+           ~doc:"Destination for the $(b,--sample-every) time series.")
+
+(* Everything a subcommand needs: the run context plus where to flush
+   its telemetry afterwards. *)
+type setup = {
+  ctx : Repro_core.Runner.ctx;
+  trace_file : string option;
+  samples_file : string option;
+}
+
 (* Flags override the environment fallbacks; the fast flag is sticky in
    the or-direction so REPRO_FAST=1 keeps working under any flags. *)
-let build_ctx trials ycsb_trials fast jobs faults audit_every_ms =
+let build_setup trials ycsb_trials fast jobs faults audit_every_ms trace
+    sample_every samples =
   let base = Repro_core.Runner.profile_from_env () in
   let profile =
     {
@@ -74,14 +110,36 @@ let build_ctx trials ycsb_trials fast jobs faults audit_every_ms =
   let jobs =
     match jobs with Some n -> max 1 n | None -> Engine.Pool.default_jobs ()
   in
-  Repro_core.Runner.make_ctx ~profile ~fault_plan:faults
-    ~audit_every_ns:(max 0 audit_every_ms * 1_000_000)
-    ~jobs ()
+  let sample_every = max 0 sample_every in
+  let obs = { Obs.trace = trace <> None; sample_every_ns = sample_every } in
+  {
+    ctx =
+      Repro_core.Runner.make_ctx ~profile ~fault_plan:faults
+        ~audit_every_ns:(max 0 audit_every_ms * 1_000_000)
+        ~jobs ~obs ();
+    trace_file = trace;
+    samples_file = (if sample_every > 0 then Some samples else None);
+  }
 
-let ctx_term =
+(* Flush the telemetry recorded under [setup.ctx]; called by every
+   subcommand after its own output. *)
+let finalize setup =
+  (match setup.trace_file with
+  | None -> ()
+  | Some path ->
+    let n = Repro_core.Runner.write_trace setup.ctx ~path in
+    Printf.printf "wrote %d trace event(s) to %s\n" n path);
+  match setup.samples_file with
+  | None -> ()
+  | Some path ->
+    let n = Repro_core.Runner.write_samples setup.ctx ~path in
+    Printf.printf "wrote %d sample row(s) to %s\n" n path
+
+let setup_term =
   Term.(
-    const build_ctx $ trials_arg $ ycsb_trials_arg $ fast_arg $ jobs_arg
-    $ faults_arg $ audit_every_arg)
+    const build_setup $ trials_arg $ ycsb_trials_arg $ fast_arg $ jobs_arg
+    $ faults_arg $ audit_every_arg $ trace_arg $ sample_every_arg
+    $ samples_arg)
 
 (* ---------------- argument converters ---------------- *)
 
@@ -124,7 +182,8 @@ let fig_cmd =
       & pos_all string []
       & info [] ~docv:"FIGURE" ~doc:"Figure numbers (1-12) or $(b,all).")
   in
-  let run ctx figures =
+  let run setup figures =
+    let ctx = setup.ctx in
     try
       if List.mem "all" figures then Repro_core.Figures.run_all ctx
       else
@@ -135,12 +194,13 @@ let fig_cmd =
             | Some _ | None ->
               raise (Invalid_argument (Printf.sprintf "no figure %S" s)))
           figures;
+      finalize setup;
       `Ok ()
     with Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Reproduce one or more of the paper's figures (1-12).")
-    Term.(ret (const run $ ctx_term $ figures))
+    Term.(ret (const run $ setup_term $ figures))
 
 (* ---------------- run ---------------- *)
 
@@ -168,7 +228,8 @@ let run_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-policy internal counters.")
   in
-  let run ctx workload policy ratio swap verbose =
+  let run setup workload policy ratio swap verbose =
+    let ctx = setup.ctx in
     let faults_on =
       not (Swapdev.Faulty_device.is_none (Repro_core.Runner.fault_plan ctx))
     in
@@ -219,11 +280,27 @@ let run_cmd =
     if Array.length writes > 0 then
       Format.printf "  write latency: %a@."
         Stats.Percentile.pp_tail
-        (Stats.Percentile.tail_of writes)
+        (Stats.Percentile.tail_of writes);
+    (* Telemetry-only digest: printed only when tracing is on, so
+       untraced output stays byte-identical to pre-telemetry builds. *)
+    if Obs.config_enabled (Repro_core.Runner.obs ctx) then
+      List.iter
+        (fun (pname, h) ->
+          if Stats.Histogram.count h > 0 then
+            Printf.printf
+              "  direct-reclaim latency [%s]: n=%s p50=%s p90=%s p99=%s max=%s\n"
+              pname
+              (Repro_core.Report.fcount (float_of_int (Stats.Histogram.count h)))
+              (Repro_core.Report.fns (Stats.Histogram.quantile h 0.5))
+              (Repro_core.Report.fns (Stats.Histogram.quantile h 0.9))
+              (Repro_core.Report.fns (Stats.Histogram.quantile h 0.99))
+              (Repro_core.Report.fns (Stats.Histogram.max_seen h)))
+        (Repro_core.Runner.merged_reclaim_hists ctx);
+    finalize setup
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment cell and print its metrics.")
-    Term.(const run $ ctx_term $ workload $ policy $ ratio $ swap $ verbose)
+    Term.(const run $ setup_term $ workload $ policy $ ratio $ swap $ verbose)
 
 (* ---------------- list ---------------- *)
 
@@ -253,7 +330,8 @@ let sweep_cmd =
     Arg.(value & opt swap_conv Repro_core.Runner.Ssd
          & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
   in
-  let run ctx workload swap =
+  let run setup workload swap =
+    let ctx = setup.ctx in
     let ratios = [ 0.5; 0.75; 0.9 ] in
     (* Fan the whole policy x ratio grid out through the pool at once. *)
     Repro_core.Runner.prefetch ctx
@@ -291,11 +369,12 @@ let sweep_cmd =
       (Printf.sprintf "Capacity sweep: %s on %s"
          (Repro_core.Runner.workload_kind_name workload)
          (Repro_core.Runner.swap_name swap));
-    Repro_core.Report.table ~header rows
+    Repro_core.Report.table ~header rows;
+    finalize setup
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep capacity ratios for every paper policy.")
-    Term.(const run $ ctx_term $ workload $ swap)
+    Term.(const run $ setup_term $ workload $ swap)
 
 (* ---------------- ablate ---------------- *)
 
@@ -307,7 +386,8 @@ let ablate_cmd =
           ~doc:
             "generations | bloom | spatial | readahead | scan-rand | all")
   in
-  let run ctx studies =
+  let run setup studies =
+    let ctx = setup.ctx in
     let dispatch = function
       | "generations" -> Repro_core.Ablation.generations ctx
       | "bloom" -> Repro_core.Ablation.bloom_density ctx
@@ -319,12 +399,13 @@ let ablate_cmd =
     in
     try
       List.iter dispatch studies;
+      finalize setup;
       `Ok ()
     with Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "ablate" ~doc:"Ablate MG-LRU/machine design choices (DESIGN.md \\S5).")
-    Term.(ret (const run $ ctx_term $ studies))
+    Term.(ret (const run $ setup_term $ studies))
 
 (* ---------------- tier ---------------- *)
 
@@ -337,13 +418,14 @@ let tier_cmd =
   let tier_trials =
     Arg.(value & opt int 3 & info [ "tier-trials" ] ~docv:"N" ~doc:"Trials per cell.")
   in
-  let run ctx fast_frac tier_trials =
-    Repro_core.Tier_study.study ~fast_frac ~trials:tier_trials ctx ()
+  let run setup fast_frac tier_trials =
+    Repro_core.Tier_study.study ~fast_frac ~trials:tier_trials setup.ctx ();
+    finalize setup
   in
   Cmd.v
     (Cmd.info "tier"
        ~doc:"Compare page-migration policies (TPP/Thermostat/AutoNUMA) on tiered memory.")
-    Term.(const run $ ctx_term $ fast_frac $ tier_trials)
+    Term.(const run $ setup_term $ fast_frac $ tier_trials)
 
 (* ---------------- export ---------------- *)
 
@@ -352,13 +434,36 @@ let export_cmd =
     Arg.(value & opt string "figures-csv"
          & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory for CSV files.")
   in
-  let run ctx dir =
-    Repro_core.Csv_export.export_all ctx ~dir;
-    Printf.printf "wrote figure CSVs to %s/\n" dir
+  let run setup dir =
+    Repro_core.Csv_export.export_all setup.ctx ~dir;
+    Printf.printf "wrote figure CSVs to %s/\n" dir;
+    finalize setup
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export every figure's underlying data as CSV.")
-    Term.(const run $ ctx_term $ dir)
+    Term.(const run $ setup_term $ dir)
+
+(* ---------------- trace-summary ---------------- *)
+
+let trace_summary_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"JSONL trace written by $(b,--trace).")
+  in
+  let run file =
+    try
+      Repro_core.Report.trace_summary ~path:file;
+      `Ok ()
+    with
+    | Failure msg -> `Error (false, msg)
+    | Sys_error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:
+         "Aggregate a JSONL trace into per-cell event counts and \
+          direct-reclaim latency quantiles.")
+    Term.(ret (const run $ file))
 
 let main =
   let doc =
@@ -366,6 +471,9 @@ let main =
   in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ fig_cmd; run_cmd; list_cmd; sweep_cmd; ablate_cmd; tier_cmd; export_cmd ]
+    [
+      fig_cmd; run_cmd; list_cmd; sweep_cmd; ablate_cmd; tier_cmd; export_cmd;
+      trace_summary_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -26,6 +26,7 @@ type config = {
   io_max_retries : int;
   io_retry_backoff_ns : int;
   audit_every_ns : int;
+  obs : Obs.config;
 }
 
 let default_config ~capacity_frames ~seed =
@@ -54,6 +55,7 @@ let default_config ~capacity_frames ~seed =
     io_max_retries = 4;
     io_retry_backoff_ns = 100_000;
     audit_every_ns = 0;
+    obs = Obs.off;
   }
 
 type result = {
@@ -83,6 +85,7 @@ type result = {
   oom_kills : int;
   oom_discarded_pages : int;
   invariant_violations : int;
+  trace : Obs.capture option;
 }
 
 type kthread_state = {
@@ -92,6 +95,7 @@ type kthread_state = {
 
 type t = {
   cfg : config;
+  obs : Obs.t;
   sim : Engine.Sim.t;
   cpu : Engine.Cpu.t;
   rng : Engine.Rng.t;
@@ -224,8 +228,9 @@ let reclaim_page t ~pfn =
     if Mem.Pte.present pte && not t.pinned.(vpn) then begin
       let retained = t.retained_slot.(vpn) in
       let now = t.reclaim_now in
+      let needs_writeback = Mem.Pte.dirty pte || retained < 0 in
       let slot =
-        if Mem.Pte.dirty pte || retained < 0 then begin
+        if needs_writeback then begin
           if retained >= 0 then begin
             Swapdev.Swap_manager.release t.swap ~slot:retained;
             t.retained_slot.(vpn) <- -1
@@ -257,7 +262,8 @@ let reclaim_page t ~pfn =
         ra_note_evicted t vpn;
         rss_page_unmapped t ~vpn;
         Mem.Frame_table.clear_owner t.frames ~pfn;
-        Mem.Phys_mem.free t.mem pfn
+        Mem.Phys_mem.free t.mem pfn;
+        Obs.emit t.obs ~t_ns:now (Obs.Evict { vpn; dirty = needs_writeback })
     end
 
 let map_page t ~tid ~pfn ~vpn ~refault ~write ~demand =
@@ -289,6 +295,7 @@ let oom_kill t =
     let v = !victim in
     t.killed.(v) <- true;
     t.oom_kills <- t.oom_kills + 1;
+    let discarded_before = t.oom_discarded in
     for vpn = 0 to Mem.Page_table.pages t.pt - 1 do
       if t.faulted_by.(vpn) = v then begin
         let pte = Mem.Page_table.get t.pt vpn in
@@ -336,6 +343,8 @@ let oom_kill t =
         Engine.Sim.stop t.sim
       end
     end;
+    Obs.emit t.obs ~t_ns:(Engine.Sim.now t.sim)
+      (Obs.Oom_kill { tid = v; discarded = t.oom_discarded - discarded_before });
     true
   end
 
@@ -372,6 +381,14 @@ let alloc_frame t ~tid ~(cursor : int ref) =
         let before = !cursor in
         cursor := max (!cursor + Engine.Cpu.scale t.cpu cpu) t.direct_stall_until;
         t.direct_reclaim_ns <- t.direct_reclaim_ns + (!cursor - before);
+        Obs.emit t.obs ~t_ns:before
+          (Obs.Reclaim
+             {
+               want = t.cfg.direct_reclaim_batch;
+               freed = stats.Policy.Policy_intf.freed;
+               scanned = stats.Policy.Policy_intf.scanned;
+               latency_ns = !cursor - before;
+             });
         wake_kthreads t;
         match Mem.Phys_mem.alloc t.mem with
         | Some pfn -> Some pfn
@@ -579,6 +596,7 @@ let run cfg ~policy ~workload =
   if cfg.capacity_frames <= 0 then invalid_arg "Machine.run: capacity_frames";
   let footprint = Workload.Chunk.packed_footprint workload in
   let nthreads = Workload.Chunk.packed_threads workload in
+  let obs = Obs.create cfg.obs in
   let rng = Engine.Rng.create cfg.seed in
   let base_device =
     match cfg.swap with
@@ -607,6 +625,7 @@ let run cfg ~policy ~workload =
   let t =
     {
       cfg;
+      obs;
       sim = Engine.Sim.create ();
       cpu = Engine.Cpu.create ~hw_threads:cfg.hw_threads;
       rng;
@@ -617,7 +636,7 @@ let run cfg ~policy ~workload =
       mem = Mem.Phys_mem.create ~frames:cfg.capacity_frames ();
       swap =
         Swapdev.Swap_manager.create ~max_retries:cfg.io_max_retries
-          ~backoff_ns:cfg.io_retry_backoff_ns ~device
+          ~backoff_ns:cfg.io_retry_backoff_ns ~obs ~device
           ~seed:(Engine.Rng.int rng (1 lsl 30)) ();
       fault_counters;
       workload;
@@ -674,6 +693,7 @@ let run cfg ~policy ~workload =
       total_frames = cfg.capacity_frames;
       low_watermark = Mem.Phys_mem.low_watermark t.mem;
       high_watermark = Mem.Phys_mem.high_watermark t.mem;
+      obs;
     }
   in
   let packed = policy env in
@@ -697,6 +717,42 @@ let run cfg ~policy ~workload =
       end
     in
     Engine.Sim.schedule t.sim ~delay:cfg.audit_every_ns tick
+  end;
+  let sample_every = Obs.sample_every_ns obs in
+  if sample_every > 0 then begin
+    (* Same recurring-tick shape as the audit above.  Counters named
+       *_faults/swap_*/direct_reclaims are cumulative; refault_rate_per_s
+       is the per-interval major-fault delta scaled to a rate. *)
+    let last_major = ref 0 in
+    let sample _ =
+      let d_major = t.major_faults - !last_major in
+      last_major := t.major_faults;
+      let metrics =
+        [
+          ("free_frames", float_of_int (Mem.Phys_mem.free_count t.mem));
+          ("resident", float_of_int (Mem.Page_table.resident t.pt));
+          ("swap_used_slots",
+           float_of_int (Swapdev.Swap_manager.used_slots t.swap));
+          ("major_faults", float_of_int t.major_faults);
+          ("minor_faults", float_of_int t.minor_faults);
+          ("refault_rate_per_s",
+           float_of_int d_major *. 1e9 /. float_of_int sample_every);
+          ("swap_ins", float_of_int (Swapdev.Swap_manager.swap_ins t.swap));
+          ("swap_outs", float_of_int (Swapdev.Swap_manager.swap_outs t.swap));
+          ("direct_reclaims", float_of_int t.direct_reclaims);
+          ("oom_kills", float_of_int t.oom_kills);
+        ]
+        @ List.map (fun (k, v) -> ("policy." ^ k, v)) (P.gauges p)
+      in
+      Obs.push_sample obs ~t_ns:(Engine.Sim.now t.sim) metrics
+    in
+    let rec tick _ =
+      if not t.stopped && t.active_threads > 0 then begin
+        sample ();
+        Engine.Sim.schedule t.sim ~delay:sample_every tick
+      end
+    in
+    Engine.Sim.schedule t.sim ~delay:sample_every tick
   end;
   Engine.Sim.run ~until:cfg.max_runtime_ns t.sim;
   t.invariant_violations <- t.invariant_violations + List.length (audit t);
@@ -729,4 +785,5 @@ let run cfg ~policy ~workload =
     oom_kills = t.oom_kills;
     oom_discarded_pages = t.oom_discarded;
     invariant_violations = t.invariant_violations;
+    trace = Obs.capture obs;
   }

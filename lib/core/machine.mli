@@ -54,6 +54,10 @@ type config = {
   audit_every_ns : int;
       (** run {!Invariants.audit} every this many simulated ns; 0 =
           end-of-run only *)
+  obs : Obs.config;
+      (** telemetry: trace events and/or periodic machine-state samples
+          into a per-trial sink, returned as [result.trace].  {!Obs.off}
+          keeps runs bit-identical to a build without the layer *)
 }
 
 val default_config : capacity_frames:int -> seed:int -> config
@@ -88,6 +92,9 @@ type result = {
   oom_discarded_pages : int; (** resident pages freed by OOM teardown *)
   invariant_violations : int;
       (** total across periodic and end-of-run audits; 0 expected *)
+  trace : Obs.capture option;
+      (** everything the trial's telemetry sink recorded; [None] when
+          [config.obs] was {!Obs.off} *)
 }
 
 val run :

@@ -61,6 +61,131 @@ let fns x =
 
 let note s = Printf.printf "  %s\n" s
 
+(* ------------------------------------------------------------------ *)
+(* Trace summary: aggregate a JSONL trace file back into tables.       *)
+(* ------------------------------------------------------------------ *)
+
+type trace_group = {
+  mutable g_events : int;
+  mutable g_trials : int list; (* distinct trial ids, insertion order *)
+  g_kinds : (string, int) Hashtbl.t;
+  g_reclaim : Stats.Histogram.t;
+}
+
+let trace_kinds =
+  [
+    "evict"; "reclaim"; "promote"; "demote"; "aging_pass"; "swap_read";
+    "swap_write"; "oom_kill";
+  ]
+
+let trace_summary ~path =
+  let ic = open_in path in
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  let lineno = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          incr lineno;
+          if String.trim line <> "" then begin
+            let fields =
+              match Obs.parse_line line with
+              | Ok fields -> fields
+              | Error msg ->
+                failwith (Printf.sprintf "%s:%d: %s" path !lineno msg)
+            in
+            let str k =
+              match Obs.field_string fields k with
+              | Some s -> s
+              | None ->
+                failwith
+                  (Printf.sprintf "%s:%d: missing field %S" path !lineno k)
+            in
+            let num k =
+              match Obs.field fields k with
+              | Some (Obs.Int i) -> float_of_int i
+              | Some (Obs.Float f) -> f
+              | _ ->
+                failwith
+                  (Printf.sprintf "%s:%d: missing field %S" path !lineno k)
+            in
+            let key =
+              Printf.sprintf "%s/%s/%g%%/%s" (str "workload") (str "policy")
+                (num "ratio" *. 100.0)
+                (str "swap")
+            in
+            let g =
+              match Hashtbl.find_opt groups key with
+              | Some g -> g
+              | None ->
+                let g =
+                  {
+                    g_events = 0;
+                    g_trials = [];
+                    g_kinds = Hashtbl.create 8;
+                    g_reclaim =
+                      Stats.Histogram.create ~buckets_per_decade:10
+                        ~lo:Obs.reclaim_hist_lo ~hi:Obs.reclaim_hist_hi ();
+                  }
+                in
+                Hashtbl.add groups key g;
+                order := key :: !order;
+                g
+            in
+            g.g_events <- g.g_events + 1;
+            (match Obs.field_int fields "trial" with
+            | Some t when not (List.mem t g.g_trials) ->
+              g.g_trials <- t :: g.g_trials
+            | _ -> ());
+            let kind = str "kind" in
+            Hashtbl.replace g.g_kinds kind
+              (1 + Option.value ~default:0 (Hashtbl.find_opt g.g_kinds kind));
+            if kind = "reclaim" then
+              match Obs.field_int fields "latency_ns" with
+              | Some ns -> Stats.Histogram.add g.g_reclaim (float_of_int (max 1 ns))
+              | None -> ()
+          end
+        done
+      with End_of_file -> ());
+  let cells = List.rev !order in
+  section (Printf.sprintf "Trace summary: %s" path);
+  let kind_count g k = Option.value ~default:0 (Hashtbl.find_opt g.g_kinds k) in
+  table
+    ~header:("cell" :: "trials" :: "events" :: trace_kinds)
+    (List.map
+       (fun key ->
+         let g = Hashtbl.find groups key in
+         key
+         :: string_of_int (List.length g.g_trials)
+         :: fcount (float_of_int g.g_events)
+         :: List.map (fun k -> fcount (float_of_int (kind_count g k))) trace_kinds)
+       cells);
+  let with_reclaims =
+    List.filter
+      (fun key -> Stats.Histogram.count (Hashtbl.find groups key).g_reclaim > 0)
+      cells
+  in
+  if with_reclaims <> [] then begin
+    subsection "direct-reclaim episode latency";
+    table
+      ~header:[ "cell"; "episodes"; "p50"; "p90"; "p99"; "max"; "mean" ]
+      (List.map
+         (fun key ->
+           let h = (Hashtbl.find groups key).g_reclaim in
+           let q p = fns (Stats.Histogram.quantile h p) in
+           [
+             key;
+             fcount (float_of_int (Stats.Histogram.count h));
+             q 0.5; q 0.9; q 0.99;
+             fns (Stats.Histogram.max_seen h);
+             fns (Stats.Histogram.mean h);
+           ])
+         with_reclaims)
+  end
+
 let fault_summary (r : Machine.result) =
   let injected =
     r.Machine.injected_transient + r.Machine.injected_permanent

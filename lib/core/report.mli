@@ -28,6 +28,13 @@ val fns : float -> string
 val note : string -> unit
 (** Indented free-form commentary line. *)
 
+val trace_summary : path:string -> unit
+(** Parse a JSONL trace (as written by {!Runner.write_trace}) and print
+    per-cell event-kind counts plus direct-reclaim latency quantiles
+    rebuilt from the [reclaim] events.
+    @raise Failure on the first malformed line, citing file and line
+    number — the CI smoke step relies on this to validate traces. *)
+
 val fault_summary : Machine.result -> unit
 (** Per-trial fault-injection block: injected faults by kind, recovery
     actions (retries / remaps / poisons / pins), OOM kills, and the

@@ -79,11 +79,21 @@ type ctx = {
   fault_plan : Swapdev.Faulty_device.plan;
   audit_every_ns : int;
   jobs : int;
+  obs : Obs.config;
   cache : shard array;
+  (* Telemetry bookkeeping: the experiments whose captures the writers
+     will serialize, in first-computation program order.  Appended only
+     from the dispatching domain (prefetch logs its whole deduplicated
+     todo list before any worker starts; direct [run_exp] misses happen
+     in the callers' serial read-back), so the order — and hence the
+     trace files — is identical for every [jobs] value. *)
+  logged : (string, unit) Hashtbl.t;
+  log : exp list ref;
+  log_lock : Mutex.t;
 }
 
 let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
-    ?(audit_every_ns = 0) ?(jobs = 1) () =
+    ?(audit_every_ns = 0) ?(jobs = 1) ?(obs = Obs.off) () =
   let profile =
     match profile with Some p -> p | None -> profile_from_env ()
   in
@@ -92,9 +102,13 @@ let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     fault_plan;
     audit_every_ns = max 0 audit_every_ns;
     jobs = max 1 jobs;
+    obs;
     cache =
       Array.init cache_shards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 32 });
+    logged = Hashtbl.create 64;
+    log = ref [];
+    log_lock = Mutex.create ();
   }
 
 let profile ctx = ctx.profile
@@ -104,6 +118,24 @@ let fault_plan ctx = ctx.fault_plan
 let audit_every_ns ctx = ctx.audit_every_ns
 
 let jobs ctx = ctx.jobs
+
+let obs ctx = ctx.obs
+
+let log_exp ctx e key =
+  if Obs.config_enabled ctx.obs then begin
+    Mutex.lock ctx.log_lock;
+    if not (Hashtbl.mem ctx.logged key) then begin
+      Hashtbl.add ctx.logged key ();
+      ctx.log := e :: !(ctx.log)
+    end;
+    Mutex.unlock ctx.log_lock
+  end
+
+let traced_exps ctx =
+  Mutex.lock ctx.log_lock;
+  let l = List.rev !(ctx.log) in
+  Mutex.unlock ctx.log_lock;
+  l
 
 let shard_of ctx key =
   ctx.cache.(Hashtbl.hash key land (cache_shards - 1))
@@ -221,6 +253,7 @@ let compute_exp ctx e =
       Machine.swap = machine_swap e.swap;
       fault_plan = ctx.fault_plan;
       audit_every_ns = ctx.audit_every_ns;
+      obs = ctx.obs;
     }
   in
   Machine.run cfg ~policy:(Policy.Registry.create e.policy) ~workload
@@ -229,7 +262,9 @@ let run_exp ctx e =
   let key = exp_key e in
   match cache_find ctx key with
   | Some r -> r
-  | None -> cache_store ctx key (compute_exp ctx e)
+  | None ->
+    log_exp ctx e key;
+    cache_store ctx key (compute_exp ctx e)
 
 (* Parallel fill of the cache.  Uncached experiments are deduplicated,
    then sharded across a transient domain pool; the results land in the
@@ -249,6 +284,10 @@ let prefetch ctx exps =
         end)
       exps
   in
+  (* Log the whole batch here, in list order, before any domain starts:
+     workers then find every key already logged, so the trace order
+     never depends on completion order. *)
+  List.iter (fun e -> log_exp ctx e (exp_key e)) todo;
   match todo with
   | [] -> ()
   | [ e ] -> ignore (run_exp ctx e)
@@ -290,3 +329,90 @@ let pooled_write_latencies results =
   pooled (fun r -> r.Machine.write_latencies) results
 
 let mean_read_latency_ns results = mean (pooled_read_latencies results)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry writers: serialize the captures of every traced            *)
+(* experiment, in the deterministic log order.                          *)
+(* ------------------------------------------------------------------ *)
+
+let captured ctx =
+  List.filter_map
+    (fun e ->
+      match cache_find ctx (exp_key e) with
+      | Some { Machine.trace = Some cap; _ } -> Some (e, cap)
+      | _ -> None)
+    (traced_exps ctx)
+
+let cell_fields e =
+  [
+    ("workload", Obs.Str (workload_kind_name e.workload));
+    ("policy", Obs.Str (Policy.Registry.name e.policy));
+    ("ratio", Obs.Float e.ratio);
+    ("swap", Obs.Str (swap_name e.swap));
+    ("trial", Obs.Int e.trial);
+  ]
+
+let write_trace ctx ~path =
+  let oc = open_out path in
+  let written = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun (e, cap) ->
+          let cell = cell_fields e in
+          Array.iter
+            (fun (t_ns, ev) ->
+              output_string oc (Obs.jsonl_line ~cell ~t_ns ev);
+              output_char oc '\n';
+              incr written)
+            cap.Obs.events)
+        (captured ctx));
+  !written
+
+let sample_csv_header = "workload,policy,ratio,swap,trial,t_ns,metric,value"
+
+let write_samples ctx ~path =
+  let oc = open_out path in
+  let written = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc sample_csv_header;
+      output_char oc '\n';
+      List.iter
+        (fun (e, cap) ->
+          let prefix =
+            Printf.sprintf "%s,%s,%.9g,%s,%d,"
+              (workload_kind_name e.workload)
+              (Policy.Registry.name e.policy)
+              e.ratio (swap_name e.swap) e.trial
+          in
+          Array.iter
+            (fun (t_ns, metrics) ->
+              List.iter
+                (fun (metric, v) ->
+                  output_string oc prefix;
+                  output_string oc
+                    (Printf.sprintf "%d,%s,%.9g\n" t_ns metric v);
+                  incr written)
+                metrics)
+            cap.Obs.samples)
+        (captured ctx));
+  !written
+
+let merged_reclaim_hists ctx =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e, cap) ->
+      let pname = Policy.Registry.name e.policy in
+      match Hashtbl.find_opt tbl pname with
+      | Some h ->
+        Hashtbl.replace tbl pname
+          (Stats.Histogram.merge h cap.Obs.reclaim_hist)
+      | None ->
+        order := pname :: !order;
+        Hashtbl.add tbl pname cap.Obs.reclaim_hist)
+    (captured ctx);
+  List.rev_map (fun p -> (p, Hashtbl.find tbl p)) !order

@@ -81,11 +81,13 @@ val make_ctx :
   ?fault_plan:Swapdev.Faulty_device.plan ->
   ?audit_every_ns:int ->
   ?jobs:int ->
+  ?obs:Obs.config ->
   unit ->
   ctx
 (** Defaults: [profile_from_env ()], no fault injection, end-of-run
-    audits only, [jobs = 1] (serial).  [jobs] is clamped to at least 1;
-    [audit_every_ns] to at least 0. *)
+    audits only, [jobs = 1] (serial), telemetry off ({!Obs.off} keeps
+    runs bit-identical to a build without the obs layer).  [jobs] is
+    clamped to at least 1; [audit_every_ns] to at least 0. *)
 
 val profile : ctx -> profile
 
@@ -94,6 +96,8 @@ val fault_plan : ctx -> Swapdev.Faulty_device.plan
 val audit_every_ns : ctx -> int
 
 val jobs : ctx -> int
+
+val obs : ctx -> Obs.config
 
 val cached_results : ctx -> int
 (** Number of trial results currently memoized in this context. *)
@@ -142,3 +146,32 @@ val mean_read_latency_ns : Machine.result list -> float
 val pooled_read_latencies : Machine.result list -> float array
 
 val pooled_write_latencies : Machine.result list -> float array
+
+(** {1 Telemetry}
+
+    When the context's {!Obs.config} enables tracing or sampling, every
+    computed trial's capture is kept (attached to its cached result) and
+    the experiment is appended to an ordered log.  The log is written
+    only from the dispatching domain — {!prefetch} records its whole
+    deduplicated batch in list order before any worker starts, and
+    direct {!run_exp} misses occur in the drivers' serial read-back — so
+    the files these writers produce are byte-identical for every
+    [jobs] value. *)
+
+val traced_exps : ctx -> exp list
+(** Experiments computed under an enabled telemetry config, in
+    deterministic first-computation order. *)
+
+val write_trace : ctx -> path:string -> int
+(** Write every captured event as JSON Lines (one flat object per event:
+    workload/policy/ratio/swap/trial, [t_ns], [kind], payload); returns
+    the number of events written. *)
+
+val write_samples : ctx -> path:string -> int
+(** Write every machine-state sample as long-format CSV
+    ([workload,policy,ratio,swap,trial,t_ns,metric,value]); returns the
+    number of data rows written. *)
+
+val merged_reclaim_hists : ctx -> (string * Stats.Histogram.t) list
+(** Per-policy direct-reclaim latency histograms, merged across every
+    traced trial, in first-appearance order. *)

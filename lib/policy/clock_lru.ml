@@ -81,7 +81,11 @@ let deactivate_one t (stats : Policy_intf.reclaim_stats) =
         Structures.Dlist.move_head t.lists ~list:active ~node:pfn;
         t.rotations <- t.rotations + 1
       end
-      else Structures.Dlist.move_head t.lists ~list:inactive ~node:pfn;
+      else begin
+        Structures.Dlist.move_head t.lists ~list:inactive ~node:pfn;
+        Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+          (Obs.Demote { pfn })
+      end;
       true)
 
 let rebalance t stats =
@@ -113,6 +117,8 @@ let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
         Mem.Page_table.set pt vpn (Mem.Pte.clear_accessed pte);
         Structures.Dlist.move_head t.lists ~list:active ~node:pfn;
         stats.promoted <- stats.promoted + 1;
+        Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+          (Obs.Promote { pfn; reason = Obs.Second_chance });
         `Scanned
       end
       else begin
@@ -166,6 +172,14 @@ let stats t =
     ("active_scans", t.active_scans);
     ("inactive_scans", t.inactive_scans);
     ("rotations", t.rotations);
+  ]
+
+let gauges t =
+  [
+    ("active", float_of_int (active_size t));
+    ("inactive", float_of_int (inactive_size t));
+    ("refaults", float_of_int t.refaults);
+    ("rotations", float_of_int t.rotations);
   ]
 
 let check_invariants t = Structures.Dlist.check_invariants t.lists

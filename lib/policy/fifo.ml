@@ -60,4 +60,6 @@ let kthreads t = [ { Policy_intf.kname = "kswapd"; kstep = kswapd t } ]
 
 let stats t = [ ("evictions", t.evictions); ("refaults", t.refaults) ]
 
+let gauges _t = []
+
 let check_invariants t = Structures.Dlist.check_invariants t.queue

@@ -223,6 +223,8 @@ let scan_region t pt region (work : int ref) =
         let pfn = Mem.Pte.pfn pte in
         promote_to_youngest t ~pfn;
         t.aging_promotions <- t.aging_promotions + 1;
+        Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+          (Obs.Promote { pfn; reason = Obs.Aging });
         work := !work + c.Mem.Costs.list_op_ns
       end);
   let threshold = max 1 (!entries lsr t.config.bloom_density_shift) in
@@ -281,7 +283,10 @@ let finish_aging_pass t =
   Structures.Bloom.clear cur;
   t.bloom_next <- cur;
   t.bloom_primed <- true;
-  update_tier_protection t
+  update_tier_protection t;
+  Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+    (Obs.Aging_pass
+       { pass = t.aging_passes; max_seq = t.max_seq; min_seq = t.min_seq })
 
 (* One bounded aging step; returns CPU work consumed. *)
 let aging_step t ~budget:step_budget =
@@ -334,6 +339,8 @@ let spatial_scan_region t pt region (stats : Policy_intf.reclaim_stats) =
           let pfn = Mem.Pte.pfn pte in
           promote_to_youngest t ~pfn;
           t.spatial_promotions <- t.spatial_promotions + 1;
+          Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+            (Obs.Promote { pfn; reason = Obs.Spatial });
           stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns
         end
       end);
@@ -374,6 +381,8 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
         promote_to_youngest t ~pfn;
         t.evict_promotions <- t.evict_promotions + 1;
         stats.promoted <- stats.promoted + 1;
+        Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+          (Obs.Promote { pfn; reason = Obs.Evict_scan });
         stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns;
         (* Unlike Clock, exploit page-table locality around the hit and
            feed the region back to the aging filter (paper §III-C). *)
@@ -499,6 +508,32 @@ let stats t =
     ("stuck_full_window", t.stuck_full_window);
     ("protected_tiers", t.protected_tiers);
   ]
+
+(* Per-generation occupancy keyed by age (0 = youngest) so series stay
+   comparable across trials; gen14's 16k-generation window collapses
+   into age buckets 0-7 plus an "older" remainder. *)
+let gauges t =
+  let ages = min (nr_gens t) 8 in
+  let by_age =
+    List.init ages (fun age ->
+        ( Printf.sprintf "gen_age%d" age,
+          float_of_int (gen_size t (t.max_seq - age)) ))
+  in
+  let older = ref 0 in
+  for seq = t.min_seq to t.max_seq - ages do
+    older := !older + gen_size t seq
+  done;
+  by_age
+  @ [
+      ("gen_older", float_of_int !older);
+      ("nr_gens", float_of_int (nr_gens t));
+      ("max_seq", float_of_int t.max_seq);
+      ("min_seq", float_of_int t.min_seq);
+      ("refaults", float_of_int t.refaults);
+      ("protected_tiers", float_of_int t.protected_tiers);
+      ("pid_error", Structures.Pid.last_error t.pid);
+      ("pid_output", Structures.Pid.output t.pid);
+    ]
 
 let check_invariants t =
   Structures.Dlist.check_invariants t.lists;

@@ -27,6 +27,10 @@ type env = {
   total_frames : int;
   low_watermark : int;
   high_watermark : int;
+  obs : Obs.t;
+      (** Telemetry sink (often {!Obs.disabled}).  Observation only: a
+          policy may emit events and report gauges through it but must
+          never branch on it. *)
 }
 
 type reclaim_stats = {
@@ -82,6 +86,11 @@ module type S = sig
   (** Background workers; the machine schedules their steps. *)
 
   val stats : t -> (string * int) list
+
+  val gauges : t -> (string * float) list
+  (** Instantaneous internal state for the machine-state sampler
+      (generation/list occupancy, PID error, ...).  Cheap — called on
+      every sampling tick. *)
 
   val check_invariants : t -> unit
   (** For tests: verify internal structures; raise on corruption. *)

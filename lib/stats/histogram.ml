@@ -38,9 +38,13 @@ let index t x =
   end
 
 let bounds t i =
-  (* Bounds of inner bin [i] (1-based index into counts). *)
+  (* Bounds of inner bin [i] (1-based index into counts).  The bin count
+     is ceil(log10(hi/lo) * per_decade), so the top inner bin's nominal
+     upper edge can overshoot [hi]; clamp it so quantile interpolation
+     stays within the configured range. *)
   let step j = t.lo *. (10.0 ** (float_of_int j /. float_of_int t.per_decade)) in
-  (step (i - 1), step i)
+  let upper = if i = inner_bins t then t.hi else step i in
+  (step (i - 1), upper)
 
 let add t x =
   t.counts.(index t x) <- t.counts.(index t x) + 1;

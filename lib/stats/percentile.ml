@@ -13,7 +13,7 @@ let quantile_sorted xs q =
 
 let sorted_copy xs =
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  Array.sort Float.compare ys;
   ys
 
 let quantile xs q = quantile_sorted (sorted_copy xs) q

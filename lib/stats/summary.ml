@@ -11,6 +11,10 @@ type t = {
 let of_array xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  Array.iter
+    (fun x ->
+      if Float.is_nan x then invalid_arg "Summary.of_array: NaN in sample")
+    xs;
   let sum = Array.fold_left ( +. ) 0.0 xs in
   let mean = sum /. float_of_int n in
   let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 xs in

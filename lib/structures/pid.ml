@@ -35,6 +35,8 @@ let update t ~measurement ~dt =
 
 let output t = t.output
 
+let last_error t = match t.prev_error with None -> 0.0 | Some e -> e
+
 let reset t =
   t.integral <- 0.0;
   t.prev_error <- None;

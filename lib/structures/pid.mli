@@ -27,5 +27,8 @@ val update : t -> measurement:float -> dt:float -> float
 val output : t -> float
 (** Last computed output (0 before any update). *)
 
+val last_error : t -> float
+(** Error term of the last update (0 before any update). *)
+
 val reset : t -> unit
 (** Clear the integral and derivative history. *)

@@ -3,6 +3,7 @@ type t = {
   seed : int;
   max_retries : int;
   backoff_ns : int;
+  obs : Obs.t;
   mutable ratios : float array; (* slot -> size fraction; nan = free *)
   mutable free : int list;
   mutable next_slot : int;
@@ -24,13 +25,15 @@ type io = {
   failed : bool;
 }
 
-let create ?(max_retries = 4) ?(backoff_ns = 100_000) ~device ~seed () =
+let create ?(max_retries = 4) ?(backoff_ns = 100_000) ?(obs = Obs.disabled)
+    ~device ~seed () =
   if max_retries < 0 then invalid_arg "Swap_manager.create: max_retries";
   {
     device;
     seed;
     max_retries;
     backoff_ns;
+    obs;
     ratios = Array.make 1024 nan;
     free = [];
     next_slot = 0;
@@ -88,6 +91,8 @@ let take_slot t ratio =
 let backoff t tries = t.backoff_ns * (1 lsl min tries 10)
 
 let swap_out t ~now ~klass ~page_key =
+  let submitted = now in
+  let remapped = ref false in
   let ratio = Compress.ratio klass ~page_key ~seed:t.seed in
   let rec attempt ~slot ~now ~tries ~cpu =
     let c = t.device.Device.submit ~now ~op:Device.Write ~size_fraction:ratio in
@@ -115,13 +120,26 @@ let swap_out t ~now ~klass ~page_key =
             (* The block is bad: remap the page to a fresh slot. *)
             release t ~slot;
             t.remaps <- t.remaps + 1;
+            remapped := true;
             take_slot t ratio
         in
         attempt ~slot ~now:(c.Device.finish_ns + backoff t tries)
           ~tries:(tries + 1) ~cpu
       end
   in
-  attempt ~slot:(take_slot t ratio) ~now ~tries:0 ~cpu:0
+  let ((slot_opt, io) as result) =
+    attempt ~slot:(take_slot t ratio) ~now ~tries:0 ~cpu:0
+  in
+  Obs.emit t.obs ~t_ns:submitted
+    (Obs.Swap_write
+       {
+         slot = (match slot_opt with Some s -> s | None -> -1);
+         latency_ns = io.finish_ns - submitted;
+         retries = io.io_retries;
+         failed = io.failed;
+         remapped = !remapped;
+       });
+  result
 
 let swap_in t ~now ~slot =
   if not (slot_in_use t slot) then invalid_arg "Swap_manager.swap_in: slot not in use";
@@ -144,7 +162,16 @@ let swap_in t ~now ~slot =
       { finish_ns = c.Device.finish_ns; cpu_ns = cpu; io_retries = tries;
         failed = true }
   in
-  attempt ~now ~tries:0 ~cpu:0
+  let io = attempt ~now ~tries:0 ~cpu:0 in
+  Obs.emit t.obs ~t_ns:now
+    (Obs.Swap_read
+       {
+         slot;
+         latency_ns = io.finish_ns - now;
+         retries = io.io_retries;
+         failed = io.failed;
+       });
+  io
 
 let used_slots t = t.used
 

@@ -18,10 +18,14 @@
 type t
 
 val create :
-  ?max_retries:int -> ?backoff_ns:int -> device:Device.t -> seed:int -> unit -> t
+  ?max_retries:int -> ?backoff_ns:int -> ?obs:Obs.t ->
+  device:Device.t -> seed:int -> unit -> t
 (** [max_retries] (default 4) bounds resubmissions per operation;
     [backoff_ns] (default 100 µs) is the base of the exponential
-    backoff, doubling per attempt. *)
+    backoff, doubling per attempt.  [obs] (default {!Obs.disabled})
+    receives one [Swap_read]/[Swap_write] event per logical operation,
+    stamped with the submission time and carrying the whole-operation
+    latency including retries and backoff. *)
 
 val device : t -> Device.t
 

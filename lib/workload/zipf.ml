@@ -4,7 +4,7 @@ type t = {
   h_integral_x1 : float;
   h_integral_n : float;
   s : float;
-  mutable norm : float option; (* cached normalization for [probability] *)
+  norm : float; (* normalization for [probability] *)
 }
 
 (* H(x) = integral of 1/t^e from 1 to x, shifted per Hörmann's paper. *)
@@ -35,7 +35,13 @@ let create ~n ~exponent =
   let h_integral_x1 = h_integral ~e 1.5 -. 1.0 in
   let h_integral_n = h_integral ~e (float_of_int n +. 0.5) in
   let s = 2.0 -. h_integral_inverse ~e (h_integral ~e 2.5 -. h ~e 2.0) in
-  { n; exponent; h_integral_x1; h_integral_n; s; norm = None }
+  (* Eager: a [t] can be shared across domains through the PageRank plan
+     cache, so there must be no mutation after [create]. *)
+  let norm = ref 0.0 in
+  for i = 1 to n do
+    norm := !norm +. (1.0 /. (float_of_int i ** exponent))
+  done;
+  { n; exponent; h_integral_x1; h_integral_n; s; norm = !norm }
 
 let n t = t.n
 
@@ -60,15 +66,4 @@ let sample t rng =
 
 let probability t k =
   if k < 0 || k >= t.n then invalid_arg "Zipf.probability: rank out of range";
-  let norm =
-    match t.norm with
-    | Some z -> z
-    | None ->
-      let z = ref 0.0 in
-      for i = 1 to t.n do
-        z := !z +. (1.0 /. (float_of_int i ** t.exponent))
-      done;
-      t.norm <- Some !z;
-      !z
-  in
-  1.0 /. ((float_of_int (k + 1) ** t.exponent) *. norm)
+  1.0 /. ((float_of_int (k + 1) ** t.exponent) *. t.norm)

@@ -22,4 +22,6 @@ val sample : t -> Engine.Rng.t -> int
 (** A rank in [0, n), 0 being the hottest. *)
 
 val probability : t -> int -> float
-(** Exact probability of a rank (O(n) the first call, cached). *)
+(** Exact probability of a rank.  The O(n) normalization is computed
+    once in {!create}, so [t] is immutable and safe to share across
+    domains. *)

@@ -33,6 +33,7 @@ let make_world ?(frames = 64) ?(pages = 256) ?(region_size = 16)
       total_frames = frames;
       low_watermark = 0;
       high_watermark = 0;
+      obs = Obs.disabled;
     }
   in
   let world =
@@ -79,6 +80,7 @@ let make_world ?(frames = 64) ?(pages = 256) ?(region_size = 16)
       total_frames = frames;
       low_watermark = Mem.Phys_mem.low_watermark mem;
       high_watermark = Mem.Phys_mem.high_watermark mem;
+      obs = Obs.disabled;
     }
   in
   ignore file_backed;

@@ -61,6 +61,34 @@ let test_empty_quantile_raises () =
   Alcotest.check_raises "empty" (Invalid_argument "Histogram.quantile: empty")
     (fun () -> ignore (H.quantile h 0.5))
 
+let test_top_bin_clamped () =
+  (* The top inner bin's nominal edge overshoots [hi] whenever
+     log10(hi/lo) is not a whole number of bin widths; bounds must clamp
+     it so in-range samples never report a bin edge beyond [hi]. *)
+  let h = H.create ~buckets_per_decade:3 ~lo:1.0 ~hi:50.0 () in
+  H.add h 49.0;
+  List.iter
+    (fun (lo, hi, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %g <= 50" hi)
+        true (hi <= 50.0 +. 1e-9);
+      Alcotest.(check bool) "lower below upper" true (lo < hi))
+    (H.bins h);
+  Alcotest.(check bool) "quantile within range" true (H.quantile h 0.5 <= 50.0)
+
+let prop_quantile_within_range =
+  QCheck.Test.make ~name:"quantile within [lo, hi] for in-range samples"
+    ~count:200
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 80) (float_range 2.0 9000.0))
+        (int_range 1 25) (float_bound_inclusive 1.0))
+    (fun (xs, bpd, q) ->
+      let h = H.create ~buckets_per_decade:bpd ~lo:1.0 ~hi:10_000.0 () in
+      List.iter (H.add h) xs;
+      let v = H.quantile h q in
+      v >= 1.0 -. 1e-9 && v <= 10_000.0 +. 1e-9)
+
 let prop_quantile_monotone =
   QCheck.Test.make ~name:"histogram quantile monotone" ~count:100
     QCheck.(list_of_size Gen.(1 -- 100) (float_range 1.0 10000.0))
@@ -83,6 +111,9 @@ let () =
           Alcotest.test_case "merge mismatch" `Quick test_merge_layout_mismatch;
           Alcotest.test_case "bins sum" `Quick test_bins_sum_to_count;
           Alcotest.test_case "empty quantile" `Quick test_empty_quantile_raises;
+          Alcotest.test_case "top bin clamped" `Quick test_top_bin_clamped;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_quantile_monotone ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_quantile_monotone; prop_quantile_within_range ] );
     ]

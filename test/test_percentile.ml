@@ -54,6 +54,21 @@ let prop_monotone_in_q =
       let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
       P.quantile xs lo <= P.quantile xs hi +. 1e-9)
 
+let test_float_compare_total_order () =
+  (* Sorting uses Float.compare, a total order: negative zeros and
+     extreme magnitudes land where IEEE ordering puts them, regardless
+     of the polymorphic-compare representation of boxed floats. *)
+  let xs = [| 0.0; -0.0; 1e308; -1e308; 5.0; -5.0 |] in
+  Alcotest.(check (float 1e-9)) "q0 = most negative" (-1e308) (P.quantile xs 0.0);
+  Alcotest.(check (float 1e-9)) "q1 = most positive" 1e308 (P.quantile xs 1.0)
+
+let prop_nan_free =
+  QCheck.Test.make ~name:"quantile NaN-free on NaN-free input" ~count:300
+    QCheck.(
+      pair (list_of_size Gen.(1 -- 40) (float_range (-1e12) 1e12))
+        (float_bound_inclusive 1.0))
+    (fun (xs, q) -> not (Float.is_nan (P.quantile (Array.of_list xs) q)))
+
 let prop_within_range =
   QCheck.Test.make ~name:"quantile within [min, max]" ~count:300
     QCheck.(
@@ -79,8 +94,9 @@ let () =
           Alcotest.test_case "quartiles/iqr" `Quick test_quartiles_iqr;
           Alcotest.test_case "tail_of" `Quick test_tail_of;
           Alcotest.test_case "no mutation" `Quick test_does_not_mutate_input;
+          Alcotest.test_case "total order" `Quick test_float_compare_total_order;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_monotone_in_q; prop_within_range ]
-      );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_monotone_in_q; prop_nan_free; prop_within_range ] );
     ]

@@ -19,6 +19,12 @@ let test_empty_raises () =
   Alcotest.check_raises "empty" (Invalid_argument "Summary.of_array: empty sample")
     (fun () -> ignore (S.of_array [||]))
 
+let test_nan_raises () =
+  (* A NaN would silently poison every derived statistic; reject it at
+     the door instead. *)
+  Alcotest.check_raises "nan" (Invalid_argument "Summary.of_array: NaN in sample")
+    (fun () -> ignore (S.of_array [| 1.0; Float.nan; 3.0 |]))
+
 let test_cv_and_spread () =
   let s = S.of_array [| 1.0; 3.0 |] in
   Alcotest.(check (float 1e-9)) "spread" 3.0 (S.spread s);
@@ -61,6 +67,7 @@ let () =
           Alcotest.test_case "known values" `Quick test_known_values;
           Alcotest.test_case "singleton" `Quick test_singleton;
           Alcotest.test_case "empty raises" `Quick test_empty_raises;
+          Alcotest.test_case "nan raises" `Quick test_nan_raises;
           Alcotest.test_case "cv and spread" `Quick test_cv_and_spread;
           Alcotest.test_case "of_list / of_ints" `Quick test_of_list_and_ints;
         ] );

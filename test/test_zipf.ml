@@ -82,6 +82,31 @@ let test_skew_increases_with_exponent () =
   let low = head_mass 0.5 and high = head_mass 1.3 in
   Alcotest.(check bool) "higher exponent concentrates" true (high > 2 * low)
 
+let test_shared_plan_across_domains () =
+  (* The normalization constant is computed eagerly in [create], so a
+     plan built in one domain can be read from pool workers with no
+     lazy-initialization race.  Every domain must see the same pmf. *)
+  let z = Z.create ~n:2000 ~exponent:0.9 in
+  let expected =
+    let s = ref 0.0 in
+    for k = 0 to 1999 do s := !s +. Z.probability z k done;
+    !s
+  in
+  Engine.Pool.with_pool ~jobs:4 (fun pool ->
+      let sums =
+        Engine.Pool.map pool
+          (fun _ ->
+            let s = ref 0.0 in
+            for k = 0 to 1999 do s := !s +. Z.probability z k done;
+            !s)
+          (Array.init 16 (fun i -> i))
+      in
+      Array.iter
+        (fun s ->
+          Alcotest.(check (float 1e-12)) "same sum from every worker" expected s)
+        sums);
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 expected
+
 let prop_sample_in_range =
   QCheck.Test.make ~name:"samples always in range" ~count:100
     QCheck.(triple (int_range 1 10_000) (float_range 0.2 2.5) small_int)
@@ -108,6 +133,8 @@ let () =
           Alcotest.test_case "empirical matches exact" `Quick test_empirical_matches_exact;
           Alcotest.test_case "exponent = 1" `Quick test_exponent_one_special_case;
           Alcotest.test_case "skew grows with exponent" `Quick test_skew_increases_with_exponent;
+          Alcotest.test_case "shared plan across domains" `Quick
+            test_shared_plan_across_domains;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_sample_in_range ]);
     ]
