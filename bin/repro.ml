@@ -7,13 +7,21 @@
    repro trace-summary FILE   aggregate a JSONL trace into tables
 
    Every subcommand builds one explicit Repro_core.Runner.ctx from its
-   flags (scaling profile, fault plan, audit cadence, --jobs, telemetry)
-   and threads it through the drivers; the REPRO_TRIALS /
+   flags (scaling profile, fault plan, audit cadence, --jobs, telemetry,
+   durability) and threads it through the drivers; the REPRO_TRIALS /
    REPRO_YCSB_TRIALS / REPRO_FAST environment variables remain as
    documented fallbacks, read in exactly one place
    (Runner.profile_from_env).  --trace / --sample-every write their
    files after the experiment output, from the deterministic trace log,
-   so traced runs stay byte-identical across --jobs values. *)
+   so traced runs stay byte-identical across --jobs values.
+
+   Durability: --journal FILE appends each completed trial's outcome as
+   a checksummed, fsynced JSONL record; --resume warm-starts the cache
+   from it so a killed sweep recomputes only what is missing, with
+   byte-identical final output.  --trial-timeout SEC cancels runaway
+   trials between simulation events; failures render as explicit
+   "failed" cells, summarized on stderr at exit, and the exit status is
+   non-zero unless --keep-going. *)
 
 open Cmdliner
 
@@ -83,18 +91,55 @@ let samples_arg =
        & info [ "samples" ] ~docv:"FILE"
            ~doc:"Destination for the $(b,--sample-every) time series.")
 
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"FILE"
+           ~doc:
+             "Append every completed trial's outcome to FILE as a checksummed \
+              JSONL record (fsynced per trial): a killed run loses at most \
+              its in-flight trials.  Enables $(b,--resume).")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:
+             "Warm-start the result cache from the $(b,--journal) file and \
+              recompute only the missing trials; final output is \
+              byte-identical to an uninterrupted run.  Torn or corrupt tail \
+              records are reported on stderr and re-run.")
+
+let trial_timeout_arg =
+  Arg.(value & opt float 0.0
+       & info [ "trial-timeout" ] ~docv:"SEC"
+           ~doc:
+             "Per-trial wall-clock deadline in seconds (0 = none).  A trial \
+              that exceeds it is cancelled between simulation events and \
+              reported as a $(b,failed) cell; the rest of the sweep \
+              continues.")
+
+let keep_going_arg =
+  Arg.(value & flag
+       & info [ "k"; "keep-going" ]
+           ~doc:
+             "Exit 0 even if some trials failed or timed out.  Without this \
+              flag, failed trials still render as explicit $(b,failed) cells \
+              and the whole sweep completes, but the exit status is \
+              non-zero.")
+
 (* Everything a subcommand needs: the run context plus where to flush
-   its telemetry afterwards. *)
+   its telemetry afterwards and how to treat failed trials at exit. *)
 type setup = {
   ctx : Repro_core.Runner.ctx;
   trace_file : string option;
   samples_file : string option;
+  journal : Repro_core.Journal.t option;
+  keep_going : bool;
 }
 
 (* Flags override the environment fallbacks; the fast flag is sticky in
    the or-direction so REPRO_FAST=1 keeps working under any flags. *)
 let build_setup trials ycsb_trials fast jobs faults audit_every_ms trace
-    sample_every samples =
+    sample_every samples journal_path resume trial_timeout keep_going =
   let base = Repro_core.Runner.profile_from_env () in
   let profile =
     {
@@ -112,34 +157,77 @@ let build_setup trials ycsb_trials fast jobs faults audit_every_ms trace
   in
   let sample_every = max 0 sample_every in
   let obs = { Obs.trace = trace <> None; sample_every_ns = sample_every } in
-  {
-    ctx =
-      Repro_core.Runner.make_ctx ~profile ~fault_plan:faults
-        ~audit_every_ns:(max 0 audit_every_ms * 1_000_000)
-        ~jobs ~obs ();
-    trace_file = trace;
-    samples_file = (if sample_every > 0 then Some samples else None);
-  }
+  if resume && journal_path = None then
+    prerr_endline "repro: warning: --resume has no effect without --journal";
+  let journal, records =
+    match journal_path with
+    | None -> (None, [])
+    | Some path ->
+      let j, records = Repro_core.Journal.open_ ~path ~resume in
+      (Some j, records)
+  in
+  let ctx =
+    Repro_core.Runner.make_ctx ~profile ~fault_plan:faults
+      ~audit_every_ns:(max 0 audit_every_ms * 1_000_000)
+      ~jobs ~obs ~trial_timeout_s:trial_timeout ?journal ()
+  in
+  (* Resume notes go to stderr so stdout stays byte-identical to an
+     uninterrupted run. *)
+  if resume then begin
+    match journal_path with
+    | Some path ->
+      let n = Repro_core.Runner.warm_start ctx records in
+      Printf.eprintf "journal: warm-started %d trial result(s) from %s\n%!" n
+        path
+    | None -> ()
+  end;
+  { ctx; trace_file = trace; samples_file = (if sample_every > 0 then Some samples else None);
+    journal; keep_going }
 
-(* Flush the telemetry recorded under [setup.ctx]; called by every
-   subcommand after its own output. *)
+(* Flush the telemetry recorded under [setup.ctx], close the journal,
+   and report failed trials; called by every subcommand after its own
+   output.  Exits non-zero on failures unless --keep-going. *)
 let finalize setup =
   (match setup.trace_file with
   | None -> ()
   | Some path ->
     let n = Repro_core.Runner.write_trace setup.ctx ~path in
     Printf.printf "wrote %d trace event(s) to %s\n" n path);
-  match setup.samples_file with
+  (match setup.samples_file with
   | None -> ()
   | Some path ->
     let n = Repro_core.Runner.write_samples setup.ctx ~path in
-    Printf.printf "wrote %d sample row(s) to %s\n" n path
+    Printf.printf "wrote %d sample row(s) to %s\n" n path);
+  (match setup.journal with
+  | Some j -> Repro_core.Journal.close j
+  | None -> ());
+  match Repro_core.Runner.failures setup.ctx with
+  | [] -> ()
+  | fails ->
+    Printf.eprintf "repro: %d trial(s) failed:\n" (List.length fails);
+    List.iter
+      (fun (e, reason, timed_out) ->
+        Printf.eprintf "  %s: %s%s\n"
+          (Repro_core.Runner.exp_name e)
+          (if timed_out then "[timeout] " else "")
+          reason)
+      fails;
+    if setup.keep_going then
+      Printf.eprintf "repro: continuing despite failures (--keep-going)\n%!"
+    else begin
+      Printf.eprintf
+        "repro: exiting non-zero; pass --keep-going to tolerate failed \
+         trials\n\
+         %!";
+      exit 1
+    end
 
 let setup_term =
   Term.(
     const build_setup $ trials_arg $ ycsb_trials_arg $ fast_arg $ jobs_arg
     $ faults_arg $ audit_every_arg $ trace_arg $ sample_every_arg
-    $ samples_arg)
+    $ samples_arg $ journal_arg $ resume_arg $ trial_timeout_arg
+    $ keep_going_arg)
 
 (* ---------------- argument converters ---------------- *)
 
@@ -215,7 +303,8 @@ let run_cmd =
          & info [ "p"; "policy" ] ~docv:"POLICY"
              ~doc:
                "clock | mglru | gen14 | scan-all | scan-none | scan-rand | fifo | \
-                random | lru-exact")
+                random | lru-exact | crash-test (always fails; exercises \
+                failure isolation)")
   in
   let ratio =
     Arg.(value & opt float 0.5
@@ -241,25 +330,40 @@ let run_cmd =
       (Repro_core.Runner.swap_name swap) n
       (if n = 1 then "" else "s");
     (* The cell's trials compute in parallel; the per-trial lines print
-       from the cache afterwards, in trial order. *)
-    let results = Repro_core.Runner.run_cell ctx ~workload ~policy ~ratio ~swap in
+       from the cache afterwards, in trial order.  Failed trials print
+       as explicit lines instead of aborting the command. *)
+    let outcomes = Repro_core.Runner.try_cell ctx ~workload ~policy ~ratio ~swap in
     List.iteri
-      (fun trial r ->
-        Printf.printf
-          "  trial %2d: runtime %10s  major %9s  ins %9s  outs %9s  direct %6d\n%!"
-          trial
-          (Repro_core.Report.fsec (float_of_int r.Repro_core.Machine.runtime_ns /. 1e9))
-          (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.major_faults))
-          (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_ins))
-          (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_outs))
-          r.Repro_core.Machine.direct_reclaims;
-        if faults_on || audits_on then Repro_core.Report.fault_summary r;
-        if verbose then
-          List.iter
-            (fun (k, v) -> Printf.printf "      %-24s %d\n" k v)
-            r.Repro_core.Machine.policy_stats)
-      results;
-    if n > 1 then begin
+      (fun trial o ->
+        match o with
+        | Repro_core.Runner.Done r ->
+          Printf.printf
+            "  trial %2d: runtime %10s  major %9s  ins %9s  outs %9s  direct %6d\n%!"
+            trial
+            (Repro_core.Report.fsec (float_of_int r.Repro_core.Machine.runtime_ns /. 1e9))
+            (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.major_faults))
+            (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_ins))
+            (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_outs))
+            r.Repro_core.Machine.direct_reclaims;
+          if faults_on || audits_on then Repro_core.Report.fault_summary r;
+          if verbose then
+            List.iter
+              (fun (k, v) -> Printf.printf "      %-24s %d\n" k v)
+              r.Repro_core.Machine.policy_stats
+        | Repro_core.Runner.Failed { reason; timed_out } ->
+          Printf.printf "  trial %2d: failed%s: %s\n%!" trial
+            (if timed_out then " (timeout)" else "")
+            reason)
+      outcomes;
+    let results =
+      List.filter_map
+        (function
+          | Repro_core.Runner.Done r -> Some r
+          | Repro_core.Runner.Failed _ -> None)
+        outcomes
+    in
+    let clean = List.length results = List.length outcomes in
+    if n > 1 && clean then begin
       let rt = Stats.Summary.of_array (Repro_core.Runner.runtimes_s results) in
       let fl = Stats.Summary.of_array (Repro_core.Runner.faults results) in
       Printf.printf "  mean runtime %s (min %s, max %s, spread %.2fx)\n"
@@ -271,12 +375,18 @@ let run_cmd =
         (Repro_core.Report.fcount fl.Stats.Summary.mean)
         (Stats.Summary.cv fl)
     end;
-    let reads = Repro_core.Runner.pooled_read_latencies results in
+    (* Pooled latency tails would silently cover only the surviving
+       trials, so they print for clean cells only. *)
+    let reads =
+      if clean then Repro_core.Runner.pooled_read_latencies results else [||]
+    in
     if Array.length reads > 0 then
       Format.printf "  read latency: %a@."
         Stats.Percentile.pp_tail
         (Stats.Percentile.tail_of reads);
-    let writes = Repro_core.Runner.pooled_write_latencies results in
+    let writes =
+      if clean then Repro_core.Runner.pooled_write_latencies results else [||]
+    in
     if Array.length writes > 0 then
       Format.printf "  write latency: %a@."
         Stats.Percentile.pp_tail
@@ -347,22 +457,29 @@ let sweep_cmd =
       :: List.map (fun r -> Printf.sprintf "%.0f%% rt" (r *. 100.0)) ratios)
       @ List.map (fun r -> Printf.sprintf "%.0f%% faults" (r *. 100.0)) ratios
     in
+    (* A cell with any failed trial renders as "failed" (NaN through the
+       formatters) instead of a silently partial mean. *)
+    let cell_means policy ratio =
+      let outcomes = Repro_core.Runner.try_cell ctx ~workload ~policy ~ratio ~swap in
+      let results =
+        List.filter_map
+          (function
+            | Repro_core.Runner.Done r -> Some r
+            | Repro_core.Runner.Failed _ -> None)
+          outcomes
+      in
+      if List.length results < List.length outcomes then (Float.nan, Float.nan)
+      else
+        ( Repro_core.Runner.mean_runtime_s results,
+          Repro_core.Runner.mean_faults results )
+    in
     let rows =
       List.map
         (fun policy ->
-          let cells =
-            List.map
-              (fun ratio ->
-                Repro_core.Runner.run_cell ctx ~workload ~policy ~ratio ~swap)
-              ratios
-          in
+          let cells = List.map (cell_means policy) ratios in
           (Policy.Registry.name policy
-          :: List.map
-               (fun c -> Repro_core.Report.fsec (Repro_core.Runner.mean_runtime_s c))
-               cells)
-          @ List.map
-              (fun c -> Repro_core.Report.fcount (Repro_core.Runner.mean_faults c))
-              cells)
+          :: List.map (fun (rt, _) -> Repro_core.Report.fsec rt) cells)
+          @ List.map (fun (_, fl) -> Repro_core.Report.fcount fl) cells)
         Policy.Registry.all_paper_specs
     in
     Repro_core.Report.section

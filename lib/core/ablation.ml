@@ -13,11 +13,23 @@ let prefetch_policies ctx policies =
            workloads)
        policies)
 
+(* A failed trial turns the cell's means into NaN, which the formatters
+   in [row_of] render as "failed" — the sweep's other cells still
+   print. *)
 let cells ctx ~policy =
   List.map
     (fun workload ->
-      let results = Runner.run_cell ctx ~workload ~policy ~ratio:0.5 ~swap:Runner.Ssd in
-      (workload, Runner.mean_runtime_s results, Runner.mean_faults results))
+      let outcomes =
+        Runner.try_cell ctx ~workload ~policy ~ratio:0.5 ~swap:Runner.Ssd
+      in
+      let results =
+        List.filter_map
+          (function Runner.Done r -> Some r | Runner.Failed _ -> None)
+          outcomes
+      in
+      if List.length results < List.length outcomes then
+        (workload, Float.nan, Float.nan)
+      else (workload, Runner.mean_runtime_s results, Runner.mean_faults results))
     workloads
 
 let sweep_table ~rows =

@@ -1,0 +1,28 @@
+let fsync_out oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* The pid suffix keeps concurrent processes targeting the same [path]
+   from clobbering each other's in-flight temp file; rename stays atomic
+   either way because the temp lives in the destination directory. *)
+let temp_name path = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let replace ~path f =
+  let tmp = temp_name path in
+  let oc = open_out tmp in
+  let committed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Exception path: drop the partial file.  (After a successful
+         rename the temp name no longer exists.) *)
+      if not !committed then begin
+        close_out_noerr oc;
+        try Sys.remove tmp with Sys_error _ -> ()
+      end)
+    (fun () ->
+      let v = f oc in
+      fsync_out oc;
+      close_out oc;
+      Sys.rename tmp path;
+      committed := true;
+      v)

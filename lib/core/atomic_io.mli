@@ -1,0 +1,26 @@
+(** Crash-safe file writing: write-to-temp, fsync, rename.
+
+    Every result artifact the harness produces (figure CSVs, trace
+    JSONL, sample CSVs, journal segments) goes through this module, so a
+    crash — or an exception mid-write — can never leave a torn or
+    half-written file under the destination name:
+
+    - the data is written to [path ^ ".tmp.<pid>"] in the same
+      directory;
+    - the channel is flushed and fsynced, then atomically renamed over
+      [path];
+    - on exception the channel is closed and the partial temp file
+      removed ([Fun.protect]), the original [path] untouched.
+
+    Readers therefore observe either the previous complete file or the
+    new complete file, never an intermediate state. *)
+
+val replace : path:string -> (out_channel -> 'a) -> 'a
+(** [replace ~path f] runs [f] on a channel to a temp file next to
+    [path], then fsyncs and renames it over [path].  The callback's
+    result is returned after the rename.  On exception, the temp file is
+    removed and the exception re-raised; [path] is left as it was. *)
+
+val fsync_out : out_channel -> unit
+(** Flush the channel and fsync its file descriptor: the written bytes
+    are durable (not merely in the page cache) when this returns. *)

@@ -3,16 +3,17 @@ let quote field =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
   else field
 
+(* Atomic replacement (temp + fsync + rename): a crash mid-export can
+   never leave a torn CSV where a complete one stood. *)
 let write ~path ~header rows =
-  let out = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out out)
-    (fun () ->
+  Atomic_io.replace ~path (fun out ->
       let put row = output_string out (String.concat "," (List.map quote row) ^ "\n") in
       put header;
       List.iter put rows)
 
-let f = Printf.sprintf "%.6g"
+(* NaN marks a cell with failed trials; export it explicitly rather
+   than as the platform's "nan" spelling. *)
+let f x = if Float.is_nan x then Report.failed_marker else Printf.sprintf "%.6g" x
 
 let wname = Runner.workload_kind_name
 
@@ -48,15 +49,25 @@ let points_file ctx ~path ~policies =
           (fun policy ->
             let c = Figures.cell ctx ~workload ~policy ~ratio:0.5 ~swap:Runner.Ssd in
             List.mapi
-              (fun trial r ->
-                [
-                  wname workload;
-                  pname policy;
-                  string_of_int trial;
-                  f (float_of_int r.Machine.runtime_ns /. 1e9);
-                  string_of_int r.Machine.major_faults;
-                ])
-              c.Figures.results)
+              (fun trial o ->
+                match o with
+                | Runner.Done r ->
+                  [
+                    wname workload;
+                    pname policy;
+                    string_of_int trial;
+                    f (float_of_int r.Machine.runtime_ns /. 1e9);
+                    string_of_int r.Machine.major_faults;
+                  ]
+                | Runner.Failed _ ->
+                  [
+                    wname workload;
+                    pname policy;
+                    string_of_int trial;
+                    Report.failed_marker;
+                    Report.failed_marker;
+                  ])
+              c.Figures.outcomes)
           policies)
       [ Runner.Tpch; Runner.Pagerank ]
   in
@@ -72,22 +83,30 @@ let tails_file ctx ~path ~ratio ~swap =
         List.concat_map
           (fun policy ->
             let c = Figures.cell ctx ~workload ~policy ~ratio ~swap in
-            let row op lat =
-              if Array.length lat = 0 then []
-              else begin
-                let t = Stats.Percentile.tail_of lat in
-                [
+            if c.Figures.failed > 0 then
+              List.map
+                (fun op ->
+                  wname workload :: pname policy :: op
+                  :: List.init 6 (fun _ -> Report.failed_marker))
+                [ "read"; "write" ]
+            else begin
+              let row op lat =
+                if Array.length lat = 0 then []
+                else begin
+                  let t = Stats.Percentile.tail_of lat in
                   [
-                    wname workload; pname policy; op;
-                    f t.Stats.Percentile.p50; f t.Stats.Percentile.p90;
-                    f t.Stats.Percentile.p99; f t.Stats.Percentile.p999;
-                    f t.Stats.Percentile.p9999; f t.Stats.Percentile.max;
-                  ];
-                ]
-              end
-            in
-            row "read" (Runner.pooled_read_latencies c.Figures.results)
-            @ row "write" (Runner.pooled_write_latencies c.Figures.results))
+                    [
+                      wname workload; pname policy; op;
+                      f t.Stats.Percentile.p50; f t.Stats.Percentile.p90;
+                      f t.Stats.Percentile.p99; f t.Stats.Percentile.p999;
+                      f t.Stats.Percentile.p9999; f t.Stats.Percentile.max;
+                    ];
+                  ]
+                end
+              in
+              row "read" (Runner.pooled_read_latencies c.Figures.results)
+              @ row "write" (Runner.pooled_write_latencies c.Figures.results)
+            end)
           Policy.Registry.[ Clock; Mglru_default ])
       Workload.Ycsb.[ A; B; C ]
   in
@@ -111,13 +130,18 @@ let box_file ctx ~path =
             List.map
               (fun policy ->
                 let c = Figures.cell ctx ~workload ~policy ~ratio ~swap:Runner.Ssd in
-                let fl = Array.map (fun x -> x /. norm) (Runner.faults c.Figures.results) in
-                let q1, q2, q3 = Stats.Percentile.quartiles fl in
-                let s = Stats.Summary.of_array fl in
-                [
-                  f ratio; wname workload; pname policy;
-                  f s.Stats.Summary.min; f q1; f q2; f q3; f s.Stats.Summary.max;
-                ])
+                if base.Figures.failed > 0 || c.Figures.failed > 0 then
+                  f ratio :: wname workload :: pname policy
+                  :: List.init 5 (fun _ -> Report.failed_marker)
+                else begin
+                  let fl = Array.map (fun x -> x /. norm) (Runner.faults c.Figures.results) in
+                  let q1, q2, q3 = Stats.Percentile.quartiles fl in
+                  let s = Stats.Summary.of_array fl in
+                  [
+                    f ratio; wname workload; pname policy;
+                    f s.Stats.Summary.min; f q1; f q2; f q3; f s.Stats.Summary.max;
+                  ]
+                end)
               specs)
           [ Runner.Tpch; Runner.Pagerank ])
       [ 0.5; 0.75; 0.9 ]
@@ -163,8 +187,8 @@ let zram_vs_ssd_file ctx ~path =
         in
         [
           wname workload;
-          f (Runner.mean_runtime_s zr.Figures.results
-             /. Float.max 1e-9 (Runner.mean_runtime_s ssd.Figures.results));
+          f (Figures.cell_mean_runtime zr
+             /. Float.max 1e-9 (Figures.cell_mean_runtime ssd));
           f (zr.Figures.mean_faults /. Float.max 1e-9 ssd.Figures.mean_faults);
         ])
       Runner.all_workloads

@@ -3,7 +3,9 @@ type cell = {
   policy : Policy.Registry.spec;
   ratio : float;
   swap : Runner.swap_medium;
-  results : Machine.result list;
+  outcomes : Runner.trial_outcome list;
+  results : Machine.result list;  (** the [Done] outcomes, in trial order *)
+  failed : int;
   perf : float;
   mean_faults : float;
 }
@@ -22,17 +24,37 @@ let perf_of workload results =
       (Array.fold_left ( +. ) 0.0 reads +. Array.fold_left ( +. ) 0.0 writes)
       /. float_of_int n
 
+(* A cell with any failed trial carries NaN aggregates: arithmetic on
+   them stays NaN, and the formatters render NaN as "failed", so a
+   failure anywhere in a comparison poisons exactly the derived numbers
+   it would have skewed — never a silently partial mean. *)
 let cell ctx ~workload ~policy ~ratio ~swap =
-  let results = Runner.run_cell ctx ~workload ~policy ~ratio ~swap in
+  let outcomes = Runner.try_cell ctx ~workload ~policy ~ratio ~swap in
+  let results =
+    List.filter_map
+      (function Runner.Done r -> Some r | Runner.Failed _ -> None)
+      outcomes
+  in
+  let failed = List.length outcomes - List.length results in
   {
     workload;
     policy;
     ratio;
     swap;
+    outcomes;
     results;
-    perf = perf_of workload results;
-    mean_faults = Runner.mean_faults results;
+    failed;
+    perf = (if failed > 0 then Float.nan else perf_of workload results);
+    mean_faults =
+      (if failed > 0 then Float.nan else Runner.mean_faults results);
   }
+
+let cell_mean_runtime c =
+  if c.failed > 0 then Float.nan else Runner.mean_runtime_s c.results
+
+(* Full table row for a cell whose statistics cannot be computed. *)
+let failed_row label ncols =
+  label :: List.init ncols (fun _ -> Report.failed_marker)
 
 let wname = Runner.workload_kind_name
 
@@ -111,9 +133,12 @@ let fig1 ctx =
         in
         let p = mglru.perf /. Float.max 1e-9 clock.perf in
         let f = mglru.mean_faults /. Float.max 1e-9 clock.mean_faults in
+        let base =
+          if clock.failed > 0 then Report.failed_marker else "1.00x"
+        in
         ( rows
           @ [
-              [ wname workload; "1.00x"; Report.fnorm p; "1.00x"; Report.fnorm f ];
+              [ wname workload; base; Report.fnorm p; base; Report.fnorm f ];
             ],
           data @ [ (wname workload, p, f) ] ))
       ([], []) Runner.all_workloads
@@ -139,17 +164,20 @@ let joint_summary c =
 let joint_rows cells =
   List.map
     (fun c ->
-      let srt, sfl, fit = joint_summary c in
-      [
-        pname c.policy;
-        Report.fsec srt.Stats.Summary.mean;
-        Report.fsec srt.Stats.Summary.min;
-        Report.fsec srt.Stats.Summary.max;
-        Report.fnorm (Stats.Summary.spread srt);
-        Report.fcount sfl.Stats.Summary.mean;
-        Report.f3 (Stats.Summary.cv sfl);
-        Report.f3 fit.Stats.Regression.r2;
-      ])
+      if c.failed > 0 then failed_row (pname c.policy) 7
+      else begin
+        let srt, sfl, fit = joint_summary c in
+        [
+          pname c.policy;
+          Report.fsec srt.Stats.Summary.mean;
+          Report.fsec srt.Stats.Summary.min;
+          Report.fsec srt.Stats.Summary.max;
+          Report.fnorm (Stats.Summary.spread srt);
+          Report.fcount sfl.Stats.Summary.mean;
+          Report.f3 (Stats.Summary.cv sfl);
+          Report.f3 fit.Stats.Regression.r2;
+        ]
+      end)
     cells
 
 let joint_header =
@@ -202,10 +230,17 @@ let tail_figure ctx ~swap ~ratio =
         List.concat_map
           (fun policy ->
             let c = cell ctx ~workload ~policy ~ratio ~swap in
-            let reads = Runner.pooled_read_latencies c.results in
-            let writes = Runner.pooled_write_latencies c.results in
-            tail_rows (pname policy ^ " read") reads
-            @ tail_rows (pname policy ^ " write") writes)
+            if c.failed > 0 then
+              [
+                failed_row (pname policy ^ " read") 6;
+                failed_row (pname policy ^ " write") 6;
+              ]
+            else begin
+              let reads = Runner.pooled_read_latencies c.results in
+              let writes = Runner.pooled_write_latencies c.results in
+              tail_rows (pname policy ^ " read") reads
+              @ tail_rows (pname policy ^ " write") writes
+            end)
           clock_vs_mglru
       in
       Report.table ~header:tail_header rows)
@@ -287,11 +322,15 @@ let fig6 ctx =
               match workload with
               | Runner.Tpch | Runner.Pagerank ->
                 let clock = cell ctx ~workload ~policy:Policy.Registry.Clock ~ratio ~swap:Runner.Ssd in
-                let a = Runner.runtimes_s clock.results in
-                let b = Runner.runtimes_s base.results in
-                if Array.length a > 1 && Array.length b > 1 then
-                  Report.f3 (Stats.Ttest.welch a b).Stats.Ttest.p_value
-                else "-"
+                if clock.failed > 0 || base.failed > 0 then
+                  Report.failed_marker
+                else begin
+                  let a = Runner.runtimes_s clock.results in
+                  let b = Runner.runtimes_s base.results in
+                  if Array.length a > 1 && Array.length b > 1 then
+                    Report.f3 (Stats.Ttest.welch a b).Stats.Ttest.p_value
+                  else "-"
+                end
               | Runner.Ycsb _ -> "-"
             in
             (wname workload :: per_spec) @ [ p_value ])
@@ -318,17 +357,21 @@ let fig7 ctx =
             List.map
               (fun policy ->
                 let c = cell ctx ~workload ~policy ~ratio ~swap:Runner.Ssd in
-                let fl = Array.map (fun x -> x /. norm) (Runner.faults c.results) in
-                let q1, q2, q3 = Stats.Percentile.quartiles fl in
-                let s = Stats.Summary.of_array fl in
-                [
-                  pname policy;
-                  Report.f2 s.Stats.Summary.min;
-                  Report.f2 q1;
-                  Report.f2 q2;
-                  Report.f2 q3;
-                  Report.f2 s.Stats.Summary.max;
-                ])
+                if base.failed > 0 || c.failed > 0 then
+                  failed_row (pname policy) 5
+                else begin
+                  let fl = Array.map (fun x -> x /. norm) (Runner.faults c.results) in
+                  let q1, q2, q3 = Stats.Percentile.quartiles fl in
+                  let s = Stats.Summary.of_array fl in
+                  [
+                    pname policy;
+                    Report.f2 s.Stats.Summary.min;
+                    Report.f2 q1;
+                    Report.f2 q2;
+                    Report.f2 q3;
+                    Report.f2 s.Stats.Summary.max;
+                  ]
+                end)
               all_specs
           in
           Report.subsection (wname workload);
@@ -405,7 +448,7 @@ let fig11 ctx =
             ~swap:Runner.Zram
         in
         let rt =
-          Runner.mean_runtime_s zr.results /. Float.max 1e-9 (Runner.mean_runtime_s ssd.results)
+          cell_mean_runtime zr /. Float.max 1e-9 (cell_mean_runtime ssd)
         in
         let fl = zr.mean_faults /. Float.max 1e-9 ssd.mean_faults in
         data := (wname workload, rt, fl) :: !data;

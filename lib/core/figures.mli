@@ -19,16 +19,29 @@ type cell = {
   policy : Policy.Registry.spec;
   ratio : float;
   swap : Runner.swap_medium;
+  outcomes : Runner.trial_outcome list;
+      (** every trial's outcome, in trial order *)
   results : Machine.result list;
+      (** the successful ([Done]) results only, in trial order *)
+  failed : int;  (** how many trials raised or timed out *)
   perf : float;
       (** mean runtime (s) for TPC-H/PageRank; mean request latency (ns)
-          for YCSB — the metric Figure 1 normalizes *)
-  mean_faults : float;
+          for YCSB — the metric Figure 1 normalizes.  NaN if any trial
+          failed: arithmetic on a failed cell stays NaN and the
+          formatters render it as "failed", so a failure can never hide
+          inside a partial mean *)
+  mean_faults : float;  (** NaN if any trial failed, like [perf] *)
 }
 
 val cell :
   Runner.ctx -> workload:Runner.workload_kind -> policy:Policy.Registry.spec ->
   ratio:float -> swap:Runner.swap_medium -> cell
+(** Runs (or fetches) the cell's trials failure-tolerantly
+    ({!Runner.try_cell}): failed trials surface in [outcomes]/[failed],
+    never as an exception. *)
+
+val cell_mean_runtime : cell -> float
+(** Mean runtime over the cell's trials; NaN if any trial failed. *)
 
 val all_figures : int list
 (** [1; 2; ...; 12]. *)

@@ -1,0 +1,84 @@
+(** Durable, resumable result store for experiment sweeps.
+
+    A journal is an append-only JSONL file holding one record per
+    {e completed} trial — the full {!Machine.result} for successes, or
+    the failure reason for trials that raised or hit their wall-clock
+    deadline.  Because every record is appended (and fsynced) the moment
+    its trial finishes, a sweep killed at any point loses at most the
+    trials that were in flight: re-running with [--resume] warm-starts
+    the result cache from the journal and recomputes only what is
+    missing, producing output byte-identical to an uninterrupted run.
+
+    {b Record framing.}  Each line is one flat JSON object whose first
+    field is an MD5 checksum of the rest of the line:
+
+    {v {"sum":"<32 hex>","key":"tpch/lru/0.2/ssd/t0","status":"ok",...} v}
+
+    The checksum makes torn writes (a crash mid-append) and bit rot
+    detectable per record: on load, any line that fails framing,
+    checksum or schema validation is reported to stderr with its line
+    number and byte offset, then skipped — a corrupt record costs one
+    re-run, never the whole journal.
+
+    {b Rotation.}  Opening a journal for resume compacts it: the valid
+    records are rewritten through {!Atomic_io.replace} (temp file,
+    fsync, rename), so torn tails and duplicate keys are dropped
+    atomically and the segment on disk is always wholly valid before new
+    appends begin.
+
+    {b What is not journaled.}  Telemetry captures ([result.trace]) are
+    too large and are rebuilt by re-running; the runner skips journal
+    warm-start when tracing is enabled. *)
+
+type status =
+  | Trial_ok
+  | Trial_failed   (** the trial raised; [reason] holds the exception *)
+  | Trial_timeout  (** the trial exceeded its wall-clock deadline *)
+
+type record = {
+  key : string;  (** injective trial key ({!Runner.exp_key}) *)
+  status : status;
+  reason : string;  (** empty for [Trial_ok] *)
+  result : Machine.result option;
+      (** [Some] iff [Trial_ok]; its [trace] field is always [None] *)
+}
+
+val status_name : status -> string
+(** ["ok"], ["failed"] or ["timeout"] — the on-disk [status] field. *)
+
+type t
+(** An open journal.  Appends are mutex-protected and fsynced, so any
+    domain may record a finished trial directly. *)
+
+val open_ : path:string -> resume:bool -> t * record list
+(** [open_ ~path ~resume] opens (creating if needed) the journal at
+    [path] for appending and returns the surviving records.
+
+    With [resume = true], existing records are loaded first: invalid
+    lines are logged and skipped, duplicate keys keep the {e last}
+    occurrence (a retried trial supersedes its earlier failure), and the
+    compacted segment is atomically rewritten before the handle is
+    returned.  With [resume = false] any existing file is replaced by an
+    empty journal and the record list is empty. *)
+
+val append : t -> record -> unit
+(** Serialize, checksum, append and fsync one record.  Durable when this
+    returns. *)
+
+val close : t -> unit
+(** Close the underlying channel.  Idempotent. *)
+
+val load : path:string -> record list
+(** Read-only variant of the [resume] load: the surviving records of
+    [path] (empty if the file does not exist), without rewriting or
+    opening anything. *)
+
+(**/**)
+
+val record_to_line : record -> string
+(** The exact line [append] writes (without the newline) — exposed for
+    tests. *)
+
+val record_of_line : string -> (record, string) result
+(** Validate framing + checksum and decode one line — exposed for
+    tests. *)

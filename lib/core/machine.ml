@@ -27,6 +27,7 @@ type config = {
   io_retry_backoff_ns : int;
   audit_every_ns : int;
   obs : Obs.config;
+  cancel : Engine.Cancel.t;
 }
 
 let default_config ~capacity_frames ~seed =
@@ -56,6 +57,7 @@ let default_config ~capacity_frames ~seed =
     io_retry_backoff_ns = 100_000;
     audit_every_ns = 0;
     obs = Obs.off;
+    cancel = Engine.Cancel.never;
   }
 
 type result = {
@@ -754,7 +756,7 @@ let run cfg ~policy ~workload =
     in
     Engine.Sim.schedule t.sim ~delay:sample_every tick
   end;
-  Engine.Sim.run ~until:cfg.max_runtime_ns t.sim;
+  Engine.Sim.run ~until:cfg.max_runtime_ns ~cancel:cfg.cancel t.sim;
   t.invariant_violations <- t.invariant_violations + List.length (audit t);
   let runtime =
     Array.fold_left (fun acc f -> max acc f) (Engine.Sim.now t.sim) t.finish_ns

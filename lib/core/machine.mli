@@ -58,6 +58,13 @@ type config = {
       (** telemetry: trace events and/or periodic machine-state samples
           into a per-trial sink, returned as [result.trace].  {!Obs.off}
           keeps runs bit-identical to a build without the layer *)
+  cancel : Engine.Cancel.t;
+      (** cooperative cancellation, checked between simulation events;
+          {!Engine.Cancel.never} (the default) never fires.  A firing
+          token aborts the trial with {!Engine.Cancel.Cancelled} after
+          the in-flight event completes, so machine state is never torn
+          mid-event — this is how the runner enforces per-trial
+          wall-clock deadlines *)
 }
 
 val default_config : capacity_frames:int -> seed:int -> config

@@ -31,33 +31,44 @@ let table ~header rows =
   print_newline ();
   List.iter print_row rows
 
-let f2 x = Printf.sprintf "%.2f" x
+(* Failed cells flow through aggregation as NaN (any arithmetic with a
+   failed trial poisons the derived value), and every formatter renders
+   NaN as the explicit "failed" marker.  Clean runs never produce NaN,
+   so their output is byte-identical to builds without this path. *)
+let failed_marker = "failed"
 
-let f3 x = Printf.sprintf "%.3f" x
+let unless_failed fmt x = if Float.is_nan x then failed_marker else fmt x
 
-let fnorm x = Printf.sprintf "%.2fx" x
+let f2 = unless_failed (Printf.sprintf "%.2f")
 
-let fsec x =
-  if Float.abs x >= 100.0 then Printf.sprintf "%.0fs" x
-  else if Float.abs x >= 1.0 then Printf.sprintf "%.1fs" x
-  else Printf.sprintf "%.3fs" x
+let f3 = unless_failed (Printf.sprintf "%.3f")
 
-let fcount x =
-  let s = Printf.sprintf "%.0f" x in
-  let n = String.length s in
-  let buf = Buffer.create (n + (n / 3)) in
-  String.iteri
-    (fun i c ->
-      if i > 0 && (n - i) mod 3 = 0 && c <> '-' then Buffer.add_char buf ',';
-      Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let fnorm = unless_failed (Printf.sprintf "%.2fx")
 
-let fns x =
-  if Float.abs x >= 1e9 then Printf.sprintf "%.2fs" (x /. 1e9)
-  else if Float.abs x >= 1e6 then Printf.sprintf "%.2fms" (x /. 1e6)
-  else if Float.abs x >= 1e3 then Printf.sprintf "%.1fus" (x /. 1e3)
-  else Printf.sprintf "%.0fns" x
+let fsec =
+  unless_failed (fun x ->
+      if Float.abs x >= 100.0 then Printf.sprintf "%.0fs" x
+      else if Float.abs x >= 1.0 then Printf.sprintf "%.1fs" x
+      else Printf.sprintf "%.3fs" x)
+
+let fcount =
+  unless_failed (fun x ->
+      let s = Printf.sprintf "%.0f" x in
+      let n = String.length s in
+      let buf = Buffer.create (n + (n / 3)) in
+      String.iteri
+        (fun i c ->
+          if i > 0 && (n - i) mod 3 = 0 && c <> '-' then Buffer.add_char buf ',';
+          Buffer.add_char buf c)
+        s;
+      Buffer.contents buf)
+
+let fns =
+  unless_failed (fun x ->
+      if Float.abs x >= 1e9 then Printf.sprintf "%.2fs" (x /. 1e9)
+      else if Float.abs x >= 1e6 then Printf.sprintf "%.2fms" (x /. 1e6)
+      else if Float.abs x >= 1e3 then Printf.sprintf "%.1fus" (x /. 1e3)
+      else Printf.sprintf "%.0fns" x)
 
 let note s = Printf.printf "  %s\n" s
 
@@ -83,6 +94,11 @@ let trace_summary ~path =
   let groups = Hashtbl.create 16 in
   let order = ref [] in
   let lineno = ref 0 in
+  (* Byte offset of the current line's first character: pinpoints the
+     first malformed record precisely enough to inspect it with dd or a
+     hex editor, which a line number alone does not when records are
+     long. *)
+  let offset = ref 0 in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
@@ -90,27 +106,28 @@ let trace_summary ~path =
         while true do
           let line = input_line ic in
           incr lineno;
+          let malformed msg =
+            failwith
+              (Printf.sprintf
+                 "%s: malformed record at line %d (byte offset %d): %s" path
+                 !lineno !offset msg)
+          in
           if String.trim line <> "" then begin
             let fields =
               match Obs.parse_line line with
               | Ok fields -> fields
-              | Error msg ->
-                failwith (Printf.sprintf "%s:%d: %s" path !lineno msg)
+              | Error msg -> malformed msg
             in
             let str k =
               match Obs.field_string fields k with
               | Some s -> s
-              | None ->
-                failwith
-                  (Printf.sprintf "%s:%d: missing field %S" path !lineno k)
+              | None -> malformed (Printf.sprintf "missing field %S" k)
             in
             let num k =
               match Obs.field fields k with
               | Some (Obs.Int i) -> float_of_int i
               | Some (Obs.Float f) -> f
-              | _ ->
-                failwith
-                  (Printf.sprintf "%s:%d: missing field %S" path !lineno k)
+              | _ -> malformed (Printf.sprintf "missing field %S" k)
             in
             let key =
               Printf.sprintf "%s/%s/%g%%/%s" (str "workload") (str "policy")
@@ -147,7 +164,8 @@ let trace_summary ~path =
               match Obs.field_int fields "latency_ns" with
               | Some ns -> Stats.Histogram.add g.g_reclaim (float_of_int (max 1 ns))
               | None -> ()
-          end
+          end;
+          offset := !offset + String.length line + 1
         done
       with End_of_file -> ());
   let cells = List.rev !order in

@@ -8,6 +8,11 @@ val subsection : string -> unit
 val table : header:string list -> string list list -> unit
 (** Fixed-width aligned table with a separator under the header. *)
 
+val failed_marker : string
+(** ["failed"] — how every formatter renders NaN, the sentinel that
+    failed trials inject into aggregates.  Clean runs never produce NaN,
+    so their rendering is unchanged. *)
+
 val f2 : float -> string
 (** Two-decimal formatting. *)
 
@@ -32,8 +37,9 @@ val trace_summary : path:string -> unit
 (** Parse a JSONL trace (as written by {!Runner.write_trace}) and print
     per-cell event-kind counts plus direct-reclaim latency quantiles
     rebuilt from the [reclaim] events.
-    @raise Failure on the first malformed line, citing file and line
-    number — the CI smoke step relies on this to validate traces. *)
+    @raise Failure on the first malformed record, citing file, line
+    number and byte offset — the CI smoke step relies on this to
+    validate traces. *)
 
 val fault_summary : Machine.result -> unit
 (** Per-trial fault-injection block: injected faults by kind, recovery

@@ -48,8 +48,14 @@ let default_profile = { trials = 25; ycsb_trials = 2; fast = false }
 
 let env_int name default =
   match Sys.getenv_opt name with
-  | Some v -> (try max 1 (int_of_string (String.trim v)) with Failure _ -> default)
   | None -> default
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n -> max 1 n
+    | None ->
+      Printf.eprintf "warning: ignoring %s=%S (not an integer); using %d\n%!"
+        name v default;
+      default)
 
 (* The single place the REPRO_* fallback variables are read. *)
 let profile_from_env () =
@@ -69,9 +75,16 @@ let profile_from_env () =
    above any sane [jobs]. *)
 let cache_shards = 32
 
+(* What became of one trial.  Failures are first-class cache entries:
+   a raising or deadline-hit trial is computed once, rendered as an
+   explicit "failed" cell, and never silently retried within a run. *)
+type trial_outcome =
+  | Done of Machine.result
+  | Failed of { reason : string; timed_out : bool }
+
 type shard = {
   lock : Mutex.t;
-  tbl : (string, Machine.result) Hashtbl.t;
+  tbl : (string, trial_outcome) Hashtbl.t;
 }
 
 type ctx = {
@@ -80,20 +93,23 @@ type ctx = {
   audit_every_ns : int;
   jobs : int;
   obs : Obs.config;
+  trial_timeout_s : float;
+  journal : Journal.t option;
   cache : shard array;
-  (* Telemetry bookkeeping: the experiments whose captures the writers
-     will serialize, in first-computation program order.  Appended only
-     from the dispatching domain (prefetch logs its whole deduplicated
-     todo list before any worker starts; direct [run_exp] misses happen
-     in the callers' serial read-back), so the order — and hence the
-     trace files — is identical for every [jobs] value. *)
+  (* Bookkeeping: every requested experiment, in first-request program
+     order.  Appended only from the dispatching domain (prefetch logs
+     its whole deduplicated todo list before any worker starts; direct
+     [run_exp] misses happen in the callers' serial read-back), so the
+     order — and hence the trace files and the end-of-run failure
+     summary — is identical for every [jobs] value. *)
   logged : (string, unit) Hashtbl.t;
   log : exp list ref;
   log_lock : Mutex.t;
 }
 
 let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
-    ?(audit_every_ns = 0) ?(jobs = 1) ?(obs = Obs.off) () =
+    ?(audit_every_ns = 0) ?(jobs = 1) ?(obs = Obs.off)
+    ?(trial_timeout_s = 0.0) ?journal () =
   let profile =
     match profile with Some p -> p | None -> profile_from_env ()
   in
@@ -103,6 +119,8 @@ let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     audit_every_ns = max 0 audit_every_ns;
     jobs = max 1 jobs;
     obs;
+    trial_timeout_s = (if trial_timeout_s > 0.0 then trial_timeout_s else 0.0);
+    journal;
     cache =
       Array.init cache_shards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 32 });
@@ -121,15 +139,15 @@ let jobs ctx = ctx.jobs
 
 let obs ctx = ctx.obs
 
+let trial_timeout_s ctx = ctx.trial_timeout_s
+
 let log_exp ctx e key =
-  if Obs.config_enabled ctx.obs then begin
-    Mutex.lock ctx.log_lock;
-    if not (Hashtbl.mem ctx.logged key) then begin
-      Hashtbl.add ctx.logged key ();
-      ctx.log := e :: !(ctx.log)
-    end;
-    Mutex.unlock ctx.log_lock
-  end
+  Mutex.lock ctx.log_lock;
+  if not (Hashtbl.mem ctx.logged key) then begin
+    Hashtbl.add ctx.logged key ();
+    ctx.log := e :: !(ctx.log)
+  end;
+  Mutex.unlock ctx.log_lock
 
 let traced_exps ctx =
   Mutex.lock ctx.log_lock;
@@ -239,6 +257,23 @@ let machine_swap = function
   | Ssd -> Machine.ssd
   | Zram -> Machine.zram
 
+(* Per-trial wall-clock deadline as a cooperative cancellation token.
+   The probe runs between simulation events, so it rate-limits the
+   actual clock reads; cancellation can therefore overshoot the deadline
+   by a few hundred events, which is fine for a watchdog. *)
+let deadline_cancel timeout_s =
+  if timeout_s <= 0.0 then Engine.Cancel.never
+  else begin
+    let deadline = Unix.gettimeofday () +. timeout_s in
+    let calls = ref 0 in
+    Engine.Cancel.of_probe
+      ~reason:
+        (Printf.sprintf "exceeded %gs wall-clock trial deadline" timeout_s)
+      (fun () ->
+        incr calls;
+        !calls land 255 = 0 && Unix.gettimeofday () > deadline)
+  end
+
 (* One trial, computed from scratch: deterministic in (ctx, e) — the
    workload, machine and policy all seed from (kind, trial). *)
 let compute_exp ctx e =
@@ -254,17 +289,92 @@ let compute_exp ctx e =
       fault_plan = ctx.fault_plan;
       audit_every_ns = ctx.audit_every_ns;
       obs = ctx.obs;
+      cancel = deadline_cancel ctx.trial_timeout_s;
     }
   in
   Machine.run cfg ~policy:(Policy.Registry.create e.policy) ~workload
 
-let run_exp ctx e =
+let journal_outcome ctx key outcome =
+  match ctx.journal with
+  | None -> ()
+  | Some j ->
+    let record =
+      match outcome with
+      | Done r ->
+        {
+          Journal.key;
+          status = Journal.Trial_ok;
+          reason = "";
+          (* Captures are not journaled (see Journal's docs); strip them
+             so the record is what a warm-started cache would hold. *)
+          result = Some { r with Machine.trace = None };
+        }
+      | Failed { reason; timed_out } ->
+        {
+          Journal.key;
+          status =
+            (if timed_out then Journal.Trial_timeout else Journal.Trial_failed);
+          reason;
+          result = None;
+        }
+    in
+    Journal.append j record
+
+let try_exp ctx e =
   let key = exp_key e in
   match cache_find ctx key with
-  | Some r -> r
+  | Some o -> o
   | None ->
     log_exp ctx e key;
-    cache_store ctx key (compute_exp ctx e)
+    let outcome =
+      match compute_exp ctx e with
+      | r -> Done r
+      | exception Engine.Cancel.Cancelled reason ->
+        Failed { reason; timed_out = true }
+      | exception exn ->
+        Failed { reason = Printexc.to_string exn; timed_out = false }
+    in
+    let kept = cache_store ctx key outcome in
+    (* Journal only the outcome that won the (theoretical) publication
+       race, so the segment mirrors the cache. *)
+    if kept == outcome then journal_outcome ctx key kept;
+    kept
+
+let run_exp ctx e =
+  match try_exp ctx e with
+  | Done r -> r
+  | Failed { reason; _ } ->
+    failwith (Printf.sprintf "trial %s failed: %s" (exp_name e) reason)
+
+(* Install journal records into the cache so a resumed sweep recomputes
+   only what is missing.  Failure records are deliberately not
+   installed: a resumed run retries them (the retry's record supersedes
+   the old one at the next load).  Skipped under telemetry, because
+   journal records carry no captures. *)
+let warm_start ctx records =
+  if Obs.config_enabled ctx.obs then begin
+    prerr_endline
+      "journal: telemetry enabled; skipping warm-start (journaled results \
+       carry no traces)";
+    0
+  end
+  else
+    List.fold_left
+      (fun n (r : Journal.record) ->
+        match (r.status, r.result) with
+        | Journal.Trial_ok, Some res ->
+          ignore (cache_store ctx r.key (Done res));
+          n + 1
+        | _ -> n)
+      0 records
+
+let failures ctx =
+  List.filter_map
+    (fun e ->
+      match cache_find ctx (exp_key e) with
+      | Some (Failed { reason; timed_out }) -> Some (e, reason, timed_out)
+      | _ -> None)
+    (traced_exps ctx)
 
 (* Parallel fill of the cache.  Uncached experiments are deduplicated,
    then sharded across a transient domain pool; the results land in the
@@ -285,19 +395,39 @@ let prefetch ctx exps =
       exps
   in
   (* Log the whole batch here, in list order, before any domain starts:
-     workers then find every key already logged, so the trace order
-     never depends on completion order. *)
+     workers then find every key already logged, so the trace order and
+     the failure summary never depend on completion order. *)
   List.iter (fun e -> log_exp ctx e (exp_key e)) todo;
   match todo with
   | [] -> ()
-  | [ e ] -> ignore (run_exp ctx e)
+  | [ e ] -> ignore (try_exp ctx e)
   | todo ->
-    if ctx.jobs = 1 then List.iter (fun e -> ignore (run_exp ctx e)) todo
+    if ctx.jobs = 1 then List.iter (fun e -> ignore (try_exp ctx e)) todo
     else
+      (* [try_exp] already converts trial exceptions into [Failed]
+         cache entries; the supervised map is the backstop for anything
+         raised outside it (e.g. journal I/O), so one broken task can
+         never abort the rest of the batch silently mid-sweep. *)
       Engine.Pool.with_pool
         ~jobs:(min ctx.jobs (List.length todo))
         (fun pool ->
-          ignore (Engine.Pool.map_list pool (fun e -> ignore (run_exp ctx e)) todo))
+          let outcomes =
+            Engine.Pool.map_supervised pool
+              (fun e -> ignore (try_exp ctx e))
+              (Array.of_list todo)
+          in
+          let todo = Array.of_list todo in
+          Array.iteri
+            (fun i o ->
+              match o with
+              | Engine.Pool.Ok () -> ()
+              | Engine.Pool.Error { exn; _ } ->
+                ignore
+                  (cache_store ctx
+                     (exp_key todo.(i))
+                     (Failed
+                        { reason = Printexc.to_string exn; timed_out = false })))
+            outcomes)
 
 let cell_exps ctx ~workload ~policy ~ratio ~swap =
   List.init (trials_for ctx workload) (fun trial ->
@@ -307,6 +437,11 @@ let run_cell ctx ~workload ~policy ~ratio ~swap =
   let exps = cell_exps ctx ~workload ~policy ~ratio ~swap in
   prefetch ctx exps;
   List.map (run_exp ctx) exps
+
+let try_cell ctx ~workload ~policy ~ratio ~swap =
+  let exps = cell_exps ctx ~workload ~policy ~ratio ~swap in
+  prefetch ctx exps;
+  List.map (try_exp ctx) exps
 
 let runtimes_s results =
   Array.of_list
@@ -339,7 +474,7 @@ let captured ctx =
   List.filter_map
     (fun e ->
       match cache_find ctx (exp_key e) with
-      | Some { Machine.trace = Some cap; _ } -> Some (e, cap)
+      | Some (Done { Machine.trace = Some cap; _ }) -> Some (e, cap)
       | _ -> None)
     (traced_exps ctx)
 
@@ -353,11 +488,8 @@ let cell_fields e =
   ]
 
 let write_trace ctx ~path =
-  let oc = open_out path in
-  let written = ref 0 in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_io.replace ~path (fun oc ->
+      let written = ref 0 in
       List.iter
         (fun (e, cap) ->
           let cell = cell_fields e in
@@ -367,17 +499,14 @@ let write_trace ctx ~path =
               output_char oc '\n';
               incr written)
             cap.Obs.events)
-        (captured ctx));
-  !written
+        (captured ctx);
+      !written)
 
 let sample_csv_header = "workload,policy,ratio,swap,trial,t_ns,metric,value"
 
 let write_samples ctx ~path =
-  let oc = open_out path in
-  let written = ref 0 in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Atomic_io.replace ~path (fun oc ->
+      let written = ref 0 in
       output_string oc sample_csv_header;
       output_char oc '\n';
       List.iter
@@ -398,8 +527,8 @@ let write_samples ctx ~path =
                   incr written)
                 metrics)
             cap.Obs.samples)
-        (captured ctx));
-  !written
+        (captured ctx);
+      !written)
 
 let merged_reclaim_hists ctx =
   let order = ref [] in

@@ -73,8 +73,17 @@ val profile_from_env : unit -> profile
 (** {1 Run contexts} *)
 
 type ctx
-(** An immutable run context: profile, fault plan, audit cadence and
-    parallelism, plus this context's private result cache. *)
+(** An immutable run context: profile, fault plan, audit cadence,
+    parallelism, per-trial deadline and optional result journal, plus
+    this context's private result cache. *)
+
+(** What became of one trial.  Failures are first-class: a raising or
+    deadline-hit trial is cached and journaled as [Failed] and rendered
+    as an explicit "failed" cell, while the other trials of the sweep
+    run to completion. *)
+type trial_outcome =
+  | Done of Machine.result
+  | Failed of { reason : string; timed_out : bool }
 
 val make_ctx :
   ?profile:profile ->
@@ -82,12 +91,21 @@ val make_ctx :
   ?audit_every_ns:int ->
   ?jobs:int ->
   ?obs:Obs.config ->
+  ?trial_timeout_s:float ->
+  ?journal:Journal.t ->
   unit ->
   ctx
 (** Defaults: [profile_from_env ()], no fault injection, end-of-run
     audits only, [jobs = 1] (serial), telemetry off ({!Obs.off} keeps
-    runs bit-identical to a build without the obs layer).  [jobs] is
-    clamped to at least 1; [audit_every_ns] to at least 0. *)
+    runs bit-identical to a build without the obs layer), no per-trial
+    deadline, no journal.  [jobs] is clamped to at least 1;
+    [audit_every_ns] to at least 0; [trial_timeout_s <= 0] means no
+    deadline.
+
+    With a [journal], every freshly computed trial outcome — success or
+    failure — is appended (checksummed, fsynced) the moment it
+    completes; cache hits, including warm-started records, are not
+    re-journaled. *)
 
 val profile : ctx -> profile
 
@@ -99,8 +117,19 @@ val jobs : ctx -> int
 
 val obs : ctx -> Obs.config
 
+val trial_timeout_s : ctx -> float
+(** The per-trial wall-clock deadline in seconds; 0 when disabled. *)
+
 val cached_results : ctx -> int
-(** Number of trial results currently memoized in this context. *)
+(** Number of trial outcomes currently memoized in this context. *)
+
+val warm_start : ctx -> Journal.record list -> int
+(** Install the successful records of a loaded journal into the cache,
+    returning how many were installed.  Failure records are skipped (a
+    resumed run retries them), and the whole warm-start is skipped —
+    with a stderr note — when the context has telemetry enabled, since
+    journal records carry no captures.  Call once, before running
+    anything, on a fresh context. *)
 
 (** {1 Running trials} *)
 
@@ -109,7 +138,14 @@ val trials_for : ctx -> workload_kind -> int
 val make_workload : ctx -> workload_kind -> trial:int -> Workload.Chunk.packed
 
 val run_exp : ctx -> exp -> Machine.result
-(** Run (or fetch from this context's cache) one trial. *)
+(** Run (or fetch from this context's cache) one trial.  Raises
+    [Failure] if the trial's outcome is [Failed] — use {!try_exp} where
+    failures must not abort the caller. *)
+
+val try_exp : ctx -> exp -> trial_outcome
+(** Like {!run_exp}, but a raising or timed-out trial yields [Failed]
+    instead of raising: the failure is cached (never retried within this
+    context) and journaled like any other outcome. *)
 
 val cell_exps :
   ctx -> workload:workload_kind -> policy:Policy.Registry.spec -> ratio:float ->
@@ -127,7 +163,19 @@ val prefetch : ctx -> exp list -> unit
 val run_cell :
   ctx -> workload:workload_kind -> policy:Policy.Registry.spec -> ratio:float ->
   swap:swap_medium -> Machine.result list
-(** All trials of one grid cell, prefetched in parallel per the ctx. *)
+(** All trials of one grid cell, prefetched in parallel per the ctx.
+    Raises on the first failed trial, like {!run_exp}. *)
+
+val try_cell :
+  ctx -> workload:workload_kind -> policy:Policy.Registry.spec -> ratio:float ->
+  swap:swap_medium -> trial_outcome list
+(** Failure-tolerant {!run_cell}: one {!trial_outcome} per trial, in
+    trial order. *)
+
+val failures : ctx -> (exp * string * bool) list
+(** Every failed trial this context has seen — [(exp, reason,
+    timed_out)] — in deterministic first-request order, the same for
+    every [jobs] value.  Empty after a clean sweep. *)
 
 (** {1 Aggregation helpers} *)
 
@@ -159,18 +207,20 @@ val pooled_write_latencies : Machine.result list -> float array
     [jobs] value. *)
 
 val traced_exps : ctx -> exp list
-(** Experiments computed under an enabled telemetry config, in
-    deterministic first-computation order. *)
+(** Every experiment this context has been asked to run, in
+    deterministic first-request order.  The telemetry writers serialize
+    the captures of these, in this order. *)
 
 val write_trace : ctx -> path:string -> int
 (** Write every captured event as JSON Lines (one flat object per event:
     workload/policy/ratio/swap/trial, [t_ns], [kind], payload); returns
-    the number of events written. *)
+    the number of events written.  Like every writer, goes through
+    {!Atomic_io.replace}: [path] is replaced atomically or not at all. *)
 
 val write_samples : ctx -> path:string -> int
 (** Write every machine-state sample as long-format CSV
     ([workload,policy,ratio,swap,trial,t_ns,metric,value]); returns the
-    number of data rows written. *)
+    number of data rows written.  Atomic like {!write_trace}. *)
 
 val merged_reclaim_hists : ctx -> (string * Stats.Histogram.t) list
 (** Per-policy direct-reclaim latency histograms, merged across every

@@ -99,28 +99,45 @@ let exec t run_task total =
       Mutex.unlock t.mu
     end
 
-let map t f tasks =
+type 'a outcome =
+  | Ok of 'a
+  | Error of { exn : exn; backtrace : Printexc.raw_backtrace }
+
+let map_supervised t f tasks =
   let n = Array.length tasks in
-  let results = Array.make n None in
-  let errors = Array.make n None in
-  (* Slots are written by at most one domain each, so the arrays need no
+  let outcomes = Array.make n None in
+  (* Slots are written by at most one domain each, so the array needs no
      lock; the batch-completion handshake publishes them to the caller. *)
   let run_task i =
-    match f tasks.(i) with
-    | v -> results.(i) <- Some v
-    | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    outcomes.(i) <-
+      Some
+        (match f tasks.(i) with
+        | v -> Ok v
+        | exception e -> Error { exn = e; backtrace = Printexc.get_raw_backtrace () })
   in
   exec t run_task n;
-  Array.iter
-    (function
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ())
-    errors;
   Array.map
     (function
-      | Some v -> v
+      | Some o -> o
       | None -> assert false)
-    results
+    outcomes
+
+let run_supervised t thunks =
+  Array.to_list (map_supervised t (fun f -> f ()) (Array.of_list thunks))
+
+let map t f tasks =
+  let outcomes = map_supervised t f tasks in
+  (* Re-raise the lowest-indexed failure, deterministically. *)
+  Array.iter
+    (function
+      | Error { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace
+      | Ok _ -> ())
+    outcomes;
+  Array.map
+    (function
+      | Ok v -> v
+      | Error _ -> assert false)
+    outcomes
 
 let map_list t f tasks = Array.to_list (map t f (Array.of_list tasks))
 

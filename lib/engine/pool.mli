@@ -35,6 +35,24 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count], capped to a sane ceiling for
     coarse simulation trials (at least 1). *)
 
+(** The per-task result of a supervised batch.  An [Error] captures the
+    task's exception and backtrace instead of re-raising, so one failing
+    task cannot abort the other N-1. *)
+type 'a outcome =
+  | Ok of 'a
+  | Error of { exn : exn; backtrace : Printexc.raw_backtrace }
+
+val map_supervised : t -> ('a -> 'b) -> 'a array -> 'b outcome array
+(** [map_supervised pool f tasks] applies [f] to every element, in
+    parallel across the pool's domains, and returns one {!outcome} per
+    task in input order.  Every task runs to completion (or failure)
+    regardless of how many others fail — fault-isolating execution for
+    long sweeps where a raising trial must not poison the batch. *)
+
+val run_supervised : t -> (unit -> 'a) list -> 'a outcome list
+(** [run_supervised pool thunks] = supervised [run]: one outcome per
+    thunk, in order, never raising a task's exception. *)
+
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f tasks] applies [f] to every element, in parallel across
     the pool's domains, and returns the results in input order.

@@ -16,20 +16,25 @@ let schedule_at t ~time f = Event_queue.add t.queue ~time:(max time t.now) f
 
 let pending t = Event_queue.size t.queue
 
-let run ?(until = max_int) t =
+let run ?(until = max_int) ?(cancel = Cancel.never) t =
   t.stop_requested <- false;
   let rec loop () =
-    if not t.stop_requested then
+    if not t.stop_requested then begin
+      (* Cooperative cancellation, checked between events: the in-flight
+         event always completes, so callers never observe state torn mid
+         event. *)
+      Cancel.check cancel;
       match Event_queue.peek_time t.queue with
       | None -> ()
       | Some time when time > until -> ()
-      | Some _ ->
-        (match Event_queue.pop t.queue with
+      | Some _ -> (
+        match Event_queue.pop t.queue with
         | None -> ()
         | Some (time, f) ->
           t.now <- time;
           f t;
           loop ())
+    end
   in
   loop ()
 

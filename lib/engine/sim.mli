@@ -22,9 +22,13 @@ val schedule_at : t -> time:int -> (t -> unit) -> unit
 val pending : t -> int
 (** Number of scheduled events not yet executed. *)
 
-val run : ?until:int -> t -> unit
+val run : ?until:int -> ?cancel:Cancel.t -> t -> unit
 (** Execute events until the queue drains or virtual time would exceed
-    [until].  Safe to call again after it returns. *)
+    [until].  Safe to call again after it returns.
+
+    [cancel] is polled between events (simulation-event granularity —
+    the in-flight event always finishes); a fired token raises
+    {!Cancel.Cancelled}, leaving undrained events in the queue. *)
 
 val stop : t -> unit
 (** Make the current [run] return after the in-flight event finishes. *)

@@ -197,11 +197,7 @@ let value_to_json = function
   | Bool b -> if b then "true" else "false"
   | Str s -> "\"" ^ escape_string s ^ "\""
 
-let jsonl_line ~cell ~t_ns ev =
-  let fields =
-    cell
-    @ (("t_ns", Int t_ns) :: ("kind", Str (kind_name ev)) :: event_fields ev)
-  in
+let json_object fields =
   let buf = Buffer.create 128 in
   Buffer.add_char buf '{';
   List.iteri
@@ -214,6 +210,11 @@ let jsonl_line ~cell ~t_ns ev =
     fields;
   Buffer.add_char buf '}';
   Buffer.contents buf
+
+let jsonl_line ~cell ~t_ns ev =
+  json_object
+    (cell
+    @ (("t_ns", Int t_ns) :: ("kind", Str (kind_name ev)) :: event_fields ev))
 
 (* Flat-object JSON parser: exactly the subset [jsonl_line] emits
    (strings, numbers, booleans, null), with standard escapes.  Kept

@@ -118,6 +118,11 @@ type value = Int of int | Float of float | Bool of bool | Str of string
 val event_fields : event -> (string * value) list
 (** The event's payload, without the [kind] tag. *)
 
+val json_object : (string * value) list -> string
+(** One flat JSON object (no trailing newline) with the fields in list
+    order; the exact subset {!parse_line} reads back.  Shared by the
+    trace writer and the result journal. *)
+
 val jsonl_line : cell:(string * value) list -> t_ns:int -> event -> string
 (** One flat JSON object (no trailing newline): the [cell] fields
     (workload/policy/ratio/swap/trial), then [t_ns], [kind] and the

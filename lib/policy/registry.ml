@@ -9,6 +9,7 @@ type spec =
   | Fifo
   | Random
   | Lru_exact
+  | Crash_test
 
 let name = function
   | Clock -> "clock"
@@ -21,6 +22,7 @@ let name = function
   | Fifo -> "fifo"
   | Random -> "random"
   | Lru_exact -> "lru-exact"
+  | Crash_test -> "crash-test"
 
 let scan_mode_key = function
   | Mglru.Bloom_filtered -> "bloom"
@@ -41,7 +43,7 @@ let cache_key = function
   | Scan_rand p -> Printf.sprintf "scan-rand:%.6g" p
   | Mglru_custom c -> "mglru-custom:" ^ mglru_config_key c
   | (Clock | Mglru_default | Gen14 | Scan_all | Scan_none | Fifo | Random
-    | Lru_exact) as spec ->
+    | Lru_exact | Crash_test) as spec ->
     name spec
 
 let of_name = function
@@ -54,11 +56,12 @@ let of_name = function
   | "fifo" -> Some Fifo
   | "random" -> Some Random
   | "lru-exact" -> Some Lru_exact
+  | "crash-test" -> Some Crash_test
   | _ -> None
 
 let known_names =
   [ "clock"; "mglru"; "gen14"; "scan-all"; "scan-none"; "scan-rand"; "fifo";
-    "random"; "lru-exact" ]
+    "random"; "lru-exact"; "crash-test" ]
 
 let all_paper_specs =
   [ Clock; Mglru_default; Gen14; Scan_all; Scan_none; Scan_rand 0.5 ]
@@ -70,7 +73,8 @@ let mglru_config = function
   | Scan_none -> Mglru.with_mode Mglru.Scan_none Mglru.default_config
   | Scan_rand p -> Mglru.with_mode (Mglru.Scan_rand p) Mglru.default_config
   | Mglru_custom c -> c
-  | Clock | Fifo | Random | Lru_exact -> invalid_arg "Registry.mglru_config"
+  | Clock | Fifo | Random | Lru_exact | Crash_test ->
+    invalid_arg "Registry.mglru_config"
 
 let create spec env =
   match spec with
@@ -81,3 +85,4 @@ let create spec env =
   | Fifo -> Policy_intf.Packed ((module Fifo), Fifo.create env)
   | Random -> Policy_intf.Packed ((module Random_policy), Random_policy.create env)
   | Lru_exact -> Policy_intf.Packed ((module Lru_exact), Lru_exact.create env)
+  | Crash_test -> failwith "crash-test policy: deliberate failure"

@@ -2,7 +2,8 @@
 
     The names match the paper's figure legends: ["clock"], ["mglru"],
     ["gen14"], ["scan-all"], ["scan-none"], ["scan-rand"], plus the
-    extra baselines ["fifo"], ["random"], ["lru-exact"]. *)
+    extra baselines ["fifo"], ["random"], ["lru-exact"] and the
+    fault-isolation probe ["crash-test"]. *)
 
 type spec =
   | Clock
@@ -15,6 +16,11 @@ type spec =
   | Fifo
   | Random
   | Lru_exact
+  | Crash_test
+      (** deliberately raises at construction — exercises the runner's
+          failure isolation (a crash-test trial must surface as an
+          explicit "failed" cell while the rest of a sweep completes);
+          excluded from {!all_paper_specs} *)
 
 val name : spec -> string
 (** Stable display/CLI name.  Not injective: every [Mglru_custom] and

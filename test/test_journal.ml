@@ -1,0 +1,310 @@
+(* Journal unit tests: record framing and checksums, bit-exact result
+   round-trips, torn-tail detection, last-wins dedup and resume-time
+   compaction. *)
+
+module J = Repro_core.Journal
+module R = Repro_core.Runner
+module M = Repro_core.Machine
+
+let fast_profile = { R.trials = 1; ycsb_trials = 1; fast = true }
+
+(* One real trial result, so the round-trip test covers every field the
+   simulator actually produces (latency arrays included). *)
+let sample_result =
+  lazy
+    (R.run_exp
+       (R.make_ctx ~profile:fast_profile ())
+       {
+         R.workload = R.Ycsb Workload.Ycsb.A;
+         policy = Policy.Registry.Clock;
+         ratio = 0.5;
+         swap = R.Ssd;
+         trial = 0;
+       })
+
+let ok_record () =
+  let r = Lazy.force sample_result in
+  {
+    J.key = "ycsb-a/clock/0.5/ssd/t0";
+    status = J.Trial_ok;
+    reason = "";
+    result = Some { r with M.trace = None };
+  }
+
+let check_round_trip name rec_ =
+  match J.record_of_line (J.record_to_line rec_) with
+  | Error msg -> Alcotest.failf "%s: decode failed: %s" name msg
+  | Ok got ->
+    Alcotest.(check string) (name ^ " key") rec_.J.key got.J.key;
+    Alcotest.(check string)
+      (name ^ " status")
+      (J.status_name rec_.J.status)
+      (J.status_name got.J.status);
+    Alcotest.(check string) (name ^ " reason") rec_.J.reason got.J.reason;
+    Alcotest.(check bool) (name ^ " full record equal") true (got = rec_)
+
+let test_ok_round_trip () =
+  let rec_ = ok_record () in
+  check_round_trip "ok" rec_;
+  (* The success payload must round-trip bit-exactly: resumed sweeps
+     feed these numbers back into byte-identical reports. *)
+  match J.record_of_line (J.record_to_line rec_) with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok { J.result = None; _ } -> Alcotest.fail "ok record lost its result"
+  | Ok { J.result = Some got; _ } ->
+    let want = Option.get rec_.J.result in
+    Alcotest.(check int) "runtime_ns" want.M.runtime_ns got.M.runtime_ns;
+    Alcotest.(check int) "major_faults" want.M.major_faults got.M.major_faults;
+    Alcotest.(check string) "policy_name" want.M.policy_name got.M.policy_name;
+    Alcotest.(check bool) "read latencies bit-exact" true
+      (want.M.read_latencies = got.M.read_latencies);
+    Alcotest.(check bool) "write latencies bit-exact" true
+      (want.M.write_latencies = got.M.write_latencies);
+    Alcotest.(check bool) "policy stats equal" true
+      (want.M.policy_stats = got.M.policy_stats);
+    Alcotest.(check bool) "trace never journaled" true (got.M.trace = None)
+
+let test_awkward_floats_round_trip () =
+  (* %h framing must survive values that decimal printing mangles. *)
+  let r = Lazy.force sample_result in
+  let rec_ =
+    {
+      J.key = "k";
+      status = J.Trial_ok;
+      reason = "";
+      result =
+        Some
+          {
+            r with
+            M.read_latencies = [| 0.1; 1e-300; 1.5e300; 0.0; -0.0; 1.0 /. 3.0 |];
+            write_latencies = [||];
+            trace = None;
+          };
+    }
+  in
+  match J.record_of_line (J.record_to_line rec_) with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok { J.result = Some got; _ } ->
+    Array.iteri
+      (fun i want ->
+        Alcotest.(check bool)
+          (Printf.sprintf "lat[%d] bit-exact" i)
+          true
+          (Int64.equal (Int64.bits_of_float want)
+             (Int64.bits_of_float got.M.read_latencies.(i))))
+      (Option.get rec_.J.result).M.read_latencies;
+    Alcotest.(check int) "empty array survives" 0
+      (Array.length got.M.write_latencies)
+  | Ok _ -> Alcotest.fail "result lost"
+
+let test_failure_round_trips () =
+  check_round_trip "failed"
+    {
+      J.key = "tpch/crash-test/0.5/ssd/t0";
+      status = J.Trial_failed;
+      reason = "Failure(\"crash-test policy: deliberate failure\")";
+      result = None;
+    };
+  check_round_trip "timeout"
+    {
+      J.key = "pagerank/mglru/0.9/zram/t3";
+      status = J.Trial_timeout;
+      reason = "exceeded 0.5s wall-clock trial deadline";
+      result = None;
+    }
+
+let test_checksum_detects_corruption () =
+  let line = J.record_to_line (ok_record ()) in
+  (* Flip one payload byte: the checksum must catch it. *)
+  let corrupt = Bytes.of_string line in
+  let i = String.length line - 5 in
+  Bytes.set corrupt i (if Bytes.get corrupt i = '0' then '1' else '0');
+  (match J.record_of_line (Bytes.to_string corrupt) with
+  | Ok _ -> Alcotest.fail "accepted a corrupted record"
+  | Error msg ->
+    Alcotest.(check bool) "reports checksum" true
+      (String.length msg > 0));
+  (* A torn (truncated) line must also be rejected at every cut. *)
+  List.iter
+    (fun keep ->
+      match J.record_of_line (String.sub line 0 keep) with
+      | Ok _ -> Alcotest.failf "accepted a %d-byte torn record" keep
+      | Error _ -> ())
+    [ 0; 1; 10; 41; 42; 60; String.length line - 1 ]
+
+let with_temp_journal f =
+  let path = Filename.temp_file "journal_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let append_raw path s =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let failed_record key =
+  { J.key; status = J.Trial_failed; reason = "boom"; result = None }
+
+let test_append_load_cycle () =
+  with_temp_journal (fun path ->
+      let t, loaded = J.open_ ~path ~resume:false in
+      Alcotest.(check int) "fresh journal empty" 0 (List.length loaded);
+      J.append t (ok_record ());
+      J.append t (failed_record "a");
+      J.append t (failed_record "b");
+      J.close t;
+      J.close t;
+      (* idempotent *)
+      let records = J.load ~path in
+      Alcotest.(check (list string))
+        "keys in order"
+        [ (ok_record ()).J.key; "a"; "b" ]
+        (List.map (fun r -> r.J.key) records))
+
+let test_torn_tail_skipped () =
+  with_temp_journal (fun path ->
+      let t, _ = J.open_ ~path ~resume:false in
+      J.append t (failed_record "a");
+      J.append t (ok_record ());
+      J.close t;
+      (* Simulate a crash mid-append: half a record at the tail. *)
+      let torn = J.record_to_line (failed_record "c") in
+      append_raw path (String.sub torn 0 (String.length torn - 20) ^ "\n");
+      let records = J.load ~path in
+      Alcotest.(check (list string))
+        "torn tail dropped, prefix intact"
+        [ "a"; (ok_record ()).J.key ]
+        (List.map (fun r -> r.J.key) records))
+
+let test_dedup_last_wins () =
+  with_temp_journal (fun path ->
+      let t, _ = J.open_ ~path ~resume:false in
+      J.append t (failed_record "x");
+      J.append t (failed_record "y");
+      (* The retried trial supersedes its earlier failure. *)
+      J.append t { (ok_record ()) with J.key = "x" };
+      J.close t;
+      let records = J.load ~path in
+      Alcotest.(check int) "two records after dedup" 2 (List.length records);
+      let x = List.find (fun r -> r.J.key = "x") records in
+      Alcotest.(check string) "last occurrence wins" "ok"
+        (J.status_name x.J.status))
+
+let count_lines path =
+  let ic = open_in_bin path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !n
+
+let test_resume_compacts_segment () =
+  with_temp_journal (fun path ->
+      let t, _ = J.open_ ~path ~resume:false in
+      J.append t (failed_record "x");
+      J.append t (failed_record "x");
+      (* duplicate *)
+      J.append t (failed_record "y");
+      J.close t;
+      append_raw path "garbage that is not a record\n";
+      Alcotest.(check int) "dirty segment has 4 lines" 4 (count_lines path);
+      let t, loaded = J.open_ ~path ~resume:true in
+      J.close t;
+      Alcotest.(check (list string))
+        "survivors" [ "x"; "y" ]
+        (List.map (fun r -> r.J.key) loaded);
+      (* The on-disk segment was rewritten: duplicates and garbage gone,
+         every remaining line valid. *)
+      Alcotest.(check int) "compacted to 2 lines" 2 (count_lines path);
+      Alcotest.(check int) "all lines valid" 2 (List.length (J.load ~path)))
+
+let test_open_without_resume_truncates () =
+  with_temp_journal (fun path ->
+      let t, _ = J.open_ ~path ~resume:false in
+      J.append t (failed_record "old");
+      J.close t;
+      let t, loaded = J.open_ ~path ~resume:false in
+      J.close t;
+      Alcotest.(check int) "no records surfaced" 0 (List.length loaded);
+      Alcotest.(check int) "file truncated" 0 (count_lines path))
+
+let test_load_missing_file () =
+  Alcotest.(check int) "missing file loads empty" 0
+    (List.length (J.load ~path:"/nonexistent/journal.jsonl"))
+
+(* ------------------------------------------------------------------ *)
+(* Atomic_io: the primitive under every writer in the repo             *)
+(* ------------------------------------------------------------------ *)
+
+module A = Repro_core.Atomic_io
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_atomic_replace_writes () =
+  with_temp_journal (fun path ->
+      let n = A.replace ~path (fun oc -> output_string oc "hello\n"; 42) in
+      Alcotest.(check int) "callback result returned" 42 n;
+      Alcotest.(check string) "content written" "hello\n" (read_file path))
+
+let test_atomic_replace_keeps_old_on_failure () =
+  with_temp_journal (fun path ->
+      ignore (A.replace ~path (fun oc -> output_string oc "old content"));
+      (match
+         A.replace ~path (fun oc ->
+             output_string oc "half a new file";
+             failwith "writer died")
+       with
+      | () -> Alcotest.fail "should have re-raised"
+      | exception Failure _ -> ());
+      (* The old file survives untouched and no temp file is left. *)
+      Alcotest.(check string) "old content intact" "old content"
+        (read_file path);
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let leftovers =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f ->
+               String.length f > String.length base
+               && String.sub f 0 (String.length base) = base)
+      in
+      Alcotest.(check (list string)) "no temp residue" [] leftovers)
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "ok round trip" `Quick test_ok_round_trip;
+          Alcotest.test_case "awkward floats" `Quick
+            test_awkward_floats_round_trip;
+          Alcotest.test_case "failure round trips" `Quick
+            test_failure_round_trips;
+          Alcotest.test_case "checksum detects corruption" `Quick
+            test_checksum_detects_corruption;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "append/load cycle" `Quick test_append_load_cycle;
+          Alcotest.test_case "torn tail skipped" `Quick test_torn_tail_skipped;
+          Alcotest.test_case "last-wins dedup" `Quick test_dedup_last_wins;
+          Alcotest.test_case "resume compacts" `Quick
+            test_resume_compacts_segment;
+          Alcotest.test_case "fresh open truncates" `Quick
+            test_open_without_resume_truncates;
+          Alcotest.test_case "missing file" `Quick test_load_missing_file;
+        ] );
+      ( "atomic io",
+        [
+          Alcotest.test_case "replace writes" `Quick test_atomic_replace_writes;
+          Alcotest.test_case "failure keeps old file" `Quick
+            test_atomic_replace_keeps_old_on_failure;
+        ] );
+    ]

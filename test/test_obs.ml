@@ -218,6 +218,84 @@ let test_capture_contents () =
       (Stats.Histogram.count c.O.reclaim_hist)
 
 (* ------------------------------------------------------------------ *)
+(* Fault layer x trace layer: degraded trials still produce complete,  *)
+(* counter-consistent telemetry                                        *)
+(* ------------------------------------------------------------------ *)
+
+module M = Repro_core.Machine
+
+let traced_fault_run ~plan =
+  let lists =
+    [ Array.init 64 (fun i -> i); Array.init 64 (fun i -> (i * 7) mod 64);
+      Array.init 64 (fun i -> i) ]
+  in
+  let w = Workload.Trace.of_page_lists ~footprint:64 lists in
+  let cfg =
+    {
+      (M.default_config ~capacity_frames:16 ~seed:7) with
+      M.fault_plan = plan;
+      kthread_jitter_ns = 0;
+      obs = { O.trace = true; sample_every_ns = 0 };
+    }
+  in
+  M.run cfg
+    ~policy:(Policy.Registry.create Policy.Registry.Clock)
+    ~workload:(Workload.Chunk.Packed ((module Workload.Trace), w))
+
+let swap_event_counters events =
+  (* (sum of per-op retries, failed reads, failed writes, oom kills) *)
+  Array.fold_left
+    (fun (retries, fr, fw, oom) (_, e) ->
+      match e with
+      | O.Swap_read { retries = r; failed; _ } ->
+        (retries + r, (if failed then fr + 1 else fr), fw, oom)
+      | O.Swap_write { retries = r; failed; _ } ->
+        (retries + r, fr, (if failed then fw + 1 else fw), oom)
+      | O.Oom_kill _ -> (retries, fr, fw, oom + 1)
+      | _ -> (retries, fr, fw, oom))
+    (0, 0, 0, 0) events
+
+let test_oom_killed_trial_still_traced () =
+  (* Nothing can ever be written back, so reclaim pins pages until the
+     OOM killer fires — and the sink must still hold the whole story. *)
+  let plan =
+    { Swapdev.Faulty_device.none with
+      Swapdev.Faulty_device.write_error_prob = 1.0; permanent_fraction = 1.0 }
+  in
+  let r = traced_fault_run ~plan in
+  Alcotest.(check bool) "oom killer fired" true (r.M.oom_kills >= 1);
+  Alcotest.(check bool) "degraded run completed" true
+    (Array.for_all (fun f -> f >= 0) r.M.per_thread_finish);
+  match r.M.trace with
+  | None -> Alcotest.fail "OOM-killed trial lost its capture"
+  | Some c ->
+    let _, _, failed_writes, oom_events = swap_event_counters c.O.events in
+    Alcotest.(check int) "every oom kill traced" r.M.oom_kills oom_events;
+    Alcotest.(check bool) "writebacks failed" true (r.M.writeback_failures > 0);
+    Alcotest.(check int) "failed-write events match counter"
+      r.M.writeback_failures failed_writes
+
+let test_fault_counters_match_trace () =
+  (* Under the heavy preset, the result's aggregate I/O counters must
+     equal what the per-event trace adds up to: the two layers observe
+     one stream of truth. *)
+  let r = traced_fault_run ~plan:Swapdev.Faulty_device.heavy in
+  Alcotest.(check bool) "faults injected" true
+    (r.M.injected_transient + r.M.injected_permanent > 0);
+  match r.M.trace with
+  | None -> Alcotest.fail "expected a capture"
+  | Some c ->
+    let retries, failed_reads, failed_writes, _ =
+      swap_event_counters c.O.events
+    in
+    Alcotest.(check bool) "retries happened" true (r.M.io_retries > 0);
+    Alcotest.(check int) "retry sum matches counter" r.M.io_retries retries;
+    Alcotest.(check int) "poisoned reads match failed read events"
+      r.M.poisoned_reads failed_reads;
+    Alcotest.(check int) "writeback failures match failed write events"
+      r.M.writeback_failures failed_writes
+
+(* ------------------------------------------------------------------ *)
 (* Runner-level determinism: --jobs N traces byte-identical to serial  *)
 (* ------------------------------------------------------------------ *)
 
@@ -308,6 +386,10 @@ let () =
         [
           Alcotest.test_case "no perturbation" `Quick test_tracing_does_not_perturb;
           Alcotest.test_case "capture contents" `Quick test_capture_contents;
+          Alcotest.test_case "oom-killed trial still traced" `Quick
+            test_oom_killed_trial_still_traced;
+          Alcotest.test_case "fault counters match trace" `Quick
+            test_fault_counters_match_trace;
         ] );
       ( "runner",
         [

@@ -83,6 +83,62 @@ let test_empty_and_singleton () =
       Alcotest.(check (list int)) "singleton" [ 9 ]
         (P.map_list pool (fun i -> i + 1) [ 8 ]))
 
+let test_map_supervised_isolates_failures () =
+  (* Supervised batches never raise: each failing task becomes an
+     [Error] outcome at its own index and every other task still runs. *)
+  P.with_pool ~jobs:4 (fun pool ->
+      let out =
+        P.map_supervised pool
+          (fun i ->
+            if i mod 5 = 3 then failwith (Printf.sprintf "task %d" i);
+            i * 10)
+          (Array.init 20 (fun i -> i))
+      in
+      Alcotest.(check int) "one outcome per task" 20 (Array.length out);
+      Array.iteri
+        (fun i o ->
+          match o with
+          | P.Ok v when i mod 5 <> 3 ->
+            Alcotest.(check int) "successful task value" (i * 10) v
+          | P.Error { exn = Failure msg; _ } when i mod 5 = 3 ->
+            Alcotest.(check string) "failure matches its own index"
+              (Printf.sprintf "task %d" i)
+              msg
+          | _ -> Alcotest.failf "outcome %d has the wrong shape" i)
+        out)
+
+let test_run_supervised_never_raises () =
+  P.with_pool ~jobs:2 (fun pool ->
+      let out =
+        P.run_supervised pool
+          [
+            (fun () -> 1);
+            (fun () -> invalid_arg "middle");
+            (fun () -> 3);
+          ]
+      in
+      match out with
+      | [ P.Ok 1; P.Error { exn = Invalid_argument _; _ }; P.Ok 3 ] -> ()
+      | _ -> Alcotest.fail "expected Ok/Error/Ok in order")
+
+let test_supervised_backtrace_captured () =
+  P.with_pool ~jobs:1 (fun pool ->
+      match P.run_supervised pool [ (fun () -> failwith "bt") ] with
+      | [ P.Error { backtrace; _ } ] ->
+        (* The backtrace is captured per task; it may be empty when the
+           runtime has backtraces off, but the value must be usable. *)
+        ignore (Printexc.raw_backtrace_to_string backtrace)
+      | _ -> Alcotest.fail "expected a single Error outcome")
+
+let test_supervised_pool_reusable () =
+  (* Failures in a supervised batch must not poison later batches,
+     supervised or not. *)
+  P.with_pool ~jobs:3 (fun pool ->
+      ignore
+        (P.map_supervised pool (fun _ -> failwith "all fail") (Array.make 6 ()));
+      let out = P.map_list pool (fun i -> i + 1) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "next batch fine" [ 2; 3; 4 ] out)
+
 let test_speedup () =
   (* Eight 50 ms sleeps: serial floor 0.4 s, four domains ~0.1 s.
      sleepf does not contend the CPU, so >2x holds even on loaded CI
@@ -117,6 +173,14 @@ let () =
           Alcotest.test_case "usable after exception" `Quick test_exception_leaves_pool_usable;
           Alcotest.test_case "reuse across batches" `Quick test_reuse_across_batches;
           Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+          Alcotest.test_case "supervised isolates failures" `Quick
+            test_map_supervised_isolates_failures;
+          Alcotest.test_case "run_supervised never raises" `Quick
+            test_run_supervised_never_raises;
+          Alcotest.test_case "supervised backtrace" `Quick
+            test_supervised_backtrace_captured;
+          Alcotest.test_case "supervised pool reusable" `Quick
+            test_supervised_pool_reusable;
           Alcotest.test_case "speedup" `Slow test_speedup;
         ] );
     ]

@@ -22,11 +22,19 @@ let test_create_all_known () =
     (fun name ->
       let spec = Option.get (R.of_name name) in
       let world = Testsupport.Harness.make_world () in
-      let packed = R.create spec world.Testsupport.Harness.env in
-      (* Each constructed policy can absorb a page. *)
-      ignore (Testsupport.Harness.map_page world packed 0);
-      Alcotest.(check bool) (name ^ " works") true
-        (String.length (Policy.Policy_intf.packed_name packed) > 0))
+      if spec = R.Crash_test then
+        (* The fault-isolation probe must fail at construction, before
+           it can touch any machine state. *)
+        match R.create spec world.Testsupport.Harness.env with
+        | _ -> Alcotest.fail "crash-test should raise at construction"
+        | exception Failure _ -> ()
+      else begin
+        let packed = R.create spec world.Testsupport.Harness.env in
+        (* Each constructed policy can absorb a page. *)
+        ignore (Testsupport.Harness.map_page world packed 0);
+        Alcotest.(check bool) (name ^ " works") true
+          (String.length (Policy.Policy_intf.packed_name packed) > 0)
+      end)
     R.known_names
 
 let test_scan_rand_parses_with_half () =
