@@ -4,6 +4,7 @@
    repro run ...              run one experiment cell
    repro list                 show available workloads and policies
    repro sweep ...            capacity-ratio sweep for one workload
+   repro profile ...          per-phase CPU attribution tables
    repro trace-summary FILE   aggregate a JSONL trace into tables
 
    Every subcommand builds one explicit Repro_core.Runner.ctx from its
@@ -91,6 +92,26 @@ let samples_arg =
        & info [ "samples" ] ~docv:"FILE"
            ~doc:"Destination for the $(b,--sample-every) time series.")
 
+let folded_arg =
+  Arg.(value & opt (some string) None
+       & info [ "folded" ] ~docv:"FILE"
+           ~doc:
+             "Write merged per-cell phase totals as folded stacks \
+              (flamegraph.pl / speedscope input) to FILE after the run.  \
+              Implies profiling.  Like the profiler itself, observation \
+              only: results are identical to an unprofiled run and the \
+              file is byte-identical for every $(b,--jobs) value.")
+
+let perfetto_arg =
+  Arg.(value & opt (some string) None
+       & info [ "perfetto" ] ~docv:"FILE"
+           ~doc:
+             "Write per-trial phase span timelines as Chrome trace-event \
+              JSON (loadable in Perfetto or chrome://tracing) to FILE \
+              after the run.  Implies profiling with span recording, \
+              which disables $(b,--resume) warm-starts (journal records \
+              carry no spans).")
+
 let journal_arg =
   Arg.(value & opt (some string) None
        & info [ "journal" ] ~docv:"FILE"
@@ -132,14 +153,19 @@ type setup = {
   ctx : Repro_core.Runner.ctx;
   trace_file : string option;
   samples_file : string option;
+  folded_file : string option;
+  perfetto_file : string option;
   journal : Repro_core.Journal.t option;
   keep_going : bool;
 }
 
 (* Flags override the environment fallbacks; the fast flag is sticky in
-   the or-direction so REPRO_FAST=1 keeps working under any flags. *)
-let build_setup trials ycsb_trials fast jobs faults audit_every_ms trace
-    sample_every samples journal_path resume trial_timeout keep_going =
+   the or-direction so REPRO_FAST=1 keeps working under any flags.
+   [profile_default] is true only for the profile subcommand, which
+   collects phase totals even without --folded/--perfetto. *)
+let build_setup profile_default trials ycsb_trials fast jobs faults
+    audit_every_ms trace sample_every samples folded perfetto journal_path
+    resume trial_timeout keep_going =
   let base = Repro_core.Runner.profile_from_env () in
   let profile =
     {
@@ -157,6 +183,12 @@ let build_setup trials ycsb_trials fast jobs faults audit_every_ms trace
   in
   let sample_every = max 0 sample_every in
   let obs = { Obs.trace = trace <> None; sample_every_ns = sample_every } in
+  let prof =
+    {
+      Obs.Prof.enabled = profile_default || folded <> None || perfetto <> None;
+      spans = perfetto <> None;
+    }
+  in
   if resume && journal_path = None then
     prerr_endline "repro: warning: --resume has no effect without --journal";
   let journal, records =
@@ -169,7 +201,7 @@ let build_setup trials ycsb_trials fast jobs faults audit_every_ms trace
   let ctx =
     Repro_core.Runner.make_ctx ~profile ~fault_plan:faults
       ~audit_every_ns:(max 0 audit_every_ms * 1_000_000)
-      ~jobs ~obs ~trial_timeout_s:trial_timeout ?journal ()
+      ~jobs ~obs ~prof ~trial_timeout_s:trial_timeout ?journal ()
   in
   (* Resume notes go to stderr so stdout stays byte-identical to an
      uninterrupted run. *)
@@ -182,7 +214,7 @@ let build_setup trials ycsb_trials fast jobs faults audit_every_ms trace
     | None -> ()
   end;
   { ctx; trace_file = trace; samples_file = (if sample_every > 0 then Some samples else None);
-    journal; keep_going }
+    folded_file = folded; perfetto_file = perfetto; journal; keep_going }
 
 (* Flush the telemetry recorded under [setup.ctx], close the journal,
    and report failed trials; called by every subcommand after its own
@@ -198,6 +230,16 @@ let finalize setup =
   | Some path ->
     let n = Repro_core.Runner.write_samples setup.ctx ~path in
     Printf.printf "wrote %d sample row(s) to %s\n" n path);
+  (match setup.folded_file with
+  | None -> ()
+  | Some path ->
+    let n = Repro_core.Runner.write_folded setup.ctx ~path in
+    Printf.printf "wrote %d folded stack line(s) to %s\n" n path);
+  (match setup.perfetto_file with
+  | None -> ()
+  | Some path ->
+    let n = Repro_core.Runner.write_perfetto setup.ctx ~path in
+    Printf.printf "wrote %d span event(s) to %s\n" n path);
   (match setup.journal with
   | Some j -> Repro_core.Journal.close j
   | None -> ());
@@ -222,12 +264,12 @@ let finalize setup =
       exit 1
     end
 
-let setup_term =
+let setup_term ?(profile = false) () =
   Term.(
-    const build_setup $ trials_arg $ ycsb_trials_arg $ fast_arg $ jobs_arg
-    $ faults_arg $ audit_every_arg $ trace_arg $ sample_every_arg
-    $ samples_arg $ journal_arg $ resume_arg $ trial_timeout_arg
-    $ keep_going_arg)
+    const (build_setup profile) $ trials_arg $ ycsb_trials_arg $ fast_arg
+    $ jobs_arg $ faults_arg $ audit_every_arg $ trace_arg $ sample_every_arg
+    $ samples_arg $ folded_arg $ perfetto_arg $ journal_arg $ resume_arg
+    $ trial_timeout_arg $ keep_going_arg)
 
 (* ---------------- argument converters ---------------- *)
 
@@ -288,7 +330,7 @@ let fig_cmd =
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Reproduce one or more of the paper's figures (1-12).")
-    Term.(ret (const run $ setup_term $ figures))
+    Term.(ret (const run $ setup_term () $ figures))
 
 (* ---------------- run ---------------- *)
 
@@ -410,7 +452,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment cell and print its metrics.")
-    Term.(const run $ setup_term $ workload $ policy $ ratio $ swap $ verbose)
+    Term.(const run $ setup_term () $ workload $ policy $ ratio $ swap $ verbose)
 
 (* ---------------- list ---------------- *)
 
@@ -491,7 +533,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep capacity ratios for every paper policy.")
-    Term.(const run $ setup_term $ workload $ swap)
+    Term.(const run $ setup_term () $ workload $ swap)
 
 (* ---------------- ablate ---------------- *)
 
@@ -522,7 +564,7 @@ let ablate_cmd =
   in
   Cmd.v
     (Cmd.info "ablate" ~doc:"Ablate MG-LRU/machine design choices (DESIGN.md \\S5).")
-    Term.(ret (const run $ setup_term $ studies))
+    Term.(ret (const run $ setup_term () $ studies))
 
 (* ---------------- tier ---------------- *)
 
@@ -542,7 +584,7 @@ let tier_cmd =
   Cmd.v
     (Cmd.info "tier"
        ~doc:"Compare page-migration policies (TPP/Thermostat/AutoNUMA) on tiered memory.")
-    Term.(const run $ setup_term $ fast_frac $ tier_trials)
+    Term.(const run $ setup_term () $ fast_frac $ tier_trials)
 
 (* ---------------- export ---------------- *)
 
@@ -558,7 +600,91 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export every figure's underlying data as CSV.")
-    Term.(const run $ setup_term $ dir)
+    Term.(const run $ setup_term () $ dir)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let workloads =
+    Arg.(value & opt_all workload_conv []
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+             ~doc:
+               "Workload to profile (repeatable; default: tpch and \
+                pagerank).")
+  in
+  let policies =
+    Arg.(value & opt_all policy_conv []
+         & info [ "p"; "policy" ] ~docv:"POLICY"
+             ~doc:"Policy to profile (repeatable; default: clock and mglru).")
+  in
+  let ratios =
+    Arg.(value & opt_all float []
+         & info [ "r"; "ratio" ] ~docv:"R"
+             ~doc:
+               "Memory capacity / footprint (repeatable; default: 0.5 and \
+                0.9).")
+  in
+  let swap =
+    Arg.(value & opt swap_conv Repro_core.Runner.Ssd
+         & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
+  in
+  let run setup workloads policies ratios swap =
+    let ctx = setup.ctx in
+    let workloads =
+      match workloads with
+      | [] -> [ Repro_core.Runner.Tpch; Repro_core.Runner.Pagerank ]
+      | ws -> ws
+    in
+    let policies =
+      match policies with
+      | [] -> [ Policy.Registry.Clock; Policy.Registry.Mglru_default ]
+      | ps -> ps
+    in
+    let ratios = match ratios with [] -> [ 0.5; 0.9 ] | rs -> rs in
+    let cells =
+      List.concat_map
+        (fun workload ->
+          List.concat_map
+            (fun policy ->
+              List.map (fun ratio -> (workload, policy, ratio)) ratios)
+            policies)
+        workloads
+    in
+    (* Fan the whole grid out through the pool, then read back serially:
+       the per-cell tables below print from the cache in grid order. *)
+    Repro_core.Runner.prefetch ctx
+      (List.concat_map
+         (fun (workload, policy, ratio) ->
+           Repro_core.Runner.cell_exps ctx ~workload ~policy ~ratio ~swap)
+         cells);
+    List.iter
+      (fun (workload, policy, ratio) ->
+        ignore (Repro_core.Runner.try_cell ctx ~workload ~policy ~ratio ~swap))
+      cells;
+    List.iter
+      (fun (cell, m) ->
+        Repro_core.Report.section
+          (Printf.sprintf "Profile: %s / %s / %.0f%% / %s"
+             (Repro_core.Runner.workload_kind_name cell.Repro_core.Runner.workload)
+             (Policy.Registry.name cell.Repro_core.Runner.policy)
+             (cell.Repro_core.Runner.ratio *. 100.0)
+             (Repro_core.Runner.swap_name cell.Repro_core.Runner.swap));
+        Repro_core.Report.profile_table m)
+      (Repro_core.Runner.profile_cells ctx);
+    finalize setup
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Attribute every simulated CPU nanosecond to a kernel-phase \
+          taxonomy (fault handling, rmap walks, PTE scans, aging, \
+          eviction, waits) and print a perf-style table per grid cell.  \
+          Observation only: simulation results are identical to an \
+          unprofiled run, and output is byte-identical for every \
+          $(b,--jobs) value.  Combine with $(b,--folded) and \
+          $(b,--perfetto) for flamegraph and timeline exports.")
+    Term.(const run $ setup_term ~profile:true () $ workloads $ policies
+          $ ratios $ swap)
 
 (* ---------------- trace-summary ---------------- *)
 
@@ -590,7 +716,7 @@ let main =
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
     [
       fig_cmd; run_cmd; list_cmd; sweep_cmd; ablate_cmd; tier_cmd; export_cmd;
-      trace_summary_cmd;
+      profile_cmd; trace_summary_cmd;
     ]
 
 let () = exit (Cmd.eval main)

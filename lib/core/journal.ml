@@ -80,6 +80,12 @@ let result_fields (r : Machine.result) =
     ("oom_discarded_pages", Obs.Int r.oom_discarded_pages);
     ("invariant_violations", Obs.Int r.invariant_violations);
   ]
+  (* Emitted only when present so profiler-off journals stay
+     byte-identical to builds without the profiler.  Spans are dropped
+     by the encoding (the runner never warm-starts span-bearing runs). *)
+  @ (match r.profile with
+    | None -> []
+    | Some cap -> [ ("profile", Obs.Str (Obs.Prof.encode_capture cap)) ])
 
 exception Decode of string
 
@@ -127,6 +133,12 @@ let result_of_fields fields : Machine.result =
     oom_discarded_pages = int "oom_discarded_pages";
     invariant_violations = int "invariant_violations";
     trace = None;
+    profile =
+      (match Obs.field_string fields "profile" with
+      | None -> None
+      | Some s -> (
+        try Some (Obs.Prof.decode_capture s)
+        with Failure msg -> raise (Decode msg)));
   }
 
 (* ------------------------------------------------------------------ *)

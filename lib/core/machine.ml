@@ -1,3 +1,5 @@
+module Prof = Obs.Prof
+
 type swap_kind =
   | Ssd_swap of Swapdev.Ssd.config
   | Zram_swap of Swapdev.Zram.config
@@ -27,6 +29,7 @@ type config = {
   io_retry_backoff_ns : int;
   audit_every_ns : int;
   obs : Obs.config;
+  prof : Obs.Prof.config;
   cancel : Engine.Cancel.t;
 }
 
@@ -57,6 +60,7 @@ let default_config ~capacity_frames ~seed =
     io_retry_backoff_ns = 100_000;
     audit_every_ns = 0;
     obs = Obs.off;
+    prof = Obs.Prof.off;
     cancel = Engine.Cancel.never;
   }
 
@@ -88,16 +92,20 @@ type result = {
   oom_discarded_pages : int;
   invariant_violations : int;
   trace : Obs.capture option;
+  profile : Obs.Prof.capture option;
 }
 
 type kthread_state = {
   kt : Policy.Policy_intf.kthread;
+  ktid : int; (* profiler thread id: nthreads + index *)
+  kphase : Obs.Prof.phase; (* default attribution phase / span label *)
   mutable sleeping : bool;
 }
 
 type t = {
   cfg : config;
   obs : Obs.t;
+  prof : Obs.Prof.t;
   sim : Engine.Sim.t;
   cpu : Engine.Cpu.t;
   rng : Engine.Rng.t;
@@ -113,6 +121,7 @@ type t = {
   group_size : int array;
   group_arrived : int array;
   group_waiters : int list array;
+  barrier_arrive_ns : int array; (* tid -> when it reached the barrier *)
   finish_ns : int array;
   mutable active_threads : int;
   mutable kthreads : kthread_state array;
@@ -245,9 +254,13 @@ let reclaim_page t ~pfn =
             t.direct_stall_until <-
               max t.direct_stall_until io.Swapdev.Swap_manager.finish_ns;
             t.direct_cpu_extra <-
-              t.direct_cpu_extra + io.Swapdev.Swap_manager.cpu_ns
+              t.direct_cpu_extra + io.Swapdev.Swap_manager.cpu_ns;
+            Prof.charge t.prof ~phase:Prof.Evict_scan
+              io.Swapdev.Swap_manager.cpu_ns
           end
-          else Engine.Cpu.charge t.cpu io.Swapdev.Swap_manager.cpu_ns;
+          else
+            Engine.Cpu.charge ~phase:(Prof.phase_index Prof.Evict_scan) t.cpu
+              io.Swapdev.Swap_manager.cpu_ns;
           slot_opt
         end
         else Some retained
@@ -335,7 +348,13 @@ let oom_kill t =
       t.group_arrived.(g) <- 0;
       t.group_waiters.(g) <- [];
       Engine.Sim.schedule t.sim ~delay:t.cfg.costs.Mem.Costs.barrier_ns (fun _ ->
-          List.iter (fun w -> t.restart_thread w) waiters)
+          let now = Engine.Sim.now t.sim in
+          List.iter
+            (fun w ->
+              Prof.wait t.prof ~tid:w ~now Prof.Barrier_wait
+                (now - t.barrier_arrive_ns.(w));
+              t.restart_thread w)
+            waiters)
     end;
     if t.finish_ns.(v) < 0 then begin
       t.finish_ns.(v) <- Engine.Sim.now t.sim;
@@ -345,6 +364,7 @@ let oom_kill t =
         Engine.Sim.stop t.sim
       end
     end;
+    Prof.mark t.prof ~tid:v ~now:(Engine.Sim.now t.sim) Prof.Oom_kill;
     Obs.emit t.obs ~t_ns:(Engine.Sim.now t.sim)
       (Obs.Oom_kill { tid = v; discarded = t.oom_discarded - discarded_before });
     true
@@ -376,12 +396,22 @@ let alloc_frame t ~tid ~(cursor : int ref) =
         t.reclaim_now <- !cursor;
         t.direct_stall_until <- !cursor;
         t.direct_cpu_extra <- 0;
+        (* Scope the episode: attribution accrued inside it is consumed
+           by its own aggregate charge below, not by the segment-end
+           flush (and vice versa). *)
+        let saved_pending = Prof.suspend_pending t.prof in
+        Prof.begin_phase t.prof ~now:!cursor Prof.Evict_scan;
         let stats = P.direct_reclaim p ~want:t.cfg.direct_reclaim_batch in
         t.in_direct <- false;
         let cpu = stats.Policy.Policy_intf.cpu_ns + t.direct_cpu_extra in
         Engine.Cpu.charge t.cpu cpu;
+        Prof.resume_pending t.prof saved_pending;
         let before = !cursor in
-        cursor := max (!cursor + Engine.Cpu.scale t.cpu cpu) t.direct_stall_until;
+        let cpu_wall = Engine.Cpu.scale t.cpu cpu in
+        cursor := max (!cursor + cpu_wall) t.direct_stall_until;
+        Prof.end_phase t.prof ~now:(before + cpu_wall);
+        Prof.wait t.prof ~tid ~now:!cursor Prof.Writeback_wait
+          (!cursor - before - cpu_wall);
         t.direct_reclaim_ns <- t.direct_reclaim_ns + (!cursor - before);
         Obs.emit t.obs ~t_ns:before
           (Obs.Reclaim
@@ -417,7 +447,11 @@ let readahead t ~tid ~(cursor : int ref) vpn =
           | Some pfn ->
             let slot = Mem.Pte.swap_slot pte in
             let io = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
-            Engine.Cpu.charge t.cpu io.Swapdev.Swap_manager.cpu_ns;
+            (* Tagged: this I/O submit cost is charged here and nowhere
+               else, so it must not consume pending attribution. *)
+            Engine.Cpu.charge
+              ~phase:(Prof.phase_index Prof.Fault_handling)
+              t.cpu io.Swapdev.Swap_manager.cpu_ns;
             if io.Swapdev.Swap_manager.failed then begin
               (* Speculative read failed: abandon the cluster.  The page
                  stays swapped; a demand fault will retry (and poison it
@@ -436,17 +470,27 @@ let readahead t ~tid ~(cursor : int ref) vpn =
   end
 
 let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
+  Prof.begin_phase t.prof ~now:!cursor Prof.Fault_handling;
   cpu_acc := !cpu_acc + t.cfg.costs.Mem.Costs.fault_trap_ns;
-  match alloc_frame t ~tid ~cursor with
+  (match alloc_frame t ~tid ~cursor with
   | None -> () (* the faulting thread lost the OOM lottery *)
   | Some pfn ->
+    (* Attribute the trap cost after the allocation so the pending
+       amount cannot be consumed by a direct-reclaim episode's
+       aggregate charge; it flushes with [cpu_acc] at segment end. *)
+    Prof.charge t.prof ~phase:Prof.Fault_handling
+      t.cfg.costs.Mem.Costs.fault_trap_ns;
     let pte = Mem.Page_table.get t.pt vpn in
     if Mem.Pte.swapped pte then begin
       t.major_faults <- t.major_faults + 1;
       let slot = Mem.Pte.swap_slot pte in
       let io = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
       cpu_acc := !cpu_acc + io.Swapdev.Swap_manager.cpu_ns;
+      Prof.charge t.prof ~phase:Prof.Fault_handling
+        io.Swapdev.Swap_manager.cpu_ns;
+      let before_wait = !cursor in
       cursor := max !cursor io.Swapdev.Swap_manager.finish_ns;
+      Prof.wait t.prof ~tid ~now:!cursor Prof.Swap_wait (!cursor - before_wait);
       if io.Swapdev.Swap_manager.failed then begin
         (* The stored copy is unrecoverable: poison the mapping.  The
            thread continues on a zero-filled page, and the loss is
@@ -464,8 +508,10 @@ let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
     else begin
       t.minor_faults <- t.minor_faults + 1;
       cpu_acc := !cpu_acc + t.cfg.minor_fault_ns;
+      Prof.charge t.prof ~phase:Prof.Fault_handling t.cfg.minor_fault_ns;
       map_page t ~tid ~pfn ~vpn ~refault:false ~write ~demand:true
-    end
+    end);
+  Prof.end_phase t.prof ~now:!cursor
 
 let page_at pages i =
   match pages with
@@ -509,6 +555,7 @@ and process_segment t tid c ~index ~chunk_start =
   let seg_len = min t.cfg.segment_pages (total - index) in
   let t0 = Engine.Sim.now t.sim in
   Engine.Cpu.run_begin t.cpu;
+  Prof.enter_thread t.prof ~tid;
   t.reclaim_now <- t0;
   let cursor = ref t0 in
   let cpu_acc =
@@ -525,6 +572,7 @@ and process_segment t tid c ~index ~chunk_start =
     int_of_float
       (float_of_int (Engine.Cpu.scale t.cpu !cpu_acc) *. Engine.Rng.jitter t.rng 0.02)
   in
+  Prof.span t.prof ~tid Prof.App_compute ~t0 ~t1:(t0 + cpu_wall);
   let io_wait = !cursor - t0 in
   Engine.Sim.schedule t.sim ~delay:cpu_wall (fun _ -> Engine.Cpu.run_end t.cpu);
   if Mem.Phys_mem.below_low t.mem then wake_kthreads t;
@@ -541,6 +589,7 @@ and process_segment t tid c ~index ~chunk_start =
 
 and barrier_arrive t tid =
   let g = t.groups.(tid) in
+  t.barrier_arrive_ns.(tid) <- Engine.Sim.now t.sim;
   t.group_arrived.(g) <- t.group_arrived.(g) + 1;
   t.group_waiters.(g) <- tid :: t.group_waiters.(g);
   if t.group_arrived.(g) >= t.group_size.(g) then begin
@@ -548,7 +597,13 @@ and barrier_arrive t tid =
     t.group_arrived.(g) <- 0;
     t.group_waiters.(g) <- [];
     Engine.Sim.schedule t.sim ~delay:t.cfg.costs.Mem.Costs.barrier_ns (fun _ ->
-        List.iter (fun w -> run_thread t w) waiters)
+        let now = Engine.Sim.now t.sim in
+        List.iter
+          (fun w ->
+            Prof.wait t.prof ~tid:w ~now Prof.Barrier_wait
+              (now - t.barrier_arrive_ns.(w));
+            run_thread t w)
+          waiters)
   end
 
 and thread_finished t tid =
@@ -575,11 +630,14 @@ let make_driver t ks =
   let rec drive () =
     if not t.stopped then begin
       t.reclaim_now <- Engine.Sim.now t.sim;
+      Prof.enter_thread t.prof ~tid:ks.ktid;
       match ks.kt.Policy.Policy_intf.kstep () with
       | Policy.Policy_intf.Work w ->
         Engine.Cpu.run_begin t.cpu;
         Engine.Cpu.charge t.cpu w;
         let wall = Engine.Cpu.scale t.cpu w in
+        let n0 = Engine.Sim.now t.sim in
+        Prof.span t.prof ~tid:ks.ktid ks.kphase ~t0:n0 ~t1:(n0 + wall);
         Engine.Sim.schedule t.sim ~delay:(wall + sched_delay ()) (fun _ ->
             Engine.Cpu.run_end t.cpu;
             drive ())
@@ -599,6 +657,7 @@ let run cfg ~policy ~workload =
   let footprint = Workload.Chunk.packed_footprint workload in
   let nthreads = Workload.Chunk.packed_threads workload in
   let obs = Obs.create cfg.obs in
+  let prof = Prof.create cfg.prof in
   let rng = Engine.Rng.create cfg.seed in
   let base_device =
     match cfg.swap with
@@ -628,6 +687,7 @@ let run cfg ~policy ~workload =
     {
       cfg;
       obs;
+      prof;
       sim = Engine.Sim.create ();
       cpu = Engine.Cpu.create ~hw_threads:cfg.hw_threads;
       rng;
@@ -648,6 +708,7 @@ let run cfg ~policy ~workload =
       group_size;
       group_arrived = Array.make ngroups 0;
       group_waiters = Array.make ngroups [];
+      barrier_arrive_ns = Array.make nthreads 0;
       finish_ns = Array.make nthreads (-1);
       active_threads = nthreads;
       kthreads = [||];
@@ -696,14 +757,36 @@ let run cfg ~policy ~workload =
       low_watermark = Mem.Phys_mem.low_watermark t.mem;
       high_watermark = Mem.Phys_mem.high_watermark t.mem;
       obs;
+      prof;
     }
   in
+  if Prof.enabled prof then begin
+    Engine.Cpu.set_hook t.cpu (fun phase ns -> Prof.on_cpu_charge prof phase ns);
+    for tid = 0 to nthreads - 1 do
+      Prof.register_thread prof ~tid
+        ~name:(Printf.sprintf "app%d" tid)
+        ~klass:Prof.App ~default:Prof.App_compute
+    done
+  end;
   let packed = policy env in
   t.policy <- Some packed;
   let (Policy.Policy_intf.Packed ((module P), p)) = packed in
   t.kthreads <-
     Array.of_list
-      (List.map (fun kt -> { kt; sleeping = false }) (P.kthreads p));
+      (List.mapi
+         (fun i kt ->
+           let ktid = nthreads + i in
+           let kname = kt.Policy.Policy_intf.kname in
+           (* Aging walkers default to the linear-walk phase; everything
+              else (kswapd and kin) defaults to eviction scanning. *)
+           let kphase =
+             if kname = "lru_gen_aging" then Prof.Aging_walk
+             else Prof.Evict_scan
+           in
+           Prof.register_thread prof ~tid:ktid ~name:kname ~klass:Prof.Kthread
+             ~default:kphase;
+           { kt; ktid; kphase; sleeping = false })
+         (P.kthreads p));
   t.drive <- (fun ks -> (make_driver t ks) ());
   t.restart_thread <- (fun tid -> run_thread t tid);
   Array.iter (fun ks -> Engine.Sim.schedule t.sim ~delay:0 (fun _ -> t.drive ks)) t.kthreads;
@@ -788,4 +871,5 @@ let run cfg ~policy ~workload =
     oom_discarded_pages = t.oom_discarded;
     invariant_violations = t.invariant_violations;
     trace = Obs.capture obs;
+    profile = Prof.capture prof;
   }

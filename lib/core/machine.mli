@@ -58,6 +58,14 @@ type config = {
       (** telemetry: trace events and/or periodic machine-state samples
           into a per-trial sink, returned as [result.trace].  {!Obs.off}
           keeps runs bit-identical to a build without the layer *)
+  prof : Obs.Prof.config;
+      (** simulated-time CPU profiler: per-phase attribution of every
+          nanosecond charged through [Engine.Cpu.charge], plus modeled
+          waits (swap, writeback, barriers), returned as
+          [result.profile].  The profiler only observes — it never draws
+          randomness, schedules events, or charges CPU — so
+          {!Obs.Prof.off} and an enabled profiler produce identical
+          simulation results *)
   cancel : Engine.Cancel.t;
       (** cooperative cancellation, checked between simulation events;
           {!Engine.Cancel.never} (the default) never fires.  A firing
@@ -102,6 +110,10 @@ type result = {
   trace : Obs.capture option;
       (** everything the trial's telemetry sink recorded; [None] when
           [config.obs] was {!Obs.off} *)
+  profile : Obs.Prof.capture option;
+      (** per-phase CPU/wait totals (and, when [config.prof.spans] was
+          set, the span timeline); [None] when [config.prof] was
+          {!Obs.Prof.off} *)
 }
 
 val run :

@@ -81,6 +81,8 @@ type trace_group = {
   mutable g_trials : int list; (* distinct trial ids, insertion order *)
   g_kinds : (string, int) Hashtbl.t;
   g_reclaim : Stats.Histogram.t;
+  g_swap_read : Stats.Histogram.t;
+  g_swap_write : Stats.Histogram.t;
 }
 
 let trace_kinds =
@@ -138,14 +140,21 @@ let trace_summary ~path =
               match Hashtbl.find_opt groups key with
               | Some g -> g
               | None ->
+                (* Swap I/O latencies share the reclaim histograms'
+                   log-binned layout, so quantile tables render with the
+                   same resolution across subsections. *)
+                let hist () =
+                  Stats.Histogram.create ~buckets_per_decade:10
+                    ~lo:Obs.reclaim_hist_lo ~hi:Obs.reclaim_hist_hi ()
+                in
                 let g =
                   {
                     g_events = 0;
                     g_trials = [];
                     g_kinds = Hashtbl.create 8;
-                    g_reclaim =
-                      Stats.Histogram.create ~buckets_per_decade:10
-                        ~lo:Obs.reclaim_hist_lo ~hi:Obs.reclaim_hist_hi ();
+                    g_reclaim = hist ();
+                    g_swap_read = hist ();
+                    g_swap_write = hist ();
                   }
                 in
                 Hashtbl.add groups key g;
@@ -160,10 +169,16 @@ let trace_summary ~path =
             let kind = str "kind" in
             Hashtbl.replace g.g_kinds kind
               (1 + Option.value ~default:0 (Hashtbl.find_opt g.g_kinds kind));
-            if kind = "reclaim" then
+            let latency_into h =
               match Obs.field_int fields "latency_ns" with
-              | Some ns -> Stats.Histogram.add g.g_reclaim (float_of_int (max 1 ns))
+              | Some ns -> Stats.Histogram.add h (float_of_int (max 1 ns))
               | None -> ()
+            in
+            (match kind with
+            | "reclaim" -> latency_into g.g_reclaim
+            | "swap_read" -> latency_into g.g_swap_read
+            | "swap_write" -> latency_into g.g_swap_write
+            | _ -> ())
           end;
           offset := !offset + String.length line + 1
         done
@@ -202,7 +217,99 @@ let trace_summary ~path =
              fns (Stats.Histogram.mean h);
            ])
          with_reclaims)
+  end;
+  (* One row per (cell, direction) that saw any swap I/O, cells in
+     appearance order, reads before writes. *)
+  let swap_rows =
+    List.concat_map
+      (fun key ->
+        let g = Hashtbl.find groups key in
+        List.filter_map
+          (fun (op, h) ->
+            if Stats.Histogram.count h = 0 then None
+            else
+              let q p = fns (Stats.Histogram.quantile h p) in
+              Some
+                [
+                  key; op;
+                  fcount (float_of_int (Stats.Histogram.count h));
+                  q 0.5; q 0.9; q 0.99;
+                  fns (Stats.Histogram.max_seen h);
+                  fns (Stats.Histogram.mean h);
+                ])
+          [ ("read", g.g_swap_read); ("write", g.g_swap_write) ])
+      cells
+  in
+  if swap_rows <> [] then begin
+    subsection "swap I/O latency";
+    table
+      ~header:[ "cell"; "op"; "ops"; "p50"; "p90"; "p99"; "max"; "mean" ]
+      swap_rows
   end
+
+(* ------------------------------------------------------------------ *)
+(* Profile table: perf-style rendering of merged phase totals.         *)
+(* ------------------------------------------------------------------ *)
+
+let profile_table (m : Obs.Prof.merged) =
+  let n = Obs.Prof.n_phases in
+  let ncls = Array.length m.Obs.Prof.m_classes in
+  let self = Array.make_matrix ncls n 0 in
+  let incl = Array.make n 0 in
+  Array.iter
+    (fun (cls, code, ns) ->
+      let phases = Obs.Prof.path_phases code in
+      (match List.rev phases with
+      | leaf :: _ ->
+        let i = Obs.Prof.phase_index leaf in
+        self.(cls).(i) <- self.(cls).(i) + ns
+      | [] -> ());
+      (* Inclusive time counts a nanosecond once per phase on its path
+         even if the phase recurs (it cannot, but dedup keeps the
+         invariant explicit). *)
+      List.iter
+        (fun p ->
+          let i = Obs.Prof.phase_index p in
+          incl.(i) <- incl.(i) + ns)
+        (List.sort_uniq compare phases))
+    m.Obs.Prof.m_totals;
+  let self_total i =
+    let s = ref 0 in
+    for c = 0 to ncls - 1 do
+      s := !s + self.(c).(i)
+    done;
+    !s
+  in
+  (* Core-seconds denominator: CPU phases only — waits are simulated
+     stalls, not processor time, so they get a "-" share. *)
+  let cpu_total = ref 0 in
+  for i = 0 to n - 1 do
+    if not (Obs.Prof.wait_phase (Obs.Prof.phase_of_index i)) then
+      cpu_total := !cpu_total + self_total i
+  done;
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun p ->
+           let i = Obs.Prof.phase_index p in
+           let st = self_total i in
+           Obs.Prof.phase_name p
+           :: List.init ncls (fun c -> fns (float_of_int self.(c).(i)))
+           @ [
+               fns (float_of_int st);
+               fns (float_of_int incl.(i));
+               (if Obs.Prof.wait_phase p || !cpu_total = 0 then "-"
+                else
+                  Printf.sprintf "%.1f%%"
+                    (100.0 *. float_of_int st /. float_of_int !cpu_total));
+             ])
+         Obs.Prof.all_phases)
+  in
+  table
+    ~header:
+      (("phase" :: Array.to_list m.Obs.Prof.m_classes)
+      @ [ "self"; "total"; "cpu%" ])
+    rows
 
 let fault_summary (r : Machine.result) =
   let injected =

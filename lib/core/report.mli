@@ -35,11 +35,18 @@ val note : string -> unit
 
 val trace_summary : path:string -> unit
 (** Parse a JSONL trace (as written by {!Runner.write_trace}) and print
-    per-cell event-kind counts plus direct-reclaim latency quantiles
-    rebuilt from the [reclaim] events.
+    per-cell event-kind counts plus latency quantiles rebuilt from the
+    [reclaim] events (direct-reclaim episodes) and the
+    [swap_read]/[swap_write] events (per-operation device latency).
     @raise Failure on the first malformed record, citing file, line
     number and byte offset — the CI smoke step relies on this to
     validate traces. *)
+
+val profile_table : Obs.Prof.merged -> unit
+(** Perf-style phase table for one grid cell: rows in taxonomy order,
+    one self-time column per aggregation class ("app", "kswapd", ...),
+    then total self, inclusive time, and the phase's share of
+    core-seconds (CPU phases only — wait phases render "-"). *)
 
 val fault_summary : Machine.result -> unit
 (** Per-trial fault-injection block: injected faults by kind, recovery

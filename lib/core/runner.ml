@@ -93,6 +93,7 @@ type ctx = {
   audit_every_ns : int;
   jobs : int;
   obs : Obs.config;
+  prof : Obs.Prof.config;
   trial_timeout_s : float;
   journal : Journal.t option;
   cache : shard array;
@@ -109,7 +110,7 @@ type ctx = {
 
 let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     ?(audit_every_ns = 0) ?(jobs = 1) ?(obs = Obs.off)
-    ?(trial_timeout_s = 0.0) ?journal () =
+    ?(prof = Obs.Prof.off) ?(trial_timeout_s = 0.0) ?journal () =
   let profile =
     match profile with Some p -> p | None -> profile_from_env ()
   in
@@ -119,6 +120,7 @@ let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     audit_every_ns = max 0 audit_every_ns;
     jobs = max 1 jobs;
     obs;
+    prof;
     trial_timeout_s = (if trial_timeout_s > 0.0 then trial_timeout_s else 0.0);
     journal;
     cache =
@@ -138,6 +140,8 @@ let audit_every_ns ctx = ctx.audit_every_ns
 let jobs ctx = ctx.jobs
 
 let obs ctx = ctx.obs
+
+let prof ctx = ctx.prof
 
 let trial_timeout_s ctx = ctx.trial_timeout_s
 
@@ -289,6 +293,7 @@ let compute_exp ctx e =
       fault_plan = ctx.fault_plan;
       audit_every_ns = ctx.audit_every_ns;
       obs = ctx.obs;
+      prof = ctx.prof;
       cancel = deadline_cancel ctx.trial_timeout_s;
     }
   in
@@ -322,10 +327,13 @@ let journal_outcome ctx key outcome =
 
 let try_exp ctx e =
   let key = exp_key e in
+  (* Log before the cache probe: a warm-started (journal-installed)
+     record is a hit that was never computed here, and the telemetry
+     and profile writers replay the log. *)
+  log_exp ctx e key;
   match cache_find ctx key with
   | Some o -> o
   | None ->
-    log_exp ctx e key;
     let outcome =
       match compute_exp ctx e with
       | r -> Done r
@@ -358,15 +366,27 @@ let warm_start ctx records =
        carry no traces)";
     0
   end
-  else
+  else if ctx.prof.Obs.Prof.spans then begin
+    prerr_endline
+      "journal: span profiling enabled; skipping warm-start (journaled \
+       results carry no spans)";
+    0
+  end
+  else begin
+    (* Under totals-only profiling, journaled results from an unprofiled
+       run carry no phase totals; skip those so the resumed sweep
+       recomputes them with the profiler on. *)
+    let want_profile = Obs.Prof.config_enabled ctx.prof in
     List.fold_left
       (fun n (r : Journal.record) ->
         match (r.status, r.result) with
-        | Journal.Trial_ok, Some res ->
+        | Journal.Trial_ok, Some res
+          when (not want_profile) || res.Machine.profile <> None ->
           ignore (cache_store ctx r.key (Done res));
           n + 1
         | _ -> n)
       0 records
+  end
 
 let failures ctx =
   List.filter_map
@@ -383,11 +403,11 @@ let failures ctx =
    in the calling domain. *)
 let prefetch ctx exps =
   let seen = Hashtbl.create 64 in
-  let todo =
+  let fresh =
     List.filter
       (fun e ->
         let key = exp_key e in
-        if Hashtbl.mem seen key || cache_find ctx key <> None then false
+        if Hashtbl.mem seen key then false
         else begin
           Hashtbl.add seen key ();
           true
@@ -396,8 +416,12 @@ let prefetch ctx exps =
   in
   (* Log the whole batch here, in list order, before any domain starts:
      workers then find every key already logged, so the trace order and
-     the failure summary never depend on completion order. *)
-  List.iter (fun e -> log_exp ctx e (exp_key e)) todo;
+     the failure summary never depend on completion order.  Cache hits
+     are logged too — a warm-started record was never computed in this
+     process, yet must appear in the log, in the same position as in an
+     uninterrupted run, for the writers that replay it. *)
+  List.iter (fun e -> log_exp ctx e (exp_key e)) fresh;
+  let todo = List.filter (fun e -> cache_find ctx (exp_key e) = None) fresh in
   match todo with
   | [] -> ()
   | [ e ] -> ignore (try_exp ctx e)
@@ -545,3 +569,114 @@ let merged_reclaim_hists ctx =
         Hashtbl.add tbl pname cap.Obs.reclaim_hist)
     (captured ctx);
   List.rev_map (fun p -> (p, Hashtbl.find tbl p)) !order
+
+(* ------------------------------------------------------------------ *)
+(* Profiling: per-cell merges of the per-trial phase captures, in the  *)
+(* same deterministic log order as the telemetry writers.              *)
+(* ------------------------------------------------------------------ *)
+
+let profiled ctx =
+  List.filter_map
+    (fun e ->
+      match cache_find ctx (exp_key e) with
+      | Some (Done { Machine.profile = Some cap; _ }) -> Some (e, cap)
+      | _ -> None)
+    (traced_exps ctx)
+
+let profile_cells ctx =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e, cap) ->
+      (* Cell identity: the experiment minus its trial index. *)
+      let cell = { e with trial = 0 } in
+      let key = exp_key cell in
+      match Hashtbl.find_opt tbl key with
+      | Some caps -> Hashtbl.replace tbl key (cap :: caps)
+      | None ->
+        order := (key, cell) :: !order;
+        Hashtbl.add tbl key [ cap ])
+    (profiled ctx);
+  List.rev_map
+    (fun (key, cell) ->
+      (cell, Obs.Prof.merge (List.rev (Hashtbl.find tbl key))))
+    !order
+
+let cell_label e =
+  Printf.sprintf "%s/%s/%.0f%%/%s"
+    (workload_kind_name e.workload)
+    (Policy.Registry.name e.policy)
+    (e.ratio *. 100.0) (swap_name e.swap)
+
+(* Folded-stack lines (flamegraph.pl / speedscope input):
+   cell;class;phase;...;leaf <self ns>, merged over a cell's trials. *)
+let write_folded ctx ~path =
+  Atomic_io.replace ~path (fun oc ->
+      let written = ref 0 in
+      List.iter
+        (fun (cell, m) ->
+          let label = cell_label cell in
+          Array.iter
+            (fun (cls, code, ns) ->
+              if ns > 0 then begin
+                let frames =
+                  List.map Obs.Prof.phase_name (Obs.Prof.path_phases code)
+                in
+                output_string oc
+                  (String.concat ";"
+                     (label :: m.Obs.Prof.m_classes.(cls) :: frames));
+                output_string oc (Printf.sprintf " %d\n" ns);
+                incr written
+              end)
+            m.Obs.Prof.m_totals)
+        (profile_cells ctx);
+      !written)
+
+(* Chrome trace-event JSON ("X" complete events, ts/dur in µs) from the
+   span timelines; one trace process per profiled trial.  Requires the
+   profiler's [spans] flag — trials profiled totals-only contribute
+   nothing but their process metadata. *)
+let write_perfetto ctx ~path =
+  Atomic_io.replace ~path (fun oc ->
+      let written = ref 0 in
+      let first = ref true in
+      let emit s =
+        if !first then first := false else output_char oc ',';
+        output_char oc '\n';
+        output_string oc s
+      in
+      output_string oc "{\"traceEvents\":[";
+      List.iteri
+        (fun i (e, (cap : Obs.Prof.capture)) ->
+          let pid = i + 1 in
+          emit
+            (Printf.sprintf
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+                \"args\":{\"name\":%s}}"
+               pid
+               (Obs.json_string
+                  (Printf.sprintf "%s/t%d" (cell_label e) e.trial)));
+          Array.iter
+            (fun (tid, name, _cls) ->
+              emit
+                (Printf.sprintf
+                   "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\
+                    \"tid\":%d,\"args\":{\"name\":%s}}"
+                   pid tid (Obs.json_string name)))
+            cap.Obs.Prof.threads;
+          Array.iter
+            (fun (tid, phase, t0, t1) ->
+              emit
+                (Printf.sprintf
+                   "{\"name\":%s,\"cat\":\"phase\",\"ph\":\"X\",\
+                    \"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d}"
+                   (Obs.json_string
+                      (Obs.Prof.phase_name (Obs.Prof.phase_of_index phase)))
+                   (float_of_int t0 /. 1e3)
+                   (float_of_int (t1 - t0) /. 1e3)
+                   pid tid);
+              incr written)
+            cap.Obs.Prof.spans)
+        (profiled ctx);
+      output_string oc "\n],\"displayTimeUnit\":\"ns\"}\n";
+      !written)

@@ -91,6 +91,7 @@ val make_ctx :
   ?audit_every_ns:int ->
   ?jobs:int ->
   ?obs:Obs.config ->
+  ?prof:Obs.Prof.config ->
   ?trial_timeout_s:float ->
   ?journal:Journal.t ->
   unit ->
@@ -117,6 +118,10 @@ val jobs : ctx -> int
 
 val obs : ctx -> Obs.config
 
+val prof : ctx -> Obs.Prof.config
+(** The profiler configuration passed to every machine this context
+    runs; {!Obs.Prof.off} by default. *)
+
 val trial_timeout_s : ctx -> float
 (** The per-trial wall-clock deadline in seconds; 0 when disabled. *)
 
@@ -127,9 +132,11 @@ val warm_start : ctx -> Journal.record list -> int
 (** Install the successful records of a loaded journal into the cache,
     returning how many were installed.  Failure records are skipped (a
     resumed run retries them), and the whole warm-start is skipped —
-    with a stderr note — when the context has telemetry enabled, since
-    journal records carry no captures.  Call once, before running
-    anything, on a fresh context. *)
+    with a stderr note — when the context has telemetry enabled
+    (journal records carry no traces) or span profiling enabled (they
+    carry no spans).  Under totals-only profiling, only records that
+    carry phase totals are installed; the rest recompute.  Call once,
+    before running anything, on a fresh context. *)
 
 (** {1 Running trials} *)
 
@@ -225,3 +232,32 @@ val write_samples : ctx -> path:string -> int
 val merged_reclaim_hists : ctx -> (string * Stats.Histogram.t) list
 (** Per-policy direct-reclaim latency histograms, merged across every
     traced trial, in first-appearance order. *)
+
+(** {1 Profiling}
+
+    When the context's {!Obs.Prof.config} is enabled, every computed
+    trial carries a phase-attribution capture.  Like the telemetry
+    writers, everything below reads the deterministic experiment log,
+    so outputs are byte-identical for every [jobs] value. *)
+
+val profiled : ctx -> (exp * Obs.Prof.capture) list
+(** Every experiment whose cached result carries a profile capture, in
+    deterministic first-request order. *)
+
+val profile_cells : ctx -> (exp * Obs.Prof.merged) list
+(** Per-cell phase totals: captures grouped by grid cell (the [exp]
+    returned has [trial = 0]) and merged across trials in trial order,
+    cells in first-appearance order. *)
+
+val write_folded : ctx -> path:string -> int
+(** Write merged per-cell phase totals as folded stacks
+    ([cell;class;phase;...;leaf <self ns>] per line — flamegraph.pl /
+    speedscope input); returns the number of lines.  Atomic like
+    {!write_trace}. *)
+
+val write_perfetto : ctx -> path:string -> int
+(** Write the per-trial span timelines as Chrome trace-event JSON
+    (loadable in Perfetto / chrome://tracing): one trace process per
+    profiled trial, thread-name metadata, and one "X" event per span.
+    Returns the number of span events.  Requires the profiler's [spans]
+    flag to record anything.  Atomic like {!write_trace}. *)

@@ -2,11 +2,12 @@ type t = {
   hw_threads : int;
   mutable runnable : int;
   mutable busy_ns : int;
+  mutable hook : (int -> int -> unit) option;
 }
 
 let create ~hw_threads =
   if hw_threads <= 0 then invalid_arg "Cpu.create: hw_threads must be positive";
-  { hw_threads; runnable = 0; busy_ns = 0 }
+  { hw_threads; runnable = 0; busy_ns = 0; hook = None }
 
 let hw_threads t = t.hw_threads
 
@@ -28,4 +29,12 @@ let scale t work =
 
 let busy_ns t = t.busy_ns
 
-let charge t work = if work > 0 then t.busy_ns <- t.busy_ns + work
+let set_hook t f = t.hook <- Some f
+
+let no_phase = -1
+
+let charge ?(phase = no_phase) t work =
+  if work > 0 then begin
+    t.busy_ns <- t.busy_ns + work;
+    match t.hook with None -> () | Some f -> f phase work
+  end

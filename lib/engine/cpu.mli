@@ -37,5 +37,18 @@ val load : t -> float
 val busy_ns : t -> int
 (** Total compute-nanoseconds charged so far (for utilization metrics). *)
 
-val charge : t -> int -> unit
-(** Account [work] nanoseconds of compute against [busy_ns]. *)
+val no_phase : int
+(** The phase tag of an untagged {!charge} ([-1]). *)
+
+val set_hook : t -> (int -> int -> unit) -> unit
+(** Install an observation hook called as [f phase work] on every
+    positive {!charge}.  [phase] is the caller's opaque tag
+    ({!no_phase} when the charge was untagged).  The engine knows
+    nothing about tags — the profiler layer above assigns meaning — and
+    no hook is installed by default, so uninstrumented machines pay one
+    branch per charge. *)
+
+val charge : ?phase:int -> t -> int -> unit
+(** Account [work] nanoseconds of compute against [busy_ns].  [phase]
+    is forwarded verbatim to the hook, if any; it never affects timing
+    or accounting. *)

@@ -1,3 +1,5 @@
+module Prof = Prof
+
 type promote_reason =
   | Aging
   | Evict_scan
@@ -197,6 +199,8 @@ let value_to_json = function
   | Bool b -> if b then "true" else "false"
   | Str s -> "\"" ^ escape_string s ^ "\""
 
+let json_string s = "\"" ^ escape_string s ^ "\""
+
 let json_object fields =
   let buf = Buffer.create 128 in
   Buffer.add_char buf '{';
@@ -268,9 +272,17 @@ let parse_line line =
             if !pos + 4 > n then fail "truncated \\u escape";
             let hex = String.sub line !pos 4 in
             pos := !pos + 4;
+            (* Strict hex digits only: [int_of_string "0x.."] would
+               also accept underscores ("\u00_1"). *)
+            let hex_digit c =
+              match c with
+              | '0' .. '9' -> Char.code c - Char.code '0'
+              | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+              | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+              | _ -> fail "bad \\u escape"
+            in
             let code =
-              try int_of_string ("0x" ^ hex)
-              with Failure _ -> fail "bad \\u escape"
+              String.fold_left (fun acc c -> (acc * 16) + hex_digit c) 0 hex
             in
             (* Only BMP code points below 0x80 round-trip from our
                writer; encode the rest as UTF-8 for robustness. *)

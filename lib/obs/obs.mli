@@ -21,6 +21,10 @@
     long-format CSV rows (one [metric,value] pair per row), the shapes
     DESIGN.md documents for plotting the paper-style time series. *)
 
+module Prof = Prof
+(** Deterministic simulated-time CPU profiler (phase attribution, span
+    timelines); threaded through the machine alongside the trace sink. *)
+
 (** Why a page moved toward the young end of its policy's structure. *)
 type promote_reason =
   | Aging        (** MG-LRU aging walk found the accessed bit set *)
@@ -117,6 +121,10 @@ type value = Int of int | Float of float | Bool of bool | Str of string
 
 val event_fields : event -> (string * value) list
 (** The event's payload, without the [kind] tag. *)
+
+val json_string : string -> string
+(** [s] as a quoted, escaped JSON string literal — the exact escaping
+    {!json_object} applies to [Str] values and keys. *)
 
 val json_object : (string * value) list -> string
 (** One flat JSON object (no trailing newline) with the fields in list

@@ -1,3 +1,5 @@
+module Prof = Obs.Prof
+
 type config = {
   scan_batch : int;
   inactive_ratio : int;
@@ -68,6 +70,8 @@ let deactivate_one t (stats : Policy_intf.reclaim_stats) =
     stats.scanned <- stats.scanned + 1;
     stats.rmap_walks <- stats.rmap_walks + 1;
     stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.rmap_walk_ns;
+    Prof.charge t.env.Policy_intf.prof ~phase:Prof.Rmap_walk
+      (costs t).Mem.Costs.rmap_walk_ns;
     t.active_scans <- t.active_scans + 1;
     (match pte_of t pfn with
     | None ->
@@ -76,6 +80,8 @@ let deactivate_one t (stats : Policy_intf.reclaim_stats) =
       true
     | Some (pt, vpn, pte) ->
       stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.list_op_ns;
+      Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+        (costs t).Mem.Costs.list_op_ns;
       if Mem.Pte.accessed pte then begin
         Mem.Page_table.set pt vpn (Mem.Pte.clear_accessed pte);
         Structures.Dlist.move_head t.lists ~list:active ~node:pfn;
@@ -106,6 +112,8 @@ let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
     stats.scanned <- stats.scanned + 1;
     stats.rmap_walks <- stats.rmap_walks + 1;
     stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.rmap_walk_ns;
+    Prof.charge t.env.Policy_intf.prof ~phase:Prof.Rmap_walk
+      (costs t).Mem.Costs.rmap_walk_ns;
     t.inactive_scans <- t.inactive_scans + 1;
     (match pte_of t pfn with
     | None ->
@@ -113,6 +121,8 @@ let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
       `Scanned
     | Some (pt, vpn, pte) ->
       stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.list_op_ns;
+      Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+        (costs t).Mem.Costs.list_op_ns;
       if Mem.Pte.accessed pte && not force then begin
         Mem.Page_table.set pt vpn (Mem.Pte.clear_accessed pte);
         Structures.Dlist.move_head t.lists ~list:active ~node:pfn;

@@ -27,6 +27,8 @@ let evict_one t (stats : Policy_intf.reclaim_stats) =
   | Some pfn ->
     stats.scanned <- stats.scanned + 1;
     stats.cpu_ns <- stats.cpu_ns + t.env.Policy_intf.costs.Mem.Costs.list_op_ns;
+    Obs.Prof.charge t.env.Policy_intf.prof ~phase:Obs.Prof.Evict_scan
+      t.env.Policy_intf.costs.Mem.Costs.list_op_ns;
     if Mem.Frame_table.is_mapped t.env.Policy_intf.frames pfn then begin
       t.env.Policy_intf.reclaim_page ~pfn;
       t.evictions <- t.evictions + 1;
@@ -60,6 +62,11 @@ let kthreads t = [ { Policy_intf.kname = "kswapd"; kstep = kswapd t } ]
 
 let stats t = [ ("evictions", t.evictions); ("refaults", t.refaults) ]
 
-let gauges _t = []
+let gauges t =
+  [
+    ("queue_len", float_of_int (Structures.Dlist.size t.queue 0));
+    ("evictions", float_of_int t.evictions);
+    ("refaults", float_of_int t.refaults);
+  ]
 
 let check_invariants t = Structures.Dlist.check_invariants t.queue

@@ -1,3 +1,5 @@
+module Prof = Obs.Prof
+
 type scan_mode =
   | Bloom_filtered
   | Scan_all
@@ -211,6 +213,7 @@ let should_scan_region t region =
 
 let scan_region t pt region (work : int ref) =
   let c = costs t in
+  let prof = t.env.Policy_intf.prof in
   let accessed_here = ref 0 in
   let entries = ref 0 in
   Mem.Page_table.iter_region pt region (fun vpn pte ->
@@ -227,10 +230,14 @@ let scan_region t pt region (work : int ref) =
           (Obs.Promote { pfn; reason = Obs.Aging });
         work := !work + c.Mem.Costs.list_op_ns
       end);
+  Prof.charge prof ~phase:Prof.Pte_scan (!entries * c.Mem.Costs.pte_scan_ns);
+  Prof.charge prof ~phase:Prof.Aging_walk
+    (!accessed_here * c.Mem.Costs.list_op_ns);
   let threshold = max 1 (!entries lsr t.config.bloom_density_shift) in
   if !accessed_here >= threshold then begin
     Structures.Bloom.add t.bloom_next region;
-    work := !work + c.Mem.Costs.bloom_update_ns
+    work := !work + c.Mem.Costs.bloom_update_ns;
+    Prof.charge prof ~phase:Prof.Aging_walk c.Mem.Costs.bloom_update_ns
   end
 
 let update_tier_protection t =
@@ -305,6 +312,8 @@ let aging_step t ~budget:step_budget =
     else t.regions_skipped <- t.regions_skipped + 1;
     decr budget
   done;
+  Prof.charge t.env.Policy_intf.prof ~phase:Prof.Aging_walk
+    ((step_budget - !budget) * c.Mem.Costs.bloom_query_ns);
   if t.walk_pos >= Array.length t.walk_list then finish_aging_pass t;
   max !work 200
 
@@ -327,7 +336,9 @@ let refresh_min_seq t =
 
 let spatial_scan_region t pt region (stats : Policy_intf.reclaim_stats) =
   let c = costs t in
+  let prof = t.env.Policy_intf.prof in
   let scanned = ref 0 in
+  let promoted = ref 0 in
   Mem.Page_table.iter_region pt region (fun vpn pte ->
       if !scanned < c.Mem.Costs.spatial_scan_max then begin
         incr scanned;
@@ -338,14 +349,18 @@ let spatial_scan_region t pt region (stats : Policy_intf.reclaim_stats) =
           Mem.Page_table.set pt vpn (Mem.Pte.clear_accessed pte);
           let pfn = Mem.Pte.pfn pte in
           promote_to_youngest t ~pfn;
+          incr promoted;
           t.spatial_promotions <- t.spatial_promotions + 1;
           Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
             (Obs.Promote { pfn; reason = Obs.Spatial });
           stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns
         end
       end);
+  Prof.charge prof ~phase:Prof.Pte_scan (!scanned * c.Mem.Costs.pte_scan_ns);
+  Prof.charge prof ~phase:Prof.Evict_scan (!promoted * c.Mem.Costs.list_op_ns);
   Structures.Bloom.add t.bloom_next region;
-  stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.bloom_update_ns
+  stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.bloom_update_ns;
+  Prof.charge prof ~phase:Prof.Evict_scan c.Mem.Costs.bloom_update_ns
 
 let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
   refresh_min_seq t;
@@ -368,6 +383,8 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
     stats.scanned <- stats.scanned + 1;
     stats.rmap_walks <- stats.rmap_walks + 1;
     stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.rmap_walk_ns;
+    Prof.charge t.env.Policy_intf.prof ~phase:Prof.Rmap_walk
+      c.Mem.Costs.rmap_walk_ns;
     (match Mem.Frame_table.owner t.env.Policy_intf.frames pfn with
     | None ->
       Structures.Dlist.remove t.lists ~node:pfn;
@@ -384,6 +401,8 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
         Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
           (Obs.Promote { pfn; reason = Obs.Evict_scan });
         stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns;
+        Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+          c.Mem.Costs.list_op_ns;
         (* Unlike Clock, exploit page-table locality around the hit and
            feed the region back to the aging filter (paper §III-C). *)
         if t.config.spatial_scan then
@@ -401,6 +420,8 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
           place t ~pfn ~seq:(min (t.min_seq + 1) t.max_seq) ~tier;
           t.tier_protected_saves <- t.tier_protected_saves + 1;
           stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns;
+          Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+            c.Mem.Costs.list_op_ns;
           `Scanned
         end
         else begin

@@ -31,6 +31,11 @@ type env = {
       (** Telemetry sink (often {!Obs.disabled}).  Observation only: a
           policy may emit events and report gauges through it but must
           never branch on it. *)
+  prof : Obs.Prof.t;
+      (** CPU profiler sink (often {!Obs.Prof.disabled}).  Observation
+          only, like [obs]: a policy attributes the work it accrues into
+          {!reclaim_stats.cpu_ns} by phase ([Obs.Prof.charge ~phase])
+          but must never branch on it. *)
 }
 
 type reclaim_stats = {

@@ -40,6 +40,7 @@ let evict_one t (stats : Policy_intf.reclaim_stats) =
   | Some pfn ->
     stats.scanned <- stats.scanned + 1;
     stats.cpu_ns <- stats.cpu_ns + 100;
+    Obs.Prof.charge t.env.Policy_intf.prof ~phase:Obs.Prof.Evict_scan 100;
     t.env.Policy_intf.reclaim_page ~pfn;
     t.evictions <- t.evictions + 1;
     stats.freed <- stats.freed + 1;
@@ -71,6 +72,11 @@ let kthreads t = [ { Policy_intf.kname = "kswapd"; kstep = kswapd t } ]
 
 let stats t = [ ("evictions", t.evictions); ("refaults", t.refaults) ]
 
-let gauges _t = []
+let gauges t =
+  [
+    ("free_frames", float_of_int (t.env.Policy_intf.free_count ()));
+    ("evictions", float_of_int t.evictions);
+    ("refaults", float_of_int t.refaults);
+  ]
 
 let check_invariants _t = ()

@@ -34,6 +34,7 @@ let make_world ?(frames = 64) ?(pages = 256) ?(region_size = 16)
       low_watermark = 0;
       high_watermark = 0;
       obs = Obs.disabled;
+      prof = Obs.Prof.disabled;
     }
   in
   let world =
@@ -81,6 +82,7 @@ let make_world ?(frames = 64) ?(pages = 256) ?(region_size = 16)
       low_watermark = Mem.Phys_mem.low_watermark mem;
       high_watermark = Mem.Phys_mem.high_watermark mem;
       obs = Obs.disabled;
+      prof = Obs.Prof.disabled;
     }
   in
   ignore file_backed;

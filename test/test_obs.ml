@@ -125,7 +125,13 @@ let test_jsonl_string_escapes () =
 
 let test_parse_rejects_malformed () =
   let bad =
-    [ ""; "{"; "nonsense"; "{\"a\":}"; "{\"a\":1,}"; "{\"a\" 1}"; "[1,2]" ]
+    [
+      ""; "{"; "nonsense"; "{\"a\":}"; "{\"a\":1,}"; "{\"a\" 1}"; "[1,2]";
+      (* \u escapes must be exactly four hex digits — int_of_string
+         leniency ("0x00_1") must not leak into the parser. *)
+      "{\"a\":\"\\u00_1\"}"; "{\"a\":\"\\u12\"}"; "{\"a\":\"\\uzzzz\"}";
+      "{\"a\":\"\\u 123\"}"; "{\"a\":\"\\x41\"}";
+    ]
   in
   List.iter
     (fun line ->
@@ -133,6 +139,36 @@ let test_parse_rejects_malformed () =
       | Ok _ -> Alcotest.failf "accepted malformed %S" line
       | Error _ -> ())
     bad
+
+(* Every byte string — control characters, quotes, backslashes, broken
+   escape lookalikes — must survive json_object + parse_line unchanged. *)
+let qcheck_string_escape_round_trip =
+  QCheck.Test.make ~count:1000 ~name:"string escaping round-trips"
+    QCheck.(string_gen Gen.char)
+    (fun s ->
+      let line = O.json_object [ ("k", O.Str s) ] in
+      match O.parse_line line with
+      | Ok fields -> O.field_string fields "k" = Some s
+      | Error _ -> false)
+
+let adversarial_strings =
+  [
+    "\\u0041"; "\\"; "\\\\"; "\"\""; "\n\r\t"; "\x00\x01\x1f";
+    "trailing backslash \\"; "\\u00"; "a\"b\\c\nd"; String.make 3 '\x07';
+  ]
+
+let test_adversarial_escapes_round_trip () =
+  List.iter
+    (fun s ->
+      let line = O.json_object [ ("k", O.Str s); ("n", O.Int 1) ] in
+      match O.parse_line line with
+      | Error msg -> Alcotest.failf "parse %S: %s" line msg
+      | Ok fields ->
+        Alcotest.(check (option string)) "value survives" (Some s)
+          (O.field_string fields "k");
+        Alcotest.(check (option int)) "trailing field intact" (Some 1)
+          (O.field_int fields "n"))
+    adversarial_strings
 
 (* ------------------------------------------------------------------ *)
 (* Machine-level behaviour                                             *)
@@ -381,6 +417,9 @@ let () =
           Alcotest.test_case "round trip" `Quick test_jsonl_round_trip;
           Alcotest.test_case "string escapes" `Quick test_jsonl_string_escapes;
           Alcotest.test_case "rejects malformed" `Quick test_parse_rejects_malformed;
+          QCheck_alcotest.to_alcotest qcheck_string_escape_round_trip;
+          Alcotest.test_case "adversarial escapes" `Quick
+            test_adversarial_escapes_round_trip;
         ] );
       ( "machine",
         [

@@ -42,6 +42,57 @@ let test_scan_rand_parses_with_half () =
   | Some (R.Scan_rand p) -> Alcotest.(check (float 1e-9)) "p" 0.5 p
   | _ -> Alcotest.fail "expected Scan_rand"
 
+(* Every registry policy must expose sampler gauges: non-empty, finite,
+   identifier-like stable names — the machine prefixes them "policy.*"
+   and the samples CSV depends on the names never churning. *)
+let gauges_of (Policy.Policy_intf.Packed ((module P), p)) = P.gauges p
+
+let metric_name_ok k =
+  k <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' || c = '.')
+       k
+
+let test_gauges_all_policies () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (R.of_name name) in
+      if spec <> R.Crash_test then begin
+        let world = Testsupport.Harness.make_world ~frames:32 ~pages:128 () in
+        let packed = R.create spec world.Testsupport.Harness.env in
+        (* Pressure the policy well past capacity so eviction state and
+           counters are live, then let its kthreads settle. *)
+        for vpn = 0 to 95 do
+          ignore (Testsupport.Harness.map_page world packed vpn);
+          Testsupport.Harness.advance world 1_000
+        done;
+        Testsupport.Harness.run_kthreads world packed;
+        let g = gauges_of packed in
+        Alcotest.(check bool) (name ^ ": gauges non-empty") true (g <> []);
+        List.iter
+          (fun (k, v) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s.%s: identifier-like name" name k)
+              true (metric_name_ok k);
+            Alcotest.(check bool)
+              (Printf.sprintf "%s.%s: finite" name k)
+              true
+              (Float.is_finite v))
+          g;
+        Alcotest.(check int)
+          (name ^ ": no duplicate metric names")
+          (List.length g)
+          (List.length (List.sort_uniq compare (List.map fst g)));
+        (* Names are stable call-to-call: the sampler emits a consistent
+           schema over a trial's lifetime. *)
+        Alcotest.(check (list string))
+          (name ^ ": stable names")
+          (List.map fst g)
+          (List.map fst (gauges_of packed))
+      end)
+    R.known_names
+
 let test_custom_config () =
   let config = { Policy.Mglru.default_config with Policy.Mglru.max_gens = 8 } in
   let world = Testsupport.Harness.make_world () in
@@ -59,6 +110,8 @@ let () =
           Alcotest.test_case "paper specs" `Quick test_paper_specs;
           Alcotest.test_case "create all" `Quick test_create_all_known;
           Alcotest.test_case "scan-rand default" `Quick test_scan_rand_parses_with_half;
+          Alcotest.test_case "gauges for every policy" `Quick
+            test_gauges_all_policies;
           Alcotest.test_case "custom config" `Quick test_custom_config;
         ] );
     ]
