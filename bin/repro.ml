@@ -6,6 +6,7 @@
    repro sweep ...            capacity-ratio sweep for one workload
    repro profile ...          per-phase CPU attribution tables
    repro trace-summary FILE   aggregate a JSONL trace into tables
+   repro fleet ...            multi-tenant containment experiment
 
    Every subcommand builds one explicit Repro_core.Runner.ctx from its
    flags (scaling profile, fault plan, audit cadence, --jobs, telemetry,
@@ -147,6 +148,21 @@ let keep_going_arg =
               and the whole sweep completes, but the exit status is \
               non-zero.")
 
+let cgroups_conv =
+  let parse s =
+    match Mem.Memcg.parse_spec s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun fmt spec -> Format.pp_print_string fmt (Mem.Memcg.spec_to_string spec))
+
+let cgroups_arg =
+  Arg.(value & opt (some cgroups_conv) None
+       & info [ "cgroups" ] ~docv:"SPEC"
+           ~doc:
+             "Partition threads into memory cgroups with Linux-style limits,               e.g. $(b,hot:threads=0-1,max=40%;bg:threads=2-5,low=15%).               Fields per group: $(b,threads=LO-HI) (ranges joined with +),               $(b,low=), $(b,high=), $(b,max=) (pages or % of capacity).               Reserved group $(b,proactive) (interval=, threshold=, step=)               enables the proactive-reclaim probe; $(b,psi) (interval=)               retunes PSI sampling. Without this flag, output is               byte-identical to builds without the controller.")
+
 (* Everything a subcommand needs: the run context plus where to flush
    its telemetry afterwards and how to treat failed trials at exit. *)
 type setup = {
@@ -165,7 +181,7 @@ type setup = {
    collects phase totals even without --folded/--perfetto. *)
 let build_setup profile_default trials ycsb_trials fast jobs faults
     audit_every_ms trace sample_every samples folded perfetto journal_path
-    resume trial_timeout keep_going =
+    resume trial_timeout keep_going cgroups =
   let base = Repro_core.Runner.profile_from_env () in
   let profile =
     {
@@ -201,7 +217,7 @@ let build_setup profile_default trials ycsb_trials fast jobs faults
   let ctx =
     Repro_core.Runner.make_ctx ~profile ~fault_plan:faults
       ~audit_every_ns:(max 0 audit_every_ms * 1_000_000)
-      ~jobs ~obs ~prof ~trial_timeout_s:trial_timeout ?journal ()
+      ~jobs ~obs ~prof ~trial_timeout_s:trial_timeout ?journal ?cgroups ()
   in
   (* Resume notes go to stderr so stdout stays byte-identical to an
      uninterrupted run. *)
@@ -269,7 +285,7 @@ let setup_term ?(profile = false) () =
     const (build_setup profile) $ trials_arg $ ycsb_trials_arg $ fast_arg
     $ jobs_arg $ faults_arg $ audit_every_arg $ trace_arg $ sample_every_arg
     $ samples_arg $ folded_arg $ perfetto_arg $ journal_arg $ resume_arg
-    $ trial_timeout_arg $ keep_going_arg)
+    $ trial_timeout_arg $ keep_going_arg $ cgroups_arg)
 
 (* ---------------- argument converters ---------------- *)
 
@@ -388,6 +404,11 @@ let run_cmd =
             (Repro_core.Report.fcount (float_of_int r.Repro_core.Machine.swap_outs))
             r.Repro_core.Machine.direct_reclaims;
           if faults_on || audits_on then Repro_core.Report.fault_summary r;
+          (match r.Repro_core.Machine.memcg with
+          | Some s ->
+            Repro_core.Report.memcg_summary
+              ~runtime_ns:r.Repro_core.Machine.runtime_ns s
+          | None -> ());
           if verbose then
             List.iter
               (fun (k, v) -> Printf.printf "      %-24s %d\n" k v)
@@ -686,6 +707,45 @@ let profile_cmd =
     Term.(const run $ setup_term ~profile:true () $ workloads $ policies
           $ ratios $ swap)
 
+(* ---------------- fleet ---------------- *)
+
+let fleet_cmd =
+  let tenants =
+    Arg.(value & opt int 3
+         & info [ "tenants" ] ~docv:"N"
+             ~doc:"Number of YCSB tenants sharing the machine (2 threads each).")
+  in
+  let hot =
+    Arg.(value & opt int 0
+         & info [ "hot" ] ~docv:"I"
+             ~doc:"Index of the hot (runaway) tenant: zipf 1.1, double requests.")
+  in
+  let policy =
+    Arg.(value & opt policy_conv Policy.Registry.Mglru_default
+         & info [ "p"; "policy" ] ~docv:"POLICY" ~doc:"Replacement policy.")
+  in
+  let ratio =
+    Arg.(value & opt float 0.5
+         & info [ "r"; "ratio" ] ~docv:"R" ~doc:"Memory capacity / footprint.")
+  in
+  let swap =
+    Arg.(value & opt swap_conv Repro_core.Runner.Ssd
+         & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
+  in
+  let run setup tenants hot policy ratio swap =
+    try
+      ignore
+        (Repro_core.Fleet.run setup.ctx ~tenants ~hot ~policy ~ratio ~swap);
+      finalize setup;
+      `Ok ()
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run N YCSB tenants of different temperatures under per-tenant           memory cgroups and report per-tenant latency tails, PSI,           throttling and scoped OOM kills.  Without $(b,--cgroups), a           default containment spec is applied: the hot tenant throttled           at 30% and hard-capped at 40% of capacity, neighbours           protected by memory.low, proactive reclaim on.")
+    Term.(ret (const run $ setup_term () $ tenants $ hot $ policy $ ratio $ swap))
+
 (* ---------------- trace-summary ---------------- *)
 
 let trace_summary_cmd =
@@ -716,7 +776,7 @@ let main =
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
     [
       fig_cmd; run_cmd; list_cmd; sweep_cmd; ablate_cmd; tier_cmd; export_cmd;
-      profile_cmd; trace_summary_cmd;
+      profile_cmd; trace_summary_cmd; fleet_cmd;
     ]
 
 let () = exit (Cmd.eval main)

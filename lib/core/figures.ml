@@ -15,7 +15,7 @@ type cell = {
 let perf_of workload results =
   match workload with
   | Runner.Tpch | Runner.Pagerank -> Runner.mean_runtime_s results
-  | Runner.Ycsb _ ->
+  | Runner.Ycsb _ | Runner.Fleet _ ->
     let reads = Runner.pooled_read_latencies results in
     let writes = Runner.pooled_write_latencies results in
     let n = Array.length reads + Array.length writes in
@@ -331,7 +331,7 @@ let fig6 ctx =
                     Report.f3 (Stats.Ttest.welch a b).Stats.Ttest.p_value
                   else "-"
                 end
-              | Runner.Ycsb _ -> "-"
+              | Runner.Ycsb _ | Runner.Fleet _ -> "-"
             in
             (wname workload :: per_spec) @ [ p_value ])
           Runner.all_workloads

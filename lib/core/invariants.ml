@@ -6,9 +6,10 @@ type violation = {
 
 let v check subject fmt = Printf.ksprintf (fun detail -> { check; subject; detail }) fmt
 
-let audit ~pt ~frames ~mem ~swap ~retained_slot =
+let audit ~memcg ~owners ~pt ~frames ~mem ~swap ~retained_slot =
   let out = ref [] in
   let add x = out := x :: !out in
+  let nswapped = ref 0 and nretained = ref 0 in
   (* Frame side: every mapped frame points at a present PTE that points
      back, and an allocated (non-free) physical frame. *)
   for pfn = 0 to Mem.Frame_table.frames frames - 1 do
@@ -44,19 +45,41 @@ let audit ~pt ~frames ~mem ~swap ~retained_slot =
           add (v "pte-rmap-mismatch" vpn "pfn %d owned by vpn %d" pfn owner_vpn)
     end;
     if Mem.Pte.swapped pte then begin
+      incr nswapped;
       let slot = Mem.Pte.swap_slot pte in
       if not (Swapdev.Swap_manager.slot_in_use swap slot) then
         add (v "pte-dead-slot" vpn "swapped PTE names freed slot %d" slot)
     end;
     let retained = retained_slot.(vpn) in
     if retained >= 0 then begin
+      incr nretained;
       if not (Mem.Pte.present pte) then
         add (v "swap-cache-nonresident" vpn "retained slot %d without a resident page"
                retained);
       if not (Swapdev.Swap_manager.slot_in_use swap retained) then
         add (v "swap-cache-dead-slot" vpn "retained slot %d is freed" retained)
-    end
+    end;
+    (* Ownership: a page (resident or swapped out) must never belong to
+       a killed thread — the OOM killer tears down the victim's whole
+       address space, swap slots and rmap entries included. *)
+    (match owners with
+    | None -> ()
+    | Some (owner_tid, killed) ->
+      let o = owner_tid.(vpn) in
+      if o >= 0 && o < Array.length killed && killed.(o) then
+        add (v "owner-killed" vpn "page still owned by killed thread %d" o);
+      if Mem.Pte.present pte && o < 0 then
+        add (v "owner-missing" vpn "resident page has no owning thread"))
   done;
+  (* Slot conservation: every live swap slot is referenced by exactly
+     one swapped PTE or one swap-cache entry.  A leak (e.g. an OOM kill
+     forgetting a victim's swapped pages) breaks the equality. *)
+  let used_slots = Swapdev.Swap_manager.used_slots swap in
+  if used_slots <> !nswapped + !nretained then
+    add
+      (v "count-swap-slots" used_slots
+         "%d slots in use <> %d swapped PTEs + %d retained" used_slots !nswapped
+         !nretained);
   (* Global accounting ties the three structures together. *)
   let mapped = Mem.Frame_table.mapped_count frames in
   let resident = Mem.Page_table.resident pt in
@@ -67,6 +90,60 @@ let audit ~pt ~frames ~mem ~swap ~retained_slot =
   if used <> mapped then
     add (v "count-used-mapped" used "allocated frames %d <> mapped frames %d" used
            mapped);
+  (* Cgroup accounting: recomputed per-cgroup charges must match the
+     controller's counters and sum to the global resident population;
+     exactly the resident pages are charged; protection never exceeds
+     what the group actually uses; a dead cgroup (every thread killed)
+     holds nothing. *)
+  (match memcg with
+  | None -> ()
+  | Some mg ->
+    let n = Mem.Memcg.ncgroups mg in
+    let recount = Array.make n 0 in
+    for vpn = 0 to Mem.Page_table.pages pt - 1 do
+      let cg = Mem.Memcg.cg_of_page mg vpn in
+      let present = Mem.Pte.present (Mem.Page_table.get pt vpn) in
+      if cg < -1 || cg >= n then
+        add (v "memcg-range" vpn "page charged to unknown cgroup %d" cg)
+      else if present && cg < 0 then
+        add (v "memcg-uncharged" vpn "resident page is not charged")
+      else if (not present) && cg >= 0 then
+        add (v "memcg-stale-charge" vpn "non-resident page charged to cgroup %d" cg)
+      else if cg >= 0 then recount.(cg) <- recount.(cg) + 1
+    done;
+    let total = ref 0 in
+    for cg = 0 to n - 1 do
+      let usage = Mem.Memcg.usage mg cg in
+      total := !total + usage;
+      if usage <> recount.(cg) then
+        add
+          (v "memcg-usage" cg "cgroup charges %d pages but owns %d" usage
+             recount.(cg));
+      let protection = min (Mem.Memcg.low mg cg) usage in
+      if protection > usage then
+        add (v "memcg-protection" cg "protection %d exceeds usage %d" protection usage)
+    done;
+    if !total <> resident then
+      add
+        (v "memcg-total" !total "per-cgroup charges sum to %d <> %d resident"
+           !total resident);
+    (match owners with
+    | None -> ()
+    | Some (_, killed) ->
+      for cg = 1 to n - 1 do
+        let members = ref 0 and live = ref 0 in
+        Array.iteri
+          (fun tid k ->
+            if Mem.Memcg.cg_of_thread mg tid = cg then begin
+              incr members;
+              if not k then incr live
+            end)
+          killed;
+        if !members > 0 && !live = 0 && Mem.Memcg.usage mg cg > 0 then
+          add
+            (v "memcg-dead" cg "dead cgroup (all %d threads killed) still charges %d pages"
+               !members (Mem.Memcg.usage mg cg))
+      done));
   List.rev !out
 
 let pp_violation fmt x =

@@ -17,6 +17,8 @@ type violation = {
 }
 
 val audit :
+  memcg:Mem.Memcg.t option ->
+  owners:(int array * bool array) option ->
   pt:Mem.Page_table.t ->
   frames:Mem.Frame_table.t ->
   mem:Mem.Phys_mem.t ->
@@ -24,7 +26,19 @@ val audit :
   retained_slot:int array ->
   violation list
 (** Empty list = consistent.  [retained_slot.(vpn)] is the machine's
-    clean swap-cache slot for a resident page, or [-1]. *)
+    clean swap-cache slot for a resident page, or [-1].
+
+    [owners] is [(owner_tid, killed)]: per-vpn owning thread (surviving
+    swap-out) and the per-thread killed flags; enables the OOM-teardown
+    checks — no page, resident or swapped, may still belong to a killed
+    thread, and every live swap slot must be accounted for by exactly
+    one swapped PTE or swap-cache entry.
+
+    [memcg] enables the cgroup audits: per-cgroup charged-page counts
+    are recomputed from the page table and must match the controller
+    and sum to the resident population, only resident pages carry
+    charges, effective protection never exceeds usage, and a dead
+    cgroup (every member thread killed) charges nothing. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 

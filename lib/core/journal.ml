@@ -86,6 +86,10 @@ let result_fields (r : Machine.result) =
   @ (match r.profile with
     | None -> []
     | Some cap -> [ ("profile", Obs.Str (Obs.Prof.encode_capture cap)) ])
+  (* Same pattern for the cgroup summary: absent without [--cgroups]. *)
+  @ (match r.memcg with
+    | None -> []
+    | Some s -> [ ("cgroups", Obs.Str (Mem.Memcg.summary_to_string s)) ])
 
 exception Decode of string
 
@@ -132,6 +136,13 @@ let result_of_fields fields : Machine.result =
     oom_kills = int "oom_kills";
     oom_discarded_pages = int "oom_discarded_pages";
     invariant_violations = int "invariant_violations";
+    memcg =
+      (match Obs.field_string fields "cgroups" with
+      | None -> None
+      | Some s -> (
+        match Mem.Memcg.summary_of_string s with
+        | Some _ as sm -> sm
+        | None -> raise (Decode "malformed cgroups summary")));
     trace = None;
     profile =
       (match Obs.field_string fields "profile" with

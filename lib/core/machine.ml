@@ -31,6 +31,9 @@ type config = {
   obs : Obs.config;
   prof : Obs.Prof.config;
   cancel : Engine.Cancel.t;
+  cgroups : Mem.Memcg.spec option;
+      (** memory cgroups (None = single global pool, the pre-cgroup
+          behaviour, byte-identical to builds without the controller) *)
 }
 
 let default_config ~capacity_frames ~seed =
@@ -62,6 +65,7 @@ let default_config ~capacity_frames ~seed =
     obs = Obs.off;
     prof = Obs.Prof.off;
     cancel = Engine.Cancel.never;
+    cgroups = None;
   }
 
 type result = {
@@ -91,6 +95,7 @@ type result = {
   oom_kills : int;
   oom_discarded_pages : int;
   invariant_violations : int;
+  memcg : Mem.Memcg.summary option;
   trace : Obs.capture option;
   profile : Obs.Prof.capture option;
 }
@@ -152,8 +157,21 @@ type t = {
      leave memory; per-thread residency feeds OOM victim selection. *)
   pinned : bool array;     (* vpn -> unreclaimable *)
   faulted_by : int array;  (* vpn -> tid that faulted the page in, or -1 *)
+  owner_tid : int array;   (* like faulted_by, but survives swap-out so
+                              the OOM killer can release the victim's
+                              swap slots, not just its resident frames *)
   thread_rss : int array;  (* tid -> resident pages it faulted in *)
   killed : bool array;
+  (* Memory cgroups; None = no containment, zero behavioural change. *)
+  mcg : Mem.Memcg.t option;
+  mutable mcg_target : int option; (* reclaim scoped to this cgroup *)
+  mutable mcg_breach_low : bool;
+  mutable mcg_unproductive : int;
+  (* last-resort override of memory.low: armed only after two whole
+     direct-reclaim calls in a row freed nothing — the second already
+     ran the policy's force escalation (ignoring accessed bits) against
+     unprotected memory only, so a second zero means nothing outside
+     the protected cgroups is reclaimable *)
   mutable poisoned_reads : int;
   mutable writeback_failures : int;
   mutable oom_kills : int;
@@ -215,14 +233,50 @@ let wake_kthreads t =
 
 let rss_page_mapped t ~tid ~vpn =
   t.faulted_by.(vpn) <- tid;
-  t.thread_rss.(tid) <- t.thread_rss.(tid) + 1
+  t.owner_tid.(vpn) <- tid;
+  t.thread_rss.(tid) <- t.thread_rss.(tid) + 1;
+  match t.mcg with
+  | Some mg -> Mem.Memcg.charge mg ~tid ~vpn
+  | None -> ()
 
 let rss_page_unmapped t ~vpn =
   let tid = t.faulted_by.(vpn) in
   if tid >= 0 then begin
     t.thread_rss.(tid) <- t.thread_rss.(tid) - 1;
     t.faulted_by.(vpn) <- -1
-  end
+  end;
+  match t.mcg with
+  | Some mg -> Mem.Memcg.uncharge mg ~vpn
+  | None -> ()
+
+(* The cgroup gate policies consult before detaching an eviction
+   candidate.  A targeted pass (memory.high/max enforcement, the
+   proactive probe) only touches the target cgroup's pages — hard, not
+   overridden by [force].  Outside a targeted pass, memory.low shields a
+   cgroup under its protection; the policy's [force] escalation (which
+   also ignores accessed bits) may breach it only after an entire
+   direct-reclaim call — force pass included — freed nothing, mirroring
+   how the kernel overrides protection only when nothing else is
+   reclaimable. *)
+let evictable t ~pfn ~force =
+  match t.mcg with
+  | None -> true
+  | Some mg ->
+    (match Mem.Frame_table.owner t.frames pfn with
+    | None -> true
+    | Some (_asid, vpn) ->
+      let cg = Mem.Memcg.cg_of_page mg vpn in
+      if cg < 0 then true
+      else (
+        match t.mcg_target with
+        | Some target -> cg = target
+        | None ->
+          (force && t.mcg_breach_low) || not (Mem.Memcg.low_protected mg cg)))
+
+let mcg_stall t ~tid ~t0 ~t1 =
+  match t.mcg with
+  | Some mg -> Mem.Memcg.stall mg ~tid ~t0 ~t1
+  | None -> ()
 
 (* The machine unmaps, writes back and frees a frame on the policy's
    behalf.  Clean pages with a retained swap-cache copy are dropped
@@ -293,15 +347,22 @@ let map_page t ~tid ~pfn ~vpn ~refault ~write ~demand =
   if demand then on_touched t ~pfn ~write
 
 (* Model the OOM killer: pick the live thread with the largest resident
-   share, terminate it, and tear down its pages — resident pages are
+   share — restricted to cgroup [cg] when the kill is scoped — terminate
+   it, and tear down *all* of its address space: resident pages are
    freed without writeback (their contents die with the thread, pinned
-   or not) and its swap slots are released.  Returns false only if no
-   live thread remains. *)
-let oom_kill t =
+   or not), swap-cache copies and the slots of its swapped-out pages are
+   released, and every reverse-map entry is cleared.  Returns false only
+   if no eligible live thread remains. *)
+let oom_kill ?cg t =
+  let eligible tid =
+    match (cg, t.mcg) with
+    | Some c, Some mg -> Mem.Memcg.cg_of_thread mg tid = c
+    | _ -> true
+  in
   let victim = ref (-1) in
   Array.iteri
     (fun tid finish ->
-      if finish < 0 && not t.killed.(tid) then
+      if finish < 0 && not t.killed.(tid) && eligible tid then
         if !victim < 0 || t.thread_rss.(tid) > t.thread_rss.(!victim) then
           victim := tid)
     t.finish_ns;
@@ -312,7 +373,7 @@ let oom_kill t =
     t.oom_kills <- t.oom_kills + 1;
     let discarded_before = t.oom_discarded in
     for vpn = 0 to Mem.Page_table.pages t.pt - 1 do
-      if t.faulted_by.(vpn) = v then begin
+      if t.owner_tid.(vpn) = v then begin
         let pte = Mem.Page_table.get t.pt vpn in
         if Mem.Pte.present pte then begin
           let pfn = Mem.Pte.pfn pte in
@@ -325,9 +386,22 @@ let oom_kill t =
           Mem.Phys_mem.free t.mem pfn;
           t.pinned.(vpn) <- false;
           t.ra_pending.(vpn) <- false;
+          (match t.mcg with
+          | Some mg -> Mem.Memcg.uncharge mg ~vpn
+          | None -> ());
+          t.oom_discarded <- t.oom_discarded + 1
+        end
+        else if Mem.Pte.swapped pte then begin
+          (* The PR-1 killer leaked these: a victim's swapped-out pages
+             kept their slots (and rmap entries) forever.  Release the
+             slot and empty the PTE so the audit's slot-conservation
+             check holds after every kill. *)
+          Swapdev.Swap_manager.release t.swap ~slot:(Mem.Pte.swap_slot pte);
+          Mem.Page_table.set t.pt vpn Mem.Pte.empty;
           t.oom_discarded <- t.oom_discarded + 1
         end;
-        t.faulted_by.(vpn) <- -1
+        t.faulted_by.(vpn) <- -1;
+        t.owner_tid.(vpn) <- -1
       end
     done;
     t.thread_rss.(v) <- 0;
@@ -365,8 +439,17 @@ let oom_kill t =
       end
     end;
     Prof.mark t.prof ~tid:v ~now:(Engine.Sim.now t.sim) Prof.Oom_kill;
+    let discarded = t.oom_discarded - discarded_before in
     Obs.emit t.obs ~t_ns:(Engine.Sim.now t.sim)
-      (Obs.Oom_kill { tid = v; discarded = t.oom_discarded - discarded_before });
+      (Obs.Oom_kill { tid = v; discarded });
+    (match t.mcg with
+    | Some mg ->
+      let vcg = Mem.Memcg.cg_of_thread mg v in
+      Mem.Memcg.note_oom mg vcg;
+      Mem.Memcg.thread_exit mg ~tid:v ~now:(Engine.Sim.now t.sim);
+      Obs.emit t.obs ~t_ns:(Engine.Sim.now t.sim)
+        (Obs.Cgroup_oom { cg = Mem.Memcg.name mg vcg; tid = v; discarded })
+    | None -> ());
     true
   end
 
@@ -401,6 +484,7 @@ let alloc_frame t ~tid ~(cursor : int ref) =
            flush (and vice versa). *)
         let saved_pending = Prof.suspend_pending t.prof in
         Prof.begin_phase t.prof ~now:!cursor Prof.Evict_scan;
+        if t.mcg <> None then t.mcg_breach_low <- t.mcg_unproductive >= 2;
         let stats = P.direct_reclaim p ~want:t.cfg.direct_reclaim_batch in
         t.in_direct <- false;
         let cpu = stats.Policy.Policy_intf.cpu_ns + t.direct_cpu_extra in
@@ -412,6 +496,9 @@ let alloc_frame t ~tid ~(cursor : int ref) =
         Prof.end_phase t.prof ~now:(before + cpu_wall);
         Prof.wait t.prof ~tid ~now:!cursor Prof.Writeback_wait
           (!cursor - before - cpu_wall);
+        (* The whole direct-reclaim episode is a memory stall, like the
+           kernel's psi_memstall_enter around try_to_free_pages. *)
+        mcg_stall t ~tid ~t0:before ~t1:!cursor;
         t.direct_reclaim_ns <- t.direct_reclaim_ns + (!cursor - before);
         Obs.emit t.obs ~t_ns:before
           (Obs.Reclaim
@@ -422,12 +509,157 @@ let alloc_frame t ~tid ~(cursor : int ref) =
                latency_ns = !cursor - before;
              });
         wake_kthreads t;
+        if t.mcg <> None then
+          t.mcg_unproductive <-
+            (if stats.Policy.Policy_intf.freed = 0 then t.mcg_unproductive + 1
+             else 0);
         match Mem.Phys_mem.alloc t.mem with
         | Some pfn -> Some pfn
         | None -> retry (attempts + 1)
       end
     in
-    retry 0
+    let frame = retry 0 in
+    t.mcg_breach_low <- false;
+    t.mcg_unproductive <- 0;
+    frame
+
+(* One synchronous cgroup-targeted reclaim pass on a faulting thread:
+   the same episode shape as the allocation slow path, but scoped to
+   [cg] through [mcg_target] and reported as a [Cgroup_reclaim] trace
+   event (so untargeted Reclaim telemetry stays comparable across
+   configurations).  Returns the pages freed. *)
+let memcg_direct_reclaim t ~tid ~cg ~want ~(cursor : int ref) =
+  let (Policy.Policy_intf.Packed ((module P), p)) = policy_of t in
+  t.direct_reclaims <- t.direct_reclaims + 1;
+  t.mcg_target <- Some cg;
+  t.in_direct <- true;
+  t.reclaim_now <- !cursor;
+  t.direct_stall_until <- !cursor;
+  t.direct_cpu_extra <- 0;
+  let saved_pending = Prof.suspend_pending t.prof in
+  Prof.begin_phase t.prof ~now:!cursor Prof.Evict_scan;
+  let stats = P.direct_reclaim p ~want in
+  t.in_direct <- false;
+  t.mcg_target <- None;
+  let cpu = stats.Policy.Policy_intf.cpu_ns + t.direct_cpu_extra in
+  Engine.Cpu.charge t.cpu cpu;
+  Prof.resume_pending t.prof saved_pending;
+  let before = !cursor in
+  let cpu_wall = Engine.Cpu.scale t.cpu cpu in
+  cursor := max (!cursor + cpu_wall) t.direct_stall_until;
+  Prof.end_phase t.prof ~now:(before + cpu_wall);
+  Prof.wait t.prof ~tid ~now:!cursor Prof.Writeback_wait
+    (!cursor - before - cpu_wall);
+  mcg_stall t ~tid ~t0:before ~t1:!cursor;
+  t.direct_reclaim_ns <- t.direct_reclaim_ns + (!cursor - before);
+  (match t.mcg with
+  | Some mg ->
+    Obs.emit t.obs ~t_ns:before
+      (Obs.Cgroup_reclaim
+         {
+           cg = Mem.Memcg.name mg cg;
+           want;
+           freed = stats.Policy.Policy_intf.freed;
+           scanned = stats.Policy.Policy_intf.scanned;
+           latency_ns = !cursor - before;
+         })
+  | None -> ());
+  wake_kthreads t;
+  stats.Policy.Policy_intf.freed
+
+(* memory.max: a charge may not cross the hard cap.  Reclaim inside the
+   cgroup until the charge fits; when a whole pass stops making progress
+   (everything left is pinned or the group is thrashing faster than it
+   writes back), degrade through a *scoped* OOM kill and re-check.  The
+   machine-wide killer in the allocation slow path is this same
+   mechanism with [cg = None] — the root-cgroup degenerate case. *)
+let memcg_enforce_max t ~tid ~(cursor : int ref) =
+  match t.mcg with
+  | None -> ()
+  | Some mg ->
+    let cg = Mem.Memcg.cg_of_thread mg tid in
+    let rec enforce stalled_passes =
+      if (not t.killed.(tid)) && Mem.Memcg.over_max mg cg ~extra:1 then begin
+        if stalled_passes >= 8 then begin
+          if oom_kill t ~cg then enforce 0
+          (* else: nothing left to kill in the group; let the charge
+             through rather than deadlocking the machine. *)
+        end
+        else begin
+          let want =
+            Mem.Memcg.max_overage mg cg ~extra:1 + t.cfg.direct_reclaim_batch
+          in
+          let usage_before = Mem.Memcg.usage mg cg in
+          ignore (memcg_direct_reclaim t ~tid ~cg ~want ~cursor);
+          (* Progress is measured in usage, not the policy's freed count:
+             a writeback that fails permanently pins the page and frees
+             nothing even though the policy counted it. *)
+          enforce
+            (if Mem.Memcg.usage mg cg < usage_before then 0
+             else stalled_passes + 1)
+        end
+      end
+    in
+    enforce 0
+
+(* memory.high: over the soft cap the thread keeps running but pays —
+   first one bounded targeted-reclaim attempt, then an exponentially
+   growing stall (PR-1's transient-I/O backoff curve, in simulated
+   time) for as long as the group stays over. *)
+let memcg_after_charge t ~tid ~(cursor : int ref) =
+  match t.mcg with
+  | None -> ()
+  | Some mg ->
+    let cg = Mem.Memcg.cg_of_thread mg tid in
+    if Mem.Memcg.over_high mg cg then begin
+      let want =
+        min (Mem.Memcg.high_overage mg cg) t.cfg.direct_reclaim_batch
+      in
+      if want > 0 then
+        ignore (memcg_direct_reclaim t ~tid ~cg ~want ~cursor)
+    end;
+    let d = Mem.Memcg.throttle_ns mg ~tid ~base_ns:t.cfg.io_retry_backoff_ns in
+    if d > 0 then begin
+      let t0 = !cursor in
+      cursor := !cursor + d;
+      Mem.Memcg.stall mg ~tid ~t0 ~t1:!cursor;
+      Prof.wait t.prof ~tid ~now:!cursor Prof.Writeback_wait d;
+      Obs.emit t.obs ~t_ns:t0
+        (Obs.Throttle
+           {
+             tid;
+             cg = Mem.Memcg.name mg cg;
+             usage = Mem.Memcg.usage mg cg;
+             high = Mem.Memcg.high mg cg;
+             stall_ns = d;
+           })
+    end
+
+(* Asynchronous targeted reclaim for the proactive probe: kswapd-like
+   (CPU charged to the contention model, writebacks overlap, nobody
+   stalls), but scoped to one cgroup. *)
+let memcg_background_reclaim t ~cg ~want ~now =
+  let (Policy.Policy_intf.Packed ((module P), p)) = policy_of t in
+  t.mcg_target <- Some cg;
+  t.reclaim_now <- now;
+  let stats = P.direct_reclaim p ~want in
+  t.mcg_target <- None;
+  Engine.Cpu.charge
+    ~phase:(Prof.phase_index Prof.Evict_scan)
+    t.cpu stats.Policy.Policy_intf.cpu_ns;
+  (match t.mcg with
+  | Some mg ->
+    Obs.emit t.obs ~t_ns:now
+      (Obs.Cgroup_reclaim
+         {
+           cg = Mem.Memcg.name mg cg;
+           want;
+           freed = stats.Policy.Policy_intf.freed;
+           scanned = stats.Policy.Policy_intf.scanned;
+           latency_ns = 0;
+         })
+  | None -> ());
+  wake_kthreads t
 
 (* Opportunistic swap-in of the sequential neighbours of a demand fault,
    like the kernel's swap readahead cluster.  Only when memory is easy:
@@ -472,7 +704,12 @@ let readahead t ~tid ~(cursor : int ref) vpn =
 let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
   Prof.begin_phase t.prof ~now:!cursor Prof.Fault_handling;
   cpu_acc := !cpu_acc + t.cfg.costs.Mem.Costs.fault_trap_ns;
-  (match alloc_frame t ~tid ~cursor with
+  (* The hard cap is enforced before the machine even looks for a free
+     frame: a cgroup at memory.max must make room inside itself (or
+     sacrifice one of its own) no matter how much global memory is
+     free.  May kill [tid]. *)
+  memcg_enforce_max t ~tid ~cursor;
+  (match (if t.killed.(tid) then None else alloc_frame t ~tid ~cursor) with
   | None -> () (* the faulting thread lost the OOM lottery *)
   | Some pfn ->
     (* Attribute the trap cost after the allocation so the pending
@@ -491,6 +728,7 @@ let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
       let before_wait = !cursor in
       cursor := max !cursor io.Swapdev.Swap_manager.finish_ns;
       Prof.wait t.prof ~tid ~now:!cursor Prof.Swap_wait (!cursor - before_wait);
+      mcg_stall t ~tid ~t0:before_wait ~t1:!cursor;
       if io.Swapdev.Swap_manager.failed then begin
         (* The stored copy is unrecoverable: poison the mapping.  The
            thread continues on a zero-filled page, and the loss is
@@ -510,7 +748,8 @@ let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
       cpu_acc := !cpu_acc + t.cfg.minor_fault_ns;
       Prof.charge t.prof ~phase:Prof.Fault_handling t.cfg.minor_fault_ns;
       map_page t ~tid ~pfn ~vpn ~refault:false ~write ~demand:true
-    end);
+    end;
+    memcg_after_charge t ~tid ~cursor);
   Prof.end_phase t.prof ~now:!cursor
 
 let page_at pages i =
@@ -533,11 +772,15 @@ let touch t ~tid ~cursor ~cpu_acc ~vpn ~write =
   end
   else handle_fault t ~tid ~cursor ~cpu_acc ~vpn ~write
 
-let record_latency t (c : Workload.Chunk.t) ns =
-  if c.Workload.Chunk.latency_class = Workload.Chunk.read_class then
+let record_latency t ~tid (c : Workload.Chunk.t) ns =
+  let cls = c.Workload.Chunk.latency_class in
+  if cls = Workload.Chunk.read_class then
     Structures.Vec.push t.read_lat (float_of_int ns)
-  else if c.Workload.Chunk.latency_class = Workload.Chunk.write_class then
-    Structures.Vec.push t.write_lat (float_of_int ns)
+  else if cls = Workload.Chunk.write_class then
+    Structures.Vec.push t.write_lat (float_of_int ns);
+  match t.mcg with
+  | Some mg -> Mem.Memcg.note_latency mg ~tid ~cls (float_of_int ns)
+  | None -> ()
 
 let rec run_thread t tid =
   if not t.stopped && not t.killed.(tid) then
@@ -581,7 +824,7 @@ and process_segment t tid c ~index ~chunk_start =
       if not t.stopped && not t.killed.(tid) then begin
         if next_index >= total then begin
           if c.latency_class >= 0 then
-            record_latency t c (Engine.Sim.now t.sim - chunk_start);
+            record_latency t ~tid c (Engine.Sim.now t.sim - chunk_start);
           run_thread t tid
         end
         else process_segment t tid c ~index:next_index ~chunk_start
@@ -609,6 +852,9 @@ and barrier_arrive t tid =
 and thread_finished t tid =
   if t.finish_ns.(tid) < 0 then begin
     t.finish_ns.(tid) <- Engine.Sim.now t.sim;
+    (match t.mcg with
+    | Some mg -> Mem.Memcg.thread_exit mg ~tid ~now:(Engine.Sim.now t.sim)
+    | None -> ());
     t.active_threads <- t.active_threads - 1;
     if t.active_threads <= 0 then begin
       t.stopped <- true;
@@ -649,7 +895,9 @@ let make_driver t ks =
   drive
 
 let audit t =
-  Invariants.audit ~pt:t.pt ~frames:t.frames ~mem:t.mem ~swap:t.swap
+  Invariants.audit ~memcg:t.mcg
+    ~owners:(Some (t.owner_tid, t.killed))
+    ~pt:t.pt ~frames:t.frames ~mem:t.mem ~swap:t.swap
     ~retained_slot:t.retained_slot
 
 let run cfg ~policy ~workload =
@@ -683,6 +931,13 @@ let run cfg ~policy ~workload =
   let ngroups = 1 + Array.fold_left max 0 groups in
   let group_size = Array.make ngroups 0 in
   Array.iter (fun g -> group_size.(g) <- group_size.(g) + 1) groups;
+  let mcg =
+    Option.map
+      (fun spec ->
+        Mem.Memcg.create spec ~capacity_frames:cfg.capacity_frames ~nthreads
+          ~footprint_pages:footprint)
+      cfg.cgroups
+  in
   let t =
     {
       cfg;
@@ -731,8 +986,13 @@ let run cfg ~policy ~workload =
       ra_misses = Array.make ((footprint / ra_zone_pages) + 1) 0;
       pinned = Array.make footprint false;
       faulted_by = Array.make footprint (-1);
+      owner_tid = Array.make footprint (-1);
       thread_rss = Array.make nthreads 0;
       killed = Array.make nthreads false;
+      mcg;
+      mcg_target = None;
+      mcg_breach_low = false;
+      mcg_unproductive = 0;
       poisoned_reads = 0;
       writeback_failures = 0;
       oom_kills = 0;
@@ -752,6 +1012,7 @@ let run cfg ~policy ~workload =
       rng = Engine.Rng.split rng;
       now = (fun () -> Engine.Sim.now t.sim);
       reclaim_page = (fun ~pfn -> reclaim_page t ~pfn);
+      evictable = (fun ~pfn ~force -> evictable t ~pfn ~force);
       free_count = (fun () -> Mem.Phys_mem.free_count t.mem);
       total_frames = cfg.capacity_frames;
       low_watermark = Mem.Phys_mem.low_watermark t.mem;
@@ -803,6 +1064,47 @@ let run cfg ~policy ~workload =
     in
     Engine.Sim.schedule t.sim ~delay:cfg.audit_every_ns tick
   end;
+  (* PSI tick: fold stall intervals forward, publish per-cgroup Psi
+     trace events, and drive the proactive (Senpai-style) probe.  Only
+     scheduled when cgroups are on — a plain run has no extra events,
+     no extra RNG draws, no extra CPU charges. *)
+  (match t.mcg with
+  | None -> ()
+  | Some mg ->
+    let every = Mem.Memcg.psi_interval_ns mg in
+    let n = Mem.Memcg.ncgroups mg in
+    let last_some = Array.make n 0 and last_full = Array.make n 0 in
+    let rec tick _ =
+      if not t.stopped && t.active_threads > 0 then begin
+        let now = Engine.Sim.now t.sim in
+        Mem.Memcg.advance mg ~now;
+        for cg = 0 to n - 1 do
+          let s = Mem.Memcg.psi_some mg cg and f = Mem.Memcg.psi_full mg cg in
+          let limit =
+            let l = Mem.Memcg.eff_limit mg cg in
+            if l = max_int then -1 else l
+          in
+          Obs.emit t.obs ~t_ns:now
+            (Obs.Psi
+               {
+                 cg = Mem.Memcg.name mg cg;
+                 some_ns = s - last_some.(cg);
+                 full_ns = f - last_full.(cg);
+                 window_ns = every;
+                 limit;
+               });
+          last_some.(cg) <- s;
+          last_full.(cg) <- f
+        done;
+        if Mem.Memcg.proactive_on mg then
+          for cg = 1 to n - 1 do
+            let want, _pressure_ppm = Mem.Memcg.proactive_step mg cg in
+            if want > 0 then memcg_background_reclaim t ~cg ~want ~now
+          done;
+        Engine.Sim.schedule t.sim ~delay:every tick
+      end
+    in
+    Engine.Sim.schedule t.sim ~delay:every tick);
   let sample_every = Obs.sample_every_ns obs in
   if sample_every > 0 then begin
     (* Same recurring-tick shape as the audit above.  Counters named
@@ -828,6 +1130,24 @@ let run cfg ~policy ~workload =
           ("oom_kills", float_of_int t.oom_kills);
         ]
         @ List.map (fun (k, v) -> ("policy." ^ k, v)) (P.gauges p)
+        @ (match t.mcg with
+          | None -> []
+          | Some mg ->
+            Mem.Memcg.advance mg ~now:(Engine.Sim.now t.sim);
+            ("psi.some_ns", float_of_int (Mem.Memcg.machine_some mg))
+            :: ("psi.full_ns", float_of_int (Mem.Memcg.machine_full mg))
+            :: List.concat
+                 (List.init (Mem.Memcg.ncgroups mg) (fun cg ->
+                      let pre = "memcg." ^ Mem.Memcg.name mg cg ^ "." in
+                      [
+                        (pre ^ "usage", float_of_int (Mem.Memcg.usage mg cg));
+                        ( pre ^ "psi_some_ns",
+                          float_of_int (Mem.Memcg.psi_some mg cg) );
+                        ( pre ^ "psi_full_ns",
+                          float_of_int (Mem.Memcg.psi_full mg cg) );
+                        ( pre ^ "throttled_ns",
+                          float_of_int (Mem.Memcg.throttled_ns mg cg) );
+                      ])))
       in
       Obs.push_sample obs ~t_ns:(Engine.Sim.now t.sim) metrics
     in
@@ -870,6 +1190,7 @@ let run cfg ~policy ~workload =
     oom_kills = t.oom_kills;
     oom_discarded_pages = t.oom_discarded;
     invariant_violations = t.invariant_violations;
+    memcg = Option.map (fun mg -> Mem.Memcg.summary mg ~now:runtime) t.mcg;
     trace = Obs.capture obs;
     profile = Prof.capture prof;
   }

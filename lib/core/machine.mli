@@ -73,6 +73,12 @@ type config = {
           the in-flight event completes, so machine state is never torn
           mid-event — this is how the runner enforces per-trial
           wall-clock deadlines *)
+  cgroups : Mem.Memcg.spec option;
+      (** memory cgroups: per-thread-group [memory.low]/[high]/[max]
+          limits, PSI accounting and the proactive-reclaim probe (see
+          {!Mem.Memcg} and the README's [--cgroups] grammar).  [None]
+          (the default) is a single global pool — byte-identical
+          behaviour to builds without the controller *)
 }
 
 val default_config : capacity_frames:int -> seed:int -> config
@@ -104,9 +110,14 @@ type result = {
   poisoned_reads : int;      (** demand reads whose data was lost *)
   writeback_failures : int;  (** evictions abandoned; page pinned *)
   oom_kills : int;
-  oom_discarded_pages : int; (** resident pages freed by OOM teardown *)
+  oom_discarded_pages : int;
+      (** pages torn down by OOM kills: resident frames freed plus
+          swapped-out pages whose slots were released *)
   invariant_violations : int;
       (** total across periodic and end-of-run audits; 0 expected *)
+  memcg : Mem.Memcg.summary option;
+      (** per-cgroup usage, limits, throttle/OOM counters, PSI totals
+          and per-tenant request latencies; [None] without [--cgroups] *)
   trace : Obs.capture option;
       (** everything the trial's telemetry sink recorded; [None] when
           [config.obs] was {!Obs.off} *)

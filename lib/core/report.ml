@@ -76,6 +76,18 @@ let note s = Printf.printf "  %s\n" s
 (* Trace summary: aggregate a JSONL trace file back into tables.       *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-(cell, cgroup) accumulator for the cgroup subsection. *)
+type cg_stats = {
+  mutable c_ooms : int;
+  mutable c_throttles : int;
+  mutable c_throttled_ns : int;
+  mutable c_reclaims : int;
+  mutable c_reclaim_freed : int;
+  mutable c_psi_some_ns : int;
+  mutable c_psi_full_ns : int;
+  mutable c_psi_window_ns : int;
+}
+
 type trace_group = {
   mutable g_events : int;
   mutable g_trials : int list; (* distinct trial ids, insertion order *)
@@ -83,6 +95,8 @@ type trace_group = {
   g_reclaim : Stats.Histogram.t;
   g_swap_read : Stats.Histogram.t;
   g_swap_write : Stats.Histogram.t;
+  g_cgroups : (string, cg_stats) Hashtbl.t;
+  mutable g_cg_order : string list; (* appearance order, reversed *)
 }
 
 let trace_kinds =
@@ -155,6 +169,8 @@ let trace_summary ~path =
                     g_reclaim = hist ();
                     g_swap_read = hist ();
                     g_swap_write = hist ();
+                    g_cgroups = Hashtbl.create 4;
+                    g_cg_order = [];
                   }
                 in
                 Hashtbl.add groups key g;
@@ -174,10 +190,52 @@ let trace_summary ~path =
               | Some ns -> Stats.Histogram.add h (float_of_int (max 1 ns))
               | None -> ()
             in
+            let cg_of () =
+              let name = str "cg" in
+              match Hashtbl.find_opt g.g_cgroups name with
+              | Some c -> c
+              | None ->
+                let c =
+                  {
+                    c_ooms = 0;
+                    c_throttles = 0;
+                    c_throttled_ns = 0;
+                    c_reclaims = 0;
+                    c_reclaim_freed = 0;
+                    c_psi_some_ns = 0;
+                    c_psi_full_ns = 0;
+                    c_psi_window_ns = 0;
+                  }
+                in
+                Hashtbl.add g.g_cgroups name c;
+                g.g_cg_order <- name :: g.g_cg_order;
+                c
+            in
+            let int_f k =
+              match Obs.field_int fields k with
+              | Some i -> i
+              | None -> malformed (Printf.sprintf "missing field %S" k)
+            in
             (match kind with
             | "reclaim" -> latency_into g.g_reclaim
             | "swap_read" -> latency_into g.g_swap_read
             | "swap_write" -> latency_into g.g_swap_write
+            | "throttle" ->
+              let c = cg_of () in
+              c.c_throttles <- c.c_throttles + 1;
+              c.c_throttled_ns <- c.c_throttled_ns + int_f "stall_ns"
+            | "cgroup_oom" ->
+              let c = cg_of () in
+              c.c_ooms <- c.c_ooms + 1
+            | "cgroup_reclaim" ->
+              let c = cg_of () in
+              c.c_reclaims <- c.c_reclaims + 1;
+              c.c_reclaim_freed <- c.c_reclaim_freed + int_f "freed"
+            | "psi" ->
+              let c = cg_of () in
+              c.c_psi_some_ns <- c.c_psi_some_ns + int_f "some_ns";
+              c.c_psi_full_ns <- c.c_psi_full_ns + int_f "full_ns";
+              c.c_psi_window_ns <- c.c_psi_window_ns + int_f "window_ns"
             | _ -> ())
           end;
           offset := !offset + String.length line + 1
@@ -245,6 +303,43 @@ let trace_summary ~path =
     table
       ~header:[ "cell"; "op"; "ops"; "p50"; "p90"; "p99"; "max"; "mean" ]
       swap_rows
+  end;
+  (* Cgroup containment: one row per (cell, cgroup) that emitted any
+     throttle / cgroup_reclaim / cgroup_oom / psi event.  PSI averages
+     are stall time over observed window time. *)
+  let psi_avg stall window =
+    if window = 0 then "-"
+    else Printf.sprintf "%.1f%%" (100.0 *. float_of_int stall /. float_of_int window)
+  in
+  let cg_rows =
+    List.concat_map
+      (fun key ->
+        let g = Hashtbl.find groups key in
+        List.map
+          (fun name ->
+            let c = Hashtbl.find g.g_cgroups name in
+            [
+              key; name;
+              fcount (float_of_int c.c_ooms);
+              fcount (float_of_int c.c_throttles);
+              fns (float_of_int c.c_throttled_ns);
+              fcount (float_of_int c.c_reclaims);
+              fcount (float_of_int c.c_reclaim_freed);
+              psi_avg c.c_psi_some_ns c.c_psi_window_ns;
+              psi_avg c.c_psi_full_ns c.c_psi_window_ns;
+            ])
+          (List.rev g.g_cg_order))
+      cells
+  in
+  if cg_rows <> [] then begin
+    subsection "cgroups";
+    table
+      ~header:
+        [
+          "cell"; "cgroup"; "oom_kills"; "throttles"; "throttled";
+          "reclaims"; "reclaimed"; "psi_some"; "psi_full";
+        ]
+      cg_rows
   end
 
 (* ------------------------------------------------------------------ *)
@@ -310,6 +405,49 @@ let profile_table (m : Obs.Prof.merged) =
       (("phase" :: Array.to_list m.Obs.Prof.m_classes)
       @ [ "self"; "total"; "cpu%" ])
     rows
+
+(* Per-cgroup end-of-run table for `repro run` / `repro fleet`:
+   usage against limits, throttle and OOM counters, PSI shares of the
+   run, and the read-latency tail where the group recorded requests. *)
+let memcg_summary ~runtime_ns (s : Mem.Memcg.summary) =
+  let psi stall =
+    if runtime_ns <= 0 then "-"
+    else
+      Printf.sprintf "%.1f%%"
+        (100.0 *. float_of_int stall /. float_of_int runtime_ns)
+  in
+  let lim v = if v < 0 then "-" else string_of_int v in
+  let p99 lats =
+    if Array.length lats = 0 then "-"
+    else fns (Stats.Percentile.quantile lats 0.99)
+  in
+  subsection "cgroups";
+  table
+    ~header:
+      [
+        "cgroup"; "usage"; "low"; "high"; "max"; "limit"; "throttles";
+        "throttled"; "oom"; "psi_some"; "psi_full"; "p99_read";
+      ]
+    (List.map
+       (fun (g : Mem.Memcg.report) ->
+         [
+           g.Mem.Memcg.r_name;
+           string_of_int g.Mem.Memcg.r_usage;
+           string_of_int g.Mem.Memcg.r_low;
+           lim g.Mem.Memcg.r_high;
+           lim g.Mem.Memcg.r_max;
+           lim g.Mem.Memcg.r_limit;
+           string_of_int g.Mem.Memcg.r_throttles;
+           fns (float_of_int g.Mem.Memcg.r_throttled_ns);
+           string_of_int g.Mem.Memcg.r_oom_kills;
+           psi g.Mem.Memcg.r_psi_some_ns;
+           psi g.Mem.Memcg.r_psi_full_ns;
+           p99 g.Mem.Memcg.r_read_latencies;
+         ])
+       s.Mem.Memcg.s_groups);
+  note
+    (Printf.sprintf "machine-wide psi: some %s, full %s"
+       (psi s.Mem.Memcg.s_some_ns) (psi s.Mem.Memcg.s_full_ns))
 
 let fault_summary (r : Machine.result) =
   let injected =

@@ -40,13 +40,25 @@ val trace_summary : path:string -> unit
     [swap_read]/[swap_write] events (per-operation device latency).
     @raise Failure on the first malformed record, citing file, line
     number and byte offset — the CI smoke step relies on this to
-    validate traces. *)
+    validate traces.
+
+    Traces from cgroup-enabled runs additionally get a "cgroups"
+    subsection: per (cell, cgroup) OOM kills, throttle episodes with
+    total throttled simulated time, targeted-reclaim episodes and pages
+    freed, and PSI some/full averaged over the observed windows —
+    exercising (and validating) the [throttle] / [cgroup_reclaim] /
+    [cgroup_oom] / [psi] event schemas. *)
 
 val profile_table : Obs.Prof.merged -> unit
 (** Perf-style phase table for one grid cell: rows in taxonomy order,
     one self-time column per aggregation class ("app", "kswapd", ...),
     then total self, inclusive time, and the phase's share of
     core-seconds (CPU phases only — wait phases render "-"). *)
+
+val memcg_summary : runtime_ns:int -> Mem.Memcg.summary -> unit
+(** Per-cgroup end-of-run table (usage vs. limits, throttles, scoped
+    OOM kills, PSI shares of the run, p99 read latency) plus the
+    machine-wide PSI note. *)
 
 val fault_summary : Machine.result -> unit
 (** Per-trial fault-injection block: injected faults by kind, recovery

@@ -2,6 +2,7 @@ type workload_kind =
   | Tpch
   | Pagerank
   | Ycsb of Workload.Ycsb.variant
+  | Fleet of { fl_tenants : int; fl_hot : int }
 
 type swap_medium = Ssd | Zram
 
@@ -17,6 +18,7 @@ let workload_kind_name = function
   | Tpch -> "tpch"
   | Pagerank -> "pagerank"
   | Ycsb v -> Workload.Ycsb.variant_name v
+  | Fleet { fl_tenants; fl_hot } -> Printf.sprintf "fleet%d-h%d" fl_tenants fl_hot
 
 let all_workloads =
   [ Tpch; Pagerank; Ycsb Workload.Ycsb.A; Ycsb Workload.Ycsb.B; Ycsb Workload.Ycsb.C ]
@@ -96,6 +98,7 @@ type ctx = {
   prof : Obs.Prof.config;
   trial_timeout_s : float;
   journal : Journal.t option;
+  cgroups : Mem.Memcg.spec option;
   cache : shard array;
   (* Bookkeeping: every requested experiment, in first-request program
      order.  Appended only from the dispatching domain (prefetch logs
@@ -110,7 +113,7 @@ type ctx = {
 
 let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     ?(audit_every_ns = 0) ?(jobs = 1) ?(obs = Obs.off)
-    ?(prof = Obs.Prof.off) ?(trial_timeout_s = 0.0) ?journal () =
+    ?(prof = Obs.Prof.off) ?(trial_timeout_s = 0.0) ?journal ?cgroups () =
   let profile =
     match profile with Some p -> p | None -> profile_from_env ()
   in
@@ -123,6 +126,7 @@ let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     prof;
     trial_timeout_s = (if trial_timeout_s > 0.0 then trial_timeout_s else 0.0);
     journal;
+    cgroups;
     cache =
       Array.init cache_shards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 32 });
@@ -144,6 +148,24 @@ let obs ctx = ctx.obs
 let prof ctx = ctx.prof
 
 let trial_timeout_s ctx = ctx.trial_timeout_s
+
+let cgroups ctx = ctx.cgroups
+
+(* A derived context with a cgroup spec installed.  The cache, log and
+   dedup tables are fresh: [cgroups] is ctx-level (like [fault_plan])
+   and deliberately not part of {!exp_key}, so sharing the parent's
+   cache would alias runs computed under different specs. *)
+let with_cgroups ctx spec =
+  {
+    ctx with
+    cgroups = Some spec;
+    cache =
+      Array.init cache_shards (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 32 });
+    logged = Hashtbl.create 64;
+    log = ref [];
+    log_lock = Mutex.create ();
+  }
 
 let log_exp ctx e key =
   Mutex.lock ctx.log_lock;
@@ -198,7 +220,7 @@ let cached_results ctx =
 
 let trials_for ctx = function
   | Tpch | Pagerank -> ctx.profile.trials
-  | Ycsb _ -> ctx.profile.ycsb_trials
+  | Ycsb _ | Fleet _ -> ctx.profile.ycsb_trials
 
 let kind_id = function
   | Tpch -> 1
@@ -206,6 +228,9 @@ let kind_id = function
   | Ycsb Workload.Ycsb.A -> 3
   | Ycsb Workload.Ycsb.B -> 4
   | Ycsb Workload.Ycsb.C -> 5
+  (* Offset past the fixed kinds and spread by both parameters so
+     distinct fleet shapes never share a workload seed. *)
+  | Fleet { fl_tenants; fl_hot } -> 6 + (fl_tenants * 13) + (fl_hot * 131)
 
 (* Workload seed: (kind, trial) only — policies share workload
    instances within a trial. *)
@@ -238,6 +263,27 @@ let fast_ycsb =
     requests = 220_000;
   }
 
+(* One fleet tenant: a YCSB instance with its own temperature.  The
+   [hot] tenant runs a tighter zipf (1.1) over twice the requests — the
+   runaway neighbour of the containment experiments; the rest are
+   lukewarm (zipf 0.8). *)
+let fleet_tenant ctx ~seed ~tenant ~hot =
+  let base = if ctx.profile.fast then fast_ycsb else Workload.Ycsb.default_config in
+  let config =
+    if tenant = hot then
+      { base with Workload.Ycsb.zipf_exponent = 1.1; requests = 2 * base.Workload.Ycsb.requests }
+    else { base with Workload.Ycsb.zipf_exponent = 0.8 }
+  in
+  let config = { config with Workload.Ycsb.threads = 2 } in
+  let rng = Engine.Rng.create (seed + (tenant * 7919)) in
+  Workload.Chunk.Packed
+    ((module Workload.Ycsb), Workload.Ycsb.create ~config ~variant:Workload.Ycsb.A ~rng ())
+
+let make_fleet ctx ~tenants ~hot ~trial =
+  let seed = workload_seed (Fleet { fl_tenants = tenants; fl_hot = hot }) ~trial in
+  Workload.Multi.create
+    (List.init tenants (fun tenant -> fleet_tenant ctx ~seed ~tenant ~hot))
+
 let make_workload ctx kind ~trial =
   let seed = workload_seed kind ~trial in
   let fast = ctx.profile.fast in
@@ -256,6 +302,9 @@ let make_workload ctx kind ~trial =
     let rng = Engine.Rng.create seed in
     Workload.Chunk.Packed
       ((module Workload.Ycsb), Workload.Ycsb.create ~config ~variant ~rng ())
+  | Fleet { fl_tenants; fl_hot } ->
+    Workload.Chunk.Packed
+      ((module Workload.Multi), make_fleet ctx ~tenants:fl_tenants ~hot:fl_hot ~trial)
 
 let machine_swap = function
   | Ssd -> Machine.ssd
@@ -281,7 +330,17 @@ let deadline_cancel timeout_s =
 (* One trial, computed from scratch: deterministic in (ctx, e) — the
    workload, machine and policy all seed from (kind, trial). *)
 let compute_exp ctx e =
-  let workload = make_workload ctx e.workload ~trial:e.trial in
+  (* Fleet trials keep the Multi.t visible: its per-tenant barrier
+     groups must reach the machine so one tenant's rendezvous never
+     blocks another's threads. *)
+  let workload, barrier_groups =
+    match e.workload with
+    | Fleet { fl_tenants; fl_hot } ->
+      let m = make_fleet ctx ~tenants:fl_tenants ~hot:fl_hot ~trial:e.trial in
+      ( Workload.Chunk.Packed ((module Workload.Multi), m),
+        Some (Workload.Multi.barrier_groups m) )
+    | _ -> (make_workload ctx e.workload ~trial:e.trial, None)
+  in
   let footprint = Workload.Chunk.packed_footprint workload in
   let capacity = max 64 (int_of_float (float_of_int footprint *. e.ratio)) in
   let cfg =
@@ -290,11 +349,13 @@ let compute_exp ctx e =
          ~seed:(workload_seed e.workload ~trial:e.trial + 17))
       with
       Machine.swap = machine_swap e.swap;
+      barrier_groups;
       fault_plan = ctx.fault_plan;
       audit_every_ns = ctx.audit_every_ns;
       obs = ctx.obs;
       prof = ctx.prof;
       cancel = deadline_cancel ctx.trial_timeout_s;
+      cgroups = ctx.cgroups;
     }
   in
   Machine.run cfg ~policy:(Policy.Registry.create e.policy) ~workload

@@ -26,6 +26,11 @@ type workload_kind =
   | Tpch
   | Pagerank
   | Ycsb of Workload.Ycsb.variant
+  | Fleet of { fl_tenants : int; fl_hot : int }
+      (** [fl_tenants] YCSB tenants sharing one machine via
+          {!Workload.Multi} (2 threads each); tenant [fl_hot] is a hot
+          runaway (zipf 1.1, double the requests), the rest are lukewarm
+          (zipf 0.8).  The containment workload of [repro fleet]. *)
 
 type swap_medium = Ssd | Zram
 
@@ -94,6 +99,7 @@ val make_ctx :
   ?prof:Obs.Prof.config ->
   ?trial_timeout_s:float ->
   ?journal:Journal.t ->
+  ?cgroups:Mem.Memcg.spec ->
   unit ->
   ctx
 (** Defaults: [profile_from_env ()], no fault injection, end-of-run
@@ -106,7 +112,11 @@ val make_ctx :
     With a [journal], every freshly computed trial outcome — success or
     failure — is appended (checksummed, fsynced) the moment it
     completes; cache hits, including warm-started records, are not
-    re-journaled. *)
+    re-journaled.
+
+    [cgroups] installs a memory-cgroup spec into every machine this
+    context runs.  Like [fault_plan] it is ctx-level and not part of
+    {!exp_key}, so never mix journals or caches across specs. *)
 
 val profile : ctx -> profile
 
@@ -124,6 +134,13 @@ val prof : ctx -> Obs.Prof.config
 
 val trial_timeout_s : ctx -> float
 (** The per-trial wall-clock deadline in seconds; 0 when disabled. *)
+
+val cgroups : ctx -> Mem.Memcg.spec option
+
+val with_cgroups : ctx -> Mem.Memcg.spec -> ctx
+(** A derived context with [cgroups] installed and a {e fresh} result
+    cache and experiment log (the spec is not part of {!exp_key}, so
+    sharing the parent's cache would alias results across specs). *)
 
 val cached_results : ctx -> int
 (** Number of trial outcomes currently memoized in this context. *)

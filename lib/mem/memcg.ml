@@ -1,0 +1,730 @@
+type amount =
+  | Pages of int
+  | Frac of float
+
+type group_spec = {
+  g_name : string;
+  g_threads : (int * int) list;
+  g_low : amount option;
+  g_high : amount option;
+  g_max : amount option;
+}
+
+type proactive_spec = {
+  p_interval_ns : int;
+  p_threshold : float;
+  p_step : amount;
+}
+
+type spec = {
+  groups : group_spec list;
+  proactive : proactive_spec option;
+  psi_interval_ns : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing                                                        *)
+
+let default_psi_interval_ns = 100_000_000 (* 100 ms simulated *)
+
+let name_ok s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       s
+
+let split_on sep s =
+  String.split_on_char sep s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_amount s =
+  let n = String.length s in
+  if n = 0 then Error "empty amount"
+  else if s.[n - 1] = '%' then
+    match float_of_string_opt (String.sub s 0 (n - 1)) with
+    | Some f when f >= 0.0 -> Ok (Frac (f /. 100.0))
+    | _ -> Error (Printf.sprintf "bad percentage %S" s)
+  else
+    match int_of_string_opt s with
+    | Some p when p >= 0 -> Ok (Pages p)
+    | _ -> Error (Printf.sprintf "bad page count %S" s)
+
+(* Durations: a plain integer is nanoseconds; us/ms/s suffixes scale. *)
+let parse_duration s =
+  let scaled suffix mult =
+    let n = String.length s and m = String.length suffix in
+    if n > m && String.sub s (n - m) m = suffix then
+      match float_of_string_opt (String.sub s 0 (n - m)) with
+      | Some f when f > 0.0 -> Some (int_of_float (f *. mult))
+      | _ -> None
+    else None
+  in
+  match scaled "us" 1e3 with
+  | Some v -> Ok v
+  | None ->
+    (match scaled "ms" 1e6 with
+     | Some v -> Ok v
+     | None ->
+       (match scaled "s" 1e9 with
+        | Some v -> Ok v
+        | None ->
+          (match int_of_string_opt s with
+           | Some v when v > 0 -> Ok v
+           | _ -> Error (Printf.sprintf "bad duration %S" s))))
+
+let parse_threads s =
+  let parse_range r =
+    match String.index_opt r '-' with
+    | None ->
+      (match int_of_string_opt r with
+       | Some t when t >= 0 -> Ok (t, t)
+       | _ -> Error (Printf.sprintf "bad thread id %S" r))
+    | Some i ->
+      let lo = String.sub r 0 i
+      and hi = String.sub r (i + 1) (String.length r - i - 1) in
+      (match (int_of_string_opt lo, int_of_string_opt hi) with
+       | Some lo, Some hi when 0 <= lo && lo <= hi -> Ok (lo, hi)
+       | _ -> Error (Printf.sprintf "bad thread range %S" r))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | r :: rest ->
+      (match parse_range r with
+       | Ok rg -> go (rg :: acc) rest
+       | Error e -> Error e)
+  in
+  match split_on '+' s with
+  | [] -> Error "empty thread list"
+  | rs -> go [] rs
+
+let parse_fields s =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | f :: rest ->
+      (match String.index_opt f '=' with
+       | None -> Error (Printf.sprintf "field %S is not key=value" f)
+       | Some i ->
+         let k = String.trim (String.sub f 0 i)
+         and v = String.trim (String.sub f (i + 1) (String.length f - i - 1)) in
+         if k = "" || v = "" then
+           Error (Printf.sprintf "field %S is not key=value" f)
+         else go ((k, v) :: acc) rest)
+  in
+  go [] (split_on ',' s)
+
+let ( let* ) = Result.bind
+
+let parse_group name fields =
+  let threads = ref [] and low = ref None and high = ref None and max_ = ref None in
+  let rec go = function
+    | [] -> Ok ()
+    | (k, v) :: rest ->
+      let* () =
+        match k with
+        | "threads" ->
+          let* t = parse_threads v in
+          threads := t;
+          Ok ()
+        | "low" ->
+          let* a = parse_amount v in
+          low := Some a;
+          Ok ()
+        | "high" ->
+          let* a = parse_amount v in
+          high := Some a;
+          Ok ()
+        | "max" ->
+          let* a = parse_amount v in
+          max_ := Some a;
+          Ok ()
+        | _ -> Error (Printf.sprintf "cgroup %s: unknown key %S" name k)
+      in
+      go rest
+  in
+  let* () = go fields in
+  if !threads = [] then
+    Error (Printf.sprintf "cgroup %s: missing threads=" name)
+  else
+    Ok { g_name = name; g_threads = !threads; g_low = !low; g_high = !high;
+         g_max = !max_ }
+
+let parse_proactive fields =
+  let interval = ref 100_000_000 and threshold = ref 0.10 and step = ref (Frac 0.01) in
+  let rec go = function
+    | [] -> Ok ()
+    | (k, v) :: rest ->
+      let* () =
+        match k with
+        | "interval" ->
+          let* d = parse_duration v in
+          interval := d;
+          Ok ()
+        | "threshold" ->
+          (match float_of_string_opt v with
+           | Some f when f >= 0.0 && f <= 1.0 ->
+             threshold := f;
+             Ok ()
+           | _ -> Error (Printf.sprintf "proactive: bad threshold %S" v))
+        | "step" ->
+          let* a = parse_amount v in
+          step := a;
+          Ok ()
+        | _ -> Error (Printf.sprintf "proactive: unknown key %S" k)
+      in
+      go rest
+  in
+  let* () = go fields in
+  Ok { p_interval_ns = !interval; p_threshold = !threshold; p_step = !step }
+
+let parse_spec s =
+  let rec go groups proactive psi = function
+    | [] ->
+      if groups = [] && proactive = None then
+        Error "empty --cgroups spec"
+      else
+        Ok { groups = List.rev groups; proactive;
+             psi_interval_ns = (match psi with Some p -> p | None -> default_psi_interval_ns) }
+    | seg :: rest ->
+      let name, fields_s =
+        match String.index_opt seg ':' with
+        | None -> (String.trim seg, "")
+        | Some i ->
+          (String.trim (String.sub seg 0 i),
+           String.sub seg (i + 1) (String.length seg - i - 1))
+      in
+      (match name with
+       | "proactive" ->
+         let* fields = parse_fields fields_s in
+         let* p = parse_proactive fields in
+         go groups (Some p) psi rest
+       | "psi" ->
+         let* fields = parse_fields fields_s in
+         (match fields with
+          | [ ("interval", v) ] ->
+            let* d = parse_duration v in
+            go groups proactive (Some d) rest
+          | _ -> Error "psi: takes exactly interval=")
+       | _ ->
+         if not (name_ok name) then
+           Error (Printf.sprintf "bad cgroup name %S" name)
+         else if name = "root" then Error "cgroup name 'root' is reserved"
+         else if List.exists (fun g -> g.g_name = name) groups then
+           Error (Printf.sprintf "duplicate cgroup %S" name)
+         else
+           let* fields = parse_fields fields_s in
+           let* g = parse_group name fields in
+           go (g :: groups) proactive psi rest)
+  in
+  go [] None None (split_on ';' s)
+
+let amount_to_string = function
+  | Pages p -> string_of_int p
+  | Frac f -> Printf.sprintf "%g%%" (f *. 100.0)
+
+let spec_to_string spec =
+  let buf = Buffer.create 128 in
+  let seg s = if Buffer.length buf > 0 then Buffer.add_char buf ';'; Buffer.add_string buf s in
+  List.iter
+    (fun g ->
+      let fields =
+        [ Printf.sprintf "threads=%s"
+            (String.concat "+"
+               (List.map
+                  (fun (lo, hi) ->
+                    if lo = hi then string_of_int lo
+                    else Printf.sprintf "%d-%d" lo hi)
+                  g.g_threads)) ]
+        @ (match g.g_low with None -> [] | Some a -> [ "low=" ^ amount_to_string a ])
+        @ (match g.g_high with None -> [] | Some a -> [ "high=" ^ amount_to_string a ])
+        @ (match g.g_max with None -> [] | Some a -> [ "max=" ^ amount_to_string a ])
+      in
+      seg (g.g_name ^ ":" ^ String.concat "," fields))
+    spec.groups;
+  (match spec.proactive with
+   | None -> ()
+   | Some p ->
+     seg
+       (Printf.sprintf "proactive:interval=%d,threshold=%g,step=%s" p.p_interval_ns
+          p.p_threshold (amount_to_string p.p_step)));
+  if spec.psi_interval_ns <> default_psi_interval_ns then
+    seg (Printf.sprintf "psi:interval=%d" spec.psi_interval_ns);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Runtime state                                                       *)
+
+(* Stall intervals arrive with non-decreasing start times (the machine
+   records them as simulated time moves forward), are clipped to the
+   window since the last advance, and folded into some/full by an
+   endpoint sweep.  Deterministic: no wall clock, no randomness. *)
+type psi_tracker = {
+  mutable pending : (int * int) list; (* (start, end), newest first *)
+  mutable last_advance : int;
+  mutable some_ns : int;
+  mutable full_ns : int;
+}
+
+let fresh_tracker () = { pending = []; last_advance = 0; some_ns = 0; full_ns = 0 }
+
+type cgroup = {
+  cg_name : string;
+  cg_low : int;
+  cg_high : int;      (* max_int = unlimited *)
+  cg_max : int;       (* max_int = unlimited *)
+  mutable cg_eff : int;       (* proactive effective limit *)
+  mutable cg_eff_set : bool;  (* probe has touched cg_eff *)
+  mutable cg_usage : int;
+  mutable cg_live : int;
+  mutable cg_throttles : int;
+  mutable cg_throttled_ns : int;
+  mutable cg_ooms : int;
+  mutable cg_probe_some : int; (* some_ns at the last proactive tick *)
+  cg_psi : psi_tracker;
+  mutable cg_read_lat : float list;  (* newest first *)
+  mutable cg_write_lat : float list;
+}
+
+type resolved_proactive = {
+  rp_threshold : float;
+  rp_step : int;
+}
+
+type t = {
+  cgs : cgroup array;          (* 0 = root *)
+  tid_cg : int array;          (* tid -> cgroup index *)
+  page_cg : int array;         (* vpn -> cgroup index, -1 = uncharged *)
+  streak : int array;          (* tid -> consecutive over-high charges *)
+  global : psi_tracker;
+  mutable global_live : int;
+  capacity : int;
+  proactive : resolved_proactive option;
+  psi_every : int;
+}
+
+let resolve_amount capacity = function
+  | Pages p -> p
+  | Frac f -> int_of_float (f *. float_of_int capacity)
+
+let create spec ~capacity_frames ~nthreads ~footprint_pages =
+  let limit capacity = function
+    | None -> max_int
+    | Some a -> resolve_amount capacity a
+  in
+  let mk_group g live =
+    {
+      cg_name = g.g_name;
+      cg_low = (match g.g_low with None -> 0 | Some a -> resolve_amount capacity_frames a);
+      cg_high = limit capacity_frames g.g_high;
+      cg_max = limit capacity_frames g.g_max;
+      cg_eff = max_int;
+      cg_eff_set = false;
+      cg_usage = 0;
+      cg_live = live;
+      cg_throttles = 0;
+      cg_throttled_ns = 0;
+      cg_ooms = 0;
+      cg_probe_some = 0;
+      cg_psi = fresh_tracker ();
+      cg_read_lat = [];
+      cg_write_lat = [];
+    }
+  in
+  let tid_cg = Array.make (max nthreads 1) 0 in
+  let claimed = Array.make (max nthreads 1) false in
+  List.iteri
+    (fun i g ->
+      List.iter
+        (fun (lo, hi) ->
+          for tid = lo to hi do
+            if tid >= nthreads then
+              invalid_arg
+                (Printf.sprintf "cgroup %s: thread %d out of range (%d threads)"
+                   g.g_name tid nthreads);
+            if claimed.(tid) then
+              invalid_arg
+                (Printf.sprintf "cgroup %s: thread %d already assigned" g.g_name tid);
+            claimed.(tid) <- true;
+            tid_cg.(tid) <- i + 1
+          done)
+        g.g_threads)
+    spec.groups;
+  let live_of cg =
+    let n = ref 0 in
+    Array.iteri (fun tid c -> if tid < nthreads && c = cg then incr n) tid_cg;
+    !n
+  in
+  let root =
+    mk_group
+      { g_name = "root"; g_threads = []; g_low = None; g_high = None; g_max = None }
+      0
+  in
+  let cgs =
+    Array.of_list (root :: List.map (fun g -> mk_group g 0) spec.groups)
+  in
+  Array.iteri (fun i cg -> cg.cg_live <- live_of i) cgs;
+  {
+    cgs;
+    tid_cg;
+    page_cg = Array.make (max footprint_pages 1) (-1);
+    streak = Array.make (max nthreads 1) 0;
+    global = fresh_tracker ();
+    global_live = nthreads;
+    capacity = capacity_frames;
+    proactive =
+      Option.map
+        (fun p ->
+          { rp_threshold = p.p_threshold;
+            rp_step = max 1 (resolve_amount capacity_frames p.p_step) })
+        spec.proactive;
+    psi_every =
+      (match spec.proactive with
+       | Some p -> min spec.psi_interval_ns p.p_interval_ns
+       | None -> spec.psi_interval_ns);
+  }
+
+let ncgroups t = Array.length t.cgs
+let name t cg = t.cgs.(cg).cg_name
+
+let cg_of_thread t tid =
+  if tid >= 0 && tid < Array.length t.tid_cg then t.tid_cg.(tid) else 0
+
+let cg_of_page t vpn = t.page_cg.(vpn)
+let usage t cg = t.cgs.(cg).cg_usage
+let low t cg = t.cgs.(cg).cg_low
+let high t cg = t.cgs.(cg).cg_high
+let max_limit t cg = t.cgs.(cg).cg_max
+let eff_limit t cg = t.cgs.(cg).cg_eff
+
+let charge t ~tid ~vpn =
+  let cg = cg_of_thread t tid in
+  (* A page can only be charged once: the machine maps each vpn to at
+     most one frame, and uncharges on eviction. *)
+  t.page_cg.(vpn) <- cg;
+  t.cgs.(cg).cg_usage <- t.cgs.(cg).cg_usage + 1
+
+let uncharge t ~vpn =
+  let cg = t.page_cg.(vpn) in
+  if cg >= 0 then begin
+    t.page_cg.(vpn) <- -1;
+    t.cgs.(cg).cg_usage <- t.cgs.(cg).cg_usage - 1
+  end
+
+
+let over_high t cg =
+  let g = t.cgs.(cg) in
+  g.cg_high < max_int && g.cg_usage > g.cg_high
+
+let high_overage t cg =
+  let g = t.cgs.(cg) in
+  if g.cg_high = max_int then 0 else max 0 (g.cg_usage - g.cg_high)
+
+let over_max t cg ~extra =
+  let g = t.cgs.(cg) in
+  g.cg_max < max_int && g.cg_usage + extra > g.cg_max
+
+let max_overage t cg ~extra =
+  let g = t.cgs.(cg) in
+  if g.cg_max = max_int then 0 else max 0 (g.cg_usage + extra - g.cg_max)
+
+let low_protected t cg =
+  let g = t.cgs.(cg) in
+  g.cg_low > 0 && g.cg_usage <= g.cg_low
+
+(* memory.high penalty: doubles per consecutive over-high charge, like
+   the transient-I/O retry backoff, capped at 2^10 * base and 100 ms. *)
+let throttle_cap_ns = 100_000_000
+
+let throttle_ns t ~tid ~base_ns =
+  let cg = cg_of_thread t tid in
+  if over_high t cg then begin
+    let s = t.streak.(tid) in
+    t.streak.(tid) <- s + 1;
+    let d = min (base_ns * (1 lsl min s 10)) throttle_cap_ns in
+    let g = t.cgs.(cg) in
+    g.cg_throttles <- g.cg_throttles + 1;
+    g.cg_throttled_ns <- g.cg_throttled_ns + d;
+    d
+  end
+  else begin
+    t.streak.(tid) <- 0;
+    0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* PSI                                                                 *)
+
+let record tracker ~t0 ~t1 =
+  if t1 > t0 then tracker.pending <- (t0, t1) :: tracker.pending
+
+let stall t ~tid ~t0 ~t1 =
+  if t1 > t0 then begin
+    record t.cgs.(cg_of_thread t tid).cg_psi ~t0 ~t1;
+    record t.global ~t0 ~t1
+  end
+
+let advance_tracker p ~live ~now =
+  if now > p.last_advance then begin
+    let lo = p.last_advance in
+    if p.pending <> [] then begin
+      let evs = ref [] in
+      List.iter
+        (fun (s, e) ->
+          let s = max s lo and e = min e now in
+          if e > s then evs := (s, 1) :: (e, -1) :: !evs)
+        p.pending;
+      let evs =
+        List.sort
+          (fun (a, da) (b, db) ->
+            if a <> b then compare a b else compare db da)
+          !evs
+      in
+      let cur = ref 0 and last_t = ref lo and some = ref 0 and full = ref 0 in
+      List.iter
+        (fun (tm, d) ->
+          let dt = tm - !last_t in
+          if dt > 0 then begin
+            if !cur >= 1 then some := !some + dt;
+            if live > 0 && !cur >= live then full := !full + dt
+          end;
+          last_t := tm;
+          cur := !cur + d)
+        evs;
+      p.some_ns <- p.some_ns + !some;
+      p.full_ns <- p.full_ns + !full;
+      p.pending <- List.filter (fun (_, e) -> e > now) p.pending
+    end;
+    p.last_advance <- now
+  end
+
+let advance t ~now =
+  Array.iter (fun cg -> advance_tracker cg.cg_psi ~live:cg.cg_live ~now) t.cgs;
+  advance_tracker t.global ~live:t.global_live ~now
+
+let thread_exit t ~tid ~now =
+  (* Sweep stalls recorded up to the exit first, so the thread's final
+     stall intervals still count against the live set it belonged to —
+     otherwise a single-thread cgroup's last stall would be some-only. *)
+  advance t ~now;
+  let cg = cg_of_thread t tid in
+  t.cgs.(cg).cg_live <- max 0 (t.cgs.(cg).cg_live - 1);
+  t.global_live <- max 0 (t.global_live - 1)
+
+let psi_some t cg = t.cgs.(cg).cg_psi.some_ns
+let psi_full t cg = t.cgs.(cg).cg_psi.full_ns
+let machine_some t = t.global.some_ns
+let machine_full t = t.global.full_ns
+let psi_interval_ns t = t.psi_every
+
+(* ------------------------------------------------------------------ *)
+(* Proactive probe (Senpai): tighten the effective limit while the
+   group's PSI pressure over the last window stays under the threshold,
+   back off (twice as fast) once it crosses. *)
+
+let proactive_on t = t.proactive <> None
+
+let proactive_step t cg =
+  match t.proactive with
+  | None -> (0, 0)
+  | Some p ->
+    let g = t.cgs.(cg) in
+    let window = t.psi_every in
+    let delta = g.cg_psi.some_ns - g.cg_probe_some in
+    g.cg_probe_some <- g.cg_psi.some_ns;
+    let pressure_ppm = delta * 1_000_000 / max 1 window in
+    let ceiling = min g.cg_max t.capacity in
+    let floor_ = max g.cg_low (min 16 ceiling) in
+    if float_of_int pressure_ppm < p.rp_threshold *. 1e6 then begin
+      let base = if g.cg_eff_set then min g.cg_eff g.cg_usage else g.cg_usage in
+      g.cg_eff <- max floor_ (base - p.rp_step);
+      g.cg_eff_set <- true
+    end
+    else if g.cg_eff_set then
+      g.cg_eff <- min ceiling (g.cg_eff + (2 * p.rp_step));
+    let want = if g.cg_eff_set then max 0 (g.cg_usage - g.cg_eff) else 0 in
+    (want, pressure_ppm)
+
+(* ------------------------------------------------------------------ *)
+(* Counters and reports                                                *)
+
+let note_oom t cg = t.cgs.(cg).cg_ooms <- t.cgs.(cg).cg_ooms + 1
+let oom_kills t cg = t.cgs.(cg).cg_ooms
+let throttles t cg = t.cgs.(cg).cg_throttles
+let throttled_ns t cg = t.cgs.(cg).cg_throttled_ns
+
+let note_latency t ~tid ~cls ns =
+  let g = t.cgs.(cg_of_thread t tid) in
+  if cls = 0 then g.cg_read_lat <- ns :: g.cg_read_lat
+  else if cls = 1 then g.cg_write_lat <- ns :: g.cg_write_lat
+
+type report = {
+  r_name : string;
+  r_usage : int;
+  r_low : int;
+  r_high : int;
+  r_max : int;
+  r_limit : int;
+  r_throttles : int;
+  r_throttled_ns : int;
+  r_oom_kills : int;
+  r_psi_some_ns : int;
+  r_psi_full_ns : int;
+  r_read_latencies : float array;
+  r_write_latencies : float array;
+}
+
+type summary = {
+  s_groups : report list;
+  s_some_ns : int;
+  s_full_ns : int;
+}
+
+let summary t ~now =
+  advance t ~now;
+  let groups =
+    Array.to_list
+      (Array.map
+         (fun g ->
+           {
+             r_name = g.cg_name;
+             r_usage = g.cg_usage;
+             r_low = g.cg_low;
+             r_high = (if g.cg_high = max_int then -1 else g.cg_high);
+             r_max = (if g.cg_max = max_int then -1 else g.cg_max);
+             r_limit = (if g.cg_eff_set then g.cg_eff else -1);
+             r_throttles = g.cg_throttles;
+             r_throttled_ns = g.cg_throttled_ns;
+             r_oom_kills = g.cg_ooms;
+             r_psi_some_ns = g.cg_psi.some_ns;
+             r_psi_full_ns = g.cg_psi.full_ns;
+             r_read_latencies = Array.of_list (List.rev g.cg_read_lat);
+             r_write_latencies = Array.of_list (List.rev g.cg_write_lat);
+           })
+         t.cgs)
+  in
+  { s_groups = groups; s_some_ns = t.global.some_ns; s_full_ns = t.global.full_ns }
+
+(* Journal encoding.  Groups joined with '|', fields with ';', each
+   field 'k=v'; latency arrays are space-separated hex floats so the
+   round-trip is bit-exact.  Cgroup names are [A-Za-z0-9_-]+ by
+   construction, so the separators are safe. *)
+
+let floats_enc a =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%h") a))
+
+let floats_dec s =
+  if String.trim s = "" then Some [||]
+  else
+    let parts = split_on ' ' s in
+    let out = Array.make (List.length parts) 0.0 in
+    let ok = ref true in
+    List.iteri
+      (fun i p ->
+        match float_of_string_opt p with
+        | Some f -> out.(i) <- f
+        | None -> ok := false)
+      parts;
+    if !ok then Some out else None
+
+let report_enc r =
+  String.concat ";"
+    [
+      "name=" ^ r.r_name;
+      Printf.sprintf "usage=%d" r.r_usage;
+      Printf.sprintf "low=%d" r.r_low;
+      Printf.sprintf "high=%d" r.r_high;
+      Printf.sprintf "max=%d" r.r_max;
+      Printf.sprintf "limit=%d" r.r_limit;
+      Printf.sprintf "throttles=%d" r.r_throttles;
+      Printf.sprintf "throttled_ns=%d" r.r_throttled_ns;
+      Printf.sprintf "oom_kills=%d" r.r_oom_kills;
+      Printf.sprintf "psi_some_ns=%d" r.r_psi_some_ns;
+      Printf.sprintf "psi_full_ns=%d" r.r_psi_full_ns;
+      "rlat=" ^ floats_enc r.r_read_latencies;
+      "wlat=" ^ floats_enc r.r_write_latencies;
+    ]
+
+let summary_to_string s =
+  Printf.sprintf "some=%d,full=%d%s" s.s_some_ns s.s_full_ns
+    (String.concat ""
+       (List.map (fun r -> "|" ^ report_enc r) s.s_groups))
+
+let report_dec s =
+  let fields =
+    List.filter_map
+      (fun f ->
+        match String.index_opt f '=' with
+        | None -> None
+        | Some i ->
+          Some
+            ( String.sub f 0 i,
+              String.sub f (i + 1) (String.length f - i - 1) ))
+      (String.split_on_char ';' s)
+  in
+  let str k = List.assoc_opt k fields in
+  let int k = Option.bind (str k) int_of_string_opt in
+  match
+    ( str "name", int "usage", int "low", int "high", int "max", int "limit",
+      int "throttles", int "throttled_ns", int "oom_kills", int "psi_some_ns",
+      int "psi_full_ns" )
+  with
+  | ( Some name, Some usage, Some low, Some high, Some max_, Some limit,
+      Some throttles, Some throttled_ns, Some ooms, Some some, Some full ) ->
+    let lat k =
+      match str k with None -> Some [||] | Some v -> floats_dec v
+    in
+    (match (lat "rlat", lat "wlat") with
+     | Some rlat, Some wlat ->
+       Some
+         {
+           r_name = name;
+           r_usage = usage;
+           r_low = low;
+           r_high = high;
+           r_max = max_;
+           r_limit = limit;
+           r_throttles = throttles;
+           r_throttled_ns = throttled_ns;
+           r_oom_kills = ooms;
+           r_psi_some_ns = some;
+           r_psi_full_ns = full;
+           r_read_latencies = rlat;
+           r_write_latencies = wlat;
+         }
+     | _ -> None)
+  | _ -> None
+
+let summary_of_string s =
+  match String.split_on_char '|' s with
+  | [] -> None
+  | head :: groups ->
+    let kv =
+      List.filter_map
+        (fun f ->
+          match String.index_opt f '=' with
+          | None -> None
+          | Some i ->
+            Some
+              ( String.sub f 0 i,
+                String.sub f (i + 1) (String.length f - i - 1) ))
+        (String.split_on_char ',' head)
+    in
+    (match
+       ( Option.bind (List.assoc_opt "some" kv) int_of_string_opt,
+         Option.bind (List.assoc_opt "full" kv) int_of_string_opt )
+     with
+     | Some some, Some full ->
+       let rec decode acc = function
+         | [] -> Some (List.rev acc)
+         | g :: rest ->
+           (match report_dec g with
+            | Some r -> decode (r :: acc) rest
+            | None -> None)
+       in
+       Option.map
+         (fun gs -> { s_groups = gs; s_some_ns = some; s_full_ns = full })
+         (decode [] groups)
+     | _ -> None)

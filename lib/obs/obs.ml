@@ -21,6 +21,22 @@ type event =
       remapped : bool;
     }
   | Oom_kill of { tid : int; discarded : int }
+  | Throttle of { tid : int; cg : string; usage : int; high : int; stall_ns : int }
+  | Cgroup_reclaim of {
+      cg : string;
+      want : int;
+      freed : int;
+      scanned : int;
+      latency_ns : int;
+    }
+  | Cgroup_oom of { cg : string; tid : int; discarded : int }
+  | Psi of {
+      cg : string;
+      some_ns : int;
+      full_ns : int;
+      window_ns : int;
+      limit : int;
+    }
 
 let kind_name = function
   | Evict _ -> "evict"
@@ -31,6 +47,10 @@ let kind_name = function
   | Swap_read _ -> "swap_read"
   | Swap_write _ -> "swap_write"
   | Oom_kill _ -> "oom_kill"
+  | Throttle _ -> "throttle"
+  | Cgroup_reclaim _ -> "cgroup_reclaim"
+  | Cgroup_oom _ -> "cgroup_oom"
+  | Psi _ -> "psi"
 
 let promote_reason_name = function
   | Aging -> "aging"
@@ -173,6 +193,23 @@ let event_fields = function
     ]
   | Oom_kill { tid; discarded } ->
     [ ("tid", Int tid); ("discarded", Int discarded) ]
+  | Throttle { tid; cg; usage; high; stall_ns } ->
+    [
+      ("tid", Int tid); ("cg", Str cg); ("usage", Int usage);
+      ("high", Int high); ("stall_ns", Int stall_ns);
+    ]
+  | Cgroup_reclaim { cg; want; freed; scanned; latency_ns } ->
+    [
+      ("cg", Str cg); ("want", Int want); ("freed", Int freed);
+      ("scanned", Int scanned); ("latency_ns", Int latency_ns);
+    ]
+  | Cgroup_oom { cg; tid; discarded } ->
+    [ ("cg", Str cg); ("tid", Int tid); ("discarded", Int discarded) ]
+  | Psi { cg; some_ns; full_ns; window_ns; limit } ->
+    [
+      ("cg", Str cg); ("some_ns", Int some_ns); ("full_ns", Int full_ns);
+      ("window_ns", Int window_ns); ("limit", Int limit);
+    ]
 
 let escape_string s =
   let buf = Buffer.create (String.length s + 2) in

@@ -55,6 +55,28 @@ type event =
       remapped : bool;  (** moved off a bad block at least once *)
     }
   | Oom_kill of { tid : int; discarded : int }
+  | Throttle of { tid : int; cg : string; usage : int; high : int; stall_ns : int }
+      (** a [memory.high] breach stalled the faulting thread for
+          [stall_ns] of simulated time *)
+  | Cgroup_reclaim of {
+      cg : string;
+      want : int;
+      freed : int;
+      scanned : int;
+      latency_ns : int;
+    }
+      (** one cgroup-targeted reclaim episode ([memory.high]/[max]
+          enforcement or the proactive probe) *)
+  | Cgroup_oom of { cg : string; tid : int; discarded : int }
+      (** a scoped OOM kill confined to cgroup [cg]; the machine-wide
+          [Oom_kill] event is emitted alongside *)
+  | Psi of {
+      cg : string;
+      some_ns : int;   (** stall time accrued this window, some *)
+      full_ns : int;   (** stall time accrued this window, full *)
+      window_ns : int;
+      limit : int;     (** proactive effective limit; -1 when untouched *)
+    }
 
 val kind_name : event -> string
 (** Stable lowercase kind tag used in the JSONL [kind] field. *)

@@ -131,6 +131,12 @@ let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
           (Obs.Promote { pfn; reason = Obs.Second_chance });
         `Scanned
       end
+      else if not (t.env.Policy_intf.evictable ~pfn ~force) then begin
+        (* Cgroup gate: rotate back to the inactive head instead of
+           evicting; the scan budget keeps the pass bounded. *)
+        Structures.Dlist.move_head t.lists ~list:inactive ~node:pfn;
+        `Protected
+      end
       else begin
         Structures.Dlist.remove t.lists ~node:pfn;
         t.env.Policy_intf.reclaim_page ~pfn;
@@ -147,6 +153,11 @@ let shrink t ~want ~force stats =
     | `Empty ->
       (* Nothing inactive: pull from the active list directly. *)
       if not (deactivate_one t stats) then budget := 0
+    | `Protected ->
+      (* A protected-only inactive list must not starve the pass:
+         rotation cycles the same shielded pages between head and tail
+         forever, so feed fresh active pages in behind them. *)
+      ignore (deactivate_one t stats)
     | `Scanned | `Freed -> ());
     decr budget
   done

@@ -22,7 +22,7 @@ let on_page_mapped t ~pfn ~asid:_ ~vpn:_ ~refault ~file_backed:_ ~speculative:_ 
 let on_page_touched t ~pfn ~write:_ =
   Structures.Dlist.move_head t.order ~list:0 ~node:pfn
 
-let evict_one t (stats : Policy_intf.reclaim_stats) =
+let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
   match Structures.Dlist.pop_tail t.order 0 with
   | None -> false
   | Some pfn ->
@@ -30,19 +30,33 @@ let evict_one t (stats : Policy_intf.reclaim_stats) =
     stats.cpu_ns <- stats.cpu_ns + t.env.Policy_intf.costs.Mem.Costs.list_op_ns;
     Obs.Prof.charge t.env.Policy_intf.prof ~phase:Obs.Prof.Evict_scan
       t.env.Policy_intf.costs.Mem.Costs.list_op_ns;
-    if Mem.Frame_table.is_mapped t.env.Policy_intf.frames pfn then begin
-      t.env.Policy_intf.reclaim_page ~pfn;
-      t.evictions <- t.evictions + 1;
-      stats.freed <- stats.freed + 1
-    end;
+    if Mem.Frame_table.is_mapped t.env.Policy_intf.frames pfn then
+      if t.env.Policy_intf.evictable ~pfn ~force then begin
+        t.env.Policy_intf.reclaim_page ~pfn;
+        t.evictions <- t.evictions + 1;
+        stats.freed <- stats.freed + 1
+      end
+      else
+        (* Cgroup gate: rotate to the MRU end; recency order among
+           evictable pages is preserved. *)
+        Structures.Dlist.move_head t.order ~list:0 ~node:pfn;
     true
+
+(* Bounded like fifo: rotation can cycle the list under cgroups; the
+   budget never binds when they are off. *)
+let shrink t ~want ~force stats =
+  let budget = ref ((2 * t.env.Policy_intf.total_frames) + 8) in
+  let continue_ = ref true in
+  while stats.Policy_intf.freed < want && !continue_ && !budget > 0 do
+    continue_ := evict_one t ~force stats;
+    decr budget
+  done
 
 let direct_reclaim t ~want =
   let stats = Policy_intf.fresh_stats () in
-  let continue_ = ref true in
-  while stats.Policy_intf.freed < want && !continue_ do
-    continue_ := evict_one t stats
-  done;
+  shrink t ~want ~force:false stats;
+  if stats.Policy_intf.freed = 0 then
+    shrink t ~want ~force:true stats;
   stats
 
 let kswapd t () =
@@ -51,10 +65,7 @@ let kswapd t () =
     Policy_intf.Sleep_until_woken
   else begin
     let stats = Policy_intf.fresh_stats () in
-    let continue_ = ref true in
-    while stats.Policy_intf.freed < 32 && !continue_ do
-      continue_ := evict_one t stats
-    done;
+    shrink t ~want:32 ~force:false stats;
     if stats.Policy_intf.freed = 0 then Policy_intf.Sleep_until_woken
     else Policy_intf.Work (max stats.Policy_intf.cpu_ns 500)
   end

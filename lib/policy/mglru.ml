@@ -424,6 +424,16 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
             c.Mem.Costs.list_op_ns;
           `Scanned
         end
+        else if not (t.env.Policy_intf.evictable ~pfn ~force) then begin
+          (* Cgroup gate: outside the targeted group or shielded by
+             memory.low — park it one generation up, like a protected
+             tier, and keep scanning. *)
+          place t ~pfn ~seq:(min (t.min_seq + 1) t.max_seq) ~tier;
+          stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns;
+          Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+            c.Mem.Costs.list_op_ns;
+          `Scanned
+        end
         else begin
           Structures.Dlist.remove t.lists ~node:pfn;
           t.gen_of.(pfn) <- -1;

@@ -23,6 +23,15 @@ type env = {
       (** Machine callback: unmap the owning PTE, write back if needed,
           return the frame to the allocator.  The policy must already
           have detached the frame from its own structures. *)
+  evictable : pfn:int -> force:bool -> bool;
+      (** Cgroup gate, consulted {e before} detaching a candidate.  A
+          [false] answer means the frame is off-limits to this reclaim
+          pass — outside the targeted cgroup, or protected by
+          [memory.low] — and the policy must rotate it back instead of
+          calling [reclaim_page].  [force] mirrors the policy's own
+          escalation (a pass that freed nothing): it overrides
+          [memory.low] protection, never cgroup targeting.  Always
+          [true] when cgroups are off, making the check free. *)
   free_count : unit -> int;
   total_frames : int;
   low_watermark : int;

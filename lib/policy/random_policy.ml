@@ -13,29 +13,33 @@ let on_page_mapped t ~pfn:_ ~asid:_ ~vpn:_ ~refault ~file_backed:_ ~speculative:
 
 let on_page_touched _t ~pfn:_ ~write:_ = ()
 
-(* Rejection-sample a mapped frame; bounded then linear fallback. *)
-let pick_victim t =
+(* Rejection-sample a mapped, evictable frame; bounded then linear
+   fallback.  With cgroups off [evictable] is constant [true], so the
+   RNG draw sequence is unchanged. *)
+let pick_victim t ~force =
   let frames = t.env.Policy_intf.frames in
   let n = t.env.Policy_intf.total_frames in
+  let ok pfn =
+    Mem.Frame_table.is_mapped frames pfn
+    && t.env.Policy_intf.evictable ~pfn ~force
+  in
   let rec sample tries =
     if tries = 0 then None
     else begin
       let pfn = Engine.Rng.int t.env.Policy_intf.rng n in
-      if Mem.Frame_table.is_mapped frames pfn then Some pfn else sample (tries - 1)
+      if ok pfn then Some pfn else sample (tries - 1)
     end
   in
   match sample 64 with
   | Some pfn -> Some pfn
   | None ->
     let rec linear pfn =
-      if pfn >= n then None
-      else if Mem.Frame_table.is_mapped frames pfn then Some pfn
-      else linear (pfn + 1)
+      if pfn >= n then None else if ok pfn then Some pfn else linear (pfn + 1)
     in
     linear 0
 
-let evict_one t (stats : Policy_intf.reclaim_stats) =
-  match pick_victim t with
+let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
+  match pick_victim t ~force with
   | None -> false
   | Some pfn ->
     stats.scanned <- stats.scanned + 1;
@@ -46,12 +50,17 @@ let evict_one t (stats : Policy_intf.reclaim_stats) =
     stats.freed <- stats.freed + 1;
     true
 
-let direct_reclaim t ~want =
-  let stats = Policy_intf.fresh_stats () in
+let shrink t ~want ~force stats =
   let continue_ = ref true in
   while stats.Policy_intf.freed < want && !continue_ do
-    continue_ := evict_one t stats
-  done;
+    continue_ := evict_one t ~force stats
+  done
+
+let direct_reclaim t ~want =
+  let stats = Policy_intf.fresh_stats () in
+  shrink t ~want ~force:false stats;
+  if stats.Policy_intf.freed = 0 then
+    shrink t ~want ~force:true stats;
   stats
 
 let kswapd t () =
@@ -60,10 +69,7 @@ let kswapd t () =
     Policy_intf.Sleep_until_woken
   else begin
     let stats = Policy_intf.fresh_stats () in
-    let continue_ = ref true in
-    while stats.Policy_intf.freed < 32 && !continue_ do
-      continue_ := evict_one t stats
-    done;
+    shrink t ~want:32 ~force:false stats;
     if stats.Policy_intf.freed = 0 then Policy_intf.Sleep_until_woken
     else Policy_intf.Work (max stats.Policy_intf.cpu_ns 500)
   end

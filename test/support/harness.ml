@@ -29,6 +29,7 @@ let make_world ?(frames = 64) ?(pages = 256) ?(region_size = 16)
       rng = Engine.Rng.create seed;
       now = (fun () -> 0);
       reclaim_page = (fun ~pfn:_ -> ());
+      evictable = (fun ~pfn:_ ~force:_ -> true);
       free_count = (fun () -> 0);
       total_frames = frames;
       low_watermark = 0;
@@ -77,6 +78,7 @@ let make_world ?(frames = 64) ?(pages = 256) ?(region_size = 16)
       rng = Engine.Rng.create seed;
       now = (fun () -> world.now_ns);
       reclaim_page;
+      evictable = (fun ~pfn:_ ~force:_ -> true);
       free_count = (fun () -> Mem.Phys_mem.free_count mem);
       total_frames = frames;
       low_watermark = Mem.Phys_mem.low_watermark mem;

@@ -22,7 +22,8 @@ let make_world () =
   }
 
 let audit w =
-  I.audit ~pt:w.pt ~frames:w.frames ~mem:w.mem ~swap:w.swap ~retained_slot:w.retained
+  I.audit ~memcg:None ~owners:None ~pt:w.pt ~frames:w.frames ~mem:w.mem
+    ~swap:w.swap ~retained_slot:w.retained
 
 let map w ~vpn =
   match Mem.Phys_mem.alloc w.mem with
