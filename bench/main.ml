@@ -120,6 +120,183 @@ let figure_micro_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Policy-SDK hook dispatch overhead.                                  *)
+(*                                                                     *)
+(* Wall-clock cost of the guest hook surface: the host trampoline in   *)
+(* isolation (a no-op guest driven through Guest_host's fault path)    *)
+(* and each V1 hook body per guest at steady state (256 resident keys, *)
+(* evictions immediately re-faulted).  Results land in                 *)
+(* BENCH_policy_sdk.json as ns/hook and minor words/hook.              *)
+(* ------------------------------------------------------------------ *)
+
+module V1 = Policy.Hooks.V1
+
+module Null_guest = struct
+  type t = unit
+
+  let name = "null"
+  let api_version = 1
+  let init _ = ()
+  let on_fault () _ = ()
+  let on_access_sample () _ = ()
+  let on_scan_tick () = ()
+  let evict_request () ~want:_ = []
+  let stats () = []
+  let gauges () = []
+end
+
+module Null_host = Policy.Guest_host.Host (Null_guest)
+
+let sdk_env () =
+  let frames = 256 in
+  let pt = Mem.Page_table.create ~asid:0 ~pages:1024 () in
+  let ft = Mem.Frame_table.create ~frames in
+  let mem = Mem.Phys_mem.create ~frames () in
+  {
+    Policy.Policy_intf.costs = Mem.Costs.default;
+    frames = ft;
+    page_table_of = (fun _ -> pt);
+    address_spaces = (fun () -> [ pt ]);
+    rng = Engine.Rng.create 11;
+    now = (fun () -> 0);
+    reclaim_page = (fun ~pfn:_ -> ());
+    evictable = (fun ~pfn:_ ~force:_ -> true);
+    free_count = (fun () -> Mem.Phys_mem.free_count mem);
+    total_frames = frames;
+    low_watermark = Mem.Phys_mem.low_watermark mem;
+    high_watermark = Mem.Phys_mem.high_watermark mem;
+    obs = Obs.disabled;
+    prof = Obs.Prof.disabled;
+  }
+
+let bench_dispatch_overhead =
+  let p = Null_host.create (sdk_env ()) in
+  let i = ref 0 in
+  Test.make ~name:"host-dispatch-overhead"
+    (Staged.stage (fun () ->
+         incr i;
+         Null_host.on_page_mapped p ~pfn:(!i land 255) ~asid:0
+           ~vpn:(!i land 255) ~refault:false ~file_backed:false
+           ~speculative:false))
+
+let sdk_guests =
+  [
+    ("s3-fifo", (module Policy.S3_fifo : V1.GUEST));
+    ("sieve", (module Policy.Sieve : V1.GUEST));
+    ("perceptron", (module Policy.Perceptron : V1.GUEST));
+  ]
+
+let guest_hook_tests (name, (module G : V1.GUEST)) =
+  let n = 256 in
+  let rng = Engine.Rng.create 7 in
+  let ctx =
+    {
+      V1.now = (fun () -> 0);
+      free_count = (fun () -> n / 8);
+      total_frames = n;
+      low_watermark = n / 8;
+      high_watermark = n / 4;
+      page =
+        (fun ~pfn ->
+          if pfn >= 0 && pfn < n then
+            Some
+              { V1.accessed = pfn land 1 = 0; dirty = false; file_backed = false }
+          else None);
+      evictable_hint = (fun ~pfn -> pfn >= 0 && pfn < n);
+      rand = (fun bound -> Engine.Rng.int rng bound);
+    }
+  in
+  let g = G.init ctx in
+  let fault pfn ~reinserted =
+    G.on_fault g
+      {
+        V1.pfn = pfn land (n - 1);
+        key = pfn land (n - 1);
+        refault = true;
+        file_backed = false;
+        speculative = false;
+        reinserted;
+      }
+  in
+  for pfn = 0 to n - 1 do
+    fault pfn ~reinserted:false
+  done;
+  let i = ref 0 in
+  [
+    Test.make ~name:(name ^ "/on_fault")
+      (Staged.stage (fun () ->
+           incr i;
+           fault !i ~reinserted:false));
+    Test.make ~name:(name ^ "/on_access_sample")
+      (Staged.stage (fun () ->
+           incr i;
+           G.on_access_sample g { V1.pfn = !i land (n - 1); dirty = false }));
+    Test.make ~name:(name ^ "/on_scan_tick")
+      (Staged.stage (fun () -> G.on_scan_tick g));
+    Test.make ~name:(name ^ "/evict_request")
+      (Staged.stage (fun () ->
+           (* Re-fault what the guest hands back so occupancy — and
+              therefore per-call work — stays constant. *)
+           List.iter (fun pfn -> fault pfn ~reinserted:false)
+             (G.evict_request g ~want:1)));
+  ]
+
+let run_sdk_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let clock = Instance.monotonic_clock in
+  let alloc = Instance.minor_allocated in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let tests =
+    Test.make_grouped ~name:"policy-sdk"
+      (bench_dispatch_overhead :: List.concat_map guest_hook_tests sdk_guests)
+  in
+  let raw = Benchmark.all cfg [ clock; alloc ] tests in
+  let times = Analyze.all ols clock raw in
+  let allocs = Analyze.all ols alloc raw in
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> (
+      match Analyze.OLS.estimates r with Some (t :: _) -> Some t | _ -> None)
+    | None -> None
+  in
+  let names =
+    List.sort compare
+      (Hashtbl.fold (fun name _ acc -> name :: acc) times [])
+  in
+  print_endline "=== Policy-SDK hook dispatch (ns/hook, minor words/hook) ===";
+  let rows =
+    List.map
+      (fun name ->
+        let ns = estimate times name and words = estimate allocs name in
+        Printf.printf "%-44s %10s ns %8s words\n" name
+          (match ns with Some t -> Printf.sprintf "%.1f" t | None -> "?")
+          (match words with Some w -> Printf.sprintf "%.1f" w | None -> "?");
+        (name, ns, words))
+      names
+  in
+  let oc = open_out "BENCH_policy_sdk.json" in
+  let j = function Some v -> Printf.sprintf "%.2f" v | None -> "null" in
+  output_string oc "{\n";
+  output_string oc "  \"benchmark\": \"policy_sdk_hook_dispatch\",\n";
+  output_string oc
+    "  \"units\": { \"time\": \"ns/hook\", \"alloc\": \"minor words/hook\" },\n";
+  output_string oc "  \"results\": [\n";
+  List.iteri
+    (fun k (name, ns, words) ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"ns_per_hook\": %s, \"minor_words_per_hook\": %s }%s\n"
+        name (j ns) (j words)
+        (if k = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  print_endline "(wrote BENCH_policy_sdk.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let run_benchmarks () =
   let ols =
@@ -154,7 +331,10 @@ let run_benchmarks () =
 let () =
   (match Sys.getenv_opt "REPRO_SKIP_MICRO" with
   | Some _ -> print_endline "(skipping bechamel microbenchmarks)"
-  | None -> run_benchmarks ());
+  | None ->
+    run_benchmarks ();
+    print_newline ();
+    run_sdk_benchmarks ());
   print_newline ();
   print_endline "=== Full figure reproduction ===";
   let profile = Repro_core.Runner.profile_from_env () in

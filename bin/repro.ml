@@ -5,8 +5,10 @@
    repro list                 show available workloads and policies
    repro sweep ...            capacity-ratio sweep for one workload
    repro profile ...          per-phase CPU attribution tables
+   repro regret ...           faults-over-Belady scoreboard
    repro trace-summary FILE   aggregate a JSONL trace into tables
    repro fleet ...            multi-tenant containment experiment
+   repro --list-policies      versioned policy descriptor table
 
    Every subcommand builds one explicit Repro_core.Runner.ctx from its
    flags (scaling profile, fault plan, audit cadence, --jobs, telemetry,
@@ -306,7 +308,17 @@ let policy_conv =
   let parse s =
     match Policy.Registry.of_name (String.lowercase_ascii s) with
     | Some spec -> Ok spec
-    | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+    | None ->
+      let hint =
+        match Policy.Registry.suggest s with
+        | Some near -> Printf.sprintf " (did you mean %S?)" near
+        | None -> ""
+      in
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown policy %S%s; `repro --list-policies` shows the table" s
+             hint))
   in
   Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Policy.Registry.name p))
 
@@ -362,7 +374,8 @@ let run_cmd =
              ~doc:
                "clock | mglru | gen14 | scan-all | scan-none | scan-rand | fifo | \
                 random | lru-exact | crash-test (always fails; exercises \
-                failure isolation)")
+                failure isolation) | s3-fifo | sieve | perceptron (hook-API \
+                guests; see $(b,repro --list-policies))")
   in
   let ratio =
     Arg.(value & opt float 0.5
@@ -477,6 +490,20 @@ let run_cmd =
 
 (* ---------------- list ---------------- *)
 
+let policy_table () =
+  Repro_core.Report.table
+    ~header:[ "policy"; "kind"; "doc"; "default knobs" ]
+    (List.map
+       (fun d ->
+         [
+           d.Policy.Registry.d_name;
+           Policy.Registry.kind_label d.Policy.Registry.d_kind;
+           d.Policy.Registry.d_doc;
+           String.concat " "
+             (List.map (fun (k, v) -> k ^ "=" ^ v) d.Policy.Registry.d_knobs);
+         ])
+       Policy.Registry.descriptors)
+
 let list_cmd =
   let run () =
     print_endline "workloads:";
@@ -484,7 +511,7 @@ let list_cmd =
       (fun w -> Printf.printf "  %s\n" (Repro_core.Runner.workload_kind_name w))
       Repro_core.Runner.all_workloads;
     print_endline "policies:";
-    List.iter (fun n -> Printf.printf "  %s\n" n) Policy.Registry.known_names;
+    policy_table ();
     print_endline "swap media:";
     print_endline "  ssd   (~7.5 ms / 4 KB op, the paper's measured device)";
     print_endline "  zram  (20/35 us, LZO-RLE-like compression)"
@@ -746,6 +773,58 @@ let fleet_cmd =
          "Run N YCSB tenants of different temperatures under per-tenant           memory cgroups and report per-tenant latency tails, PSI,           throttling and scoped OOM kills.  Without $(b,--cgroups), a           default containment spec is applied: the hot tenant throttled           at 30% and hard-capped at 40% of capacity, neighbours           protected by memory.low, proactive reclaim on.")
     Term.(ret (const run $ setup_term () $ tenants $ hot $ policy $ ratio $ swap))
 
+(* ---------------- regret ---------------- *)
+
+let regret_cmd =
+  let workloads =
+    Arg.(value & opt_all workload_conv []
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+             ~doc:"Workload to score (repeatable; default: tpch and pagerank).")
+  in
+  let policies =
+    Arg.(value & opt_all policy_conv []
+         & info [ "p"; "policy" ] ~docv:"POLICY"
+             ~doc:
+               "Policy to score (repeatable; default: clock, mglru, s3-fifo, \
+                sieve, perceptron).")
+  in
+  let ratios =
+    Arg.(value & opt_all float []
+         & info [ "r"; "ratio" ] ~docv:"R"
+             ~doc:
+               "Memory capacity / footprint (repeatable; default: 0.5 and \
+                0.9).")
+  in
+  let swap =
+    Arg.(value & opt swap_conv Repro_core.Runner.Ssd
+         & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
+  in
+  let run setup workloads policies ratios swap =
+    let ctx = setup.ctx in
+    let workloads =
+      match workloads with [] -> Repro_core.Regret.default_workloads | ws -> ws
+    in
+    let policies =
+      match policies with [] -> Repro_core.Regret.default_policies | ps -> ps
+    in
+    let ratios =
+      match ratios with [] -> Repro_core.Regret.default_ratios | rs -> rs
+    in
+    let cells = Repro_core.Regret.compute ctx ~workloads ~policies ~ratios ~swap in
+    Repro_core.Regret.print ~swap cells;
+    finalize setup
+  in
+  Cmd.v
+    (Cmd.info "regret"
+       ~doc:
+         "Score policies against Belady's offline optimum: for each \
+          workload x pressure cell, print mean demand faults over the \
+          OPT refetch count on the same deterministically derived \
+          reference trace.  The standing scoreboard every policy — \
+          builtin or hook-API guest — lands on.  Output is byte-identical \
+          for every $(b,--jobs) value.")
+    Term.(const run $ setup_term () $ workloads $ policies $ ratios $ swap)
+
 (* ---------------- trace-summary ---------------- *)
 
 let trace_summary_cmd =
@@ -772,11 +851,31 @@ let main =
   let doc =
     "reproduction harness for 'Characterizing Emerging Page Replacement Policies'"
   in
-  Cmd.group
+  (* `repro --list-policies` (no subcommand) prints the descriptor
+     table; any other bare invocation shows help, as before. *)
+  let default =
+    let list_policies =
+      Arg.(value & flag
+           & info [ "list-policies" ]
+               ~doc:
+                 "Print the policy descriptor table (name, kind with hook-API \
+                  version, doc, default knobs) and exit.")
+    in
+    Term.(
+      ret
+        (const (fun lp ->
+             if lp then begin
+               policy_table ();
+               `Ok ()
+             end
+             else `Help (`Pager, None))
+        $ list_policies))
+  in
+  Cmd.group ~default
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
     [
       fig_cmd; run_cmd; list_cmd; sweep_cmd; ablate_cmd; tier_cmd; export_cmd;
-      profile_cmd; trace_summary_cmd; fleet_cmd;
+      profile_cmd; regret_cmd; trace_summary_cmd; fleet_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,51 @@
+(** Belady regret scoreboard: demand faults over the offline optimum.
+
+    The standing comparison surface every policy — builtin or guest —
+    lands on: for each workload x pressure cell, the mean demand-fault
+    count of the online policy divided by the mean refetch count of
+    Belady's OPT on a deterministically derived reference trace of the
+    same seeded workload instances.  Rides the {!Runner} cache/journal/
+    jobs machinery, so `repro regret` output is byte-identical for every
+    [--jobs] value. *)
+
+type cell = {
+  c_workload : Runner.workload_kind;
+  c_policy : Policy.Registry.spec;
+  c_ratio : float;
+  c_trials : int;
+  c_failed : int;  (** trials that raised or timed out *)
+  c_policy_faults : float;  (** mean major faults; NaN if all failed *)
+  c_belady_faults : float;  (** mean Belady refetches (faults - cold) *)
+  c_regret : float;  (** [c_policy_faults /. c_belady_faults] *)
+}
+
+val default_policies : Policy.Registry.spec list
+(** Scoreboard default: clock, mglru, s3-fifo, sieve, perceptron. *)
+
+val default_workloads : Runner.workload_kind list
+(** TPC-H and PageRank. *)
+
+val default_ratios : float list
+(** 50% and 90% memory pressure. *)
+
+val reference_trace : Workload.Chunk.packed -> int array
+(** Dry-run a fresh workload instance into a page-reference string:
+    threads interleaved round-robin at chunk granularity, rendezvousing
+    at barriers.  Consumes the instance — pass a freshly made one. *)
+
+val capacity_for : footprint:int -> ratio:float -> int
+(** The machine-sizing formula the runner uses, exposed so Belady runs
+    against exactly the cell's frame count. *)
+
+val compute :
+  Runner.ctx ->
+  workloads:Runner.workload_kind list ->
+  policies:Policy.Registry.spec list ->
+  ratios:float list ->
+  swap:Runner.swap_medium ->
+  cell list
+(** Prefetch the whole grid through the ctx pool, then assemble cells
+    serially (workload-major, then ratio, then policy) — deterministic
+    for every [jobs] value. *)
+
+val print : swap:Runner.swap_medium -> cell list -> unit

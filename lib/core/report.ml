@@ -382,23 +382,31 @@ let profile_table (m : Obs.Prof.merged) =
     if not (Obs.Prof.wait_phase (Obs.Prof.phase_of_index i)) then
       cpu_total := !cpu_total + self_total i
   done;
+  (* Guest-hook phases appear only when a guest policy actually charged
+     them, keeping builtin-only tables identical to pre-SDK output. *)
+  let visible =
+    List.filter
+      (fun p ->
+        let i = Obs.Prof.phase_index p in
+        (not (Obs.Prof.guest_phase p)) || self_total i > 0 || incl.(i) > 0)
+      (Array.to_list Obs.Prof.all_phases)
+  in
   let rows =
-    Array.to_list
-      (Array.map
-         (fun p ->
-           let i = Obs.Prof.phase_index p in
-           let st = self_total i in
-           Obs.Prof.phase_name p
-           :: List.init ncls (fun c -> fns (float_of_int self.(c).(i)))
-           @ [
-               fns (float_of_int st);
-               fns (float_of_int incl.(i));
-               (if Obs.Prof.wait_phase p || !cpu_total = 0 then "-"
-                else
-                  Printf.sprintf "%.1f%%"
-                    (100.0 *. float_of_int st /. float_of_int !cpu_total));
-             ])
-         Obs.Prof.all_phases)
+    List.map
+      (fun p ->
+        let i = Obs.Prof.phase_index p in
+        let st = self_total i in
+        Obs.Prof.phase_name p
+        :: List.init ncls (fun c -> fns (float_of_int self.(c).(i)))
+        @ [
+            fns (float_of_int st);
+            fns (float_of_int incl.(i));
+            (if Obs.Prof.wait_phase p || !cpu_total = 0 then "-"
+             else
+               Printf.sprintf "%.1f%%"
+                 (100.0 *. float_of_int st /. float_of_int !cpu_total));
+          ])
+      visible
   in
   table
     ~header:

@@ -8,6 +8,7 @@ type t = {
   region_size : int;
   spatial_scan_max : int;
   barrier_ns : int;
+  hook_dispatch_ns : int; (* guest-hook call overhead (Policy_hooks V1) *)
 }
 
 let default =
@@ -21,6 +22,10 @@ let default =
     region_size = 512;
     spatial_scan_max = 512;
     barrier_ns = 5_000;
+    (* A restricted guest call prices like an eBPF program invocation:
+       trampoline + bounds checks, well under a rmap walk but far from
+       free once multiplied by every fault and access sample. *)
+    hook_dispatch_ns = 80;
   }
 
 let scaled ?(factor = 256) t =
@@ -35,10 +40,12 @@ let scaled ?(factor = 256) t =
     bloom_update_ns = t.bloom_update_ns * factor;
     list_op_ns = t.list_op_ns * factor;
     fault_trap_ns = t.fault_trap_ns * 20;
+    hook_dispatch_ns = t.hook_dispatch_ns * factor;
   }
 
 let pp fmt t =
   Format.fprintf fmt
-    "pte_scan=%dns rmap=%dns bloom=%d/%dns list=%dns trap=%dns region=%d spatial<=%d"
+    "pte_scan=%dns rmap=%dns bloom=%d/%dns list=%dns trap=%dns region=%d \
+     spatial<=%d hook=%dns"
     t.pte_scan_ns t.rmap_walk_ns t.bloom_query_ns t.bloom_update_ns t.list_op_ns
-    t.fault_trap_ns t.region_size t.spatial_scan_max
+    t.fault_trap_ns t.region_size t.spatial_scan_max t.hook_dispatch_ns

@@ -17,6 +17,8 @@ type t = {
   region_size : int;      (** PTEs per page-table leaf region *)
   spatial_scan_max : int; (** max PTEs scanned around an eviction-side hit *)
   barrier_ns : int;       (** synchronization cost at a workload barrier *)
+  hook_dispatch_ns : int; (** one guest-hook invocation (trampoline +
+                              capability checks), per call *)
 }
 
 val default : t

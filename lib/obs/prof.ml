@@ -19,10 +19,15 @@ type phase =
   | Swap_wait
   | Barrier_wait
   | Oom_kill
+  | Hook_fault
+  | Hook_access
+  | Hook_tick
+  | Hook_evict
 
 let all_phases =
   [| App_compute; Fault_handling; Rmap_walk; Pte_scan; Aging_walk;
-     Evict_scan; Writeback_wait; Swap_wait; Barrier_wait; Oom_kill |]
+     Evict_scan; Writeback_wait; Swap_wait; Barrier_wait; Oom_kill;
+     Hook_fault; Hook_access; Hook_tick; Hook_evict |]
 
 let n_phases = Array.length all_phases
 
@@ -37,6 +42,10 @@ let phase_index = function
   | Swap_wait -> 7
   | Barrier_wait -> 8
   | Oom_kill -> 9
+  | Hook_fault -> 10
+  | Hook_access -> 11
+  | Hook_tick -> 12
+  | Hook_evict -> 13
 
 let phase_of_index i =
   if i < 0 || i >= n_phases then
@@ -54,15 +63,27 @@ let phase_name = function
   | Swap_wait -> "swap_wait"
   | Barrier_wait -> "barrier_wait"
   | Oom_kill -> "oom_kill"
+  | Hook_fault -> "hook_on_fault"
+  | Hook_access -> "hook_on_access_sample"
+  | Hook_tick -> "hook_on_scan_tick"
+  | Hook_evict -> "hook_evict_request"
 
 let wait_phase = function
   | Writeback_wait | Swap_wait | Barrier_wait -> true
   | _ -> false
 
+(* The guest-hook phases exist only for runs that host a guest policy
+   behind the Policy_hooks V1 API; builtin-only runs never charge them,
+   and the report tables hide their rows when empty so pre-SDK output
+   is byte-identical. *)
+let guest_phase = function
+  | Hook_fault | Hook_access | Hook_tick | Hook_evict -> true
+  | _ -> false
+
 (* Paths: an int encodes a root-first stack of phases, 4 bits per
-   frame ([phase_index + 1]; 0 terminates).  Ten phases fit in 4 bits
-   and realistic stacks are <= 4 deep, far below the 15-frame capacity
-   of a 63-bit int. *)
+   frame ([phase_index + 1]; 0 terminates).  Fourteen phases fit in 4
+   bits and realistic stacks are <= 4 deep, far below the 15-frame
+   capacity of a 63-bit int. *)
 
 let path_code phases =
   List.fold_left (fun acc p -> (acc * 16) + phase_index p + 1) 0 phases

@@ -38,6 +38,10 @@ type phase =
   | Swap_wait
   | Barrier_wait
   | Oom_kill
+  | Hook_fault   (** guest [on_fault] dispatch (Policy_hooks V1) *)
+  | Hook_access  (** guest [on_access_sample] dispatch *)
+  | Hook_tick    (** guest [on_scan_tick] dispatch *)
+  | Hook_evict   (** guest [evict_request] dispatch + host validation *)
 
 val all_phases : phase array
 (** Taxonomy order; also the rendering order of report tables. *)
@@ -57,6 +61,11 @@ val phase_name : phase -> string
 val wait_phase : phase -> bool
 (** True for phases that measure stall time rather than compute
     ([Writeback_wait], [Swap_wait], [Barrier_wait]). *)
+
+val guest_phase : phase -> bool
+(** True for the guest-hook phases ([Hook_*]).  Builtin-only runs never
+    charge them; report tables render their rows only when nonzero, so
+    pre-SDK output is unchanged. *)
 
 val path_code : phase list -> int
 (** Encode a root-first phase stack as an int, 4 bits per frame. *)

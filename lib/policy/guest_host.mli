@@ -1,0 +1,21 @@
+(** Host adapter: run a {!Hooks.V1} guest behind the privileged
+    {!Policy_intf.S} contract.
+
+    The adapter is the trust boundary of the policy SDK.  It negotiates
+    the hook API version at construction (an incompatible guest fails
+    loudly through the registry's failure-isolation path), performs the
+    accessed-bit scan that feeds [on_access_sample], validates every
+    [evict_request] nomination against the frame table and the cgroup
+    [evictable] gate before freeing anything, re-injects rejected
+    candidates back into the guest, and keeps a linear failsafe sweep so
+    forward progress never depends on guest quality.
+
+    Every guest interaction is priced ([Mem.Costs.hook_dispatch_ns] per
+    dispatch plus metered context queries) and charged into the same CPU
+    channels builtin policies use, attributed to the [Hook_*] phases of
+    {!Obs.Prof}: direct-reclaim dispatches flow through
+    [reclaim_stats.cpu_ns], background-scan dispatches through the
+    ["guest_scan"] kthread's [Work] steps, and fault-path dispatches are
+    accrued as a debt flushed into the next of either. *)
+
+module Host (G : Hooks.V1.GUEST) : Policy_intf.S

@@ -1,0 +1,65 @@
+(* Versioned guest hook API.  See hooks.mli for the contract; this file
+   is deliberately dependency-free so a guest policy compiles against
+   types only and can never reach machine internals. *)
+
+module V1 = struct
+  let version = 1
+
+  type page_info = { accessed : bool; dirty : bool; file_backed : bool }
+
+  type fault = {
+    pfn : int;
+    key : int;
+    refault : bool;
+    file_backed : bool;
+    speculative : bool;
+    reinserted : bool;
+  }
+
+  type sample = { pfn : int; dirty : bool }
+
+  type meter = { mutable page_queries : int; mutable evictable_queries : int }
+
+  let fresh_meter () = { page_queries = 0; evictable_queries = 0 }
+
+  let drain_meter m ~page_ns ~evictable_ns =
+    let ns = (m.page_queries * page_ns) + (m.evictable_queries * evictable_ns) in
+    m.page_queries <- 0;
+    m.evictable_queries <- 0;
+    ns
+
+  type ctx = {
+    now : unit -> int;
+    free_count : unit -> int;
+    total_frames : int;
+    low_watermark : int;
+    high_watermark : int;
+    page : pfn:int -> page_info option;
+    evictable_hint : pfn:int -> bool;
+    rand : int -> int;
+  }
+
+  module type GUEST = sig
+    type t
+
+    val name : string
+    val api_version : int
+    val init : ctx -> t
+    val on_fault : t -> fault -> unit
+    val on_access_sample : t -> sample -> unit
+    val on_scan_tick : t -> unit
+    val evict_request : t -> want:int -> int list
+    val stats : t -> (string * int) list
+    val gauges : t -> (string * float) list
+  end
+
+  let negotiate ~guest_version =
+    if guest_version = version then Ok version
+    else
+      Error
+        (Printf.sprintf
+           "guest requires hook API v%d, host speaks only v%d" guest_version
+           version)
+end
+
+let current_version = V1.version

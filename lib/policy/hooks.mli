@@ -1,0 +1,129 @@
+(** Versioned, capability-restricted hook API for guest eviction
+    policies.
+
+    {!Policy_intf.S} is the privileged contract: a builtin policy
+    (Clock, MG-LRU) holds the frame table, walks raw page tables, and
+    calls [reclaim_page] itself.  Guests get none of that.  Following
+    the cachebpf / LearnedCache line of work, a guest programs against a
+    narrow, versioned surface of exactly four hooks, and the host — the
+    {!Guest_host.Host} adapter — retains every dangerous capability:
+
+    - the guest never sees [reclaim_page]; {!V1.GUEST.evict_request}
+      only {e nominates} candidate PFNs, and the host validates each one
+      (in range, still mapped, and past the cgroup / [memory.low]
+      [evictable] gate) before freeing it;
+    - the guest never touches raw page tables; {!V1.ctx.page} returns a
+      read-only {!V1.page_info} snapshot, and the accessed-bit stream
+      reaches it pre-digested through {!V1.GUEST.on_access_sample};
+    - every hook dispatch and every context query is priced through
+      {!Mem.Costs} ([hook_dispatch_ns], plus per-query costs metered by
+      {!V1.meter}) and attributed to the [Hook_*] phases of
+      {!Obs.Prof}, so guest overhead shows up in results and profiles
+      exactly like kernel reclaim work — never for free.
+
+    Version negotiation is explicit: a guest declares
+    {!V1.GUEST.api_version} and the host refuses construction unless
+    {!V1.negotiate} succeeds, so an incompatible guest fails loudly at
+    registry-construction time (surfacing through the runner's failure
+    isolation), not silently mid-run. *)
+
+module V1 : sig
+  val version : int
+  (** This revision of the hook surface: [1]. *)
+
+  type page_info = { accessed : bool; dirty : bool; file_backed : bool }
+  (** Read-only per-page metadata snapshot.  There is deliberately no
+      way back from a [page_info] to a PTE. *)
+
+  type fault = {
+    pfn : int;          (** frame just mapped *)
+    key : int;          (** stable identity of the backing virtual page,
+                            opaque to the guest; survives eviction, so
+                            ghost structures (S3-FIFO, perceptron
+                            training) key on it rather than on the
+                            recycled [pfn] *)
+    refault : bool;     (** contents came back from swap *)
+    file_backed : bool;
+    speculative : bool; (** readahead, not a demand access *)
+    reinserted : bool;  (** host re-injection: the guest nominated this
+                            frame for eviction but the host rejected it
+                            (cgroup-protected); the guest must track it
+                            again *)
+  }
+
+  type sample = { pfn : int; dirty : bool }
+  (** One element of the accessed-bit stream: the host's scanner found
+      this frame's A bit set (and cleared it). *)
+
+  type meter = { mutable page_queries : int; mutable evictable_queries : int }
+  (** Context-query counters the host converts to nanoseconds when the
+      enclosing hook dispatch is priced. *)
+
+  val fresh_meter : unit -> meter
+
+  val drain_meter : meter -> page_ns:int -> evictable_ns:int -> int
+  (** Convert and zero the counters; returns the owed nanoseconds. *)
+
+  type ctx = {
+    now : unit -> int;            (** simulated time *)
+    free_count : unit -> int;
+    total_frames : int;
+    low_watermark : int;
+    high_watermark : int;
+    page : pfn:int -> page_info option;
+        (** metadata handle; [None] when out of range or unmapped.
+            Priced per query. *)
+    evictable_hint : pfn:int -> bool;
+        (** advisory preview of the host's [evictable] gate; the host
+            re-checks every nomination regardless.  Priced per query. *)
+    rand : int -> int;
+        (** [rand n] is uniform in [0, n), drawn from the trial's
+            deterministic stream *)
+  }
+  (** Everything a guest may observe.  All capabilities are queries;
+      nothing here mutates machine state. *)
+
+  module type GUEST = sig
+    type t
+
+    val name : string
+
+    val api_version : int
+    (** Must equal {!version}; checked by {!negotiate} at construction. *)
+
+    val init : ctx -> t
+
+    val on_fault : t -> fault -> unit
+    (** A page was mapped (demand fault, readahead, or host
+        re-injection).  A [fault] for a key or pfn the guest already
+        tracks means its prior entry is stale — the host may have
+        reclaimed the frame behind the guest's back (failsafe sweep) and
+        reused it — and must be treated as a fresh insertion. *)
+
+    val on_access_sample : t -> sample -> unit
+    (** Fed from the accessed-bit stream by the host's periodic scan. *)
+
+    val on_scan_tick : t -> unit
+    (** End of one host scan batch; a coarse clock for aging logic. *)
+
+    val evict_request : t -> want:int -> int list
+    (** Nominate up to roughly [want] candidate PFNs, best victims
+        first.  Ownership transfers: the guest must forget nominated
+        frames; the host re-injects any rejected-but-still-mapped frame
+        via {!on_fault} with [reinserted = true].  Candidates that are
+        invalid (out of range, unmapped, stale) are discarded without
+        effect, which is also how stale entries for frames the host
+        reclaimed itself eventually wash out. *)
+
+    val stats : t -> (string * int) list
+
+    val gauges : t -> (string * float) list
+    (** Non-empty; same contract as {!Policy_intf.S.gauges}. *)
+  end
+
+  val negotiate : guest_version:int -> (int, string) result
+  (** [Ok version] when the host speaks the guest's declared version. *)
+end
+
+val current_version : int
+(** Newest hook API revision this host implements (= {!V1.version}). *)

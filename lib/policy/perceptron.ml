@@ -1,0 +1,218 @@
+(* LearnedCache-style perceptron eviction as a Hooks.V1 guest.
+
+   A single online perceptron classifies "safe to evict" over a small
+   binary feature vector (backing type, refault history, sampled access
+   frequency, age, protection history).  Candidates are drawn FIFO from
+   the tail; pages the perceptron predicts live are rotated back to the
+   head.  Training needs no oracle: every eviction parks the victim's
+   feature vector in a ghost ring keyed by page identity.  A ghost hit
+   on a later fault means the eviction was a mistake (the page came
+   back) — weights move toward "keep" for those features; a ghost entry
+   that ages out of the ring without refaulting confirms the eviction —
+   weights move toward "evict".  With zero weights the score ties at 0
+   and everything is evictable, so the policy starts as plain FIFO and
+   specializes as evidence arrives. *)
+
+module V1 = Hooks.V1
+
+let nfeat = 7
+let weight_cap = 64
+
+(* Feature indices (bit positions in a packed mask). *)
+let f_bias = 0
+let f_file = 1
+let f_refault = 2
+let f_freq1 = 3
+let f_freq2 = 4
+let f_old = 5
+let f_reinserted = 6
+
+let old_age_ticks = 8
+let refault_horizon_ticks = 64
+
+type t = {
+  queue : Structures.Dlist.t; (* single list 0: head = newest *)
+  resident : bool array;
+  file_backed : bool array;
+  refaulted : bool array;
+  reinserted : bool array;
+  freq : int array;
+  birth : int array; (* scan tick at insertion *)
+  key_of : int array;
+  weights : int array;
+  ghost_ring : int array; (* keys, -1 = empty *)
+  ghost_tbl : (int, int * int) Hashtbl.t; (* key -> (feature mask, tick) *)
+  mutable ghost_pos : int;
+  mutable tick : int;
+  mutable inserts : int;
+  mutable evictions : int;
+  mutable rotations : int;
+  mutable ghost_hits : int;
+  mutable trained_keep : int; (* mistake updates: should have kept *)
+  mutable trained_evict : int; (* confirmations: eviction was right *)
+}
+
+let name = "perceptron"
+let api_version = 1
+
+let init (ctx : V1.ctx) =
+  let n = max 1 ctx.V1.total_frames in
+  {
+    queue = Structures.Dlist.create ~nodes:n ~lists:1;
+    resident = Array.make n false;
+    file_backed = Array.make n false;
+    refaulted = Array.make n false;
+    reinserted = Array.make n false;
+    freq = Array.make n 0;
+    birth = Array.make n 0;
+    key_of = Array.make n (-1);
+    weights = Array.make nfeat 0;
+    ghost_ring = Array.make n (-1);
+    ghost_tbl = Hashtbl.create 64;
+    ghost_pos = 0;
+    tick = 0;
+    inserts = 0;
+    evictions = 0;
+    rotations = 0;
+    ghost_hits = 0;
+    trained_keep = 0;
+    trained_evict = 0;
+  }
+
+let feature_mask t pfn =
+  let m = ref (1 lsl f_bias) in
+  if t.file_backed.(pfn) then m := !m lor (1 lsl f_file);
+  if t.refaulted.(pfn) then m := !m lor (1 lsl f_refault);
+  if t.freq.(pfn) >= 1 then m := !m lor (1 lsl f_freq1);
+  if t.freq.(pfn) >= 2 then m := !m lor (1 lsl f_freq2);
+  if t.tick - t.birth.(pfn) >= old_age_ticks then m := !m lor (1 lsl f_old);
+  if t.reinserted.(pfn) then m := !m lor (1 lsl f_reinserted);
+  !m
+
+let score t mask =
+  let s = ref 0 in
+  for i = 0 to nfeat - 1 do
+    if mask land (1 lsl i) <> 0 then s := !s + t.weights.(i)
+  done;
+  !s
+
+let clamp w = max (-weight_cap) (min weight_cap w)
+
+let train t mask delta =
+  for i = 0 to nfeat - 1 do
+    if mask land (1 lsl i) <> 0 then
+      t.weights.(i) <- clamp (t.weights.(i) + delta)
+  done
+
+(* Retire the ring slot's current occupant.  Still being in the table
+   means it never refaulted inside the ring's lifetime: the eviction
+   decision is confirmed correct. *)
+let ghost_insert t key mask =
+  if key >= 0 then begin
+    let old = t.ghost_ring.(t.ghost_pos) in
+    if old >= 0 then begin
+      match Hashtbl.find_opt t.ghost_tbl old with
+      | Some (old_mask, _) ->
+        t.trained_evict <- t.trained_evict + 1;
+        train t old_mask 1;
+        Hashtbl.remove t.ghost_tbl old
+      | None -> ()
+    end;
+    t.ghost_ring.(t.ghost_pos) <- key;
+    Hashtbl.replace t.ghost_tbl key (mask, t.tick);
+    t.ghost_pos <- (t.ghost_pos + 1) mod Array.length t.ghost_ring
+  end
+
+let drop t pfn =
+  Structures.Dlist.remove t.queue ~node:pfn;
+  t.resident.(pfn) <- false
+
+let on_fault t (f : V1.fault) =
+  let pfn = f.V1.pfn in
+  if pfn >= 0 && pfn < Array.length t.resident then begin
+    if t.resident.(pfn) then drop t pfn (* stale: host reused the frame *);
+    (* A quick return of a page we evicted is the mistake signal. *)
+    (match Hashtbl.find_opt t.ghost_tbl f.V1.key with
+    | Some (mask, evicted_at) ->
+      Hashtbl.remove t.ghost_tbl f.V1.key;
+      if t.tick - evicted_at <= refault_horizon_ticks then begin
+        t.ghost_hits <- t.ghost_hits + 1;
+        t.trained_keep <- t.trained_keep + 1;
+        train t mask (-1)
+      end
+    | None -> ());
+    t.inserts <- t.inserts + 1;
+    t.file_backed.(pfn) <- f.V1.file_backed;
+    t.refaulted.(pfn) <- f.V1.refault;
+    t.reinserted.(pfn) <- f.V1.reinserted;
+    t.freq.(pfn) <- 0;
+    t.birth.(pfn) <- t.tick;
+    t.key_of.(pfn) <- f.V1.key;
+    Structures.Dlist.push_head t.queue ~list:0 ~node:pfn;
+    t.resident.(pfn) <- true
+  end
+
+let on_access_sample t (s : V1.sample) =
+  let pfn = s.V1.pfn in
+  if pfn >= 0 && pfn < Array.length t.resident && t.resident.(pfn) then
+    t.freq.(pfn) <- min 3 (t.freq.(pfn) + 1)
+
+let on_scan_tick t = t.tick <- t.tick + 1
+
+let evict_request t ~want =
+  let out = ref [] in
+  let count = ref 0 in
+  let limit = ref (max (4 * want) 32) in
+  let continue_ = ref true in
+  while !count < want && !continue_ && !limit > 0 do
+    decr limit;
+    match Structures.Dlist.pop_tail t.queue 0 with
+    | None -> continue_ := false
+    | Some pfn ->
+      let mask = feature_mask t pfn in
+      if score t mask >= 0 then begin
+        t.resident.(pfn) <- false;
+        t.evictions <- t.evictions + 1;
+        ghost_insert t t.key_of.(pfn) mask;
+        out := pfn :: !out;
+        incr count
+      end
+      else begin
+        (* Predicted live: rotate to the head, demoting its sampled
+           frequency so a page cannot ride one burst forever. *)
+        t.rotations <- t.rotations + 1;
+        t.freq.(pfn) <- max 0 (t.freq.(pfn) - 1);
+        Structures.Dlist.push_head t.queue ~list:0 ~node:pfn
+      end
+  done;
+  (* Liveness fallback: if every examined page scored "keep", evict the
+     current tail anyway — a cache that refuses to evict is wrong. *)
+  if !count = 0 then begin
+    match Structures.Dlist.pop_tail t.queue 0 with
+    | None -> ()
+    | Some pfn ->
+      t.resident.(pfn) <- false;
+      t.evictions <- t.evictions + 1;
+      ghost_insert t t.key_of.(pfn) (feature_mask t pfn);
+      out := [ pfn ]
+  end;
+  List.rev !out
+
+let stats t =
+  [
+    ("inserts", t.inserts);
+    ("evictions", t.evictions);
+    ("rotations", t.rotations);
+    ("ghost_hits", t.ghost_hits);
+    ("trained_keep", t.trained_keep);
+    ("trained_evict", t.trained_evict);
+  ]
+
+let gauges t =
+  [
+    ("queue_len", float_of_int (Structures.Dlist.size t.queue 0));
+    ("w_bias", float_of_int t.weights.(f_bias));
+    ("w_freq1", float_of_int t.weights.(f_freq1));
+    ("w_old", float_of_int t.weights.(f_old));
+    ("ghost_keys", float_of_int (Hashtbl.length t.ghost_tbl));
+  ]

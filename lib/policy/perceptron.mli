@@ -1,0 +1,9 @@
+(** LearnedCache-style online perceptron eviction as a guest policy.
+
+    Classifies "safe to evict" over binary page features (backing type,
+    refault history, sampled frequency, age, protection history),
+    trained online with no oracle: ghost-hit refaults punish mistaken
+    evictions, ghost entries that age out quietly confirm good ones.
+    Runs entirely behind {!Hooks.V1}. *)
+
+include Hooks.V1.GUEST

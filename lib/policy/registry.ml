@@ -10,6 +10,9 @@ type spec =
   | Random
   | Lru_exact
   | Crash_test
+  | S3_fifo
+  | Sieve
+  | Perceptron
 
 let name = function
   | Clock -> "clock"
@@ -23,6 +26,9 @@ let name = function
   | Random -> "random"
   | Lru_exact -> "lru-exact"
   | Crash_test -> "crash-test"
+  | S3_fifo -> "s3-fifo"
+  | Sieve -> "sieve"
+  | Perceptron -> "perceptron"
 
 let scan_mode_key = function
   | Mglru.Bloom_filtered -> "bloom"
@@ -42,8 +48,8 @@ let mglru_config_key (c : Mglru.config) =
 let cache_key = function
   | Scan_rand p -> Printf.sprintf "scan-rand:%.6g" p
   | Mglru_custom c -> "mglru-custom:" ^ mglru_config_key c
-  | (Clock | Mglru_default | Gen14 | Scan_all | Scan_none | Fifo | Random
-    | Lru_exact | Crash_test) as spec ->
+  | ( Clock | Mglru_default | Gen14 | Scan_all | Scan_none | Fifo | Random
+    | Lru_exact | Crash_test | S3_fifo | Sieve | Perceptron ) as spec ->
     name spec
 
 let of_name = function
@@ -57,14 +63,124 @@ let of_name = function
   | "random" -> Some Random
   | "lru-exact" -> Some Lru_exact
   | "crash-test" -> Some Crash_test
+  | "s3-fifo" -> Some S3_fifo
+  | "sieve" -> Some Sieve
+  | "perceptron" -> Some Perceptron
   | _ -> None
 
 let known_names =
   [ "clock"; "mglru"; "gen14"; "scan-all"; "scan-none"; "scan-rand"; "fifo";
-    "random"; "lru-exact"; "crash-test" ]
+    "random"; "lru-exact"; "crash-test"; "s3-fifo"; "sieve"; "perceptron" ]
 
 let all_paper_specs =
   [ Clock; Mglru_default; Gen14; Scan_all; Scan_none; Scan_rand 0.5 ]
+
+let guest_specs = [ S3_fifo; Sieve; Perceptron ]
+
+(* ------------------------------------------------------------------ *)
+(* Versioned policy descriptors                                        *)
+
+type kind = Builtin | Guest of int | Oracle
+
+type descriptor = {
+  d_name : string;
+  d_kind : kind;
+  d_doc : string;
+  d_knobs : (string * string) list;
+}
+
+let describe spec =
+  let builtin doc knobs =
+    { d_name = name spec; d_kind = Builtin; d_doc = doc; d_knobs = knobs }
+  in
+  let guest doc knobs =
+    {
+      d_name = name spec;
+      d_kind = Guest Hooks.current_version;
+      d_doc = doc;
+      d_knobs = knobs;
+    }
+  in
+  match spec with
+  | Clock ->
+    builtin "active/inactive Clock-LRU with rmap second chance (paper baseline)"
+      []
+  | Mglru_default ->
+    builtin "multi-generational LRU, Bloom-filtered aging walker (paper default)"
+      [ ("gens", "4"); ("scan", "bloom") ]
+  | Gen14 -> builtin "MG-LRU with 14 generations" [ ("gens", "14") ]
+  | Scan_all -> builtin "MG-LRU aging walker scanning every region" [ ("scan", "all") ]
+  | Scan_none -> builtin "MG-LRU with the aging walker disabled" [ ("scan", "none") ]
+  | Scan_rand p ->
+    builtin "MG-LRU scanning a random region subset"
+      [ ("scan", Printf.sprintf "rand p=%.6g" p) ]
+  | Mglru_custom c -> builtin "MG-LRU with a custom config" [ ("key", mglru_config_key c) ]
+  | Fifo -> builtin "first-in first-out baseline" []
+  | Random -> builtin "uniform-random eviction baseline" []
+  | Lru_exact -> builtin "oracle-assisted exact LRU baseline" []
+  | Crash_test -> builtin "deliberately fails at construction (failure-isolation probe)" []
+  | S3_fifo ->
+    guest "S3-FIFO: small/main FIFOs + ghost admission (SOSP'23)"
+      [ ("small", "10%"); ("freq_cap", "3") ]
+  | Sieve ->
+    guest "SIEVE: single FIFO, in-place visited-bit sieving (NSDI'24)" []
+  | Perceptron ->
+    guest "online perceptron eviction trained from access samples (LearnedCache-style)"
+      [ ("features", "7"); ("weight_cap", "64") ]
+
+let belady_descriptor =
+  {
+    d_name = "belady";
+    d_kind = Oracle;
+    d_doc =
+      "Belady's OPT: offline minimum-faults oracle; the denominator of \
+       `repro regret`, not runnable as a machine policy";
+    d_knobs = [];
+  }
+
+let descriptors =
+  List.map
+    (fun n -> describe (Option.get (of_name n)))
+    known_names
+  @ [ belady_descriptor ]
+
+let kind_label = function
+  | Builtin -> "builtin"
+  | Guest v -> Printf.sprintf "guest/v%d" v
+  | Oracle -> "oracle"
+
+(* ------------------------------------------------------------------ *)
+(* Nearest-match suggestion for unknown names                          *)
+
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest unknown =
+  let u = String.lowercase_ascii unknown in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        let d = edit_distance u cand in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ -> Some (cand, d))
+      None
+      (List.map (fun d -> d.d_name) descriptors)
+  in
+  match best with
+  | Some (cand, d) when d <= 3 -> Some cand
+  | _ -> None
 
 let mglru_config = function
   | Mglru_default -> Mglru.default_config
@@ -73,8 +189,13 @@ let mglru_config = function
   | Scan_none -> Mglru.with_mode Mglru.Scan_none Mglru.default_config
   | Scan_rand p -> Mglru.with_mode (Mglru.Scan_rand p) Mglru.default_config
   | Mglru_custom c -> c
-  | Clock | Fifo | Random | Lru_exact | Crash_test ->
+  | Clock | Fifo | Random | Lru_exact | Crash_test | S3_fifo | Sieve
+  | Perceptron ->
     invalid_arg "Registry.mglru_config"
+
+module S3_host = Guest_host.Host (S3_fifo)
+module Sieve_host = Guest_host.Host (Sieve)
+module Perceptron_host = Guest_host.Host (Perceptron)
 
 let create spec env =
   match spec with
@@ -86,3 +207,7 @@ let create spec env =
   | Random -> Policy_intf.Packed ((module Random_policy), Random_policy.create env)
   | Lru_exact -> Policy_intf.Packed ((module Lru_exact), Lru_exact.create env)
   | Crash_test -> failwith "crash-test policy: deliberate failure"
+  | S3_fifo -> Policy_intf.Packed ((module S3_host), S3_host.create env)
+  | Sieve -> Policy_intf.Packed ((module Sieve_host), Sieve_host.create env)
+  | Perceptron ->
+    Policy_intf.Packed ((module Perceptron_host), Perceptron_host.create env)

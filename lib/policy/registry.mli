@@ -1,9 +1,12 @@
-(** Policy registry: construct any policy by its experiment name.
+(** Policy registry: construct any policy by its experiment name, and
+    describe the whole population through versioned descriptors.
 
     The names match the paper's figure legends: ["clock"], ["mglru"],
     ["gen14"], ["scan-all"], ["scan-none"], ["scan-rand"], plus the
-    extra baselines ["fifo"], ["random"], ["lru-exact"] and the
-    fault-isolation probe ["crash-test"]. *)
+    extra baselines ["fifo"], ["random"], ["lru-exact"], the
+    fault-isolation probe ["crash-test"], and the {!Hooks.V1} guest
+    policies ["s3-fifo"], ["sieve"], ["perceptron"] hosted behind
+    {!Guest_host.Host}. *)
 
 type spec =
   | Clock
@@ -21,6 +24,9 @@ type spec =
           failure isolation (a crash-test trial must surface as an
           explicit "failed" cell while the rest of a sweep completes);
           excluded from {!all_paper_specs} *)
+  | S3_fifo  (** guest: S3-FIFO behind the V1 hook API *)
+  | Sieve  (** guest: SIEVE behind the V1 hook API *)
+  | Perceptron  (** guest: online perceptron behind the V1 hook API *)
 
 val name : spec -> string
 (** Stable display/CLI name.  Not injective: every [Mglru_custom] and
@@ -39,6 +45,41 @@ val of_name : string -> spec option
 val all_paper_specs : spec list
 (** The six configurations the paper evaluates, in figure order. *)
 
+val guest_specs : spec list
+(** The hook-API guests, in scoreboard order. *)
+
 val create : spec -> Policy_intf.env -> Policy_intf.packed
 
 val known_names : string list
+
+(** {1 Versioned descriptors}
+
+    The descriptor surface replaces ad-hoc string lookup as the way
+    tools enumerate policies: every runnable name plus the Belady
+    oracle, each tagged with its kind and the hook-API version guests
+    were compiled against. *)
+
+type kind =
+  | Builtin  (** privileged [Policy_intf.S] implementation *)
+  | Guest of int  (** hook-API guest; payload is its API version *)
+  | Oracle  (** offline reference, not constructible by {!create} *)
+
+type descriptor = {
+  d_name : string;
+  d_kind : kind;
+  d_doc : string;
+  d_knobs : (string * string) list;  (** default knob settings, for display *)
+}
+
+val describe : spec -> descriptor
+
+val descriptors : descriptor list
+(** One per CLI name (in {!known_names} order) plus the ["belady"]
+    oracle entry. *)
+
+val kind_label : kind -> string
+(** ["builtin"], ["guest/v1"], ["oracle"] — stable display strings. *)
+
+val suggest : string -> string option
+(** Nearest descriptor name within Levenshtein distance 3 of an unknown
+    name, for "did you mean" errors. *)

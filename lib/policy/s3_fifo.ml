@@ -1,0 +1,174 @@
+(* S3-FIFO (Yang et al., SOSP'23) as a Hooks.V1 guest: a small
+   probationary FIFO in front of a main FIFO, with a ghost FIFO of
+   recently evicted page identities.  One-hit wonders die out of the
+   small queue quickly; a ghost hit on re-fault admits the page straight
+   into main.  Frequency is capped at 3 and decays on main-queue
+   reinsertion, exactly as in the paper's pseudocode — except the access
+   signal here is the host's accessed-bit sample stream rather than a
+   per-request trace. *)
+
+module V1 = Hooks.V1
+
+type t = {
+  ctx : V1.ctx;
+  queues : Structures.Dlist.t; (* list 0 = small, list 1 = main *)
+  state : int array; (* 0 absent, 1 small, 2 main *)
+  freq : int array;
+  key_of : int array;
+  small_target : int;
+  ghost_ring : int array;
+  ghost_tbl : (int, int) Hashtbl.t; (* key -> ring refcount *)
+  mutable ghost_pos : int;
+  mutable inserts : int;
+  mutable ghost_hits : int;
+  mutable promotions : int;
+  mutable small_evicts : int;
+  mutable main_evicts : int;
+  mutable reinserts : int;
+}
+
+let name = "s3-fifo"
+let api_version = 1
+let small_list = 0
+let main_list = 1
+
+let init (ctx : V1.ctx) =
+  let n = max 1 ctx.V1.total_frames in
+  let small_target = max 1 (n / 10) in
+  {
+    ctx;
+    queues = Structures.Dlist.create ~nodes:n ~lists:2;
+    state = Array.make n 0;
+    freq = Array.make n 0;
+    key_of = Array.make n (-1);
+    small_target;
+    ghost_ring = Array.make (max 16 (n - small_target)) (-1);
+    ghost_tbl = Hashtbl.create 64;
+    ghost_pos = 0;
+    inserts = 0;
+    ghost_hits = 0;
+    promotions = 0;
+    small_evicts = 0;
+    main_evicts = 0;
+    reinserts = 0;
+  }
+
+let ghost_mem t key = Hashtbl.mem t.ghost_tbl key
+
+let ghost_insert t key =
+  if key >= 0 then begin
+    let old = t.ghost_ring.(t.ghost_pos) in
+    if old >= 0 then begin
+      match Hashtbl.find_opt t.ghost_tbl old with
+      | Some 1 -> Hashtbl.remove t.ghost_tbl old
+      | Some c -> Hashtbl.replace t.ghost_tbl old (c - 1)
+      | None -> ()
+    end;
+    t.ghost_ring.(t.ghost_pos) <- key;
+    Hashtbl.replace t.ghost_tbl key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.ghost_tbl key));
+    t.ghost_pos <- (t.ghost_pos + 1) mod Array.length t.ghost_ring
+  end
+
+let drop t pfn =
+  Structures.Dlist.remove t.queues ~node:pfn;
+  t.state.(pfn) <- 0
+
+let on_fault t (f : V1.fault) =
+  let pfn = f.V1.pfn in
+  if pfn >= 0 && pfn < Array.length t.state then begin
+    (* A tracked pfn faulting again means our entry is stale (the host
+       reclaimed the frame behind our back): restart its life. *)
+    if t.state.(pfn) <> 0 then drop t pfn;
+    t.inserts <- t.inserts + 1;
+    t.key_of.(pfn) <- f.V1.key;
+    if f.V1.reinserted then begin
+      (* Gate-rejected nomination handed back: keep it in main, keep its
+         frequency, so a protected page is not hammered again at once. *)
+      t.reinserts <- t.reinserts + 1;
+      Structures.Dlist.push_head t.queues ~list:main_list ~node:pfn;
+      t.state.(pfn) <- 2
+    end
+    else if ghost_mem t f.V1.key then begin
+      t.ghost_hits <- t.ghost_hits + 1;
+      t.freq.(pfn) <- 0;
+      Structures.Dlist.push_head t.queues ~list:main_list ~node:pfn;
+      t.state.(pfn) <- 2
+    end
+    else begin
+      t.freq.(pfn) <- 0;
+      Structures.Dlist.push_head t.queues ~list:small_list ~node:pfn;
+      t.state.(pfn) <- 1
+    end
+  end
+
+let on_access_sample t (s : V1.sample) =
+  let pfn = s.V1.pfn in
+  if pfn >= 0 && pfn < Array.length t.state && t.state.(pfn) <> 0 then
+    t.freq.(pfn) <- min 3 (t.freq.(pfn) + 1)
+
+let on_scan_tick _t = ()
+
+let evict_request t ~want =
+  let out = ref [] in
+  let count = ref 0 in
+  let budget = ref ((2 * Array.length t.state) + 8) in
+  let emit pfn =
+    t.state.(pfn) <- 0;
+    out := pfn :: !out;
+    incr count
+  in
+  let continue_ = ref true in
+  while !count < want && !continue_ && !budget > 0 do
+    decr budget;
+    let small_len = Structures.Dlist.size t.queues small_list in
+    let main_len = Structures.Dlist.size t.queues main_list in
+    if small_len = 0 && main_len = 0 then continue_ := false
+    else if small_len >= t.small_target || main_len = 0 then begin
+      match Structures.Dlist.pop_tail t.queues small_list with
+      | None -> continue_ := false
+      | Some pfn ->
+        if t.freq.(pfn) > 1 then begin
+          t.promotions <- t.promotions + 1;
+          Structures.Dlist.push_head t.queues ~list:main_list ~node:pfn;
+          t.state.(pfn) <- 2
+        end
+        else begin
+          t.small_evicts <- t.small_evicts + 1;
+          ghost_insert t t.key_of.(pfn);
+          emit pfn
+        end
+    end
+    else begin
+      match Structures.Dlist.pop_tail t.queues main_list with
+      | None -> continue_ := false
+      | Some pfn ->
+        if t.freq.(pfn) > 0 then begin
+          t.freq.(pfn) <- t.freq.(pfn) - 1;
+          Structures.Dlist.push_head t.queues ~list:main_list ~node:pfn
+        end
+        else begin
+          t.main_evicts <- t.main_evicts + 1;
+          emit pfn
+        end
+    end
+  done;
+  List.rev !out
+
+let stats t =
+  [
+    ("inserts", t.inserts);
+    ("ghost_hits", t.ghost_hits);
+    ("promotions", t.promotions);
+    ("small_evicts", t.small_evicts);
+    ("main_evicts", t.main_evicts);
+    ("reinserts", t.reinserts);
+  ]
+
+let gauges t =
+  [
+    ("small_len", float_of_int (Structures.Dlist.size t.queues small_list));
+    ("main_len", float_of_int (Structures.Dlist.size t.queues main_list));
+    ("ghost_keys", float_of_int (Hashtbl.length t.ghost_tbl));
+    ("ghost_hits", float_of_int t.ghost_hits);
+  ]

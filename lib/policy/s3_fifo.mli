@@ -1,0 +1,8 @@
+(** S3-FIFO (simple, scalable FIFO with three queues) as a guest policy.
+
+    Small probationary FIFO + main FIFO + ghost FIFO of evicted page
+    identities; quick demotion for one-hit wonders, ghost-hit admission
+    straight into main.  Runs entirely behind {!Hooks.V1} — it never
+    touches page tables or frees frames itself. *)
+
+include Hooks.V1.GUEST

@@ -1,0 +1,112 @@
+(* SIEVE (Zhang et al., NSDI'24) as a Hooks.V1 guest: one FIFO with a
+   visited bit and a hand that moves from tail toward head, sparing
+   visited pages (clearing the bit in place — survivors are NOT moved,
+   which is the whole trick) and evicting the first unvisited one.  The
+   visited bit is fed by the host's accessed-bit sample stream. *)
+
+module V1 = Hooks.V1
+
+type t = {
+  queue : Structures.Dlist.t; (* single list 0: head = newest *)
+  resident : bool array;
+  visited : bool array;
+  mutable hand : int; (* node id, or -1 = restart from tail *)
+  mutable inserts : int;
+  mutable evictions : int;
+  mutable spared : int;
+  mutable reinserts : int;
+}
+
+let name = "sieve"
+let api_version = 1
+
+let init (ctx : V1.ctx) =
+  let n = max 1 ctx.V1.total_frames in
+  {
+    queue = Structures.Dlist.create ~nodes:n ~lists:1;
+    resident = Array.make n false;
+    visited = Array.make n false;
+    hand = -1;
+    inserts = 0;
+    evictions = 0;
+    spared = 0;
+    reinserts = 0;
+  }
+
+(* Step the hand one node toward the head; -1 wraps to the tail on the
+   next use. *)
+let advance t pfn =
+  t.hand <-
+    (match Structures.Dlist.next_towards_head t.queue pfn with
+    | Some next -> next
+    | None -> -1)
+
+let drop t pfn =
+  if t.hand = pfn then advance t pfn;
+  Structures.Dlist.remove t.queue ~node:pfn;
+  t.resident.(pfn) <- false
+
+let on_fault t (f : V1.fault) =
+  let pfn = f.V1.pfn in
+  if pfn >= 0 && pfn < Array.length t.resident then begin
+    if t.resident.(pfn) then drop t pfn (* stale: host reused the frame *);
+    t.inserts <- t.inserts + 1;
+    if f.V1.reinserted then t.reinserts <- t.reinserts + 1;
+    Structures.Dlist.push_head t.queue ~list:0 ~node:pfn;
+    t.resident.(pfn) <- true;
+    (* Reinserted (gate-protected) pages start visited so the hand does
+       not nominate them again immediately. *)
+    t.visited.(pfn) <- f.V1.reinserted
+  end
+
+let on_access_sample t (s : V1.sample) =
+  let pfn = s.V1.pfn in
+  if pfn >= 0 && pfn < Array.length t.resident && t.resident.(pfn) then
+    t.visited.(pfn) <- true
+
+let on_scan_tick _t = ()
+
+let evict_request t ~want =
+  let out = ref [] in
+  let count = ref 0 in
+  let budget = ref ((2 * Array.length t.resident) + 8) in
+  let continue_ = ref true in
+  while !count < want && !continue_ && !budget > 0 do
+    decr budget;
+    let cur =
+      if t.hand >= 0 && t.resident.(t.hand) then Some t.hand
+      else Structures.Dlist.tail t.queue 0
+    in
+    match cur with
+    | None -> continue_ := false
+    | Some pfn ->
+      if t.visited.(pfn) then begin
+        t.visited.(pfn) <- false;
+        t.spared <- t.spared + 1;
+        advance t pfn
+      end
+      else begin
+        advance t pfn;
+        Structures.Dlist.remove t.queue ~node:pfn;
+        t.resident.(pfn) <- false;
+        t.evictions <- t.evictions + 1;
+        out := pfn :: !out;
+        incr count
+      end
+  done;
+  List.rev !out
+
+let stats t =
+  [
+    ("inserts", t.inserts);
+    ("evictions", t.evictions);
+    ("spared", t.spared);
+    ("reinserts", t.reinserts);
+  ]
+
+let gauges t =
+  [
+    ("queue_len", float_of_int (Structures.Dlist.size t.queue 0));
+    ("spared", float_of_int t.spared);
+    ("evictions", float_of_int t.evictions);
+  ]

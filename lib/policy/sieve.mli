@@ -1,0 +1,5 @@
+(** SIEVE as a guest policy: a single FIFO whose hand spares visited
+    pages in place (no list movement) and evicts the first unvisited
+    one.  Runs entirely behind {!Hooks.V1}. *)
+
+include Hooks.V1.GUEST

@@ -82,6 +82,39 @@ let prop_pfn_owner_agrees spec =
       done;
       !ok)
 
+(* Belady's OPT lower-bounds every online policy on a recorded script
+   trace: replay the same single-threaded reference string through the
+   harness (which does no readahead) and through the offline simulation
+   at the harness's frame count.  No replacement decision can beat
+   clairvoyance at equal capacity, so this must hold for every
+   registered policy — builtin, baseline, or hook-API guest. *)
+let prop_belady_lower_bound spec =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s: Belady lower-bounds faults"
+         (Policy.Registry.name spec))
+    ~count:30 ops_gen
+    (fun ops ->
+      let frames = 12 and pages = 48 in
+      let world = Testsupport.Harness.make_world ~frames ~pages () in
+      let packed = Policy.Registry.create spec world.Testsupport.Harness.env in
+      let trace = List.map (fun (vpn, _) -> vpn mod pages) ops in
+      let faults = ref 0 in
+      List.iter
+        (fun vpn ->
+          let pte = Mem.Page_table.get world.Testsupport.Harness.pt vpn in
+          if Mem.Pte.present pte then
+            Testsupport.Harness.touch world packed ~write:false vpn
+          else begin
+            incr faults;
+            ignore (Testsupport.Harness.map_page world packed vpn)
+          end)
+        trace;
+      let b =
+        Policy.Belady.simulate ~capacity:frames ~trace:(Array.of_list trace)
+      in
+      !faults >= b.Policy.Belady.faults)
+
 let () =
   let props =
     List.concat_map
@@ -91,6 +124,7 @@ let () =
           prop_no_resident_above_capacity spec;
           prop_evicted_pages_become_swapped spec;
           prop_pfn_owner_agrees spec;
+          prop_belady_lower_bound spec;
         ])
       specs
   in

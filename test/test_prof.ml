@@ -7,7 +7,7 @@ module M = Repro_core.Machine
 (* ------------------------------------------------------------------ *)
 
 let test_taxonomy () =
-  Alcotest.(check int) "ten phases" 10 P.n_phases;
+  Alcotest.(check int) "fourteen phases" 14 P.n_phases;
   Alcotest.(check int) "array agrees" P.n_phases (Array.length P.all_phases);
   Array.iteri
     (fun i p ->
@@ -18,6 +18,8 @@ let test_taxonomy () =
     [
       "app_compute"; "fault_handling"; "rmap_walk"; "pte_scan"; "aging_walk";
       "evict_scan"; "writeback_wait"; "swap_wait"; "barrier_wait"; "oom_kill";
+      "hook_on_fault"; "hook_on_access_sample"; "hook_on_scan_tick";
+      "hook_evict_request";
     ]
     (List.map P.phase_name (Array.to_list P.all_phases));
   Alcotest.(check (list bool)) "wait phases"
@@ -28,6 +30,18 @@ let test_taxonomy () =
          P.Evict_scan; P.Writeback_wait; P.Swap_wait; P.Barrier_wait;
          P.Oom_kill;
        ]);
+  Alcotest.(check (list bool)) "guest phases"
+    [ true; true; true; true; false; false ]
+    (List.map P.guest_phase
+       [
+         P.Hook_fault; P.Hook_access; P.Hook_tick; P.Hook_evict;
+         P.App_compute; P.Evict_scan;
+       ]);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "hook phases are CPU, not waits" false
+        (P.wait_phase p))
+    [ P.Hook_fault; P.Hook_access; P.Hook_tick; P.Hook_evict ];
   match P.phase_of_index P.n_phases with
   | _ -> Alcotest.fail "of_index out of range should raise"
   | exception Invalid_argument _ -> ()

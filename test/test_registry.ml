@@ -93,6 +93,57 @@ let test_gauges_all_policies () =
       end)
     R.known_names
 
+(* ------------------------------------------------------------------ *)
+(* Versioned descriptors and nearest-match suggestion                  *)
+
+let find_descriptor n = List.find (fun d -> d.R.d_name = n) R.descriptors
+
+let test_descriptors () =
+  Alcotest.(check int) "one per runnable name plus belady"
+    (List.length R.known_names + 1)
+    (List.length R.descriptors);
+  let names = List.map (fun d -> d.R.d_name) R.descriptors in
+  Alcotest.(check int) "no duplicate names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (d.R.d_name ^ ": doc non-empty") true
+        (String.length d.R.d_doc > 0))
+    R.descriptors;
+  Alcotest.(check bool) "clock is builtin" true
+    ((find_descriptor "clock").R.d_kind = R.Builtin);
+  Alcotest.(check bool) "belady is oracle" true
+    ((find_descriptor "belady").R.d_kind = R.Oracle);
+  List.iter
+    (fun spec ->
+      let d = find_descriptor (R.name spec) in
+      Alcotest.(check bool)
+        (R.name spec ^ ": guest at current hook version")
+        true
+        (d.R.d_kind = R.Guest Policy.Hooks.current_version))
+    R.guest_specs;
+  Alcotest.(check string) "kind labels: builtin" "builtin" (R.kind_label R.Builtin);
+  Alcotest.(check string) "kind labels: guest" "guest/v1"
+    (R.kind_label (R.Guest 1));
+  Alcotest.(check string) "kind labels: oracle" "oracle" (R.kind_label R.Oracle)
+
+let test_guest_specs () =
+  Alcotest.(check (list string)) "scoreboard order"
+    [ "s3-fifo"; "sieve"; "perceptron" ]
+    (List.map R.name R.guest_specs)
+
+let test_suggest () =
+  Alcotest.(check (option string)) "clok -> clock" (Some "clock")
+    (R.suggest "clok");
+  Alcotest.(check (option string)) "s3fifo -> s3-fifo" (Some "s3-fifo")
+    (R.suggest "s3fifo");
+  Alcotest.(check (option string)) "case folded" (Some "sieve")
+    (R.suggest "SIEVE");
+  Alcotest.(check (option string)) "oracle suggested too" (Some "belady")
+    (R.suggest "beladi");
+  Alcotest.(check (option string)) "gibberish: no suggestion" None
+    (R.suggest "zzzzzzzzzzzz")
+
 let test_custom_config () =
   let config = { Policy.Mglru.default_config with Policy.Mglru.max_gens = 8 } in
   let world = Testsupport.Harness.make_world () in
@@ -113,5 +164,8 @@ let () =
           Alcotest.test_case "gauges for every policy" `Quick
             test_gauges_all_policies;
           Alcotest.test_case "custom config" `Quick test_custom_config;
+          Alcotest.test_case "versioned descriptors" `Quick test_descriptors;
+          Alcotest.test_case "guest specs" `Quick test_guest_specs;
+          Alcotest.test_case "nearest-match suggestions" `Quick test_suggest;
         ] );
     ]
