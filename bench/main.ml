@@ -297,6 +297,167 @@ let run_sdk_benchmarks () =
   print_endline "(wrote BENCH_policy_sdk.json)"
 
 (* ------------------------------------------------------------------ *)
+(* Engine wall-clock harness.                                          *)
+(*                                                                     *)
+(* The standing speed trajectory: raw event-loop throughput, machine   *)
+(* fault-burst cells at default (1/256) scale under each headline      *)
+(* policy, and one full-scale (>= 3 M pages, unscaled costs) smoke     *)
+(* cell.  Results land in BENCH_engine.json so each PR can be compared *)
+(* wall-clock against the last (DESIGN.md section 13).  Run just this  *)
+(* part with `dune exec bench/main.exe -- engine`.                     *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Raw discrete-event loop throughput: 64 self-rescheduling events so
+   the heap keeps realistic depth, 2 M pops total. *)
+let event_loop_throughput () =
+  let n = 2_000_000 in
+  let sim = Engine.Sim.create () in
+  let remaining = ref n in
+  let rec step s =
+    decr remaining;
+    if !remaining > 0 then Engine.Sim.schedule s ~delay:1 step
+  in
+  for _ = 1 to 64 do
+    Engine.Sim.schedule sim ~delay:0 step
+  done;
+  let (), wall_s = wall (fun () -> Engine.Sim.run sim) in
+  float_of_int n /. wall_s
+
+type engine_cell = {
+  ec_name : string;
+  ec_pages : int;
+  ec_ratio : float;
+  ec_wall_s : float;
+  ec_sim_ns : int;
+  ec_major : int;
+  ec_minor : int;
+  ec_allocs_per_fault : float; (** minor words per (major + minor) fault *)
+}
+
+(* Sequential passes over the footprint at [ratio] capacity: pass 1 is
+   all minor faults, later passes re-fault everything the policy had to
+   evict — a dense, deterministic fault burst. *)
+let fault_burst_cell ~name ~policy ~pages ~passes ~ratio ~full_scale () =
+  let w =
+    Workload.Trace.of_page_lists ~footprint:pages
+      (List.init passes (fun _ -> Array.init pages (fun i -> i)))
+  in
+  let capacity = max 64 (int_of_float (float_of_int pages *. ratio)) in
+  let cfg =
+    let base =
+      Repro_core.Machine.default_config ~capacity_frames:capacity ~seed:42
+    in
+    if full_scale then
+      (* The paper's real footprint: unscaled per-page costs, 512-PTE
+         page-table regions. *)
+      { base with Repro_core.Machine.costs = Mem.Costs.default;
+        kthread_jitter_ns = 0 }
+    else { base with Repro_core.Machine.kthread_jitter_ns = 0 }
+  in
+  let mw0 = Gc.minor_words () in
+  let r, wall_s =
+    wall (fun () ->
+        Repro_core.Machine.run cfg
+          ~policy:(Policy.Registry.create policy)
+          ~workload:(Workload.Chunk.Packed ((module Workload.Trace), w)))
+  in
+  let mw1 = Gc.minor_words () in
+  let faults =
+    max 1 (r.Repro_core.Machine.major_faults + r.Repro_core.Machine.minor_faults)
+  in
+  {
+    ec_name = name;
+    ec_pages = pages;
+    ec_ratio = ratio;
+    ec_wall_s = wall_s;
+    ec_sim_ns = r.Repro_core.Machine.runtime_ns;
+    ec_major = r.Repro_core.Machine.major_faults;
+    ec_minor = r.Repro_core.Machine.minor_faults;
+    ec_allocs_per_fault = (mw1 -. mw0) /. float_of_int faults;
+  }
+
+let sim_ns_per_wall_ms c = float_of_int c.ec_sim_ns /. (c.ec_wall_s *. 1000.)
+
+let print_cell c =
+  Printf.printf
+    "%-18s %9d pages  %7.2fs wall  %6.1f sim-s  %8d major  %8d minor  %7.1f words/fault\n%!"
+    c.ec_name c.ec_pages c.ec_wall_s
+    (float_of_int c.ec_sim_ns /. 1e9)
+    c.ec_major c.ec_minor c.ec_allocs_per_fault
+
+let cell_json c =
+  Printf.sprintf
+    "{ \"name\": \"%s\", \"pages\": %d, \"ratio\": %.2f, \"wall_s\": %.3f, \
+     \"sim_ns\": %d, \"major_faults\": %d, \"minor_faults\": %d, \
+     \"allocs_per_fault\": %.2f, \"sim_ns_per_wall_ms\": %.1f }"
+    c.ec_name c.ec_pages c.ec_ratio c.ec_wall_s c.ec_sim_ns c.ec_major
+    c.ec_minor c.ec_allocs_per_fault (sim_ns_per_wall_ms c)
+
+let run_engine_harness () =
+  print_endline "=== Engine wall-clock harness ===";
+  let events_per_sec = event_loop_throughput () in
+  Printf.printf "event loop: %.3e events/sec\n%!" events_per_sec;
+  let default_cells =
+    [
+      fault_burst_cell ~name:"default/clock" ~policy:Policy.Registry.Clock
+        ~pages:16_384 ~passes:4 ~ratio:0.5 ~full_scale:false ();
+      fault_burst_cell ~name:"default/mglru"
+        ~policy:Policy.Registry.Mglru_default ~pages:16_384 ~passes:4
+        ~ratio:0.5 ~full_scale:false ();
+    ]
+  in
+  List.iter print_cell default_cells;
+  let full_scale =
+    match Sys.getenv_opt "BENCH_SKIP_FULL_SCALE" with
+    | Some _ ->
+      print_endline "(skipping full-scale cell: BENCH_SKIP_FULL_SCALE)";
+      None
+    | None ->
+      let c =
+        fault_burst_cell ~name:"full-scale/clock" ~policy:Policy.Registry.Clock
+          ~pages:3_276_800 ~passes:2 ~ratio:0.5 ~full_scale:true ()
+      in
+      print_cell c;
+      Some c
+  in
+  (* Headline numbers: worst allocs/fault across the default cells (so a
+     regression in any builtin moves the trajectory), sim-speed from the
+     clock cell. *)
+  let allocs_per_fault =
+    List.fold_left (fun acc c -> max acc c.ec_allocs_per_fault) 0. default_cells
+  in
+  let headline = List.hd default_cells in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc "{\n";
+  output_string oc "  \"benchmark\": \"engine\",\n";
+  output_string oc
+    "  \"units\": { \"events_per_sec\": \"raw event-loop pops/sec\", \
+     \"sim_ns_per_wall_ms\": \"simulated ns per wall-clock ms\", \
+     \"allocs_per_fault\": \"minor words per fault\" },\n";
+  Printf.fprintf oc "  \"events_per_sec\": %.0f,\n" events_per_sec;
+  Printf.fprintf oc "  \"sim_ns_per_wall_ms\": %.1f,\n"
+    (sim_ns_per_wall_ms headline);
+  Printf.fprintf oc "  \"allocs_per_fault\": %.2f,\n" allocs_per_fault;
+  output_string oc "  \"cells\": [\n";
+  List.iteri
+    (fun k c ->
+      Printf.fprintf oc "    %s%s\n" (cell_json c)
+        (if k = List.length default_cells - 1 then "" else ","))
+    default_cells;
+  output_string oc "  ],\n";
+  (match full_scale with
+  | Some c -> Printf.fprintf oc "  \"full_scale\": %s\n" (cell_json c)
+  | None -> output_string oc "  \"full_scale\": null\n");
+  output_string oc "}\n";
+  close_out oc;
+  print_endline "(wrote BENCH_engine.json)"
+
+(* ------------------------------------------------------------------ *)
 
 let run_benchmarks () =
   let ols =
@@ -329,12 +490,18 @@ let run_benchmarks () =
     (List.sort compare !rows)
 
 let () =
+  (* `bench/main.exe engine` runs only the engine harness (CI's bench
+     smoke step); no argument runs everything. *)
+  if Array.exists (fun a -> a = "engine") Sys.argv then run_engine_harness ()
+  else begin
   (match Sys.getenv_opt "REPRO_SKIP_MICRO" with
   | Some _ -> print_endline "(skipping bechamel microbenchmarks)"
   | None ->
     run_benchmarks ();
     print_newline ();
     run_sdk_benchmarks ());
+  print_newline ();
+  run_engine_harness ();
   print_newline ();
   print_endline "=== Full figure reproduction ===";
   let profile = Repro_core.Runner.profile_from_env () in
@@ -352,3 +519,4 @@ let () =
   let t0 = Unix.gettimeofday () in
   Repro_core.Figures.run_all ctx;
   Printf.printf "\n(total figure time: %.1fs)\n" (Unix.gettimeofday () -. t0)
+  end

@@ -42,6 +42,15 @@ let ycsb_trials_arg =
 let fast_arg =
   Arg.(value & flag & info [ "fast" ] ~doc:"Shrink workloads ~4x for a quick look.")
 
+let scale_arg =
+  Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N"
+         ~doc:
+           "Multiply workload footprints by N toward the paper's native \
+            page counts (the default experiments run at 1/256 scale; \
+            $(b,--scale 256) reaches 3-4M-page footprints).  Per-page \
+            simulated costs shrink by the same factor; $(b,--scale 1) is \
+            byte-identical to the default profile.  Also \\$REPRO_SCALE.")
+
 let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:
@@ -181,7 +190,7 @@ type setup = {
    the or-direction so REPRO_FAST=1 keeps working under any flags.
    [profile_default] is true only for the profile subcommand, which
    collects phase totals even without --folded/--perfetto. *)
-let build_setup profile_default trials ycsb_trials fast jobs faults
+let build_setup profile_default trials ycsb_trials fast scale jobs faults
     audit_every_ms trace sample_every samples folded perfetto journal_path
     resume trial_timeout keep_going cgroups =
   let base = Repro_core.Runner.profile_from_env () in
@@ -194,6 +203,8 @@ let build_setup profile_default trials ycsb_trials fast jobs faults
         | Some n -> max 1 n
         | None -> base.Repro_core.Runner.ycsb_trials);
       fast = fast || base.Repro_core.Runner.fast;
+      scale =
+        (match scale with Some n -> max 1 n | None -> base.Repro_core.Runner.scale);
     }
   in
   let jobs =
@@ -285,7 +296,7 @@ let finalize setup =
 let setup_term ?(profile = false) () =
   Term.(
     const (build_setup profile) $ trials_arg $ ycsb_trials_arg $ fast_arg
-    $ jobs_arg $ faults_arg $ audit_every_arg $ trace_arg $ sample_every_arg
+    $ scale_arg $ jobs_arg $ faults_arg $ audit_every_arg $ trace_arg $ sample_every_arg
     $ samples_arg $ folded_arg $ perfetto_arg $ journal_arg $ resume_arg
     $ trial_timeout_arg $ keep_going_arg $ cgroups_arg)
 

@@ -8,7 +8,7 @@
 let () =
   let ctx =
     Repro_core.Runner.make_ctx
-      ~profile:{ Repro_core.Runner.trials = 2; ycsb_trials = 1; fast = true }
+      ~profile:{ Repro_core.Runner.trials = 2; ycsb_trials = 1; fast = true; scale = 1 }
       ()
   in
   let policies =

@@ -83,6 +83,13 @@ let audit ~memcg ~owners ~pt ~frames ~mem ~swap ~retained_slot =
   (* Global accounting ties the three structures together. *)
   let mapped = Mem.Frame_table.mapped_count frames in
   let resident = Mem.Page_table.resident pt in
+  (* The O(1) resident counter is maintained incrementally by
+     [Page_table.set]; check it against the full-scan oracle. *)
+  let resident_scan = Mem.Page_table.resident_scan pt in
+  if resident <> resident_scan then
+    add
+      (v "count-resident-counter" resident
+         "incremental resident %d <> scanned %d" resident resident_scan);
   if mapped <> resident then
     add (v "count-mapped-resident" mapped "mapped frames %d <> resident PTEs %d"
            mapped resident);

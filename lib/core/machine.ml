@@ -105,6 +105,10 @@ type kthread_state = {
   ktid : int; (* profiler thread id: nthreads + index *)
   kphase : Obs.Prof.phase; (* default attribution phase / span label *)
   mutable sleeping : bool;
+  (* Pre-allocated driver and wake event: waking a kthread schedules a
+     reused closure instead of building a fresh driver per wakeup. *)
+  mutable kdrive : unit -> unit;
+  mutable kwake : Engine.Sim.t -> unit;
 }
 
 type t = {
@@ -126,11 +130,14 @@ type t = {
   group_size : int array;
   group_arrived : int array;
   group_waiters : int list array;
+  waiting : bool array;
+      (* tid -> parked at a barrier; keys the waiter set by thread id so
+         the OOM killer's membership check is O(1) instead of a
+         structural [List.mem] scan *)
   barrier_arrive_ns : int array; (* tid -> when it reached the barrier *)
   finish_ns : int array;
   mutable active_threads : int;
   mutable kthreads : kthread_state array;
-  mutable drive : kthread_state -> unit;
   mutable restart_thread : int -> unit;
   mutable stopped : bool;
   (* Fault accounting. *)
@@ -222,14 +229,18 @@ let on_touched t ~pfn ~write =
   let (Policy.Policy_intf.Packed ((module P), p)) = policy_of t in
   P.on_page_touched p ~pfn ~write
 
+(* Wake every sleeping kthread in one pass.  Scheduling reuses each
+   kthread's pre-allocated wake closure, and the flattened event queue
+   stores it without boxing, so a wakeup burst allocates nothing. *)
 let wake_kthreads t =
-  Array.iter
-    (fun ks ->
-      if ks.sleeping then begin
-        ks.sleeping <- false;
-        Engine.Sim.schedule t.sim ~delay:0 (fun _ -> t.drive ks)
-      end)
-    t.kthreads
+  let ks_arr = t.kthreads in
+  for i = 0 to Array.length ks_arr - 1 do
+    let ks = ks_arr.(i) in
+    if ks.sleeping then begin
+      ks.sleeping <- false;
+      Engine.Sim.schedule t.sim ~delay:0 ks.kwake
+    end
+  done
 
 let rss_page_mapped t ~tid ~vpn =
   t.faulted_by.(vpn) <- tid;
@@ -262,16 +273,16 @@ let evictable t ~pfn ~force =
   match t.mcg with
   | None -> true
   | Some mg ->
-    (match Mem.Frame_table.owner t.frames pfn with
-    | None -> true
-    | Some (_asid, vpn) ->
+    let vpn = Mem.Frame_table.owner_vpn t.frames pfn in
+    if vpn < 0 then true
+    else
       let cg = Mem.Memcg.cg_of_page mg vpn in
       if cg < 0 then true
       else (
         match t.mcg_target with
         | Some target -> cg = target
         | None ->
-          (force && t.mcg_breach_low) || not (Mem.Memcg.low_protected mg cg)))
+          (force && t.mcg_breach_low) || not (Mem.Memcg.low_protected mg cg))
 
 let mcg_stall t ~tid ~t0 ~t1 =
   match t.mcg with
@@ -286,9 +297,8 @@ let mcg_stall t ~tid ~t0 ~t1 =
    the page in memory: it cannot leave until the OOM killer tears its
    owner down. *)
 let reclaim_page t ~pfn =
-  match Mem.Frame_table.owner t.frames pfn with
-  | None -> ()
-  | Some (_asid, vpn) ->
+  let vpn = Mem.Frame_table.owner_vpn t.frames pfn in
+  if vpn >= 0 then begin
     let pte = Mem.Page_table.get t.pt vpn in
     if Mem.Pte.present pte && not t.pinned.(vpn) then begin
       let retained = t.retained_slot.(vpn) in
@@ -301,39 +311,42 @@ let reclaim_page t ~pfn =
             t.retained_slot.(vpn) <- -1
           end;
           let klass = Workload.Chunk.packed_klass t.workload vpn in
-          let slot_opt, io =
-            Swapdev.Swap_manager.swap_out t.swap ~now ~klass ~page_key:vpn
+          let slot =
+            Swapdev.Swap_manager.swap_out_slot t.swap ~now ~klass ~page_key:vpn
           in
+          let io_cpu = Swapdev.Swap_manager.last_cpu_ns t.swap in
           if t.in_direct then begin
             t.direct_stall_until <-
-              max t.direct_stall_until io.Swapdev.Swap_manager.finish_ns;
-            t.direct_cpu_extra <-
-              t.direct_cpu_extra + io.Swapdev.Swap_manager.cpu_ns;
-            Prof.charge t.prof ~phase:Prof.Evict_scan
-              io.Swapdev.Swap_manager.cpu_ns
+              max t.direct_stall_until
+                (Swapdev.Swap_manager.last_finish_ns t.swap);
+            t.direct_cpu_extra <- t.direct_cpu_extra + io_cpu;
+            Prof.charge_phase t.prof Prof.Evict_scan io_cpu
           end
           else
-            Engine.Cpu.charge ~phase:(Prof.phase_index Prof.Evict_scan) t.cpu
-              io.Swapdev.Swap_manager.cpu_ns;
-          slot_opt
+            Engine.Cpu.charge_tagged t.cpu
+              ~phase:(Prof.phase_index Prof.Evict_scan) io_cpu;
+          slot
         end
-        else Some retained
+        else retained
       in
-      match slot with
-      | None ->
+      if slot < 0 then begin
         (* Writeback failed for good: the page stays resident and
            becomes unreclaimable. *)
         t.pinned.(vpn) <- true;
         t.writeback_failures <- t.writeback_failures + 1
-      | Some slot ->
+      end
+      else begin
         Mem.Page_table.set t.pt vpn (Mem.Pte.to_swapped pte ~slot);
         t.retained_slot.(vpn) <- -1;
         ra_note_evicted t vpn;
         rss_page_unmapped t ~vpn;
         Mem.Frame_table.clear_owner t.frames ~pfn;
         Mem.Phys_mem.free t.mem pfn;
-        Obs.emit t.obs ~t_ns:now (Obs.Evict { vpn; dirty = needs_writeback })
+        if Obs.enabled t.obs then
+          Obs.emit t.obs ~t_ns:now (Obs.Evict { vpn; dirty = needs_writeback })
+      end
     end
+  end
 
 let map_page t ~tid ~pfn ~vpn ~refault ~write ~demand =
   let file_backed = Workload.Chunk.packed_file_backed t.workload vpn in
@@ -408,8 +421,13 @@ let oom_kill ?cg t =
     (* Future barriers must not wait for the dead thread; if its group
        is already assembled at one, release the survivors. *)
     let g = t.groups.(v) in
-    if List.mem v t.group_waiters.(g) then begin
-      t.group_waiters.(g) <- List.filter (fun w -> w <> v) t.group_waiters.(g);
+    if t.waiting.(v) then begin
+      let rec remove = function
+        | [] -> []
+        | w :: rest -> if w = v then rest else w :: remove rest
+      in
+      t.group_waiters.(g) <- remove t.group_waiters.(g);
+      t.waiting.(v) <- false;
       t.group_arrived.(g) <- t.group_arrived.(g) - 1
     end;
     t.group_size.(g) <- t.group_size.(g) - 1;
@@ -421,6 +439,7 @@ let oom_kill ?cg t =
       let waiters = t.group_waiters.(g) in
       t.group_arrived.(g) <- 0;
       t.group_waiters.(g) <- [];
+      List.iter (fun w -> t.waiting.(w) <- false) waiters;
       Engine.Sim.schedule t.sim ~delay:t.cfg.costs.Mem.Costs.barrier_ns (fun _ ->
           let now = Engine.Sim.now t.sim in
           List.iter
@@ -459,20 +478,21 @@ let oom_kill ?cg t =
    trial; [None] means the faulting thread itself was chosen and its
    fault must unwind. *)
 let alloc_frame t ~tid ~(cursor : int ref) =
-  match Mem.Phys_mem.alloc t.mem with
-  | Some pfn ->
+  let pfn = Mem.Phys_mem.alloc_pfn t.mem in
+  if pfn >= 0 then begin
     if Mem.Phys_mem.below_low t.mem then wake_kthreads t;
-    Some pfn
-  | None ->
+    pfn
+  end
+  else begin
     let (Policy.Policy_intf.Packed ((module P), p)) = policy_of t in
     let rec retry attempts =
-      if t.killed.(tid) then None
+      if t.killed.(tid) then -1
       else if attempts > 64 then
-        if oom_kill t && not t.killed.(tid) then
-          match Mem.Phys_mem.alloc t.mem with
-          | Some pfn -> Some pfn
-          | None -> retry 0
-        else None
+        if oom_kill t && not t.killed.(tid) then begin
+          let pfn = Mem.Phys_mem.alloc_pfn t.mem in
+          if pfn >= 0 then pfn else retry 0
+        end
+        else -1
       else begin
         t.direct_reclaims <- t.direct_reclaims + 1;
         t.in_direct <- true;
@@ -500,28 +520,29 @@ let alloc_frame t ~tid ~(cursor : int ref) =
            kernel's psi_memstall_enter around try_to_free_pages. *)
         mcg_stall t ~tid ~t0:before ~t1:!cursor;
         t.direct_reclaim_ns <- t.direct_reclaim_ns + (!cursor - before);
-        Obs.emit t.obs ~t_ns:before
-          (Obs.Reclaim
-             {
-               want = t.cfg.direct_reclaim_batch;
-               freed = stats.Policy.Policy_intf.freed;
-               scanned = stats.Policy.Policy_intf.scanned;
-               latency_ns = !cursor - before;
-             });
+        if Obs.enabled t.obs then
+          Obs.emit t.obs ~t_ns:before
+            (Obs.Reclaim
+               {
+                 want = t.cfg.direct_reclaim_batch;
+                 freed = stats.Policy.Policy_intf.freed;
+                 scanned = stats.Policy.Policy_intf.scanned;
+                 latency_ns = !cursor - before;
+               });
         wake_kthreads t;
         if t.mcg <> None then
           t.mcg_unproductive <-
             (if stats.Policy.Policy_intf.freed = 0 then t.mcg_unproductive + 1
              else 0);
-        match Mem.Phys_mem.alloc t.mem with
-        | Some pfn -> Some pfn
-        | None -> retry (attempts + 1)
+        let pfn = Mem.Phys_mem.alloc_pfn t.mem in
+        if pfn >= 0 then pfn else retry (attempts + 1)
       end
     in
     let frame = retry 0 in
     t.mcg_breach_low <- false;
     t.mcg_unproductive <- 0;
     frame
+  end
 
 (* One synchronous cgroup-targeted reclaim pass on a faulting thread:
    the same episode shape as the allocation slow path, but scoped to
@@ -674,17 +695,17 @@ let readahead t ~tid ~(cursor : int ref) vpn =
       if not !stop then begin
         let pte = Mem.Page_table.get t.pt v in
         if Mem.Pte.swapped pte then begin
-          match Mem.Phys_mem.alloc t.mem with
-          | None -> stop := true
-          | Some pfn ->
+          let pfn = Mem.Phys_mem.alloc_pfn t.mem in
+          if pfn < 0 then stop := true
+          else begin
             let slot = Mem.Pte.swap_slot pte in
-            let io = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
+            Swapdev.Swap_manager.swap_in_slot t.swap ~now:!cursor ~slot;
             (* Tagged: this I/O submit cost is charged here and nowhere
                else, so it must not consume pending attribution. *)
-            Engine.Cpu.charge
+            Engine.Cpu.charge_tagged t.cpu
               ~phase:(Prof.phase_index Prof.Fault_handling)
-              t.cpu io.Swapdev.Swap_manager.cpu_ns;
-            if io.Swapdev.Swap_manager.failed then begin
+              (Swapdev.Swap_manager.last_cpu_ns t.swap);
+            if Swapdev.Swap_manager.last_failed t.swap then begin
               (* Speculative read failed: abandon the cluster.  The page
                  stays swapped; a demand fault will retry (and poison it
                  if the slot really is gone). *)
@@ -696,6 +717,7 @@ let readahead t ~tid ~(cursor : int ref) vpn =
               t.ra_pending.(v) <- true;
               map_page t ~tid ~pfn ~vpn:v ~refault:true ~write:false ~demand:false
             end
+          end
         end
       end
     done
@@ -709,27 +731,29 @@ let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
      sacrifice one of its own) no matter how much global memory is
      free.  May kill [tid]. *)
   memcg_enforce_max t ~tid ~cursor;
-  (match (if t.killed.(tid) then None else alloc_frame t ~tid ~cursor) with
-  | None -> () (* the faulting thread lost the OOM lottery *)
-  | Some pfn ->
+  let pfn = if t.killed.(tid) then -1 else alloc_frame t ~tid ~cursor in
+  (* pfn < 0: the faulting thread lost the OOM lottery *)
+  if pfn >= 0 then begin
     (* Attribute the trap cost after the allocation so the pending
        amount cannot be consumed by a direct-reclaim episode's
        aggregate charge; it flushes with [cpu_acc] at segment end. *)
-    Prof.charge t.prof ~phase:Prof.Fault_handling
+    Prof.charge_phase t.prof Prof.Fault_handling
       t.cfg.costs.Mem.Costs.fault_trap_ns;
     let pte = Mem.Page_table.get t.pt vpn in
     if Mem.Pte.swapped pte then begin
       t.major_faults <- t.major_faults + 1;
       let slot = Mem.Pte.swap_slot pte in
-      let io = Swapdev.Swap_manager.swap_in t.swap ~now:!cursor ~slot in
-      cpu_acc := !cpu_acc + io.Swapdev.Swap_manager.cpu_ns;
-      Prof.charge t.prof ~phase:Prof.Fault_handling
-        io.Swapdev.Swap_manager.cpu_ns;
+      Swapdev.Swap_manager.swap_in_slot t.swap ~now:!cursor ~slot;
+      let io_cpu = Swapdev.Swap_manager.last_cpu_ns t.swap in
+      let io_finish = Swapdev.Swap_manager.last_finish_ns t.swap in
+      let io_failed = Swapdev.Swap_manager.last_failed t.swap in
+      cpu_acc := !cpu_acc + io_cpu;
+      Prof.charge_phase t.prof Prof.Fault_handling io_cpu;
       let before_wait = !cursor in
-      cursor := max !cursor io.Swapdev.Swap_manager.finish_ns;
+      cursor := max !cursor io_finish;
       Prof.wait t.prof ~tid ~now:!cursor Prof.Swap_wait (!cursor - before_wait);
       mcg_stall t ~tid ~t0:before_wait ~t1:!cursor;
-      if io.Swapdev.Swap_manager.failed then begin
+      if io_failed then begin
         (* The stored copy is unrecoverable: poison the mapping.  The
            thread continues on a zero-filled page, and the loss is
            visible in [poisoned_reads]. *)
@@ -746,10 +770,11 @@ let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
     else begin
       t.minor_faults <- t.minor_faults + 1;
       cpu_acc := !cpu_acc + t.cfg.minor_fault_ns;
-      Prof.charge t.prof ~phase:Prof.Fault_handling t.cfg.minor_fault_ns;
+      Prof.charge_phase t.prof Prof.Fault_handling t.cfg.minor_fault_ns;
       map_page t ~tid ~pfn ~vpn ~refault:false ~write ~demand:true
     end;
-    memcg_after_charge t ~tid ~cursor);
+    memcg_after_charge t ~tid ~cursor
+  end;
   Prof.end_phase t.prof ~now:!cursor
 
 let page_at pages i =
@@ -835,10 +860,12 @@ and barrier_arrive t tid =
   t.barrier_arrive_ns.(tid) <- Engine.Sim.now t.sim;
   t.group_arrived.(g) <- t.group_arrived.(g) + 1;
   t.group_waiters.(g) <- tid :: t.group_waiters.(g);
+  t.waiting.(tid) <- true;
   if t.group_arrived.(g) >= t.group_size.(g) then begin
     let waiters = t.group_waiters.(g) in
     t.group_arrived.(g) <- 0;
     t.group_waiters.(g) <- [];
+    List.iter (fun w -> t.waiting.(w) <- false) waiters;
     Engine.Sim.schedule t.sim ~delay:t.cfg.costs.Mem.Costs.barrier_ns (fun _ ->
         let now = Engine.Sim.now t.sim in
         List.iter
@@ -873,6 +900,9 @@ let make_driver t ks =
       int_of_float (Engine.Rng.exponential t.rng ~mean)
     end
   in
+  (* The continuation closures are allocated once per kthread, not once
+     per step: a steady-state reclaim cycle schedules only reused
+     values. *)
   let rec drive () =
     if not t.stopped then begin
       t.reclaim_now <- Engine.Sim.now t.sim;
@@ -884,14 +914,15 @@ let make_driver t ks =
         let wall = Engine.Cpu.scale t.cpu w in
         let n0 = Engine.Sim.now t.sim in
         Prof.span t.prof ~tid:ks.ktid ks.kphase ~t0:n0 ~t1:(n0 + wall);
-        Engine.Sim.schedule t.sim ~delay:(wall + sched_delay ()) (fun _ ->
-            Engine.Cpu.run_end t.cpu;
-            drive ())
+        Engine.Sim.schedule t.sim ~delay:(wall + sched_delay ()) work_cont
       | Policy.Policy_intf.Sleep d ->
-        Engine.Sim.schedule t.sim ~delay:(d + sched_delay ()) (fun _ -> drive ())
+        Engine.Sim.schedule t.sim ~delay:(d + sched_delay ()) sleep_cont
       | Policy.Policy_intf.Sleep_until_woken -> ks.sleeping <- true
     end
-  in
+  and work_cont _ =
+    Engine.Cpu.run_end t.cpu;
+    drive ()
+  and sleep_cont _ = drive () in
   drive
 
 let audit t =
@@ -963,11 +994,11 @@ let run cfg ~policy ~workload =
       group_size;
       group_arrived = Array.make ngroups 0;
       group_waiters = Array.make ngroups [];
+      waiting = Array.make nthreads false;
       barrier_arrive_ns = Array.make nthreads 0;
       finish_ns = Array.make nthreads (-1);
       active_threads = nthreads;
       kthreads = [||];
-      drive = (fun _ -> ());
       restart_thread = (fun _ -> ());
       stopped = false;
       major_faults = 0;
@@ -1046,11 +1077,22 @@ let run cfg ~policy ~workload =
            in
            Prof.register_thread prof ~tid:ktid ~name:kname ~klass:Prof.Kthread
              ~default:kphase;
-           { kt; ktid; kphase; sleeping = false })
+           {
+             kt;
+             ktid;
+             kphase;
+             sleeping = false;
+             kdrive = (fun () -> ());
+             kwake = ignore;
+           })
          (P.kthreads p));
-  t.drive <- (fun ks -> (make_driver t ks) ());
+  Array.iter
+    (fun ks ->
+      ks.kdrive <- make_driver t ks;
+      ks.kwake <- (fun _ -> ks.kdrive ()))
+    t.kthreads;
   t.restart_thread <- (fun tid -> run_thread t tid);
-  Array.iter (fun ks -> Engine.Sim.schedule t.sim ~delay:0 (fun _ -> t.drive ks)) t.kthreads;
+  Array.iter (fun ks -> Engine.Sim.schedule t.sim ~delay:0 ks.kwake) t.kthreads;
   for tid = 0 to nthreads - 1 do
     Engine.Sim.schedule t.sim ~delay:0 (fun _ -> run_thread t tid)
   done;

@@ -44,9 +44,10 @@ type profile = {
   trials : int;
   ycsb_trials : int;
   fast : bool;
+  scale : int;
 }
 
-let default_profile = { trials = 25; ycsb_trials = 2; fast = false }
+let default_profile = { trials = 25; ycsb_trials = 2; fast = false; scale = 1 }
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -65,6 +66,7 @@ let profile_from_env () =
     trials = env_int "REPRO_TRIALS" default_profile.trials;
     ycsb_trials = env_int "REPRO_YCSB_TRIALS" default_profile.ycsb_trials;
     fast = Sys.getenv_opt "REPRO_FAST" <> None;
+    scale = env_int "REPRO_SCALE" default_profile.scale;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -263,12 +265,51 @@ let fast_ycsb =
     requests = 220_000;
   }
 
+(* --scale N: grow every workload's page-count dimensions by N toward
+   the paper's native footprints (3-4M pages around N=256), while
+   {!compute_exp} shrinks simulated per-page costs by the same factor —
+   one simulated page at the default seed scale stands for 256 real
+   pages.  N = 1 changes nothing, so default-scale figure output stays
+   byte-identical. *)
+let scale_tpch s (c : Workload.Tpch.config) =
+  if s = 1 then c
+  else
+    {
+      c with
+      Workload.Tpch.table_pages = c.Workload.Tpch.table_pages * s;
+      shuffle_pages = c.Workload.Tpch.shuffle_pages * s;
+      hash_pages = c.Workload.Tpch.hash_pages * s;
+      dimension_pages = c.Workload.Tpch.dimension_pages * s;
+    }
+
+let scale_pagerank s (c : Workload.Pagerank.config) =
+  if s = 1 then c
+  else
+    {
+      c with
+      Workload.Pagerank.graph =
+        {
+          c.Workload.Pagerank.graph with
+          Workload.Graph.n = c.Workload.Pagerank.graph.Workload.Graph.n * s;
+        };
+    }
+
+let scale_ycsb s (c : Workload.Ycsb.config) =
+  if s = 1 then c
+  else
+    {
+      c with
+      Workload.Ycsb.items = c.Workload.Ycsb.items * s;
+      requests = c.Workload.Ycsb.requests * s;
+    }
+
 (* One fleet tenant: a YCSB instance with its own temperature.  The
    [hot] tenant runs a tighter zipf (1.1) over twice the requests — the
    runaway neighbour of the containment experiments; the rest are
    lukewarm (zipf 0.8). *)
 let fleet_tenant ctx ~seed ~tenant ~hot =
   let base = if ctx.profile.fast then fast_ycsb else Workload.Ycsb.default_config in
+  let base = scale_ycsb ctx.profile.scale base in
   let config =
     if tenant = hot then
       { base with Workload.Ycsb.zipf_exponent = 1.1; requests = 2 * base.Workload.Ycsb.requests }
@@ -287,18 +328,22 @@ let make_fleet ctx ~tenants ~hot ~trial =
 let make_workload ctx kind ~trial =
   let seed = workload_seed kind ~trial in
   let fast = ctx.profile.fast in
+  let scale = ctx.profile.scale in
   match kind with
   | Tpch ->
     let config = if fast then fast_tpch else Workload.Tpch.default_config in
+    let config = scale_tpch scale config in
     let rng = Engine.Rng.create seed in
     Workload.Chunk.Packed
       ((module Workload.Tpch), Workload.Tpch.create ~config ~rng ())
   | Pagerank ->
     let config = if fast then fast_pagerank else Workload.Pagerank.default_config in
+    let config = scale_pagerank scale config in
     Workload.Chunk.Packed
       ((module Workload.Pagerank), Workload.Pagerank.create ~config ~seed ())
   | Ycsb variant ->
     let config = if fast then fast_ycsb else Workload.Ycsb.default_config in
+    let config = scale_ycsb scale config in
     let rng = Engine.Rng.create seed in
     Workload.Chunk.Packed
       ((module Workload.Ycsb), Workload.Ycsb.create ~config ~variant ~rng ())
@@ -357,6 +402,26 @@ let compute_exp ctx e =
       cancel = deadline_cancel ctx.trial_timeout_s;
       cgroups = ctx.cgroups;
     }
+  in
+  (* Under --scale N the per-page cost factor shrinks as the footprint
+     grows (see [scale_tpch]): region granularity coarsens toward the
+     paper's 512-PTE leaves and the 256x seed-scale compression unwinds
+     proportionally.  N = 1 leaves the machine config untouched. *)
+  let cfg =
+    let s = ctx.profile.scale in
+    if s = 1 then cfg
+    else
+      {
+        cfg with
+        Machine.costs =
+          Mem.Costs.scaled
+            ~factor:(max 1 (256 / s))
+            {
+              Mem.Costs.default with
+              Mem.Costs.region_size = min 512 (64 * s);
+              spatial_scan_max = min 512 (64 * s);
+            };
+      }
   in
   Machine.run cfg ~policy:(Policy.Registry.create e.policy) ~workload
 

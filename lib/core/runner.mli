@@ -59,21 +59,31 @@ val exp_key : exp -> string
     never alias, and no structural hashing of closures can occur. *)
 
 (** Scaling profile: trials per TPC-H/PageRank cell, trials per YCSB
-    cell, and whether workloads are shrunk ~4x for quick runs. *)
+    cell, whether workloads are shrunk ~4x for quick runs, and the
+    footprint multiplier. *)
 type profile = {
   trials : int;
   ycsb_trials : int;
   fast : bool;
+  scale : int;
+      (** [--scale N]: multiply every workload's page-count dimensions
+          by [N] and shrink simulated per-page costs by the same factor
+          (the default experiments run at 1/256 of the paper's page
+          counts; [N = 256] reaches the native 3-4M-page footprints).
+          [1] is byte-identical to the historical profile.  Like
+          [fast], this is ctx-level and not part of {!exp_key}: never
+          mix journals or caches across scales. *)
 }
 
 val default_profile : profile
-(** The paper's scale: 25 trials, 2 YCSB trials, full-size workloads. *)
+(** The paper's trial counts: 25 trials, 2 YCSB trials, full-size
+    workloads, scale 1. *)
 
 val profile_from_env : unit -> profile
 (** {!default_profile} overridden by the documented fallback variables
-    [REPRO_TRIALS], [REPRO_YCSB_TRIALS] and [REPRO_FAST] (any value).
-    This is the only place those variables are read; CLI flags build a
-    {!ctx} on top of this. *)
+    [REPRO_TRIALS], [REPRO_YCSB_TRIALS], [REPRO_FAST] (any value) and
+    [REPRO_SCALE].  This is the only place those variables are read;
+    CLI flags build a {!ctx} on top of this. *)
 
 (** {1 Run contexts} *)
 

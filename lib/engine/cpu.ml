@@ -33,8 +33,12 @@ let set_hook t f = t.hook <- Some f
 
 let no_phase = -1
 
-let charge ?(phase = no_phase) t work =
+(* Allocation-free tagged charge: the optional-argument form boxes a
+   [Some phase] at every call site that passes [~phase]. *)
+let charge_tagged t ~phase work =
   if work > 0 then begin
     t.busy_ns <- t.busy_ns + work;
     match t.hook with None -> () | Some f -> f phase work
   end
+
+let charge ?(phase = no_phase) t work = charge_tagged t ~phase work

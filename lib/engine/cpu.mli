@@ -52,3 +52,7 @@ val charge : ?phase:int -> t -> int -> unit
 (** Account [work] nanoseconds of compute against [busy_ns].  [phase]
     is forwarded verbatim to the hook, if any; it never affects timing
     or accounting. *)
+
+val charge_tagged : t -> phase:int -> int -> unit
+(** Allocation-free [charge ~phase]: a non-optional tag, so hot call
+    sites do not box a [Some phase] per charge. *)

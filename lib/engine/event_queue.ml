@@ -1,30 +1,50 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+(* Binary min-heap over parallel arrays.
+
+   Keys live in two unboxed int arrays (time, insertion sequence) so
+   sift comparisons never chase a pointer; payloads sit in a third
+   array indexed the same way.  [pop] overwrites the vacated payload
+   slot with [dummy] so popped payloads are collectable the moment the
+   caller drops them, and [clear] discards the arrays entirely so a
+   drained queue does not pin its high-water-mark capacity. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
   mutable len : int;
   mutable next_seq : int;
+  mutable dummy : 'a option;
+      (* overwrites vacated slots; defaults to the first payload ever
+         added, which then stays reachable — pass [~dummy] to [create]
+         when that matters *)
 }
 
-let dummy_of payload = { time = 0; seq = 0; payload }
-
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+let create ?dummy () =
+  { times = [||]; seqs = [||]; payloads = [||]; len = 0; next_seq = 0; dummy }
 
 let size t = t.len
 
 let is_empty t = t.len = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let before t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let time = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- time;
+  let seq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- seq;
+  let payload = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- payload
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
+    if before t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -33,41 +53,73 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.len && before t l !smallest then smallest := l;
+  if r < t.len && before t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
+let grow t payload =
+  let cap = max 16 (2 * t.len) in
+  let times = Array.make cap 0 in
+  let seqs = Array.make cap 0 in
+  let fill = match t.dummy with Some d -> d | None -> payload in
+  let payloads = Array.make cap fill in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.seqs 0 seqs 0 t.len;
+  Array.blit t.payloads 0 payloads 0 t.len;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
+
 let add t ~time payload =
   if time < 0 then invalid_arg "Event_queue.add: negative time";
-  let entry = { time; seq = t.next_seq; payload } in
+  (match t.dummy with None -> t.dummy <- Some payload | Some _ -> ());
+  if t.len = Array.length t.times then grow t payload;
+  t.times.(t.len) <- time;
+  t.seqs.(t.len) <- t.next_seq;
+  t.payloads.(t.len) <- payload;
   t.next_seq <- t.next_seq + 1;
-  if t.len = Array.length t.heap then begin
-    let cap = max 16 (2 * t.len) in
-    let heap = Array.make cap (dummy_of payload) in
-    Array.blit t.heap 0 heap 0 t.len;
-    t.heap <- heap
-  end;
-  t.heap.(t.len) <- entry;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
 
-let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+(* Remove the root: move the last element up, then blank the vacated
+   slot so its payload is not kept alive by the spare capacity. *)
+let drop_min t =
+  let last = t.len - 1 in
+  t.len <- last;
+  if last > 0 then begin
+    t.times.(0) <- t.times.(last);
+    t.seqs.(0) <- t.seqs.(last);
+    t.payloads.(0) <- t.payloads.(last)
+  end;
+  (match t.dummy with
+  | Some d -> t.payloads.(last) <- d
+  | None -> ());
+  if last > 1 then sift_down t 0
+
+let next_time t = if t.len = 0 then -1 else t.times.(0)
+
+let pop_payload t =
+  if t.len = 0 then invalid_arg "Event_queue.pop_payload: empty";
+  let payload = t.payloads.(0) in
+  drop_min t;
+  payload
+
+let peek_time t = if t.len = 0 then None else Some t.times.(0)
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let e = t.heap.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
-      sift_down t 0
-    end;
-    Some (e.time, e.payload)
+    let time = t.times.(0) in
+    let payload = t.payloads.(0) in
+    drop_min t;
+    Some (time, payload)
   end
 
 let clear t =
-  t.heap <- [||];
+  t.times <- [||];
+  t.seqs <- [||];
+  t.payloads <- [||];
   t.len <- 0

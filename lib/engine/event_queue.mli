@@ -1,11 +1,17 @@
 (** Priority queue of timestamped events.
 
     A binary min-heap keyed by [(time, sequence)]: events at equal times
-    pop in insertion order, which keeps trials deterministic. *)
+    pop in insertion order, which keeps trials deterministic.  The heap
+    is stored as unboxed parallel int arrays (time, sequence) plus a
+    payload table, so no per-event record is ever allocated. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?dummy:'a -> unit -> 'a t
+(** [dummy] overwrites vacated payload slots on {!pop} so popped
+    payloads become collectable; when omitted, the first payload ever
+    added is used (and therefore stays reachable for the queue's
+    lifetime). *)
 
 val size : 'a t -> int
 
@@ -17,7 +23,18 @@ val add : 'a t -> time:int -> 'a -> unit
 val peek_time : 'a t -> int option
 (** Timestamp of the next event without removing it. *)
 
+val next_time : 'a t -> int
+(** Allocation-free {!peek_time}: the next event's timestamp, or [-1]
+    when the queue is empty (times are validated non-negative). *)
+
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the earliest event as [(time, payload)]. *)
 
+val pop_payload : 'a t -> 'a
+(** Allocation-free {!pop}: remove and return the earliest payload
+    (its timestamp is {!next_time}, read before popping).
+    @raise Invalid_argument if the queue is empty. *)
+
 val clear : 'a t -> unit
+(** Drop every pending event and release the backing arrays, resetting
+    capacity (payloads are no longer reachable through the queue). *)

@@ -4,7 +4,10 @@ type t = {
   mutable stop_requested : bool;
 }
 
-let create () = { queue = Event_queue.create (); now = 0; stop_requested = false }
+(* An explicit dummy keeps popped closures collectable without pinning
+   the first real event (see Event_queue.create). *)
+let create () =
+  { queue = Event_queue.create ~dummy:ignore (); now = 0; stop_requested = false }
 
 let now t = t.now
 
@@ -24,16 +27,15 @@ let run ?(until = max_int) ?(cancel = Cancel.never) t =
          event always completes, so callers never observe state torn mid
          event. *)
       Cancel.check cancel;
-      match Event_queue.peek_time t.queue with
-      | None -> ()
-      | Some time when time > until -> ()
-      | Some _ -> (
-        match Event_queue.pop t.queue with
-        | None -> ()
-        | Some (time, f) ->
-          t.now <- time;
-          f t;
-          loop ())
+      (* next_time/pop_payload instead of peek/pop: no option or tuple
+         is allocated per event. *)
+      let time = Event_queue.next_time t.queue in
+      if time >= 0 && time <= until then begin
+        let f = Event_queue.pop_payload t.queue in
+        t.now <- time;
+        f t;
+        loop ()
+      end
     end
   in
   loop ()

@@ -31,6 +31,16 @@ let owner t pfn =
   check t pfn;
   if t.owner_asid.(pfn) = -1 then None else Some (t.owner_asid.(pfn), t.owner_vpn.(pfn))
 
+(* Unboxed owner lookups for reclaim loops: -1 = unmapped, no option or
+   tuple allocated. *)
+let owner_asid t pfn =
+  check t pfn;
+  t.owner_asid.(pfn)
+
+let owner_vpn t pfn =
+  check t pfn;
+  t.owner_vpn.(pfn)
+
 let is_mapped t pfn =
   check t pfn;
   t.owner_asid.(pfn) <> -1

@@ -17,6 +17,12 @@ val clear_owner : t -> pfn:int -> unit
 val owner : t -> int -> (int * int) option
 (** [(asid, vpn)] of the owning mapping, if mapped. *)
 
+val owner_asid : t -> int -> int
+(** Owning address-space id, or [-1] when unmapped (allocation-free). *)
+
+val owner_vpn : t -> int -> int
+(** Owning virtual page, or [-1] when unmapped (allocation-free). *)
+
 val is_mapped : t -> int -> bool
 
 val mapped_count : t -> int

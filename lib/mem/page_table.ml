@@ -2,12 +2,13 @@ type t = {
   asid : int;
   ptes : int array;
   region_size : int;
+  mutable resident : int; (* pages with Pte.present, maintained by [set] *)
 }
 
 let create ?(region_size = 512) ~asid ~pages () =
   if pages <= 0 then invalid_arg "Page_table.create: pages must be positive";
   if region_size <= 0 then invalid_arg "Page_table.create: region_size must be positive";
-  { asid; ptes = Array.make pages Pte.empty; region_size }
+  { asid; ptes = Array.make pages Pte.empty; region_size; resident = 0 }
 
 let asid t = t.asid
 
@@ -26,6 +27,13 @@ let get t vpn =
 
 let set t vpn pte =
   check t vpn;
+  (* Keep the resident count incremental: gauges sample it every tick,
+     and a full scan per sample dominates at multi-million-page scale. *)
+  let old = t.ptes.(vpn) in
+  if Pte.present pte then begin
+    if not (Pte.present old) then t.resident <- t.resident + 1
+  end
+  else if Pte.present old then t.resident <- t.resident - 1;
   t.ptes.(vpn) <- pte
 
 let region_of t vpn =
@@ -37,7 +45,11 @@ let region_bounds t r =
   let first = r * t.region_size in
   (first, min (first + t.region_size - 1) (pages t - 1))
 
-let resident t =
+let resident t = t.resident
+
+(* O(pages) recount, kept as the oracle the invariants audit checks the
+   incremental counter against. *)
+let resident_scan t =
   Array.fold_left (fun acc pte -> if Pte.present pte then acc + 1 else acc) 0 t.ptes
 
 let iter_region t r f =

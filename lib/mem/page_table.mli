@@ -33,8 +33,14 @@ val region_bounds : t -> int -> int * int
     be short. *)
 
 val resident : t -> int
-(** Number of present entries (O(pages); for tests and end-of-trial
-    accounting). *)
+(** Number of present entries.  O(1): maintained incrementally by
+    {!set}, so gauges can sample it every tick at multi-million-page
+    scale. *)
+
+val resident_scan : t -> int
+(** Full O(pages) recount of present entries — the oracle
+    {!Repro_core.Invariants.audit} checks the incremental counter
+    against. *)
 
 val iter_region : t -> int -> (int -> Pte.t -> unit) -> unit
 (** Apply to every (vpn, pte) in a region. *)

@@ -43,14 +43,20 @@ let low_watermark t = t.low_watermark
 
 let high_watermark t = t.high_watermark
 
-let alloc t =
-  if t.top = 0 then None
+(* Unboxed allocator for the fault path: -1 instead of None, so a
+   successful allocation allocates nothing on the OCaml heap. *)
+let alloc_pfn t =
+  if t.top = 0 then -1
   else begin
     t.top <- t.top - 1;
     let pfn = t.stack.(t.top) in
     t.free_flag.(pfn) <- false;
-    Some pfn
+    pfn
   end
+
+let alloc t =
+  let pfn = alloc_pfn t in
+  if pfn < 0 then None else Some pfn
 
 let free t pfn =
   if pfn < 0 || pfn >= t.total then invalid_arg "Phys_mem.free: pfn out of range";

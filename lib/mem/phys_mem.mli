@@ -26,6 +26,10 @@ val high_watermark : t -> int
 val alloc : t -> int option
 (** Take a free frame (LIFO), or [None] when memory is exhausted. *)
 
+val alloc_pfn : t -> int
+(** Allocation-free {!alloc}: the frame number, or [-1] when memory is
+    exhausted.  The fault path's allocator. *)
+
 val free : t -> int -> unit
 (** Return a frame.  @raise Invalid_argument on double free. *)
 

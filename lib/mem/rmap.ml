@@ -6,7 +6,37 @@ type result = {
 let walk frames ~costs ~pfn =
   { mapping = Frame_table.owner frames pfn; cost_ns = costs.Costs.rmap_walk_ns }
 
-let walk_many frames ~costs ~pfns =
-  let results = List.map (fun pfn -> walk frames ~costs ~pfn) pfns in
-  let total = List.fold_left (fun acc r -> acc + r.cost_ns) 0 results in
-  (results, total)
+(* Caller-owned batch buffer: parallel int arrays reused across walks,
+   so a reclaim batch resolves every frame without allocating a result
+   list (the old [walk_many] built one record per frame per batch). *)
+type buffer = {
+  mutable asids : int array; (* -1 = unmapped *)
+  mutable vpns : int array;
+  mutable n : int;
+}
+
+let create_buffer ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { asids = Array.make capacity (-1); vpns = Array.make capacity (-1); n = 0 }
+
+let ensure_capacity b n =
+  if Array.length b.asids < n then begin
+    let cap = max n (2 * Array.length b.asids) in
+    let asids = Array.make cap (-1) and vpns = Array.make cap (-1) in
+    Array.blit b.asids 0 asids 0 b.n;
+    Array.blit b.vpns 0 vpns 0 b.n;
+    b.asids <- asids;
+    b.vpns <- vpns
+  end
+
+let walk_into frames ~costs ~pfns buffer =
+  let per_walk = costs.Costs.rmap_walk_ns in
+  buffer.n <- 0;
+  List.fold_left
+    (fun total pfn ->
+      ensure_capacity buffer (buffer.n + 1);
+      buffer.asids.(buffer.n) <- Frame_table.owner_asid frames pfn;
+      buffer.vpns.(buffer.n) <- Frame_table.owner_vpn frames pfn;
+      buffer.n <- buffer.n + 1;
+      total + per_walk)
+    0 pfns

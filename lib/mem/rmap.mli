@@ -14,5 +14,18 @@ type result = {
 
 val walk : Frame_table.t -> costs:Costs.t -> pfn:int -> result
 
-val walk_many : Frame_table.t -> costs:Costs.t -> pfns:int list -> result list * int
-(** Batch walk; returns per-frame results and the summed cost. *)
+(** Caller-owned batch destination: parallel [(asid, vpn)] arrays
+    ([-1] = unmapped), reused — and grown geometrically — across walks
+    so batch reverse-mapping allocates nothing per frame. *)
+type buffer = {
+  mutable asids : int array;
+  mutable vpns : int array;
+  mutable n : int; (** valid prefix length after a {!walk_into} *)
+}
+
+val create_buffer : ?capacity:int -> unit -> buffer
+
+val walk_into : Frame_table.t -> costs:Costs.t -> pfns:int list -> buffer -> int
+(** Resolve every frame of the batch into [buffer] (overwriting it) and
+    return the summed walk cost.  Replaces the allocating
+    [walk_many]. *)

@@ -260,6 +260,20 @@ let charge t ?phase ns =
                    unattributed remainder. *)
                 s.pending <- s.pending + ns)
 
+(* Allocation-free [charge ~phase]: scan loops call this per scanned
+   page, and the optional argument would box a [Some phase] at the call
+   site even when profiling is off. *)
+let charge_phase t phase ns =
+  match t with
+  | None -> ()
+  | Some s ->
+      if ns > 0 then
+        match thread s s.cur with
+        | None -> ()
+        | Some ti ->
+            add s ti.t_class (tag_path ti (phase_index phase)) ns;
+            s.pending <- s.pending + ns
+
 (* Scoping for nested flush points: a direct-reclaim episode runs in
    the middle of a fault handler, and its aggregate untagged charge
    must consume only the attribution accrued inside the episode — not

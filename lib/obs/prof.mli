@@ -144,6 +144,10 @@ val charge : t -> ?phase:phase -> int -> unit
     credited to that phase {e and} remembered as pending (see the
     module preamble); without, it lands in the enclosing span. *)
 
+val charge_phase : t -> phase -> int -> unit
+(** Exactly [charge t ~phase ns] but with a non-optional phase, so hot
+    scan loops do not box a [Some phase] per scanned page. *)
+
 val suspend_pending : t -> int
 (** Save and zero the pending-attribution counter.  Brackets a nested
     flush point (a direct-reclaim episode inside a fault handler) so

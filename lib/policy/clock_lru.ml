@@ -53,34 +53,35 @@ let on_page_mapped t ~pfn ~asid:_ ~vpn:_ ~refault ~file_backed:_ ~speculative =
 
 let on_page_touched _t ~pfn:_ ~write:_ = ()
 
-let pte_of t pfn =
-  match Mem.Frame_table.owner t.env.Policy_intf.frames pfn with
-  | None -> None
-  | Some (asid, vpn) ->
-    let pt = t.env.Policy_intf.page_table_of asid in
-    Some (pt, vpn, Mem.Page_table.get pt vpn)
-
 let costs t = t.env.Policy_intf.costs
 
-(* Examine one active-tail page: accessed -> rotate to head, else demote. *)
+(* Examine one active-tail page: accessed -> rotate to head, else demote.
+   The scan loops read the frame owner through the unboxed accessors
+   ([-1] sentinels) so examining a page allocates nothing. *)
 let deactivate_one t (stats : Policy_intf.reclaim_stats) =
-  match Structures.Dlist.tail t.lists active with
-  | None -> false
-  | Some pfn ->
+  let pfn = Structures.Dlist.tail_node t.lists active in
+  if pfn < 0 then false
+  else begin
     stats.scanned <- stats.scanned + 1;
     stats.rmap_walks <- stats.rmap_walks + 1;
     stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.rmap_walk_ns;
-    Prof.charge t.env.Policy_intf.prof ~phase:Prof.Rmap_walk
+    Prof.charge_phase t.env.Policy_intf.prof Prof.Rmap_walk
       (costs t).Mem.Costs.rmap_walk_ns;
     t.active_scans <- t.active_scans + 1;
-    (match pte_of t pfn with
-    | None ->
+    let frames = t.env.Policy_intf.frames in
+    let vpn = Mem.Frame_table.owner_vpn frames pfn in
+    if vpn < 0 then begin
       (* Raced with an unmap; drop from our lists. *)
       Structures.Dlist.remove t.lists ~node:pfn;
       true
-    | Some (pt, vpn, pte) ->
+    end
+    else begin
+      let pt =
+        t.env.Policy_intf.page_table_of (Mem.Frame_table.owner_asid frames pfn)
+      in
+      let pte = Mem.Page_table.get pt vpn in
       stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.list_op_ns;
-      Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+      Prof.charge_phase t.env.Policy_intf.prof Prof.Evict_scan
         (costs t).Mem.Costs.list_op_ns;
       if Mem.Pte.accessed pte then begin
         Mem.Page_table.set pt vpn (Mem.Pte.clear_accessed pte);
@@ -89,10 +90,13 @@ let deactivate_one t (stats : Policy_intf.reclaim_stats) =
       end
       else begin
         Structures.Dlist.move_head t.lists ~list:inactive ~node:pfn;
-        Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
-          (Obs.Demote { pfn })
+        if Obs.enabled t.env.Policy_intf.obs then
+          Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+            (Obs.Demote { pfn })
       end;
-      true)
+      true
+    end
+  end
 
 let rebalance t stats =
   let continue_ = ref true in
@@ -106,29 +110,36 @@ let rebalance t stats =
 
 (* Examine one inactive-tail page: accessed -> second chance, else evict. *)
 let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
-  match Structures.Dlist.tail t.lists inactive with
-  | None -> `Empty
-  | Some pfn ->
+  let pfn = Structures.Dlist.tail_node t.lists inactive in
+  if pfn < 0 then `Empty
+  else begin
     stats.scanned <- stats.scanned + 1;
     stats.rmap_walks <- stats.rmap_walks + 1;
     stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.rmap_walk_ns;
-    Prof.charge t.env.Policy_intf.prof ~phase:Prof.Rmap_walk
+    Prof.charge_phase t.env.Policy_intf.prof Prof.Rmap_walk
       (costs t).Mem.Costs.rmap_walk_ns;
     t.inactive_scans <- t.inactive_scans + 1;
-    (match pte_of t pfn with
-    | None ->
+    let frames = t.env.Policy_intf.frames in
+    let vpn = Mem.Frame_table.owner_vpn frames pfn in
+    if vpn < 0 then begin
       Structures.Dlist.remove t.lists ~node:pfn;
       `Scanned
-    | Some (pt, vpn, pte) ->
+    end
+    else begin
+      let pt =
+        t.env.Policy_intf.page_table_of (Mem.Frame_table.owner_asid frames pfn)
+      in
+      let pte = Mem.Page_table.get pt vpn in
       stats.cpu_ns <- stats.cpu_ns + (costs t).Mem.Costs.list_op_ns;
-      Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+      Prof.charge_phase t.env.Policy_intf.prof Prof.Evict_scan
         (costs t).Mem.Costs.list_op_ns;
       if Mem.Pte.accessed pte && not force then begin
         Mem.Page_table.set pt vpn (Mem.Pte.clear_accessed pte);
         Structures.Dlist.move_head t.lists ~list:active ~node:pfn;
         stats.promoted <- stats.promoted + 1;
-        Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
-          (Obs.Promote { pfn; reason = Obs.Second_chance });
+        if Obs.enabled t.env.Policy_intf.obs then
+          Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+            (Obs.Promote { pfn; reason = Obs.Second_chance });
         `Scanned
       end
       else if not (t.env.Policy_intf.evictable ~pfn ~force) then begin
@@ -143,7 +154,9 @@ let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
         t.evictions <- t.evictions + 1;
         stats.freed <- stats.freed + 1;
         `Freed
-      end)
+      end
+    end
+  end
 
 let shrink t ~want ~force stats =
   rebalance t stats;

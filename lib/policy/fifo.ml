@@ -22,12 +22,12 @@ let on_page_mapped t ~pfn ~asid:_ ~vpn:_ ~refault ~file_backed:_ ~speculative:_ 
 let on_page_touched _t ~pfn:_ ~write:_ = ()
 
 let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
-  match Structures.Dlist.pop_tail t.queue 0 with
-  | None -> false
-  | Some pfn ->
+  let pfn = Structures.Dlist.pop_tail_node t.queue 0 in
+  if pfn < 0 then false
+  else begin
     stats.scanned <- stats.scanned + 1;
     stats.cpu_ns <- stats.cpu_ns + t.env.Policy_intf.costs.Mem.Costs.list_op_ns;
-    Obs.Prof.charge t.env.Policy_intf.prof ~phase:Obs.Prof.Evict_scan
+    Obs.Prof.charge_phase t.env.Policy_intf.prof Obs.Prof.Evict_scan
       t.env.Policy_intf.costs.Mem.Costs.list_op_ns;
     if Mem.Frame_table.is_mapped t.env.Policy_intf.frames pfn then
       if t.env.Policy_intf.evictable ~pfn ~force then begin
@@ -40,6 +40,7 @@ let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
            evictable pages is preserved. *)
         Structures.Dlist.move_head t.queue ~list:0 ~node:pfn;
     true
+  end
 
 (* Rotation can make the queue cycle, so bound each pass.  The budget
    never binds when cgroups are off: every step then frees or drops a

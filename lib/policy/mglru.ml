@@ -54,8 +54,13 @@ type t = {
      requested only when eviction hits the bottom of the generation
      window (try_to_inc_max_seq), and eviction that fully drains the
      oldest generation before the pass completes must wait for it — the
-     serialization behind MG-LRU's reclaim stalls (paper §VI-A). *)
-  mutable walk_list : (Mem.Page_table.t * int) array;
+     serialization behind MG-LRU's reclaim stalls (paper §VI-A).
+     The list is flattened into parallel arrays (page table / region
+     index) rebuilt only when the region count changes, so starting a
+     pass does not rebuild a tuple list every time. *)
+  mutable walk_pts : Mem.Page_table.t array;
+  mutable walk_regions : int array;
+  mutable walk_len : int;
   mutable walk_pos : int;
   mutable aging_active : bool;
   mutable aging_requested : bool;
@@ -102,7 +107,9 @@ let create_with ?(config = default_config) (env : Policy_intf.env) =
     bloom_cur = mk_bloom ();
     bloom_next = mk_bloom ();
     bloom_primed = false;
-    walk_list = [||];
+    walk_pts = [||];
+    walk_regions = [||];
+    walk_len = 0;
     walk_pos = 0;
     aging_active = false;
     aging_requested = false;
@@ -226,18 +233,19 @@ let scan_region t pt region (work : int ref) =
         let pfn = Mem.Pte.pfn pte in
         promote_to_youngest t ~pfn;
         t.aging_promotions <- t.aging_promotions + 1;
-        Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
-          (Obs.Promote { pfn; reason = Obs.Aging });
+        if Obs.enabled t.env.Policy_intf.obs then
+          Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+            (Obs.Promote { pfn; reason = Obs.Aging });
         work := !work + c.Mem.Costs.list_op_ns
       end);
-  Prof.charge prof ~phase:Prof.Pte_scan (!entries * c.Mem.Costs.pte_scan_ns);
-  Prof.charge prof ~phase:Prof.Aging_walk
+  Prof.charge_phase prof Prof.Pte_scan (!entries * c.Mem.Costs.pte_scan_ns);
+  Prof.charge_phase prof Prof.Aging_walk
     (!accessed_here * c.Mem.Costs.list_op_ns);
   let threshold = max 1 (!entries lsr t.config.bloom_density_shift) in
   if !accessed_here >= threshold then begin
     Structures.Bloom.add t.bloom_next region;
     work := !work + c.Mem.Costs.bloom_update_ns;
-    Prof.charge prof ~phase:Prof.Aging_walk c.Mem.Costs.bloom_update_ns
+    Prof.charge_phase prof Prof.Aging_walk c.Mem.Costs.bloom_update_ns
   end
 
 let update_tier_protection t =
@@ -267,15 +275,36 @@ let update_tier_protection t =
   end
 
 let start_aging_pass t =
-  let regions =
-    match t.config.scan_mode with
-    | Scan_none -> [] (* pure generation rotation, no page-table walk *)
-    | Bloom_filtered | Scan_all | Scan_rand _ ->
-      List.concat_map
-        (fun pt -> List.init (Mem.Page_table.regions pt) (fun r -> (pt, r)))
-        (t.env.Policy_intf.address_spaces ())
-  in
-  t.walk_list <- Array.of_list regions;
+  (match t.config.scan_mode with
+  | Scan_none -> t.walk_len <- 0 (* pure generation rotation, no walk *)
+  | Bloom_filtered | Scan_all | Scan_rand _ ->
+    let spaces = t.env.Policy_intf.address_spaces () in
+    let total =
+      List.fold_left (fun acc pt -> acc + Mem.Page_table.regions pt) 0 spaces
+    in
+    (* Address spaces are fixed for a machine's lifetime, so the region
+       count changing is the only rebuild trigger in practice. *)
+    if total <> Array.length t.walk_regions then begin
+      match spaces with
+      | [] ->
+        t.walk_pts <- [||];
+        t.walk_regions <- [||]
+      | pt0 :: _ ->
+        let pts = Array.make total pt0 in
+        let regs = Array.make total 0 in
+        let i = ref 0 in
+        List.iter
+          (fun pt ->
+            for r = 0 to Mem.Page_table.regions pt - 1 do
+              pts.(!i) <- pt;
+              regs.(!i) <- r;
+              incr i
+            done)
+          spaces;
+        t.walk_pts <- pts;
+        t.walk_regions <- regs
+    end;
+    t.walk_len <- total);
   t.walk_pos <- 0;
   t.aging_active <- true
 
@@ -301,8 +330,9 @@ let aging_step t ~budget:step_budget =
   let c = costs t in
   let work = ref 0 in
   let budget = ref step_budget in
-  while !budget > 0 && t.walk_pos < Array.length t.walk_list do
-    let pt, region = t.walk_list.(t.walk_pos) in
+  while !budget > 0 && t.walk_pos < t.walk_len do
+    let pt = t.walk_pts.(t.walk_pos) in
+    let region = t.walk_regions.(t.walk_pos) in
     t.walk_pos <- t.walk_pos + 1;
     work := !work + c.Mem.Costs.bloom_query_ns;
     if should_scan_region t region then begin
@@ -312,9 +342,9 @@ let aging_step t ~budget:step_budget =
     else t.regions_skipped <- t.regions_skipped + 1;
     decr budget
   done;
-  Prof.charge t.env.Policy_intf.prof ~phase:Prof.Aging_walk
+  Prof.charge_phase t.env.Policy_intf.prof Prof.Aging_walk
     ((step_budget - !budget) * c.Mem.Costs.bloom_query_ns);
-  if t.walk_pos >= Array.length t.walk_list then finish_aging_pass t;
+  if t.walk_pos >= t.walk_len then finish_aging_pass t;
   max !work 200
 
 (* ------------------------------------------------------------------ *)
@@ -351,22 +381,23 @@ let spatial_scan_region t pt region (stats : Policy_intf.reclaim_stats) =
           promote_to_youngest t ~pfn;
           incr promoted;
           t.spatial_promotions <- t.spatial_promotions + 1;
-          Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
-            (Obs.Promote { pfn; reason = Obs.Spatial });
+          if Obs.enabled t.env.Policy_intf.obs then
+            Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+              (Obs.Promote { pfn; reason = Obs.Spatial });
           stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns
         end
       end);
-  Prof.charge prof ~phase:Prof.Pte_scan (!scanned * c.Mem.Costs.pte_scan_ns);
-  Prof.charge prof ~phase:Prof.Evict_scan (!promoted * c.Mem.Costs.list_op_ns);
+  Prof.charge_phase prof Prof.Pte_scan (!scanned * c.Mem.Costs.pte_scan_ns);
+  Prof.charge_phase prof Prof.Evict_scan (!promoted * c.Mem.Costs.list_op_ns);
   Structures.Bloom.add t.bloom_next region;
   stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.bloom_update_ns;
-  Prof.charge prof ~phase:Prof.Evict_scan c.Mem.Costs.bloom_update_ns
+  Prof.charge_phase prof Prof.Evict_scan c.Mem.Costs.bloom_update_ns
 
 let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
   refresh_min_seq t;
   if nr_gens t <= t.config.min_gens then request_aging t;
-  match Structures.Dlist.tail t.lists (slot t t.min_seq) with
-  | None ->
+  let pfn = Structures.Dlist.tail_node t.lists (slot t t.min_seq) in
+  if pfn < 0 then
     if force && t.min_seq < t.max_seq then begin
       (* Emergency: eat into a younger generation rather than deadlock. *)
       t.min_seq <- t.min_seq + 1;
@@ -378,19 +409,22 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
       request_aging t;
       `Need_aging
     end
-  | Some pfn ->
+  else begin
     let c = costs t in
     stats.scanned <- stats.scanned + 1;
     stats.rmap_walks <- stats.rmap_walks + 1;
     stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.rmap_walk_ns;
-    Prof.charge t.env.Policy_intf.prof ~phase:Prof.Rmap_walk
+    Prof.charge_phase t.env.Policy_intf.prof Prof.Rmap_walk
       c.Mem.Costs.rmap_walk_ns;
-    (match Mem.Frame_table.owner t.env.Policy_intf.frames pfn with
-    | None ->
+    let frames = t.env.Policy_intf.frames in
+    let vpn = Mem.Frame_table.owner_vpn frames pfn in
+    if vpn < 0 then begin
       Structures.Dlist.remove t.lists ~node:pfn;
       t.gen_of.(pfn) <- -1;
       `Scanned
-    | Some (asid, vpn) ->
+    end
+    else begin
+      let asid = Mem.Frame_table.owner_asid frames pfn in
       let pt = t.env.Policy_intf.page_table_of asid in
       let pte = Mem.Page_table.get pt vpn in
       if Mem.Pte.accessed pte && not force then begin
@@ -398,10 +432,11 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
         promote_to_youngest t ~pfn;
         t.evict_promotions <- t.evict_promotions + 1;
         stats.promoted <- stats.promoted + 1;
-        Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
-          (Obs.Promote { pfn; reason = Obs.Evict_scan });
+        if Obs.enabled t.env.Policy_intf.obs then
+          Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
+            (Obs.Promote { pfn; reason = Obs.Evict_scan });
         stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns;
-        Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+        Prof.charge_phase t.env.Policy_intf.prof Prof.Evict_scan
           c.Mem.Costs.list_op_ns;
         (* Unlike Clock, exploit page-table locality around the hit and
            feed the region back to the aging filter (paper §III-C). *)
@@ -420,7 +455,7 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
           place t ~pfn ~seq:(min (t.min_seq + 1) t.max_seq) ~tier;
           t.tier_protected_saves <- t.tier_protected_saves + 1;
           stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns;
-          Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+          Prof.charge_phase t.env.Policy_intf.prof Prof.Evict_scan
             c.Mem.Costs.list_op_ns;
           `Scanned
         end
@@ -430,7 +465,7 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
              tier, and keep scanning. *)
           place t ~pfn ~seq:(min (t.min_seq + 1) t.max_seq) ~tier;
           stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns;
-          Prof.charge t.env.Policy_intf.prof ~phase:Prof.Evict_scan
+          Prof.charge_phase t.env.Policy_intf.prof Prof.Evict_scan
             c.Mem.Costs.list_op_ns;
           `Scanned
         end
@@ -448,7 +483,9 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
           stats.freed <- stats.freed + 1;
           `Freed
         end
-      end)
+      end
+    end
+  end
 
 let shrink t ~want ~force stats =
   let budget = ref (max (4 * t.config.evict_batch) (8 * want)) in
@@ -464,7 +501,7 @@ let shrink t ~want ~force stats =
    charging its CPU to [stats] — a direct reclaimer stalls for exactly
    this long. *)
 let finish_aging_synchronously t (stats : Policy_intf.reclaim_stats) =
-  let guard = ref (Array.length t.walk_list + (t.env.Policy_intf.total_frames / 8) + 64) in
+  let guard = ref (t.walk_len + (t.env.Policy_intf.total_frames / 8) + 64) in
   while (t.aging_active || t.aging_requested) && !guard > 0 do
     stats.Policy_intf.cpu_ns <-
       stats.Policy_intf.cpu_ns + aging_step t ~budget:t.config.aging_regions_per_step;

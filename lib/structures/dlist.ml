@@ -78,6 +78,17 @@ let head t l = opt t.heads.(l)
 
 let tail t l = opt t.tails.(l)
 
+(* Unboxed accessors for policy scan loops: [nil] (-1) instead of None,
+   so a per-page candidate probe allocates nothing. *)
+let head_node t l = t.heads.(l)
+
+let tail_node t l = t.tails.(l)
+
+let pop_tail_node t l =
+  let node = t.tails.(l) in
+  if node <> nil then remove t ~node;
+  node
+
 let pop_tail t l =
   match tail t l with
   | None -> None

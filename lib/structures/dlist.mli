@@ -49,6 +49,16 @@ val pop_tail : t -> int -> int option
 
 val pop_head : t -> int -> int option
 
+val head_node : t -> int -> int
+(** Allocation-free {!head}: the head node, or [-1] when empty. *)
+
+val tail_node : t -> int -> int
+(** Allocation-free {!tail}: the tail node, or [-1] when empty. *)
+
+val pop_tail_node : t -> int -> int
+(** Allocation-free {!pop_tail}: remove and return the tail node, or
+    [-1] when the list is empty. *)
+
 val next_towards_head : t -> int -> int option
 (** [next_towards_head t node] is the neighbour of [node] one step closer
     to its list's head, if any. *)

@@ -16,6 +16,13 @@ type t = {
   mutable remaps : int;
   mutable read_failures : int;
   mutable write_failures : int;
+  (* Out-fields of the last swap_out_slot/swap_in_slot: the fault path
+     reads these instead of a freshly allocated [io] record. *)
+  mutable last_finish_ns : int;
+  mutable last_cpu_ns : int;
+  mutable last_retries : int;
+  mutable last_failed : bool;
+  mutable last_remapped : bool;
 }
 
 type io = {
@@ -46,6 +53,11 @@ let create ?(max_retries = 4) ?(backoff_ns = 100_000) ?(obs = Obs.disabled)
     remaps = 0;
     read_failures = 0;
     write_failures = 0;
+    last_finish_ns = 0;
+    last_cpu_ns = 0;
+    last_retries = 0;
+    last_failed = false;
+    last_remapped = false;
   }
 
 let device t = t.device
@@ -90,88 +102,118 @@ let take_slot t ratio =
    after the failure was observed plus the backoff delay. *)
 let backoff t tries = t.backoff_ns * (1 lsl min tries 10)
 
-let swap_out t ~now ~klass ~page_key =
+(* The attempt loops are top-level recursive functions over int
+   arguments (no local closure), writing their outcome into the
+   [last_*] out-fields: one logical swap operation allocates nothing
+   beyond the device layer's completion record per attempt. *)
+
+let rec out_attempt t ratio slot now tries cpu =
+  let c = t.device.Device.submit ~now ~op:Device.Write ~size_fraction:ratio in
+  let cpu = cpu + c.Device.cpu_ns in
+  match c.Device.status with
+  | Device.Done ->
+    t.outs <- t.outs + 1;
+    t.last_finish_ns <- c.Device.finish_ns;
+    t.last_cpu_ns <- cpu;
+    t.last_retries <- tries;
+    t.last_failed <- false;
+    slot
+  | Device.Failed kind ->
+    if tries >= t.max_retries then begin
+      release t ~slot;
+      t.write_failures <- t.write_failures + 1;
+      t.last_finish_ns <- c.Device.finish_ns;
+      t.last_cpu_ns <- cpu;
+      t.last_retries <- tries;
+      t.last_failed <- true;
+      -1
+    end
+    else begin
+      t.retries <- t.retries + 1;
+      let slot =
+        match kind with
+        | Device.Transient -> slot
+        | Device.Permanent ->
+          (* The block is bad: remap the page to a fresh slot. *)
+          release t ~slot;
+          t.remaps <- t.remaps + 1;
+          t.last_remapped <- true;
+          take_slot t ratio
+      in
+      out_attempt t ratio slot (c.Device.finish_ns + backoff t tries)
+        (tries + 1) cpu
+    end
+
+let swap_out_slot t ~now ~klass ~page_key =
   let submitted = now in
-  let remapped = ref false in
   let ratio = Compress.ratio klass ~page_key ~seed:t.seed in
-  let rec attempt ~slot ~now ~tries ~cpu =
-    let c = t.device.Device.submit ~now ~op:Device.Write ~size_fraction:ratio in
-    let cpu = cpu + c.Device.cpu_ns in
-    match c.Device.status with
-    | Device.Done ->
-      t.outs <- t.outs + 1;
-      ( Some slot,
-        { finish_ns = c.Device.finish_ns; cpu_ns = cpu; io_retries = tries;
-          failed = false } )
-    | Device.Failed kind ->
-      if tries >= t.max_retries then begin
-        release t ~slot;
-        t.write_failures <- t.write_failures + 1;
-        ( None,
-          { finish_ns = c.Device.finish_ns; cpu_ns = cpu; io_retries = tries;
-            failed = true } )
-      end
-      else begin
-        t.retries <- t.retries + 1;
-        let slot =
-          match kind with
-          | Device.Transient -> slot
-          | Device.Permanent ->
-            (* The block is bad: remap the page to a fresh slot. *)
-            release t ~slot;
-            t.remaps <- t.remaps + 1;
-            remapped := true;
-            take_slot t ratio
-        in
-        attempt ~slot ~now:(c.Device.finish_ns + backoff t tries)
-          ~tries:(tries + 1) ~cpu
-      end
-  in
-  let ((slot_opt, io) as result) =
-    attempt ~slot:(take_slot t ratio) ~now ~tries:0 ~cpu:0
-  in
-  Obs.emit t.obs ~t_ns:submitted
-    (Obs.Swap_write
-       {
-         slot = (match slot_opt with Some s -> s | None -> -1);
-         latency_ns = io.finish_ns - submitted;
-         retries = io.io_retries;
-         failed = io.failed;
-         remapped = !remapped;
-       });
-  result
+  t.last_remapped <- false;
+  let slot = out_attempt t ratio (take_slot t ratio) now 0 0 in
+  if Obs.enabled t.obs then
+    Obs.emit t.obs ~t_ns:submitted
+      (Obs.Swap_write
+         {
+           slot;
+           latency_ns = t.last_finish_ns - submitted;
+           retries = t.last_retries;
+           failed = t.last_failed;
+           remapped = t.last_remapped;
+         });
+  slot
+
+let swap_out t ~now ~klass ~page_key =
+  let slot = swap_out_slot t ~now ~klass ~page_key in
+  ( (if slot < 0 then None else Some slot),
+    { finish_ns = t.last_finish_ns; cpu_ns = t.last_cpu_ns;
+      io_retries = t.last_retries; failed = t.last_failed } )
+
+let rec in_attempt t ratio now tries cpu =
+  let c = t.device.Device.submit ~now ~op:Device.Read ~size_fraction:ratio in
+  let cpu = cpu + c.Device.cpu_ns in
+  match c.Device.status with
+  | Device.Done ->
+    t.ins <- t.ins + 1;
+    t.last_finish_ns <- c.Device.finish_ns;
+    t.last_cpu_ns <- cpu;
+    t.last_retries <- tries;
+    t.last_failed <- false
+  | Device.Failed Device.Transient when tries < t.max_retries ->
+    t.retries <- t.retries + 1;
+    in_attempt t ratio (c.Device.finish_ns + backoff t tries) (tries + 1) cpu
+  | Device.Failed _ ->
+    (* Permanent, or transient retries exhausted: the stored page is
+       unreachable — the caller must poison the mapping. *)
+    t.read_failures <- t.read_failures + 1;
+    t.last_finish_ns <- c.Device.finish_ns;
+    t.last_cpu_ns <- cpu;
+    t.last_retries <- tries;
+    t.last_failed <- true
+
+let swap_in_slot t ~now ~slot =
+  if not (slot_in_use t slot) then invalid_arg "Swap_manager.swap_in: slot not in use";
+  in_attempt t t.ratios.(slot) now 0 0;
+  if Obs.enabled t.obs then
+    Obs.emit t.obs ~t_ns:now
+      (Obs.Swap_read
+         {
+           slot;
+           latency_ns = t.last_finish_ns - now;
+           retries = t.last_retries;
+           failed = t.last_failed;
+         })
 
 let swap_in t ~now ~slot =
-  if not (slot_in_use t slot) then invalid_arg "Swap_manager.swap_in: slot not in use";
-  let ratio = t.ratios.(slot) in
-  let rec attempt ~now ~tries ~cpu =
-    let c = t.device.Device.submit ~now ~op:Device.Read ~size_fraction:ratio in
-    let cpu = cpu + c.Device.cpu_ns in
-    match c.Device.status with
-    | Device.Done ->
-      t.ins <- t.ins + 1;
-      { finish_ns = c.Device.finish_ns; cpu_ns = cpu; io_retries = tries;
-        failed = false }
-    | Device.Failed Device.Transient when tries < t.max_retries ->
-      t.retries <- t.retries + 1;
-      attempt ~now:(c.Device.finish_ns + backoff t tries) ~tries:(tries + 1) ~cpu
-    | Device.Failed _ ->
-      (* Permanent, or transient retries exhausted: the stored page is
-         unreachable — the caller must poison the mapping. *)
-      t.read_failures <- t.read_failures + 1;
-      { finish_ns = c.Device.finish_ns; cpu_ns = cpu; io_retries = tries;
-        failed = true }
-  in
-  let io = attempt ~now ~tries:0 ~cpu:0 in
-  Obs.emit t.obs ~t_ns:now
-    (Obs.Swap_read
-       {
-         slot;
-         latency_ns = io.finish_ns - now;
-         retries = io.io_retries;
-         failed = io.failed;
-       });
-  io
+  swap_in_slot t ~now ~slot;
+  { finish_ns = t.last_finish_ns; cpu_ns = t.last_cpu_ns;
+    io_retries = t.last_retries; failed = t.last_failed }
+
+let last_finish_ns t = t.last_finish_ns
+
+let last_cpu_ns t = t.last_cpu_ns
+
+let last_io_retries t = t.last_retries
+
+let last_failed t = t.last_failed
 
 let used_slots t = t.used
 

@@ -50,6 +50,29 @@ val swap_in : t -> now:int -> slot:int -> io
     {!release} the slot and poison the page.
     @raise Invalid_argument on a slot not currently in use. *)
 
+(** {2 Allocation-free variants}
+
+    The fault path's entry points: identical semantics to {!swap_out} /
+    {!swap_in}, but the per-operation outcome is written into out-fields
+    read back through [last_*] instead of a freshly allocated [io]
+    record.  The [last_*] values are valid until the next operation on
+    this manager. *)
+
+val swap_out_slot : t -> now:int -> klass:Compress.klass -> page_key:int -> int
+(** {!swap_out} returning the slot, or [-1] on permanent failure. *)
+
+val swap_in_slot : t -> now:int -> slot:int -> unit
+(** {!swap_in}; read the outcome from [last_*].
+    @raise Invalid_argument on a slot not currently in use. *)
+
+val last_finish_ns : t -> int
+
+val last_cpu_ns : t -> int
+
+val last_io_retries : t -> int
+
+val last_failed : t -> bool
+
 val release : t -> slot:int -> unit
 (** Free a slot without I/O (page dirtied or address space torn down).
     @raise Invalid_argument on a slot not currently in use. *)

@@ -46,6 +46,64 @@ let test_interleaved_add_pop () =
   Alcotest.(check bool) "pop 1" true (Q.pop q = Some (1, 1));
   Alcotest.(check bool) "pop 10" true (Q.pop q = Some (10, 10))
 
+(* Regression: [pop] must blank the vacated heap slot with [dummy].
+   Before the fix, a popped payload stayed reachable through the spare
+   capacity of the payload array until a later [add] happened to reuse
+   the slot, pinning arbitrarily large closures across the run. *)
+let test_pop_releases_payloads () =
+  let n = 16 in
+  let w = Weak.create n in
+  let q : int array Q.t = Q.create ~dummy:[||] () in
+  let fill () =
+    for i = 0 to n - 1 do
+      let payload = Array.make 8 i in
+      Weak.set w i (Some payload);
+      Q.add q ~time:i payload
+    done
+  in
+  fill ();
+  for _ = 1 to n do
+    match Q.pop q with
+    | Some _ -> ()
+    | None -> Alcotest.fail "queue drained early"
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check w i then incr live
+  done;
+  Alcotest.(check int) "popped payloads still pinned by the heap" 0 !live
+
+(* Regression: [clear] must release the backing arrays, not just reset
+   [len] — otherwise a drained queue pins its high-water-mark capacity
+   (and every payload parked in it) for the rest of the run. *)
+let test_clear_releases_capacity () =
+  let n = 64 in
+  let w = Weak.create n in
+  let q : int array Q.t = Q.create ~dummy:[||] () in
+  let fill () =
+    for i = 0 to n - 1 do
+      let payload = Array.make 4 i in
+      Weak.set w i (Some payload);
+      Q.add q ~time:i payload
+    done
+  in
+  fill ();
+  Q.clear q;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check w i then incr live
+  done;
+  Alcotest.(check int) "cleared payloads still pinned by the heap" 0 !live;
+  Alcotest.(check int) "size" 0 (Q.size q);
+  (* The queue must stay usable after the capacity reset. *)
+  Q.add q ~time:3 (Array.make 1 3);
+  Q.add q ~time:1 (Array.make 1 1);
+  Alcotest.(check (option int)) "peek after clear" (Some 1) (Q.peek_time q)
+
 let prop_pops_sorted =
   QCheck.Test.make ~name:"pops come out time-sorted" ~count:200
     QCheck.(list small_nat)
@@ -83,6 +141,10 @@ let () =
           Alcotest.test_case "negative time rejected" `Quick test_negative_time_rejected;
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "interleaved" `Quick test_interleaved_add_pop;
+          Alcotest.test_case "pop releases payloads" `Quick
+            test_pop_releases_payloads;
+          Alcotest.test_case "clear releases capacity" `Quick
+            test_clear_releases_capacity;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_pops_sorted; prop_size_tracks ] );

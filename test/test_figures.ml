@@ -3,7 +3,7 @@
 
 let ctx =
   Repro_core.Runner.make_ctx
-    ~profile:{ Repro_core.Runner.trials = 1; ycsb_trials = 1; fast = true }
+    ~profile:{ Repro_core.Runner.trials = 1; ycsb_trials = 1; fast = true; scale = 1 }
     ()
 
 let test_cell_metrics () =

@@ -169,7 +169,7 @@ module R = Repro_core.Runner
 module Regret = Repro_core.Regret
 
 let test_regret_jobs_identical () =
-  let profile = { R.trials = 2; ycsb_trials = 1; fast = true } in
+  let profile = { R.trials = 2; ycsb_trials = 1; fast = true; scale = 1 } in
   let workloads = [ R.Tpch ]
   and policies = [ Policy.Registry.Clock; Policy.Registry.Sieve ]
   and ratios = [ 0.5 ] in

@@ -5,7 +5,7 @@ module R = Repro_core.Runner
 module M = Repro_core.Machine
 
 let ctx =
-  R.make_ctx ~profile:{ R.trials = 1; ycsb_trials = 1; fast = true } ()
+  R.make_ctx ~profile:{ R.trials = 1; ycsb_trials = 1; fast = true; scale = 1 } ()
 
 let run workload policy ~ratio ~swap =
   R.run_exp ctx { R.workload; policy; ratio; swap; trial = 0 }

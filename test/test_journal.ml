@@ -6,7 +6,7 @@ module J = Repro_core.Journal
 module R = Repro_core.Runner
 module M = Repro_core.Machine
 
-let fast_profile = { R.trials = 1; ycsb_trials = 1; fast = true }
+let fast_profile = { R.trials = 1; ycsb_trials = 1; fast = true; scale = 1 }
 
 (* One real trial result, so the round-trip test covers every field the
    simulator actually produces (latency arrays included). *)

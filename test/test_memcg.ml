@@ -382,7 +382,7 @@ let test_proactive_tightens () =
 
 (* ---------------- jobs=1 vs jobs=4 byte-identity ---------------- *)
 
-let fast_profile = { R.trials = 2; ycsb_trials = 1; fast = true }
+let fast_profile = { R.trials = 2; ycsb_trials = 1; fast = true; scale = 1 }
 
 let read_file path =
   let ic = open_in_bin path in

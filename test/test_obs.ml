@@ -174,7 +174,7 @@ let test_adversarial_escapes_round_trip () =
 (* Machine-level behaviour                                             *)
 (* ------------------------------------------------------------------ *)
 
-let fast_profile = { R.trials = 1; ycsb_trials = 1; fast = true }
+let fast_profile = { R.trials = 1; ycsb_trials = 1; fast = true; scale = 1 }
 
 let tpch_exp =
   {
@@ -344,7 +344,7 @@ let read_file path =
 let trace_everything jobs =
   let ctx =
     R.make_ctx
-      ~profile:{ R.trials = 2; ycsb_trials = 1; fast = true }
+      ~profile:{ R.trials = 2; ycsb_trials = 1; fast = true; scale = 1 }
       ~jobs
       ~obs:{ O.trace = true; sample_every_ns = 25_000_000 }
       ()
@@ -378,7 +378,7 @@ let test_parallel_trace_deterministic () =
 
 let test_merged_reclaim_hists () =
   let ctx =
-    R.make_ctx ~profile:{ R.trials = 2; ycsb_trials = 1; fast = true }
+    R.make_ctx ~profile:{ R.trials = 2; ycsb_trials = 1; fast = true; scale = 1 }
       ~obs:{ O.trace = true; sample_every_ns = 0 }
       ()
   in

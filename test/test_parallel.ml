@@ -5,7 +5,7 @@
 
 module R = Repro_core.Runner
 
-let fast_profile = { R.trials = 2; ycsb_trials = 1; fast = true }
+let fast_profile = { R.trials = 2; ycsb_trials = 1; fast = true; scale = 1 }
 
 let serial_ctx () = R.make_ctx ~profile:fast_profile ~jobs:1 ()
 

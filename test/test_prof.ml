@@ -297,7 +297,7 @@ let test_merge_sums_and_unifies_classes () =
 (* Machine-level behaviour                                             *)
 (* ------------------------------------------------------------------ *)
 
-let fast_profile = { R.trials = 1; ycsb_trials = 1; fast = true }
+let fast_profile = { R.trials = 1; ycsb_trials = 1; fast = true; scale = 1 }
 
 let exp_for policy =
   { R.workload = R.Tpch; policy; ratio = 0.5; swap = R.Ssd; trial = 0 }
@@ -408,7 +408,7 @@ let test_merge_matches_parallel_merge () =
   (* profile_cells merges in trial order from the deterministic log, so
      two contexts at different --jobs agree byte-for-byte. *)
   let cells jobs =
-    let ctx = R.make_ctx ~profile:{ R.trials = 2; ycsb_trials = 1; fast = true }
+    let ctx = R.make_ctx ~profile:{ R.trials = 2; ycsb_trials = 1; fast = true; scale = 1 }
         ~jobs ~prof:totals_only ()
     in
     R.prefetch ctx

@@ -11,16 +11,26 @@ let test_walk_unmapped () =
   Alcotest.(check (option (pair int int))) "no mapping" None r.Mem.Rmap.mapping;
   Alcotest.(check bool) "cost still paid" true (r.Mem.Rmap.cost_ns > 0)
 
-let test_walk_many () =
+let test_walk_into () =
   let frames = Mem.Frame_table.create ~frames:8 in
   Mem.Frame_table.set_owner frames ~pfn:1 ~asid:0 ~vpn:10;
-  let results, total =
-    Mem.Rmap.walk_many frames ~costs:Mem.Costs.default ~pfns:[ 0; 1; 2 ]
+  let buf = Mem.Rmap.create_buffer ~capacity:1 () in
+  let total =
+    Mem.Rmap.walk_into frames ~costs:Mem.Costs.default ~pfns:[ 0; 1; 2 ] buf
   in
-  Alcotest.(check int) "three results" 3 (List.length results);
+  Alcotest.(check int) "three results" 3 buf.Mem.Rmap.n;
   Alcotest.(check int) "summed cost"
     (3 * Mem.Costs.default.Mem.Costs.rmap_walk_ns)
-    total
+    total;
+  Alcotest.(check int) "pfn 0 unmapped" (-1) buf.Mem.Rmap.asids.(0);
+  Alcotest.(check int) "pfn 1 asid" 0 buf.Mem.Rmap.asids.(1);
+  Alcotest.(check int) "pfn 1 vpn" 10 buf.Mem.Rmap.vpns.(1);
+  Alcotest.(check int) "pfn 2 unmapped" (-1) buf.Mem.Rmap.vpns.(2);
+  (* The buffer is reused, not reallocated: a second walk overwrites. *)
+  let arr_before = buf.Mem.Rmap.asids in
+  let _ = Mem.Rmap.walk_into frames ~costs:Mem.Costs.default ~pfns:[ 1 ] buf in
+  Alcotest.(check int) "overwritten" 1 buf.Mem.Rmap.n;
+  Alcotest.(check bool) "same backing array" true (arr_before == buf.Mem.Rmap.asids)
 
 let test_costs_scaled () =
   let c = Mem.Costs.scaled ~factor:10 Mem.Costs.default in
@@ -46,7 +56,7 @@ let () =
         [
           Alcotest.test_case "walk mapped" `Quick test_walk_mapped;
           Alcotest.test_case "walk unmapped" `Quick test_walk_unmapped;
-          Alcotest.test_case "walk many" `Quick test_walk_many;
+          Alcotest.test_case "walk into buffer" `Quick test_walk_into;
           Alcotest.test_case "costs scaled" `Quick test_costs_scaled;
           Alcotest.test_case "cost asymmetry" `Quick test_rmap_much_more_expensive_than_scan;
         ] );

@@ -1,7 +1,7 @@
 module R = Repro_core.Runner
 
 (* Fast, explicit profile: no environment round-trips. *)
-let fast_profile = { R.trials = 2; ycsb_trials = 1; fast = true }
+let fast_profile = { R.trials = 2; ycsb_trials = 1; fast = true; scale = 1 }
 
 let ctx = R.make_ctx ~profile:fast_profile ()
 

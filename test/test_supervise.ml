@@ -7,7 +7,7 @@ module J = Repro_core.Journal
 module M = Repro_core.Machine
 module C = Engine.Cancel
 
-let fast_profile = { R.trials = 1; ycsb_trials = 1; fast = true }
+let fast_profile = { R.trials = 1; ycsb_trials = 1; fast = true; scale = 1 }
 
 let exp_of policy =
   { R.workload = R.Tpch; policy; ratio = 0.5; swap = R.Ssd; trial = 0 }
@@ -82,7 +82,7 @@ let test_try_cell_mixes_outcomes () =
   (* A crash-test cell fails every trial; a clock cell beside it in the
      same context still completes. *)
   let ctx =
-    R.make_ctx ~profile:{ R.trials = 2; ycsb_trials = 1; fast = true } ~jobs:2 ()
+    R.make_ctx ~profile:{ R.trials = 2; ycsb_trials = 1; fast = true; scale = 1 } ~jobs:2 ()
   in
   let bad =
     R.try_cell ctx ~workload:R.Tpch ~policy:Policy.Registry.Crash_test
@@ -112,7 +112,7 @@ let test_parallel_failures_deterministic () =
      every jobs value. *)
   let run jobs =
     let ctx =
-      R.make_ctx ~profile:{ R.trials = 3; ycsb_trials = 1; fast = true } ~jobs ()
+      R.make_ctx ~profile:{ R.trials = 3; ycsb_trials = 1; fast = true; scale = 1 } ~jobs ()
     in
     ignore
       (R.try_cell ctx ~workload:R.Tpch ~policy:Policy.Registry.Crash_test
