@@ -8,6 +8,8 @@
    repro regret ...           faults-over-Belady scoreboard
    repro trace-summary FILE   aggregate a JSONL trace into tables
    repro fleet ...            multi-tenant containment experiment
+   repro chaos ...            runtime-transient resilience report
+   repro fuzz ...             config-fuzz soak with shrinking repros
    repro --list-policies      versioned policy descriptor table
 
    Every subcommand builds one explicit Repro_core.Runner.ctx from its
@@ -174,6 +176,28 @@ let cgroups_arg =
            ~doc:
              "Partition threads into memory cgroups with Linux-style limits,               e.g. $(b,hot:threads=0-1,max=40%;bg:threads=2-5,low=15%).               Fields per group: $(b,threads=LO-HI) (ranges joined with +),               $(b,low=), $(b,high=), $(b,max=) (pages or % of capacity).               Reserved group $(b,proactive) (interval=, threshold=, step=)               enables the proactive-reclaim probe; $(b,psi) (interval=)               retunes PSI sampling. Without this flag, output is               byte-identical to builds without the controller.")
 
+let chaos_conv =
+  let parse s =
+    if String.lowercase_ascii s = "none" then Ok None
+    else
+      match Repro_core.Chaos.parse_spec s with
+      | Ok spec -> Ok (Some spec)
+      | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt spec ->
+        Format.pp_print_string fmt
+          (match spec with
+          | None -> "none"
+          | Some s -> Repro_core.Chaos.spec_to_string s) )
+
+let chaos_arg =
+  Arg.(value & opt (some chaos_conv) None
+       & info [ "chaos" ] ~docv:"SPEC"
+           ~doc:
+             "Inject deterministic runtime transients, e.g.               $(b,hotplug:at=5s,shrink=40%,restore=15s;degrade:at=20s,for=8s,latency=8x).               Segments: $(b,hotplug:) (offline/online capacity),               $(b,degrade:) (swap-device latency/error/wear windows),               $(b,churn:) (rewrite a cgroup's low/high/max; needs               $(b,--cgroups)), $(b,burst:) (thread stall pulses), and the               test-only $(b,corrupt:).  Times take ns/us/ms/s suffixes,               amounts are pages or % of capacity.  Every injection forces an               invariant audit and lands in the $(b,--trace) stream.  With               $(b,none) (or unset) output is byte-identical to builds without               the chaos layer.")
+
 (* Everything a subcommand needs: the run context plus where to flush
    its telemetry afterwards and how to treat failed trials at exit. *)
 type setup = {
@@ -192,7 +216,7 @@ type setup = {
    collects phase totals even without --folded/--perfetto. *)
 let build_setup profile_default trials ycsb_trials fast scale jobs faults
     audit_every_ms trace sample_every samples folded perfetto journal_path
-    resume trial_timeout keep_going cgroups =
+    resume trial_timeout keep_going cgroups chaos =
   let base = Repro_core.Runner.profile_from_env () in
   let profile =
     {
@@ -230,7 +254,8 @@ let build_setup profile_default trials ycsb_trials fast scale jobs faults
   let ctx =
     Repro_core.Runner.make_ctx ~profile ~fault_plan:faults
       ~audit_every_ns:(max 0 audit_every_ms * 1_000_000)
-      ~jobs ~obs ~prof ~trial_timeout_s:trial_timeout ?journal ?cgroups ()
+      ~jobs ~obs ~prof ~trial_timeout_s:trial_timeout ?journal ?cgroups
+      ?chaos:(Option.join chaos) ()
   in
   (* Resume notes go to stderr so stdout stays byte-identical to an
      uninterrupted run. *)
@@ -298,7 +323,7 @@ let setup_term ?(profile = false) () =
     const (build_setup profile) $ trials_arg $ ycsb_trials_arg $ fast_arg
     $ scale_arg $ jobs_arg $ faults_arg $ audit_every_arg $ trace_arg $ sample_every_arg
     $ samples_arg $ folded_arg $ perfetto_arg $ journal_arg $ resume_arg
-    $ trial_timeout_arg $ keep_going_arg $ cgroups_arg)
+    $ trial_timeout_arg $ keep_going_arg $ cgroups_arg $ chaos_arg)
 
 (* ---------------- argument converters ---------------- *)
 
@@ -836,6 +861,117 @@ let regret_cmd =
           for every $(b,--jobs) value.")
     Term.(const run $ setup_term () $ workloads $ policies $ ratios $ swap)
 
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let classes =
+    Arg.(value & opt_all string []
+         & info [ "class" ] ~docv:"CLASS"
+             ~doc:
+               "Transient class to report (repeatable): hotplug | degrade | \
+                churn.  Default: all three.")
+  in
+  let workloads =
+    Arg.(value & opt_all workload_conv []
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+             ~doc:"Workload to stress (repeatable; default: tpch and ycsb-a).")
+  in
+  let policies =
+    Arg.(value & opt_all policy_conv []
+         & info [ "p"; "policy" ] ~docv:"POLICY"
+             ~doc:"Policy to stress (repeatable; default: clock and mglru).")
+  in
+  let ratio =
+    Arg.(value & opt float 0.5
+         & info [ "r"; "ratio" ] ~docv:"R" ~doc:"Memory capacity / footprint.")
+  in
+  let swap =
+    Arg.(value & opt swap_conv Repro_core.Runner.Ssd
+         & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
+  in
+  let run setup classes workloads policies ratio swap =
+    let classes =
+      match classes with
+      | [] -> Repro_core.Chaos_report.default_classes
+      | cs -> List.map String.lowercase_ascii cs
+    in
+    let workloads =
+      match workloads with
+      | [] -> [ Repro_core.Runner.Tpch; Repro_core.Runner.Ycsb Workload.Ycsb.A ]
+      | ws -> ws
+    in
+    let policies =
+      match policies with
+      | [] -> [ Policy.Registry.Clock; Policy.Registry.Mglru_default ]
+      | ps -> ps
+    in
+    try
+      Repro_core.Chaos_report.run setup.ctx ~classes ~workloads ~policies
+        ~ratio ~swap;
+      finalize setup;
+      `Ok ()
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Resilience report: calibrate each workload x policy cell with a \
+          baseline trial, inject one transient class (memory hotplug, \
+          swap-device degradation, cgroup limit churn) into the \
+          [0.3R, 0.55R] window, and report fault-latency p99/p999 during \
+          vs after the disturbance, time-to-recover to the steady-state \
+          fault rate, and OOM/poison counts.  Deterministic: \
+          byte-identical for every $(b,--jobs) value.")
+    Term.(ret (const run $ setup_term () $ classes $ workloads $ policies
+               $ ratio $ swap))
+
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let iterations =
+    Arg.(value & opt int 25
+         & info [ "iterations" ] ~docv:"N" ~doc:"Configurations to try.")
+  in
+  let seed =
+    Arg.(value & opt int 9
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Base seed; iteration i derives its RNG from S + 7919*i.")
+  in
+  let with_corrupt =
+    Arg.(value & flag
+         & info [ "with-corrupt" ]
+             ~doc:
+               "Let the sampler emit the test-only $(b,corrupt:) chaos \
+                segment, which plants an invariant violation the audit \
+                oracle must catch (and the shrinker must isolate).")
+  in
+  let config =
+    Arg.(value & opt (some string) None
+         & info [ "config" ] ~docv:"STR"
+             ~doc:
+               "Replay one encoded configuration (as printed by a failing \
+                run's 'minimal repro' line) instead of sampling.")
+  in
+  let run iterations seed with_corrupt config =
+    let failures =
+      match config with
+      | Some line -> Repro_core.Fuzz.replay line
+      | None ->
+        Repro_core.Fuzz.run ~seed ~iterations:(max 1 iterations) ~with_corrupt
+    in
+    if failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Config-fuzz soak: run short random configurations (workload, \
+          policy, ratio, swap, faults, cgroups, chaos) against the \
+          machine's oracles — completion, invariant audits, $(b,--jobs) \
+          1-vs-4 byte-identity, journal round-trip/resume identity — and \
+          shrink any failure to a minimal deterministic $(b,--config) \
+          repro line.  Exits non-zero if any configuration fails.")
+    Term.(const run $ iterations $ seed $ with_corrupt $ config)
+
 (* ---------------- trace-summary ---------------- *)
 
 let trace_summary_cmd =
@@ -886,7 +1022,8 @@ let main =
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
     [
       fig_cmd; run_cmd; list_cmd; sweep_cmd; ablate_cmd; tier_cmd; export_cmd;
-      profile_cmd; regret_cmd; trace_summary_cmd; fleet_cmd;
+      profile_cmd; regret_cmd; trace_summary_cmd; fleet_cmd; chaos_cmd;
+      fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -6,10 +6,20 @@ type violation = {
 
 let v check subject fmt = Printf.ksprintf (fun detail -> { check; subject; detail }) fmt
 
-let audit ~memcg ~owners ~pt ~frames ~mem ~swap ~retained_slot =
+let audit ~last_chaos ~memcg ~owners ~pt ~frames ~mem ~swap ~retained_slot =
   let out = ref [] in
   let add x = out := x :: !out in
   let nswapped = ref 0 and nretained = ref 0 in
+  (* Name the owning cgroup in page-side failures so a violation under
+     chaos churn points straight at the group whose limits moved. *)
+  let owning_cg vpn =
+    match memcg with
+    | None -> ""
+    | Some mg ->
+      let cg = Mem.Memcg.cg_of_page mg vpn in
+      if cg < 0 || cg >= Mem.Memcg.ncgroups mg then ""
+      else Printf.sprintf " (cg=%s)" (Mem.Memcg.name mg cg)
+  in
   (* Frame side: every mapped frame points at a present PTE that points
      back, and an allocated (non-free) physical frame. *)
   for pfn = 0 to Mem.Frame_table.frames frames - 1 do
@@ -19,6 +29,8 @@ let audit ~memcg ~owners ~pt ~frames ~mem ~swap ~retained_slot =
       if asid <> 0 then add (v "frame-asid" pfn "unknown asid %d" asid);
       if Mem.Phys_mem.is_free mem pfn then
         add (v "frame-free" pfn "mapped frame is on the free list");
+      if not (Mem.Phys_mem.is_online mem pfn) then
+        add (v "frame-offline" pfn "mapped frame is offline");
       if vpn < 0 || vpn >= Mem.Page_table.pages pt then
         add (v "frame-vpn-range" pfn "owner vpn %d out of range" vpn)
       else begin
@@ -38,8 +50,15 @@ let audit ~memcg ~owners ~pt ~frames ~mem ~swap ~retained_slot =
       add (v "pte-state" vpn "PTE both present and swapped");
     if Mem.Pte.present pte then begin
       let pfn = Mem.Pte.pfn pte in
+      if not (Mem.Phys_mem.is_online mem pfn) then
+        add
+          (v "pte-offline-frame" vpn "present PTE maps offline pfn %d%s" pfn
+             (owning_cg vpn));
       match Mem.Frame_table.owner frames pfn with
-      | None -> add (v "pte-unowned-frame" vpn "present PTE maps unowned pfn %d" pfn)
+      | None ->
+        add
+          (v "pte-unowned-frame" vpn "present PTE maps unowned pfn %d%s" pfn
+             (owning_cg vpn))
       | Some (_, owner_vpn) ->
         if owner_vpn <> vpn then
           add (v "pte-rmap-mismatch" vpn "pfn %d owned by vpn %d" pfn owner_vpn)
@@ -97,6 +116,28 @@ let audit ~memcg ~owners ~pt ~frames ~mem ~swap ~retained_slot =
   if used <> mapped then
     add (v "count-used-mapped" used "allocated frames %d <> mapped frames %d" used
            mapped);
+  (* Hotplug accounting: the online population, recomputed by scan, must
+     match the allocator's counter, and free + used must cover exactly
+     the online frames — an offlined frame is neither free nor mapped. *)
+  let online_scan = ref 0 in
+  for pfn = 0 to Mem.Frame_table.frames frames - 1 do
+    if Mem.Phys_mem.is_online mem pfn then incr online_scan
+    else begin
+      if Mem.Phys_mem.is_free mem pfn then
+        add (v "hotplug-offline-free" pfn "offline frame is on the free list");
+      if Mem.Frame_table.is_mapped frames pfn then
+        add (v "hotplug-offline-mapped" pfn "offline frame is mapped")
+    end
+  done;
+  let online = Mem.Phys_mem.online_count mem in
+  if !online_scan <> online then
+    add
+      (v "hotplug-online-count" online "online counter %d <> scanned %d" online
+         !online_scan);
+  if Mem.Phys_mem.free_count mem + used <> online then
+    add
+      (v "hotplug-balance" online "free %d + used %d <> online %d"
+         (Mem.Phys_mem.free_count mem) used online);
   (* Cgroup accounting: recomputed per-cgroup charges must match the
      controller's counters and sum to the global resident population;
      exactly the resident pages are charged; protection never exceeds
@@ -151,7 +192,13 @@ let audit ~memcg ~owners ~pt ~frames ~mem ~swap ~retained_slot =
             (v "memcg-dead" cg "dead cgroup (all %d threads killed) still charges %d pages"
                !members (Mem.Memcg.usage mg cg))
       done));
-  List.rev !out
+  let vs = List.rev !out in
+  (* Stamp every failure with the most recent chaos injection: a
+     violation surfacing right after a transient names its trigger. *)
+  match last_chaos with
+  | None -> vs
+  | Some lc ->
+    List.map (fun x -> { x with detail = x.detail ^ "; last chaos: " ^ lc }) vs
 
 let pp_violation fmt x =
   Format.fprintf fmt "[%s] subject %d: %s" x.check x.subject x.detail

@@ -17,6 +17,7 @@ type violation = {
 }
 
 val audit :
+  last_chaos:string option ->
   memcg:Mem.Memcg.t option ->
   owners:(int array * bool array) option ->
   pt:Mem.Page_table.t ->
@@ -38,7 +39,14 @@ val audit :
     are recomputed from the page table and must match the controller
     and sum to the resident population, only resident pages carry
     charges, effective protection never exceeds usage, and a dead
-    cgroup (every member thread killed) charges nothing. *)
+    cgroup (every member thread killed) charges nothing.
+
+    Hotplug checks run unconditionally: no PTE or reverse-map entry may
+    reference an offlined frame, the allocator's online counter must
+    match a full scan, and [free + used] must equal the online
+    population.  [last_chaos] (the machine's most recent injection, when
+    chaos is active) is appended to every failure's detail so a
+    violation names its likely trigger. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 

@@ -90,6 +90,10 @@ let result_fields (r : Machine.result) =
   @ (match r.memcg with
     | None -> []
     | Some s -> [ ("cgroups", Obs.Str (Mem.Memcg.summary_to_string s)) ])
+  (* And for the chaos tallies: absent without [--chaos]. *)
+  @ (match r.chaos with
+    | None -> []
+    | Some s -> [ ("chaos", Obs.Str (Chaos.summary_to_string s)) ])
 
 exception Decode of string
 
@@ -143,6 +147,13 @@ let result_of_fields fields : Machine.result =
         match Mem.Memcg.summary_of_string s with
         | Some _ as sm -> sm
         | None -> raise (Decode "malformed cgroups summary")));
+    chaos =
+      (match Obs.field_string fields "chaos" with
+      | None -> None
+      | Some s -> (
+        match Chaos.summary_of_string s with
+        | Some _ as cs -> cs
+        | None -> raise (Decode "malformed chaos summary")));
     trace = None;
     profile =
       (match Obs.field_string fields "profile" with

@@ -34,6 +34,9 @@ type config = {
   cgroups : Mem.Memcg.spec option;
       (** memory cgroups (None = single global pool, the pre-cgroup
           behaviour, byte-identical to builds without the controller) *)
+  chaos : Chaos.spec option;
+      (** runtime-transient injection schedule (None = no injectors,
+          byte-identical to builds without the chaos layer) *)
 }
 
 let default_config ~capacity_frames ~seed =
@@ -66,6 +69,7 @@ let default_config ~capacity_frames ~seed =
     prof = Obs.Prof.off;
     cancel = Engine.Cancel.never;
     cgroups = None;
+    chaos = None;
   }
 
 type result = {
@@ -96,6 +100,7 @@ type result = {
   oom_discarded_pages : int;
   invariant_violations : int;
   memcg : Mem.Memcg.summary option;
+  chaos : Chaos.summary option;
   trace : Obs.capture option;
   profile : Obs.Prof.capture option;
 }
@@ -184,6 +189,12 @@ type t = {
   mutable oom_kills : int;
   mutable oom_discarded : int;
   mutable invariant_violations : int;
+  (* Chaos injector state: all zero/empty when [cfg.chaos] is [None], so
+     the hot paths pay one int-array read and nothing else. *)
+  chaos_stall_until : int array; (* tid -> burst-stalled until this time *)
+  chaos_knobs : Swapdev.Degraded_device.knobs option;
+  mutable chaos_offlined : int list; (* offlined pfns, most recent first *)
+  mutable chaos_last : string; (* last applied injection, for audit context *)
 }
 
 let ra_zone_pages = 512
@@ -808,12 +819,18 @@ let record_latency t ~tid (c : Workload.Chunk.t) ns =
   | None -> ()
 
 let rec run_thread t tid =
-  if not t.stopped && not t.killed.(tid) then
-    match Workload.Chunk.packed_next t.workload ~tid with
-    | Workload.Chunk.Chunk c ->
-      process_segment t tid c ~index:0 ~chunk_start:(Engine.Sim.now t.sim)
-    | Workload.Chunk.Barrier -> barrier_arrive t tid
-    | Workload.Chunk.Finished -> thread_finished t tid
+  if not t.stopped && not t.killed.(tid) then begin
+    let su = t.chaos_stall_until.(tid) in
+    if su > Engine.Sim.now t.sim then
+      (* Burst storm: the thread is descheduled until the pulse ends. *)
+      Engine.Sim.schedule_at t.sim ~time:su (fun _ -> run_thread t tid)
+    else
+      match Workload.Chunk.packed_next t.workload ~tid with
+      | Workload.Chunk.Chunk c ->
+        process_segment t tid c ~index:0 ~chunk_start:(Engine.Sim.now t.sim)
+      | Workload.Chunk.Barrier -> barrier_arrive t tid
+      | Workload.Chunk.Finished -> thread_finished t tid
+  end
 
 (* Process up to [segment_pages] of a chunk atomically, then yield to the
    event loop so kernel threads interleave with large chunks. *)
@@ -852,7 +869,14 @@ and process_segment t tid c ~index ~chunk_start =
             record_latency t ~tid c (Engine.Sim.now t.sim - chunk_start);
           run_thread t tid
         end
-        else process_segment t tid c ~index:next_index ~chunk_start
+        else begin
+          let su = t.chaos_stall_until.(tid) in
+          if su > Engine.Sim.now t.sim then
+            Engine.Sim.schedule_at t.sim ~time:su (fun _ ->
+                if not t.stopped && not t.killed.(tid) then
+                  process_segment t tid c ~index:next_index ~chunk_start)
+          else process_segment t tid c ~index:next_index ~chunk_start
+        end
       end)
 
 and barrier_arrive t tid =
@@ -927,9 +951,183 @@ let make_driver t ks =
 
 let audit t =
   Invariants.audit ~memcg:t.mcg
+    ~last_chaos:(if t.chaos_last = "" then None else Some t.chaos_last)
     ~owners:(Some (t.owner_tid, t.killed))
     ~pt:t.pt ~frames:t.frames ~mem:t.mem ~swap:t.swap
     ~retained_slot:t.retained_slot
+
+(* ---- Chaos injection --------------------------------------------- *)
+
+(* Move a resident page off an offlining frame: allocate a destination
+   (always lower-numbered — every higher frame is already offline),
+   rewrite the PTE and reverse map, and re-announce the page to the
+   policy.  Policies tolerate the stale source pfn exactly as they
+   tolerate a frame the OOM killer freed behind their back. *)
+let chaos_migrate t ~src ~vpn =
+  let dst = Mem.Phys_mem.alloc_pfn t.mem in
+  if dst < 0 then false
+  else begin
+    let pte = Mem.Page_table.get t.pt vpn in
+    let file_backed = Mem.Pte.file_backed pte in
+    let npte = Mem.Pte.to_mapped pte ~pfn:dst in
+    let npte = if Mem.Pte.accessed pte then Mem.Pte.set_accessed npte else npte in
+    let npte = if Mem.Pte.dirty pte then Mem.Pte.set_dirty npte else npte in
+    Mem.Page_table.set t.pt vpn npte;
+    Mem.Frame_table.clear_owner t.frames ~pfn:src;
+    Mem.Frame_table.set_owner t.frames ~pfn:dst ~asid:0 ~vpn;
+    (* Page-copy cost, charged like kswapd work. *)
+    Engine.Cpu.charge_tagged t.cpu
+      ~phase:(Prof.phase_index Prof.Evict_scan)
+      t.cfg.minor_fault_ns;
+    on_mapped t ~pfn:dst ~vpn ~refault:true ~file_backed ~speculative:false;
+    true
+  end
+
+(* Offline [want] frames from the top of the physical range, kernel
+   memory-hotplug style: free frames come straight off the free stack,
+   mapped ones are migrated to lower frames (or evicted when no
+   destination exists), and pinned pages keep their frame online. *)
+let chaos_offline t ~want ~now ~(cs : Chaos.summary) =
+  let offlined = ref 0 in
+  let pfn = ref (Mem.Phys_mem.frames t.mem - 1) in
+  while !offlined < want && !pfn >= 0 do
+    let p = !pfn in
+    if Mem.Phys_mem.is_online t.mem p then begin
+      if Mem.Phys_mem.is_free t.mem p then begin
+        Mem.Phys_mem.offline_free t.mem p;
+        t.chaos_offlined <- p :: t.chaos_offlined;
+        incr offlined
+      end
+      else begin
+        let vpn = Mem.Frame_table.owner_vpn t.frames p in
+        if vpn >= 0 && not t.pinned.(vpn) then begin
+          if chaos_migrate t ~src:p ~vpn then begin
+            Mem.Phys_mem.offline_used t.mem p;
+            t.chaos_offlined <- p :: t.chaos_offlined;
+            cs.Chaos.s_migrated <- cs.Chaos.s_migrated + 1;
+            incr offlined
+          end
+          else begin
+            (* No free destination anywhere: evict the page instead. *)
+            t.reclaim_now <- now;
+            reclaim_page t ~pfn:p;
+            if Mem.Phys_mem.is_free t.mem p then begin
+              Mem.Phys_mem.offline_free t.mem p;
+              t.chaos_offlined <- p :: t.chaos_offlined;
+              cs.Chaos.s_evicted <- cs.Chaos.s_evicted + 1;
+              incr offlined
+            end
+            else cs.Chaos.s_skipped <- cs.Chaos.s_skipped + 1
+          end
+        end
+        else cs.Chaos.s_skipped <- cs.Chaos.s_skipped + 1
+      end
+    end;
+    decr pfn
+  done;
+  cs.Chaos.s_offlined <- cs.Chaos.s_offlined + !offlined;
+  (* Capacity just shrank under the watermarks: get kswapd moving. *)
+  wake_kthreads t
+
+let chaos_online t ~want ~(cs : Chaos.summary) =
+  let n = ref 0 in
+  while !n < want && t.chaos_offlined <> [] do
+    (match t.chaos_offlined with
+    | [] -> ()
+    | p :: rest ->
+      t.chaos_offlined <- rest;
+      Mem.Phys_mem.online t.mem p;
+      incr n)
+  done;
+  cs.Chaos.s_onlined <- cs.Chaos.s_onlined + !n
+
+(* Test-only fault: clear the lowest-numbered mapped frame's reverse-map
+   entry so the next audit must flag the machine.  The fuzzer plants
+   this to prove the invariant net catches real corruption. *)
+let chaos_corrupt t ~(cs : Chaos.summary) =
+  let total = Mem.Phys_mem.frames t.mem in
+  let p = ref 0 in
+  while !p < total && Mem.Frame_table.owner_vpn t.frames !p < 0 do incr p done;
+  if !p < total then begin
+    Mem.Frame_table.clear_owner t.frames ~pfn:!p;
+    cs.Chaos.s_corrupted <- cs.Chaos.s_corrupted + 1;
+    !p
+  end
+  else -1
+
+let apply_chaos t (cs : Chaos.summary) action =
+  let now = Engine.Sim.now t.sim in
+  let arg =
+    match action with
+    | Chaos.Offline want ->
+      chaos_offline t ~want ~now ~cs;
+      want
+    | Chaos.Online want ->
+      chaos_online t ~want ~cs;
+      want
+    | Chaos.Degrade_set { latency; errors; wear } ->
+      (match t.chaos_knobs with
+      | Some k ->
+        k.Swapdev.Degraded_device.latency_mult <- latency;
+        k.Swapdev.Degraded_device.error_prob <- errors;
+        k.Swapdev.Degraded_device.wear_prob <- wear
+      | None -> ());
+      cs.Chaos.s_device_phases <- cs.Chaos.s_device_phases + 1;
+      int_of_float (latency *. 100.)
+    | Chaos.Degrade_clear ->
+      (match t.chaos_knobs with
+      | Some k ->
+        k.Swapdev.Degraded_device.latency_mult <- 1.0;
+        k.Swapdev.Degraded_device.error_prob <- 0.0;
+        k.Swapdev.Degraded_device.wear_prob <- 0.0
+      | None -> ());
+      0
+    | Chaos.Set_limits { cg; low; high; max_limit } -> (
+      match t.mcg with
+      | None -> 0
+      | Some mg -> (
+        match Mem.Memcg.find mg cg with
+        | None -> 0
+        | Some idx ->
+          Mem.Memcg.set_limits mg idx ?low ?high ?max_limit ();
+          cs.Chaos.s_limit_updates <- cs.Chaos.s_limit_updates + 1;
+          (* Writing memory.max below usage reclaims immediately, like
+             echoing a lower limit into a live cgroup's control file. *)
+          let over = Mem.Memcg.max_overage mg idx ~extra:0 in
+          if over > 0 then memcg_background_reclaim t ~cg:idx ~want:over ~now;
+          (match max_limit with
+          | Some m -> m
+          | None -> (
+            match high with
+            | Some h -> h
+            | None -> Option.value low ~default:0))))
+    | Chaos.Stall { lo; hi; until } ->
+      let n = ref 0 in
+      for tid = lo to min hi (Array.length t.chaos_stall_until - 1) do
+        if (not t.killed.(tid)) && t.finish_ns.(tid) < 0 then begin
+          t.chaos_stall_until.(tid) <- max t.chaos_stall_until.(tid) until;
+          incr n
+        end
+      done;
+      cs.Chaos.s_stalled_threads <- cs.Chaos.s_stalled_threads + !n;
+      !n
+    | Chaos.Corrupt_frame ->
+      let p = chaos_corrupt t ~cs in
+      max p 0
+  in
+  cs.Chaos.s_events <- cs.Chaos.s_events + 1;
+  t.chaos_last <- Printf.sprintf "%s@%dns" (Chaos.action_label action) now;
+  if Obs.enabled t.obs then
+    Obs.emit t.obs ~t_ns:now
+      (Obs.Chaos
+         {
+           injector = Chaos.action_injector action;
+           action = Chaos.action_label action;
+           arg;
+         });
+  (* Every injection is followed by a forced audit, independent of
+     [audit_every_ns]. *)
+  t.invariant_violations <- t.invariant_violations + List.length (audit t)
 
 let run cfg ~policy ~workload =
   if cfg.capacity_frames <= 0 then invalid_arg "Machine.run: capacity_frames";
@@ -952,6 +1150,25 @@ let run cfg ~policy ~workload =
       Swapdev.Faulty_device.wrap ~plan:cfg.fault_plan
         ~rng:(Engine.Rng.split rng) base_device
   in
+  (* Chaos device degradation: the wrapper exists only when the spec has
+     a degrade window, with an RNG derived from the seed rather than
+     split from the main stream — chaos-free runs draw exactly the same
+     numbers as before this layer existed. *)
+  let chaos_knobs =
+    match cfg.chaos with
+    | Some spec when Chaos.has_degrade spec ->
+      Some (Swapdev.Degraded_device.neutral ())
+    | _ -> None
+  in
+  let device =
+    match chaos_knobs with
+    | None -> device
+    | Some knobs ->
+      fst
+        (Swapdev.Degraded_device.wrap ~knobs
+           ~rng:(Engine.Rng.create (cfg.seed lxor 0x5EED0C4A))
+           device)
+  in
   let groups =
     match cfg.barrier_groups with
     | Some g ->
@@ -969,6 +1186,25 @@ let run cfg ~policy ~workload =
           ~footprint_pages:footprint)
       cfg.cgroups
   in
+  (* Churn segments name cgroups; reject dangling references up front
+     rather than silently no-opping mid-run. *)
+  (match cfg.chaos with
+  | None -> ()
+  | Some spec ->
+    List.iter
+      (fun cgn ->
+        let known =
+          match mcg with
+          | None -> false
+          | Some mg -> Mem.Memcg.find mg cgn <> None
+        in
+        if not known then
+          invalid_arg
+            (Printf.sprintf
+               "Machine.run: chaos churn targets unknown cgroup %S (is \
+                --cgroups set?)"
+               cgn))
+      (Chaos.churn_cgs spec));
   let t =
     {
       cfg;
@@ -1029,6 +1265,10 @@ let run cfg ~policy ~workload =
       oom_kills = 0;
       oom_discarded = 0;
       invariant_violations = 0;
+      chaos_stall_until = Array.make nthreads 0;
+      chaos_knobs;
+      chaos_offlined = [];
+      chaos_last = "";
     }
   in
   let env =
@@ -1096,6 +1336,20 @@ let run cfg ~policy ~workload =
   for tid = 0 to nthreads - 1 do
     Engine.Sim.schedule t.sim ~delay:0 (fun _ -> run_thread t tid)
   done;
+  (* Compile and schedule the chaos timeline.  [None] schedules nothing
+     at all — zero extra events, zero extra RNG draws. *)
+  let chaos_summary =
+    match cfg.chaos with
+    | None -> None
+    | Some spec ->
+      let cs = Chaos.fresh_summary () in
+      List.iter
+        (fun (time, action) ->
+          Engine.Sim.schedule_at t.sim ~time (fun _ ->
+              if not t.stopped then apply_chaos t cs action))
+        (Chaos.events spec ~capacity:cfg.capacity_frames ~nthreads);
+      Some cs
+  in
   if cfg.audit_every_ns > 0 then begin
     let rec tick _ =
       if not t.stopped && t.active_threads > 0 then begin
@@ -1233,6 +1487,7 @@ let run cfg ~policy ~workload =
     oom_discarded_pages = t.oom_discarded;
     invariant_violations = t.invariant_violations;
     memcg = Option.map (fun mg -> Mem.Memcg.summary mg ~now:runtime) t.mcg;
+    chaos = chaos_summary;
     trace = Obs.capture obs;
     profile = Prof.capture prof;
   }

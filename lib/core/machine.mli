@@ -79,6 +79,14 @@ type config = {
           {!Mem.Memcg} and the README's [--cgroups] grammar).  [None]
           (the default) is a single global pool — byte-identical
           behaviour to builds without the controller *)
+  chaos : Chaos.spec option;
+      (** deterministic runtime-transient injection: memory hotplug,
+          swap-device degradation windows, cgroup limit churn, workload
+          burst storms (see {!Chaos} and the README's [--chaos]
+          grammar).  Every injection fires at a compiled simulated time
+          and is followed by a forced {!Invariants.audit}.  [None] (the
+          default) schedules nothing and draws no randomness —
+          byte-identical behaviour to builds without the chaos layer *)
 }
 
 val default_config : capacity_frames:int -> seed:int -> config
@@ -118,6 +126,10 @@ type result = {
   memcg : Mem.Memcg.summary option;
       (** per-cgroup usage, limits, throttle/OOM counters, PSI totals
           and per-tenant request latencies; [None] without [--cgroups] *)
+  chaos : Chaos.summary option;
+      (** injection tallies (events applied, frames offlined/onlined,
+          pages migrated/evicted off offlining frames, limit rewrites,
+          device phases, stalled threads); [None] without [--chaos] *)
   trace : Obs.capture option;
       (** everything the trial's telemetry sink recorded; [None] when
           [config.obs] was {!Obs.off} *)

@@ -101,6 +101,7 @@ type ctx = {
   trial_timeout_s : float;
   journal : Journal.t option;
   cgroups : Mem.Memcg.spec option;
+  chaos : Chaos.spec option;
   cache : shard array;
   (* Bookkeeping: every requested experiment, in first-request program
      order.  Appended only from the dispatching domain (prefetch logs
@@ -115,7 +116,8 @@ type ctx = {
 
 let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     ?(audit_every_ns = 0) ?(jobs = 1) ?(obs = Obs.off)
-    ?(prof = Obs.Prof.off) ?(trial_timeout_s = 0.0) ?journal ?cgroups () =
+    ?(prof = Obs.Prof.off) ?(trial_timeout_s = 0.0) ?journal ?cgroups ?chaos ()
+    =
   let profile =
     match profile with Some p -> p | None -> profile_from_env ()
   in
@@ -129,6 +131,7 @@ let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     trial_timeout_s = (if trial_timeout_s > 0.0 then trial_timeout_s else 0.0);
     journal;
     cgroups;
+    chaos;
     cache =
       Array.init cache_shards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 32 });
@@ -153,6 +156,8 @@ let trial_timeout_s ctx = ctx.trial_timeout_s
 
 let cgroups ctx = ctx.cgroups
 
+let chaos ctx = ctx.chaos
+
 (* A derived context with a cgroup spec installed.  The cache, log and
    dedup tables are fresh: [cgroups] is ctx-level (like [fault_plan])
    and deliberately not part of {!exp_key}, so sharing the parent's
@@ -161,6 +166,23 @@ let with_cgroups ctx spec =
   {
     ctx with
     cgroups = Some spec;
+    cache =
+      Array.init cache_shards (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 32 });
+    logged = Hashtbl.create 64;
+    log = ref [];
+    log_lock = Mutex.create ();
+  }
+
+(* Same derivation for chaos specs ([None] = strip any installed spec);
+   [?cgroups] lets a chaos class that needs a cgroup (limit churn)
+   install one in the same derived context. *)
+let with_chaos ?cgroups ?obs ctx chaos =
+  {
+    ctx with
+    chaos;
+    cgroups = (match cgroups with Some _ as c -> c | None -> ctx.cgroups);
+    obs = (match obs with Some o -> o | None -> ctx.obs);
     cache =
       Array.init cache_shards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 32 });
@@ -401,6 +423,7 @@ let compute_exp ctx e =
       prof = ctx.prof;
       cancel = deadline_cancel ctx.trial_timeout_s;
       cgroups = ctx.cgroups;
+      chaos = ctx.chaos;
     }
   in
   (* Under --scale N the per-page cost factor shrinks as the footprint

@@ -110,6 +110,7 @@ val make_ctx :
   ?trial_timeout_s:float ->
   ?journal:Journal.t ->
   ?cgroups:Mem.Memcg.spec ->
+  ?chaos:Chaos.spec ->
   unit ->
   ctx
 (** Defaults: [profile_from_env ()], no fault injection, end-of-run
@@ -126,7 +127,11 @@ val make_ctx :
 
     [cgroups] installs a memory-cgroup spec into every machine this
     context runs.  Like [fault_plan] it is ctx-level and not part of
-    {!exp_key}, so never mix journals or caches across specs. *)
+    {!exp_key}, so never mix journals or caches across specs.
+
+    [chaos] installs a runtime-transient injection schedule the same
+    way (see {!Chaos}); omitting it schedules nothing and keeps runs
+    byte-identical to builds without the chaos layer. *)
 
 val profile : ctx -> profile
 
@@ -151,6 +156,17 @@ val with_cgroups : ctx -> Mem.Memcg.spec -> ctx
 (** A derived context with [cgroups] installed and a {e fresh} result
     cache and experiment log (the spec is not part of {!exp_key}, so
     sharing the parent's cache would alias results across specs). *)
+
+val chaos : ctx -> Chaos.spec option
+
+val with_chaos :
+  ?cgroups:Mem.Memcg.spec -> ?obs:Obs.config -> ctx -> Chaos.spec option -> ctx
+(** A derived context with [chaos] replaced ([None] strips any installed
+    spec) and a fresh cache/log, like {!with_cgroups}.  [?cgroups]
+    additionally replaces the cgroup spec in the same derivation — the
+    limit-churn chaos class needs one — and [?obs] the telemetry config
+    (the resilience report needs traced derived runs whatever the parent
+    context records). *)
 
 val cached_results : ctx -> int
 (** Number of trial outcomes currently memoized in this context. *)

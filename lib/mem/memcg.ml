@@ -272,9 +272,12 @@ let fresh_tracker () = { pending = []; last_advance = 0; some_ns = 0; full_ns = 
 
 type cgroup = {
   cg_name : string;
-  cg_low : int;
-  cg_high : int;      (* max_int = unlimited *)
-  cg_max : int;       (* max_int = unlimited *)
+  (* Limits are mutable because chaos limit-churn injectors rewrite
+     memory.{low,high,max} mid-run, exactly like echoing into the cgroup
+     files on a live system. *)
+  mutable cg_low : int;
+  mutable cg_high : int;      (* max_int = unlimited *)
+  mutable cg_max : int;       (* max_int = unlimited *)
   mutable cg_eff : int;       (* proactive effective limit *)
   mutable cg_eff_set : bool;  (* probe has touched cg_eff *)
   mutable cg_usage : int;
@@ -388,6 +391,28 @@ let create spec ~capacity_frames ~nthreads ~footprint_pages =
 
 let ncgroups t = Array.length t.cgs
 let name t cg = t.cgs.(cg).cg_name
+
+let find t cg_name =
+  let n = Array.length t.cgs in
+  let rec go i =
+    if i >= n then None
+    else if String.equal t.cgs.(i).cg_name cg_name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let capacity t = t.capacity
+
+(* Rewrite memory.{low,high,max} on a live group — the chaos limit-churn
+   injector.  [None] leaves a limit untouched; [Some] values are resolved
+   frame counts ([max_int] = unlimited for high/max).  The new limits
+   take effect on the next charge/uncharge; the caller decides whether to
+   trigger reclaim for a group now over its max. *)
+let set_limits t cg ?low ?high ?max_limit () =
+  let g = t.cgs.(cg) in
+  (match low with Some v -> g.cg_low <- max 0 v | None -> ());
+  (match high with Some v -> g.cg_high <- max 0 v | None -> ());
+  (match max_limit with Some v -> g.cg_max <- max 0 v | None -> ())
 
 let cg_of_thread t tid =
   if tid >= 0 && tid < Array.length t.tid_cg then t.tid_cg.(tid) else 0

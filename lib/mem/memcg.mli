@@ -81,6 +81,22 @@ val ncgroups : t -> int
 (** Including the root at index 0. *)
 
 val name : t -> int -> string
+
+val find : t -> string -> int option
+(** Cgroup index by name ([Some 0] for ["root"]). *)
+
+val capacity : t -> int
+(** The [capacity_frames] the spec's percentage limits were resolved
+    against. *)
+
+val set_limits :
+  t -> int -> ?low:int -> ?high:int -> ?max_limit:int -> unit -> unit
+(** Rewrite [memory.{low,high,max}] on a live cgroup (the chaos
+    limit-churn injector).  Omitted limits are untouched; values are
+    resolved frame counts, [max_int] meaning unlimited for high/max.
+    Takes effect on the next charge; the caller triggers any reclaim a
+    newly lowered max demands. *)
+
 val cg_of_thread : t -> int -> int
 
 val cg_of_page : t -> int -> int

@@ -2,7 +2,9 @@ type t = {
   total : int;
   stack : int array;
   free_flag : bool array;
+  online : bool array;
   mutable top : int; (* number of free frames on the stack *)
+  mutable online_count : int;
   low_watermark : int;
   high_watermark : int;
 }
@@ -28,7 +30,9 @@ let create ?low_watermark ?high_watermark ~frames () =
     total = frames;
     stack;
     free_flag = Array.make frames true;
+    online = Array.make frames true;
     top = frames;
+    online_count = frames;
     low_watermark = low;
     high_watermark = high;
   }
@@ -37,14 +41,17 @@ let frames t = t.total
 
 let free_count t = t.top
 
-let used_count t = t.total - t.top
+let used_count t = t.online_count - t.top
+
+let online_count t = t.online_count
 
 let low_watermark t = t.low_watermark
 
 let high_watermark t = t.high_watermark
 
 (* Unboxed allocator for the fault path: -1 instead of None, so a
-   successful allocation allocates nothing on the OCaml heap. *)
+   successful allocation allocates nothing on the OCaml heap.  Offline
+   frames are never on the stack, so hotplug costs nothing here. *)
 let alloc_pfn t =
   if t.top = 0 then -1
   else begin
@@ -61,6 +68,7 @@ let alloc t =
 let free t pfn =
   if pfn < 0 || pfn >= t.total then invalid_arg "Phys_mem.free: pfn out of range";
   if t.free_flag.(pfn) then invalid_arg "Phys_mem.free: double free";
+  if not t.online.(pfn) then invalid_arg "Phys_mem.free: frame is offline";
   t.free_flag.(pfn) <- true;
   t.stack.(t.top) <- pfn;
   t.top <- t.top + 1
@@ -68,6 +76,51 @@ let free t pfn =
 let is_free t pfn =
   if pfn < 0 || pfn >= t.total then invalid_arg "Phys_mem.is_free: pfn out of range";
   t.free_flag.(pfn)
+
+let is_online t pfn =
+  if pfn < 0 || pfn >= t.total then
+    invalid_arg "Phys_mem.is_online: pfn out of range";
+  t.online.(pfn)
+
+(* Memory hotplug (chaos injectors).  Offlining a free frame pulls it
+   off the free stack (swap-remove: the stack is unordered between
+   refills, and alloc order stays deterministic because offline events
+   land at fixed virtual times); offlining an allocated frame is the
+   second half of a migration — the caller has already moved the
+   contents, so the frame is simply no longer accounted anywhere. *)
+let offline_free t pfn =
+  if pfn < 0 || pfn >= t.total then
+    invalid_arg "Phys_mem.offline_free: pfn out of range";
+  if not t.online.(pfn) then invalid_arg "Phys_mem.offline_free: already offline";
+  if not t.free_flag.(pfn) then invalid_arg "Phys_mem.offline_free: frame in use";
+  let i = ref (-1) in
+  for k = 0 to t.top - 1 do
+    if t.stack.(k) = pfn then i := k
+  done;
+  if !i < 0 then invalid_arg "Phys_mem.offline_free: frame not on free stack";
+  t.top <- t.top - 1;
+  t.stack.(!i) <- t.stack.(t.top);
+  t.free_flag.(pfn) <- false;
+  t.online.(pfn) <- false;
+  t.online_count <- t.online_count - 1
+
+let offline_used t pfn =
+  if pfn < 0 || pfn >= t.total then
+    invalid_arg "Phys_mem.offline_used: pfn out of range";
+  if not t.online.(pfn) then invalid_arg "Phys_mem.offline_used: already offline";
+  if t.free_flag.(pfn) then invalid_arg "Phys_mem.offline_used: frame is free";
+  t.online.(pfn) <- false;
+  t.online_count <- t.online_count - 1
+
+let online t pfn =
+  if pfn < 0 || pfn >= t.total then
+    invalid_arg "Phys_mem.online: pfn out of range";
+  if t.online.(pfn) then invalid_arg "Phys_mem.online: already online";
+  t.online.(pfn) <- true;
+  t.online_count <- t.online_count + 1;
+  t.free_flag.(pfn) <- true;
+  t.stack.(t.top) <- pfn;
+  t.top <- t.top + 1
 
 let below_low t = t.top < t.low_watermark
 

@@ -14,10 +14,16 @@ val create : ?low_watermark:int -> ?high_watermark:int -> frames:int -> unit -> 
     [0 <= low_watermark <= high_watermark <= frames]. *)
 
 val frames : t -> int
+(** Total frame-number range, including offlined frames. *)
 
 val free_count : t -> int
 
 val used_count : t -> int
+(** Allocated online frames: [online_count - free_count]. *)
+
+val online_count : t -> int
+(** Frames currently online (all of them until a hotplug injector
+    offlines some). *)
 
 val low_watermark : t -> int
 
@@ -34,6 +40,23 @@ val free : t -> int -> unit
 (** Return a frame.  @raise Invalid_argument on double free. *)
 
 val is_free : t -> int -> bool
+
+val is_online : t -> int -> bool
+
+val offline_free : t -> int -> unit
+(** Memory-hotplug offline of a {e free} frame: remove it from the free
+    stack and from the online count.  @raise Invalid_argument if the
+    frame is allocated or already offline. *)
+
+val offline_used : t -> int -> unit
+(** Offline an {e allocated} frame whose contents the caller has already
+    migrated or reclaimed-and-refreed elsewhere: the frame leaves the
+    online count without ever returning to the free stack.
+    @raise Invalid_argument if the frame is free or already offline. *)
+
+val online : t -> int -> unit
+(** Re-online a previously offlined frame; it rejoins the free stack.
+    @raise Invalid_argument if the frame is already online. *)
 
 val below_low : t -> bool
 (** Free count strictly below the low watermark — kswapd should run. *)

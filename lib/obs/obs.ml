@@ -37,6 +37,7 @@ type event =
       window_ns : int;
       limit : int;
     }
+  | Chaos of { injector : string; action : string; arg : int }
 
 let kind_name = function
   | Evict _ -> "evict"
@@ -51,6 +52,7 @@ let kind_name = function
   | Cgroup_reclaim _ -> "cgroup_reclaim"
   | Cgroup_oom _ -> "cgroup_oom"
   | Psi _ -> "psi"
+  | Chaos _ -> "chaos"
 
 let promote_reason_name = function
   | Aging -> "aging"
@@ -205,6 +207,8 @@ let event_fields = function
     ]
   | Cgroup_oom { cg; tid; discarded } ->
     [ ("cg", Str cg); ("tid", Int tid); ("discarded", Int discarded) ]
+  | Chaos { injector; action; arg } ->
+    [ ("injector", Str injector); ("action", Str action); ("arg", Int arg) ]
   | Psi { cg; some_ns; full_ns; window_ns; limit } ->
     [
       ("cg", Str cg); ("some_ns", Int some_ns); ("full_ns", Int full_ns);

@@ -77,6 +77,11 @@ type event =
       window_ns : int;
       limit : int;     (** proactive effective limit; -1 when untouched *)
     }
+  | Chaos of { injector : string; action : string; arg : int }
+      (** a chaos injection was applied: [injector] is the segment class
+          ([hotplug], [degrade], [churn], [burst], [corrupt]), [action]
+          a short human label, [arg] the action's magnitude (frames
+          offlined, new limit, stalled threads, ...) *)
 
 val kind_name : event -> string
 (** Stable lowercase kind tag used in the JSONL [kind] field. *)

@@ -22,8 +22,8 @@ let make_world () =
   }
 
 let audit w =
-  I.audit ~memcg:None ~owners:None ~pt:w.pt ~frames:w.frames ~mem:w.mem
-    ~swap:w.swap ~retained_slot:w.retained
+  I.audit ~last_chaos:None ~memcg:None ~owners:None ~pt:w.pt ~frames:w.frames
+    ~mem:w.mem ~swap:w.swap ~retained_slot:w.retained
 
 let map w ~vpn =
   match Mem.Phys_mem.alloc w.mem with
