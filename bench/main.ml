@@ -167,6 +167,7 @@ let sdk_env () =
     high_watermark = Mem.Phys_mem.high_watermark mem;
     obs = Obs.disabled;
     prof = Obs.Prof.disabled;
+    vmstat = Obs.Vmstat.create ();
   }
 
 let bench_dispatch_overhead =

@@ -213,8 +213,9 @@ type setup = {
 (* Flags override the environment fallbacks; the fast flag is sticky in
    the or-direction so REPRO_FAST=1 keeps working under any flags.
    [profile_default] is true only for the profile subcommand, which
-   collects phase totals even without --folded/--perfetto. *)
-let build_setup profile_default trials ycsb_trials fast scale jobs faults
+   collects phase totals even without --folded/--perfetto;
+   [vmstat_default] likewise for the vmstat subcommand. *)
+let build_setup profile_default vmstat_default trials ycsb_trials fast scale jobs faults
     audit_every_ms trace sample_every samples folded perfetto journal_path
     resume trial_timeout keep_going cgroups chaos =
   let base = Repro_core.Runner.profile_from_env () in
@@ -254,8 +255,8 @@ let build_setup profile_default trials ycsb_trials fast scale jobs faults
   let ctx =
     Repro_core.Runner.make_ctx ~profile ~fault_plan:faults
       ~audit_every_ns:(max 0 audit_every_ms * 1_000_000)
-      ~jobs ~obs ~prof ~trial_timeout_s:trial_timeout ?journal ?cgroups
-      ?chaos:(Option.join chaos) ()
+      ~jobs ~obs ~prof ~vmstat:vmstat_default ~trial_timeout_s:trial_timeout
+      ?journal ?cgroups ?chaos:(Option.join chaos) ()
   in
   (* Resume notes go to stderr so stdout stays byte-identical to an
      uninterrupted run. *)
@@ -318,9 +319,9 @@ let finalize setup =
       exit 1
     end
 
-let setup_term ?(profile = false) () =
+let setup_term ?(profile = false) ?(vmstat = false) () =
   Term.(
-    const (build_setup profile) $ trials_arg $ ycsb_trials_arg $ fast_arg
+    const (build_setup profile vmstat) $ trials_arg $ ycsb_trials_arg $ fast_arg
     $ scale_arg $ jobs_arg $ faults_arg $ audit_every_arg $ trace_arg $ sample_every_arg
     $ samples_arg $ folded_arg $ perfetto_arg $ journal_arg $ resume_arg
     $ trial_timeout_arg $ keep_going_arg $ cgroups_arg $ chaos_arg)
@@ -770,6 +771,220 @@ let profile_cmd =
     Term.(const run $ setup_term ~profile:true () $ workloads $ policies
           $ ratios $ swap)
 
+(* ---------------- vmstat ---------------- *)
+
+let vmstat_cmd =
+  let workloads =
+    Arg.(value & opt_all workload_conv []
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+             ~doc:"Workload to count (repeatable; default: tpch and pagerank).")
+  in
+  let policies =
+    Arg.(value & opt_all policy_conv []
+         & info [ "p"; "policy" ] ~docv:"POLICY"
+             ~doc:
+               "Policy to count (repeatable; default: clock and mglru, which \
+                prints the paper's counter deltas).")
+  in
+  let ratios =
+    Arg.(value & opt_all float []
+         & info [ "r"; "ratio" ] ~docv:"R"
+             ~doc:"Memory capacity / footprint (repeatable; default: 0.5).")
+  in
+  let swap =
+    Arg.(value & opt swap_conv Repro_core.Runner.Ssd
+         & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
+  in
+  let run setup workloads policies ratios swap =
+    let ctx = setup.ctx in
+    let workloads =
+      match workloads with
+      | [] -> [ Repro_core.Runner.Tpch; Repro_core.Runner.Pagerank ]
+      | ws -> ws
+    in
+    let policies =
+      match policies with
+      | [] -> [ Policy.Registry.Clock; Policy.Registry.Mglru_default ]
+      | ps -> ps
+    in
+    let ratios = match ratios with [] -> [ 0.5 ] | rs -> rs in
+    Repro_core.Runner.prefetch ctx
+      (List.concat_map
+         (fun workload ->
+           List.concat_map
+             (fun policy ->
+               List.concat_map
+                 (fun ratio ->
+                   Repro_core.Runner.cell_exps ctx ~workload ~policy ~ratio
+                     ~swap)
+                 ratios)
+             policies)
+         workloads);
+    List.iter
+      (fun workload ->
+        List.iter
+          (fun policy ->
+            List.iter
+              (fun ratio ->
+                ignore
+                  (Repro_core.Runner.try_cell ctx ~workload ~policy ~ratio
+                     ~swap))
+              ratios)
+          policies)
+      workloads;
+    let captured = Repro_core.Runner.vmstat_cells ctx in
+    (* One section per (workload, ratio), policies as columns: the
+       counters line up side by side and the two-policy delta column is
+       exactly the Clock-vs-MG-LRU comparison the paper reads. *)
+    List.iter
+      (fun workload ->
+        List.iter
+          (fun ratio ->
+            let cols =
+              List.filter_map
+                (fun policy ->
+                  List.find_opt
+                    (fun ((e : Repro_core.Runner.exp), _) ->
+                      e.Repro_core.Runner.workload = workload
+                      && e.Repro_core.Runner.policy = policy
+                      && e.Repro_core.Runner.ratio = ratio
+                      && e.Repro_core.Runner.swap = swap)
+                    captured
+                  |> Option.map (fun (_, cap) ->
+                         (Policy.Registry.name policy, cap)))
+                policies
+            in
+            if cols <> [] then begin
+              Repro_core.Report.section
+                (Printf.sprintf "Vmstat: %s / %.0f%% / %s"
+                   (Repro_core.Runner.workload_kind_name workload)
+                   (ratio *. 100.0)
+                   (Repro_core.Runner.swap_name swap));
+              Repro_core.Report.vmstat_table cols;
+              Repro_core.Report.vmstat_refault_hist cols
+            end)
+          ratios)
+      workloads;
+    finalize setup
+  in
+  Cmd.v
+    (Cmd.info "vmstat"
+       ~doc:
+         "Run the grid with the kernel-style counter registry captured \
+          and print per-cell $(b,/proc/vmstat)-flavoured tables \
+          (pgscan/pgsteal, pgactivate vs mglru_promoted, workingset \
+          refault classification, a log2 refault-distance histogram) \
+          with a delta column when exactly two policies are compared.  \
+          Counting is always on and observation-only: results are \
+          identical to an uncounted run, and output is byte-identical \
+          for every $(b,--jobs) value.")
+    Term.(const run $ setup_term ~vmstat:true () $ workloads $ policies
+          $ ratios $ swap)
+
+(* ---------------- heatmap ---------------- *)
+
+let heatmap_cmd =
+  let workload =
+    Arg.(value & opt workload_conv Repro_core.Runner.Tpch
+         & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Workload to monitor.")
+  in
+  let policies =
+    Arg.(value & opt_all policy_conv []
+         & info [ "p"; "policy" ] ~docv:"POLICY"
+             ~doc:"Policy to monitor (repeatable; default: clock and mglru).")
+  in
+  let ratio =
+    Arg.(value & opt float 0.5
+         & info [ "r"; "ratio" ] ~docv:"R" ~doc:"Memory capacity / footprint.")
+  in
+  let swap =
+    Arg.(value & opt swap_conv Repro_core.Runner.Ssd
+         & info [ "s"; "swap" ] ~docv:"MEDIUM" ~doc:"ssd | zram")
+  in
+  let interval =
+    Arg.(value & opt int 100
+         & info [ "interval" ] ~docv:"MS"
+             ~doc:"Aggregation window in simulated milliseconds (default 100).")
+  in
+  let max_regions =
+    Arg.(value & opt int Mem.Damon.default_config.Mem.Damon.max_regions
+         & info [ "max-regions" ] ~docv:"N"
+             ~doc:"Adaptive region cap per address space.")
+  in
+  let out =
+    Arg.(value & opt string "heatmap.csv"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"CSV output path.")
+  in
+  let gnuplot =
+    Arg.(value & opt (some string) None
+         & info [ "gnuplot" ] ~docv:"FILE"
+             ~doc:
+               "Also write a gnuplot script that renders the CSV as a \
+                time-vs-address heatmap.")
+  in
+  let run setup workload policies ratio swap interval max_regions out gnuplot =
+    let policies =
+      match policies with
+      | [] -> [ Policy.Registry.Clock; Policy.Registry.Mglru_default ]
+      | ps -> ps
+    in
+    let config =
+      {
+        Mem.Damon.default_config with
+        Mem.Damon.aggregate_every_ns = max 1 interval * 1_000_000;
+        max_regions =
+          max Mem.Damon.default_config.Mem.Damon.min_regions max_regions;
+      }
+    in
+    let ctx = Repro_core.Runner.with_damon setup.ctx config in
+    Repro_core.Runner.prefetch ctx
+      (List.concat_map
+         (fun policy ->
+           Repro_core.Runner.cell_exps ctx ~workload ~policy ~ratio ~swap)
+         policies);
+    List.iter
+      (fun policy ->
+        ignore (Repro_core.Runner.try_cell ctx ~workload ~policy ~ratio ~swap))
+      policies;
+    let n = Repro_core.Runner.write_heatmap ctx ~path:out in
+    Printf.printf "wrote %d heatmap row(s) to %s\n" n out;
+    (match gnuplot with
+    | None -> ()
+    | Some script ->
+      (* Column numbers refer to heatmap_csv_header; each point is one
+         region snapshot at its band's midpoint, coloured by access
+         count.  Filter the CSV by policy first when plotting a
+         multi-policy run. *)
+      let oc = open_out script in
+      Printf.fprintf oc
+        "# Heatmap of %s — columns: %s\n\
+         set datafile separator ','\n\
+         set key off\n\
+         set xlabel 'simulated time (s)'\n\
+         set ylabel 'virtual page number'\n\
+         set cblabel 'accesses / window'\n\
+         set palette defined (0 'black', 1 'dark-blue', 2 'red', 3 'yellow')\n\
+         plot '%s' skip 1 using ($6/1e9):($8+$9/2):10 with points pt 5 ps \
+         0.5 palette\n"
+        out Repro_core.Runner.heatmap_csv_header out;
+      close_out oc;
+      Printf.printf "wrote gnuplot script to %s\n" script);
+    finalize { setup with ctx }
+  in
+  Cmd.v
+    (Cmd.info "heatmap"
+       ~doc:
+         "Attach a DAMON-style adaptive region monitor to each trial and \
+          export its access heatmap as CSV (one row per region snapshot: \
+          cell, trial, window timestamp, region bounds, access count).  \
+          Region splitting and merging adapt to where accesses \
+          concentrate, so hot working-set bands stay finely resolved.  \
+          Monitoring is observation-only (the access bits are read, \
+          never cleared) and the CSV is byte-identical for every \
+          $(b,--jobs) value.")
+    Term.(const run $ setup_term () $ workload $ policies $ ratio $ swap
+          $ interval $ max_regions $ out $ gnuplot)
+
 (* ---------------- fleet ---------------- *)
 
 let fleet_cmd =
@@ -1022,8 +1237,8 @@ let main =
     (Cmd.info "repro" ~version:"1.0.0" ~doc)
     [
       fig_cmd; run_cmd; list_cmd; sweep_cmd; ablate_cmd; tier_cmd; export_cmd;
-      profile_cmd; regret_cmd; trace_summary_cmd; fleet_cmd; chaos_cmd;
-      fuzz_cmd;
+      profile_cmd; vmstat_cmd; heatmap_cmd; regret_cmd; trace_summary_cmd;
+      fleet_cmd; chaos_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -94,6 +94,14 @@ let result_fields (r : Machine.result) =
   @ (match r.chaos with
     | None -> []
     | Some s -> [ ("chaos", Obs.Str (Chaos.summary_to_string s)) ])
+  (* And for the vmstat counters: absent unless [config.vmstat] was
+     set, so telemetry-off journals are byte-identical to builds
+     without the counter registry.  The heatmap is stripped like the
+     trace — region rows are bulky and the runner never warm-starts
+     monitor-bearing runs. *)
+  @ (match r.vmstat with
+    | None -> []
+    | Some cap -> [ ("vmstat", Obs.Str (Obs.Vmstat.encode_capture cap)) ])
 
 exception Decode of string
 
@@ -161,6 +169,13 @@ let result_of_fields fields : Machine.result =
       | Some s -> (
         try Some (Obs.Prof.decode_capture s)
         with Failure msg -> raise (Decode msg)));
+    vmstat =
+      (match Obs.field_string fields "vmstat" with
+      | None -> None
+      | Some s -> (
+        try Some (Obs.Vmstat.decode_capture s)
+        with Failure msg -> raise (Decode msg)));
+    heatmap = None;
   }
 
 (* ------------------------------------------------------------------ *)

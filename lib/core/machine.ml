@@ -37,6 +37,15 @@ type config = {
   chaos : Chaos.spec option;
       (** runtime-transient injection schedule (None = no injectors,
           byte-identical to builds without the chaos layer) *)
+  vmstat : bool;
+      (** capture the vmstat counter registry into [result.vmstat].
+          Counters are maintained unconditionally (one int store per
+          bump); this flag only controls whether the capture rides the
+          result, so [false] keeps results byte-identical to builds
+          without the telemetry layer *)
+  damon : Mem.Damon.config option;
+      (** DAMON-style region access monitor (None = no monitor ticks,
+          no capture, byte-identical results) *)
 }
 
 let default_config ~capacity_frames ~seed =
@@ -70,6 +79,8 @@ let default_config ~capacity_frames ~seed =
     cancel = Engine.Cancel.never;
     cgroups = None;
     chaos = None;
+    vmstat = false;
+    damon = None;
   }
 
 type result = {
@@ -103,6 +114,8 @@ type result = {
   chaos : Chaos.summary option;
   trace : Obs.capture option;
   profile : Obs.Prof.capture option;
+  vmstat : Obs.Vmstat.capture option;
+  heatmap : Mem.Damon.capture option;
 }
 
 type kthread_state = {
@@ -120,6 +133,12 @@ type t = {
   cfg : config;
   obs : Obs.t;
   prof : Obs.Prof.t;
+  (* Kernel-fidelity telemetry: the /proc/vmstat counter registry and
+     the workingset eviction clock.  Always live — a bump is one array
+     store — so the hot paths never branch on configuration; only the
+     end-of-run capture is gated by [cfg.vmstat]. *)
+  vm : Obs.Vmstat.t;
+  ws : Mem.Workingset.t;
   sim : Engine.Sim.t;
   cpu : Engine.Cpu.t;
   rng : Engine.Rng.t;
@@ -300,6 +319,16 @@ let mcg_stall t ~tid ~t0 ~t1 =
   | Some mg -> Mem.Memcg.stall mg ~tid ~t0 ~t1
   | None -> ()
 
+(* Per-cgroup memory.stat slices of the vmstat counters.  Fault-side
+   counters attribute to the faulting thread's cgroup; reclaim-side
+   counters ([pgsteal], [pswpout]) to the cgroup charged for the page
+   being evicted, like the kernel's lruvec accounting. *)
+let mcg_vm t ~tid i =
+  match t.mcg with Some mg -> Mem.Memcg.vm_bump mg ~tid i | None -> ()
+
+let mcg_vm_page t ~vpn i =
+  match t.mcg with Some mg -> Mem.Memcg.vm_bump_page mg ~vpn i | None -> ()
+
 (* The machine unmaps, writes back and frees a frame on the policy's
    behalf.  Clean pages with a retained swap-cache copy are dropped
    without I/O; dirty (or never-swapped) pages cost a device write,
@@ -347,6 +376,15 @@ let reclaim_page t ~pfn =
         t.writeback_failures <- t.writeback_failures + 1
       end
       else begin
+        Obs.Vmstat.incr t.vm Obs.Vmstat.pgsteal;
+        mcg_vm_page t ~vpn Mem.Memcg.st_pgsteal;
+        if needs_writeback then mcg_vm_page t ~vpn Mem.Memcg.st_pswpout;
+        (* Leave a shadow entry behind, like the kernel's
+           workingset_eviction: the eviction-clock snapshot plus the
+           accessed bit, consumed when the page refaults. *)
+        Mem.Page_table.set_shadow t.pt vpn
+          (Mem.Workingset.note_eviction t.ws
+             ~was_active:(Mem.Pte.accessed pte));
         Mem.Page_table.set t.pt vpn (Mem.Pte.to_swapped pte ~slot);
         t.retained_slot.(vpn) <- -1;
         ra_note_evicted t vpn;
@@ -395,6 +433,7 @@ let oom_kill ?cg t =
     let v = !victim in
     t.killed.(v) <- true;
     t.oom_kills <- t.oom_kills + 1;
+    Obs.Vmstat.incr t.vm Obs.Vmstat.oom_kill;
     let discarded_before = t.oom_discarded in
     for vpn = 0 to Mem.Page_table.pages t.pt - 1 do
       if t.owner_tid.(vpn) = v then begin
@@ -422,6 +461,10 @@ let oom_kill ?cg t =
              check holds after every kill. *)
           Swapdev.Swap_manager.release t.swap ~slot:(Mem.Pte.swap_slot pte);
           Mem.Page_table.set t.pt vpn Mem.Pte.empty;
+          (* The page's contents die with the thread: a later fault on
+             this vpn is a fresh minor fault, not a refault, so drop
+             the pending shadow entry. *)
+          Mem.Page_table.clear_shadow t.pt vpn;
           t.oom_discarded <- t.oom_discarded + 1
         end;
         t.faulted_by.(vpn) <- -1;
@@ -693,6 +736,53 @@ let memcg_background_reclaim t ~cg ~want ~now =
   | None -> ());
   wake_kthreads t
 
+(* Workingset refault accounting at swap-in, mirroring the kernel's
+   workingset_refault(): consume the shadow entry left at eviction,
+   classify the refault distance against memory size, and count.  Runs
+   for demand and readahead swap-ins alike — the kernel classifies on
+   swap-cache insertion, before anyone touches the page — and before
+   the I/O outcome is known, so even a poisoned read was a refault. *)
+let note_refault t ~tid ~vpn ~now =
+  let shadow = Mem.Page_table.shadow t.pt vpn in
+  if shadow = Mem.Workingset.no_shadow then begin
+    Obs.Vmstat.incr t.vm Obs.Vmstat.workingset_shadow_miss;
+    if Obs.enabled t.obs then
+      Obs.emit t.obs ~t_ns:now
+        (Obs.Workingset_refault
+           {
+             vpn;
+             distance = -1;
+             shadow = false;
+             activated = false;
+             restored = false;
+           })
+  end
+  else begin
+    let r = Mem.Workingset.classify t.ws ~shadow in
+    Mem.Page_table.clear_shadow t.pt vpn;
+    Obs.Vmstat.incr t.vm Obs.Vmstat.workingset_refault;
+    Obs.Vmstat.note_refault_distance t.vm r.Mem.Workingset.distance;
+    mcg_vm t ~tid Mem.Memcg.st_ws_refault;
+    if r.Mem.Workingset.activated then begin
+      Obs.Vmstat.incr t.vm Obs.Vmstat.workingset_activate;
+      mcg_vm t ~tid Mem.Memcg.st_ws_activate
+    end;
+    if r.Mem.Workingset.restored then begin
+      Obs.Vmstat.incr t.vm Obs.Vmstat.workingset_restore;
+      mcg_vm t ~tid Mem.Memcg.st_ws_restore
+    end;
+    if Obs.enabled t.obs then
+      Obs.emit t.obs ~t_ns:now
+        (Obs.Workingset_refault
+           {
+             vpn;
+             distance = r.Mem.Workingset.distance;
+             shadow = true;
+             activated = r.Mem.Workingset.activated;
+             restored = r.Mem.Workingset.restored;
+           })
+  end
+
 (* Opportunistic swap-in of the sequential neighbours of a demand fault,
    like the kernel's swap readahead cluster.  Only when memory is easy:
    readahead must never trigger reclaim. *)
@@ -724,6 +814,8 @@ let readahead t ~tid ~(cursor : int ref) vpn =
               stop := true
             end
             else begin
+              note_refault t ~tid ~vpn:v ~now:!cursor;
+              mcg_vm t ~tid Mem.Memcg.st_pswpin;
               t.retained_slot.(v) <- slot;
               t.ra_pending.(v) <- true;
               map_page t ~tid ~pfn ~vpn:v ~refault:true ~write:false ~demand:false
@@ -736,6 +828,8 @@ let readahead t ~tid ~(cursor : int ref) vpn =
 
 let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
   Prof.begin_phase t.prof ~now:!cursor Prof.Fault_handling;
+  Obs.Vmstat.incr t.vm Obs.Vmstat.pgfault;
+  mcg_vm t ~tid Mem.Memcg.st_pgfault;
   cpu_acc := !cpu_acc + t.cfg.costs.Mem.Costs.fault_trap_ns;
   (* The hard cap is enforced before the machine even looks for a free
      frame: a cgroup at memory.max must make room inside itself (or
@@ -753,6 +847,9 @@ let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
     let pte = Mem.Page_table.get t.pt vpn in
     if Mem.Pte.swapped pte then begin
       t.major_faults <- t.major_faults + 1;
+      Obs.Vmstat.incr t.vm Obs.Vmstat.pgmajfault;
+      mcg_vm t ~tid Mem.Memcg.st_pgmajfault;
+      note_refault t ~tid ~vpn ~now:!cursor;
       let slot = Mem.Pte.swap_slot pte in
       Swapdev.Swap_manager.swap_in_slot t.swap ~now:!cursor ~slot;
       let io_cpu = Swapdev.Swap_manager.last_cpu_ns t.swap in
@@ -773,6 +870,7 @@ let handle_fault t ~tid ~(cursor : int ref) ~(cpu_acc : int ref) ~vpn ~write =
         map_page t ~tid ~pfn ~vpn ~refault:false ~write ~demand:true
       end
       else begin
+        mcg_vm t ~tid Mem.Memcg.st_pswpin;
         t.retained_slot.(vpn) <- slot;
         map_page t ~tid ~pfn ~vpn ~refault:true ~write ~demand:true;
         readahead t ~tid ~cursor vpn
@@ -1135,6 +1233,7 @@ let run cfg ~policy ~workload =
   let nthreads = Workload.Chunk.packed_threads workload in
   let obs = Obs.create cfg.obs in
   let prof = Prof.create cfg.prof in
+  let vm = Obs.Vmstat.create () in
   let rng = Engine.Rng.create cfg.seed in
   let base_device =
     match cfg.swap with
@@ -1210,6 +1309,8 @@ let run cfg ~policy ~workload =
       cfg;
       obs;
       prof;
+      vm;
+      ws = Mem.Workingset.create ~capacity:cfg.capacity_frames;
       sim = Engine.Sim.create ();
       cpu = Engine.Cpu.create ~hw_threads:cfg.hw_threads;
       rng;
@@ -1220,7 +1321,7 @@ let run cfg ~policy ~workload =
       mem = Mem.Phys_mem.create ~frames:cfg.capacity_frames ();
       swap =
         Swapdev.Swap_manager.create ~max_retries:cfg.io_max_retries
-          ~backoff_ns:cfg.io_retry_backoff_ns ~obs ~device
+          ~backoff_ns:cfg.io_retry_backoff_ns ~obs ~vmstat:vm ~device
           ~seed:(Engine.Rng.int rng (1 lsl 30)) ();
       fault_counters;
       workload;
@@ -1290,6 +1391,7 @@ let run cfg ~policy ~workload =
       high_watermark = Mem.Phys_mem.high_watermark t.mem;
       obs;
       prof;
+      vmstat = vm;
     }
   in
   if Prof.enabled prof then begin
@@ -1401,6 +1503,27 @@ let run cfg ~policy ~workload =
       end
     in
     Engine.Sim.schedule t.sim ~delay:every tick);
+  (* DAMON-style region monitor: a recurring aggregation tick that
+     reads (never clears) accessed bits and adapts its region layout.
+     Pure observation on the simulated clock — it charges no CPU and
+     draws no randomness, so results with the monitor on are identical
+     to results with it off, and [None] schedules nothing at all. *)
+  let damon =
+    match cfg.damon with
+    | None -> None
+    | Some dcfg ->
+      let d = Mem.Damon.create dcfg in
+      let tables = [| t.pt |] in
+      let every = Mem.Damon.aggregate_every_ns d in
+      let rec tick _ =
+        if not t.stopped && t.active_threads > 0 then begin
+          Mem.Damon.tick d ~now:(Engine.Sim.now t.sim) ~tables;
+          Engine.Sim.schedule t.sim ~delay:every tick
+        end
+      in
+      Engine.Sim.schedule t.sim ~delay:every tick;
+      Some d
+  in
   let sample_every = Obs.sample_every_ns obs in
   if sample_every > 0 then begin
     (* Same recurring-tick shape as the audit above.  Counters named
@@ -1490,4 +1613,6 @@ let run cfg ~policy ~workload =
     chaos = chaos_summary;
     trace = Obs.capture obs;
     profile = Prof.capture prof;
+    vmstat = (if cfg.vmstat then Some (Obs.Vmstat.capture vm) else None);
+    heatmap = Option.map Mem.Damon.capture damon;
   }

@@ -87,6 +87,21 @@ type config = {
           and is followed by a forced {!Invariants.audit}.  [None] (the
           default) schedules nothing and draws no randomness —
           byte-identical behaviour to builds without the chaos layer *)
+  vmstat : bool;
+      (** capture the kernel-style vmstat counter registry (pgfault,
+          pgsteal, pswpin/pswpout, workingset_*, mglru_*; see
+          {!Obs.Vmstat}) into [result.vmstat].  The counters themselves
+          are maintained unconditionally — a bump is one array store,
+          never a branch on configuration — so this flag only gates the
+          end-of-run capture, and [false] (the default) leaves results
+          byte-identical to builds without the telemetry layer *)
+  damon : Mem.Damon.config option;
+      (** DAMON-style adaptive region access monitor (see {!Mem.Damon}):
+          a recurring aggregation tick that reads — never clears —
+          accessed bits and records per-region access counts into
+          [result.heatmap].  Pure observation: no CPU charges, no
+          randomness, so a monitored run's metrics equal an unmonitored
+          one's.  [None] (the default) schedules nothing *)
 }
 
 val default_config : capacity_frames:int -> seed:int -> config
@@ -137,6 +152,12 @@ type result = {
       (** per-phase CPU/wait totals (and, when [config.prof.spans] was
           set, the span timeline); [None] when [config.prof] was
           {!Obs.Prof.off} *)
+  vmstat : Obs.Vmstat.capture option;
+      (** final machine-wide vmstat counters plus the refault-distance
+          histogram; [None] when [config.vmstat] was [false] *)
+  heatmap : Mem.Damon.capture option;
+      (** the region monitor's aggregation rows in tick order; [None]
+          when [config.damon] was [None] *)
 }
 
 val run :

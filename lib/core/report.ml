@@ -54,13 +54,19 @@ let fsec =
 let fcount =
   unless_failed (fun x ->
       let s = Printf.sprintf "%.0f" x in
-      let n = String.length s in
-      let buf = Buffer.create (n + (n / 3)) in
+      (* Group digits only: separating from the end of the full string
+         would misplace a comma right after the sign when the digit
+         count is a multiple of three ("-,774,600"). *)
+      let neg = String.length s > 0 && s.[0] = '-' in
+      let digits = if neg then String.sub s 1 (String.length s - 1) else s in
+      let n = String.length digits in
+      let buf = Buffer.create (n + (n / 3) + 1) in
+      if neg then Buffer.add_char buf '-';
       String.iteri
         (fun i c ->
-          if i > 0 && (n - i) mod 3 = 0 && c <> '-' then Buffer.add_char buf ',';
+          if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
           Buffer.add_char buf c)
-        s;
+        digits;
       Buffer.contents buf)
 
 let fns =
@@ -97,12 +103,16 @@ type trace_group = {
   g_swap_write : Stats.Histogram.t;
   g_cgroups : (string, cg_stats) Hashtbl.t;
   mutable g_cg_order : string list; (* appearance order, reversed *)
+  mutable g_ws_hits : int; (* refaults whose shadow entry survived *)
+  mutable g_ws_misses : int;
+  mutable g_ws_activated : int;
+  mutable g_ws_restored : int;
 }
 
 let trace_kinds =
   [
     "evict"; "reclaim"; "promote"; "demote"; "aging_pass"; "swap_read";
-    "swap_write"; "oom_kill";
+    "swap_write"; "oom_kill"; "workingset_refault";
   ]
 
 let trace_summary ~path =
@@ -171,6 +181,10 @@ let trace_summary ~path =
                     g_swap_write = hist ();
                     g_cgroups = Hashtbl.create 4;
                     g_cg_order = [];
+                    g_ws_hits = 0;
+                    g_ws_misses = 0;
+                    g_ws_activated = 0;
+                    g_ws_restored = 0;
                   }
                 in
                 Hashtbl.add groups key g;
@@ -236,6 +250,20 @@ let trace_summary ~path =
               c.c_psi_some_ns <- c.c_psi_some_ns + int_f "some_ns";
               c.c_psi_full_ns <- c.c_psi_full_ns + int_f "full_ns";
               c.c_psi_window_ns <- c.c_psi_window_ns + int_f "window_ns"
+            | "workingset_refault" -> begin
+              let flag k =
+                match Obs.field fields k with
+                | Some (Obs.Bool b) -> b
+                | _ -> malformed (Printf.sprintf "missing field %S" k)
+              in
+              if flag "shadow" then begin
+                g.g_ws_hits <- g.g_ws_hits + 1;
+                if flag "activated" then
+                  g.g_ws_activated <- g.g_ws_activated + 1;
+                if flag "restored" then g.g_ws_restored <- g.g_ws_restored + 1
+              end
+              else g.g_ws_misses <- g.g_ws_misses + 1
+            end
             | _ -> ())
           end;
           offset := !offset + String.length line + 1
@@ -340,6 +368,93 @@ let trace_summary ~path =
           "reclaims"; "reclaimed"; "psi_some"; "psi_full";
         ]
       cg_rows
+  end;
+  (* Workingset refault classification: one row per cell that emitted
+     any workingset_refault event, splitting refaults into shadow hits
+     (a surviving shadow entry yielded a distance) and misses, with the
+     activated / restored verdicts among the hits. *)
+  let ws_cells =
+    List.filter
+      (fun key ->
+        let g = Hashtbl.find groups key in
+        g.g_ws_hits + g.g_ws_misses > 0)
+      cells
+  in
+  if ws_cells <> [] then begin
+    subsection "workingset refaults";
+    table
+      ~header:
+        [ "cell"; "shadow_hits"; "shadow_misses"; "activated"; "restored" ]
+      (List.map
+         (fun key ->
+           let g = Hashtbl.find groups key in
+           [
+             key;
+             fcount (float_of_int g.g_ws_hits);
+             fcount (float_of_int g.g_ws_misses);
+             fcount (float_of_int g.g_ws_activated);
+             fcount (float_of_int g.g_ws_restored);
+           ])
+         ws_cells)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Vmstat tables: kernel counter names as rows, cells as columns.      *)
+(* ------------------------------------------------------------------ *)
+
+let vmstat_table cols =
+  let caps = List.map snd cols in
+  (* A two-column table is almost always a policy pair; the delta
+     column is what the paper's Clock-vs-MG-LRU comparisons read. *)
+  let delta =
+    match caps with
+    | [ a; b ] ->
+      Some (fun i -> b.Obs.Vmstat.counters.(i) - a.Obs.Vmstat.counters.(i))
+    | _ -> None
+  in
+  table
+    ~header:
+      (("counter" :: List.map fst cols)
+      @ match delta with Some _ -> [ "delta" ] | None -> [])
+    (List.init Obs.Vmstat.nr_counters (fun i ->
+         (Obs.Vmstat.name i
+         :: List.map
+              (fun (c : Obs.Vmstat.capture) ->
+                fcount (float_of_int c.Obs.Vmstat.counters.(i)))
+              caps)
+         @
+         match delta with
+         | Some d -> [ fcount (float_of_int (d i)) ]
+         | None -> []))
+
+let vmstat_refault_hist cols =
+  let caps = List.map snd cols in
+  (* Trim trailing all-zero buckets so small runs stay compact; the
+     bucket layout itself is fixed (log2, bucket 0 = {0,1}). *)
+  let last =
+    List.fold_left
+      (fun acc (c : Obs.Vmstat.capture) ->
+        let m = ref (-1) in
+        Array.iteri (fun i n -> if n > 0 then m := i) c.Obs.Vmstat.refault_dist;
+        max acc !m)
+      (-1) caps
+  in
+  if last >= 0 then begin
+    subsection "refault distance (pages evicted between eviction and refault)";
+    let label i =
+      if i = 0 then "0-1"
+      else if i = Obs.Vmstat.dist_buckets - 1 then
+        Printf.sprintf ">=%d" (1 lsl i)
+      else Printf.sprintf "%d-%d" (1 lsl i) ((1 lsl (i + 1)) - 1)
+    in
+    table
+      ~header:("distance" :: List.map fst cols)
+      (List.init (last + 1) (fun i ->
+           label i
+           :: List.map
+                (fun (c : Obs.Vmstat.capture) ->
+                  fcount (float_of_int c.Obs.Vmstat.refault_dist.(i)))
+                caps))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -455,7 +570,28 @@ let memcg_summary ~runtime_ns (s : Mem.Memcg.summary) =
        s.Mem.Memcg.s_groups);
   note
     (Printf.sprintf "machine-wide psi: some %s, full %s"
-       (psi s.Mem.Memcg.s_some_ns) (psi s.Mem.Memcg.s_full_ns))
+       (psi s.Mem.Memcg.s_some_ns) (psi s.Mem.Memcg.s_full_ns));
+  (* memory.stat: stat names as rows, one column per cgroup.  Root's
+     column is the hierarchical total (every bump lands there too). *)
+  let any_stat =
+    List.exists
+      (fun (g : Mem.Memcg.report) -> Array.exists (fun v -> v > 0) g.Mem.Memcg.r_vm)
+      s.Mem.Memcg.s_groups
+  in
+  if any_stat then begin
+    subsection "memory.stat";
+    table
+      ~header:
+        ("counter"
+        :: List.map (fun (g : Mem.Memcg.report) -> g.Mem.Memcg.r_name)
+             s.Mem.Memcg.s_groups)
+      (List.init Mem.Memcg.nr_stats (fun i ->
+           Mem.Memcg.stat_names.(i)
+           :: List.map
+                (fun (g : Mem.Memcg.report) ->
+                  fcount (float_of_int g.Mem.Memcg.r_vm.(i)))
+                s.Mem.Memcg.s_groups))
+  end
 
 let fault_summary (r : Machine.result) =
   let injected =

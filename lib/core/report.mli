@@ -47,7 +47,22 @@ val trace_summary : path:string -> unit
     total throttled simulated time, targeted-reclaim episodes and pages
     freed, and PSI some/full averaged over the observed windows —
     exercising (and validating) the [throttle] / [cgroup_reclaim] /
-    [cgroup_oom] / [psi] event schemas. *)
+    [cgroup_oom] / [psi] event schemas.
+
+    Traces containing [workingset_refault] events additionally get a
+    "workingset refaults" subsection: per-cell shadow-entry hits and
+    misses, plus activated/restored verdicts among the hits. *)
+
+val vmstat_table : (string * Obs.Vmstat.capture) list -> unit
+(** One labelled column per capture, kernel counter names as rows.
+    With exactly two columns a [delta] column (second minus first) is
+    appended — the shape the paper's Clock-vs-MG-LRU counter
+    comparisons read. *)
+
+val vmstat_refault_hist : (string * Obs.Vmstat.capture) list -> unit
+(** Log2-bucketed refault-distance histogram, one labelled column per
+    capture, trailing all-zero buckets trimmed.  Prints nothing when no
+    capture recorded a refault. *)
 
 val profile_table : Obs.Prof.merged -> unit
 (** Perf-style phase table for one grid cell: rows in taxonomy order,
@@ -58,7 +73,9 @@ val profile_table : Obs.Prof.merged -> unit
 val memcg_summary : runtime_ns:int -> Mem.Memcg.summary -> unit
 (** Per-cgroup end-of-run table (usage vs. limits, throttles, scoped
     OOM kills, PSI shares of the run, p99 read latency) plus the
-    machine-wide PSI note. *)
+    machine-wide PSI note, and — when any counter fired — a
+    [memory.stat] table (stat names as rows, one column per cgroup;
+    root's column is the hierarchical total). *)
 
 val fault_summary : Machine.result -> unit
 (** Per-trial fault-injection block: injected faults by kind, recovery

@@ -102,6 +102,8 @@ type ctx = {
   journal : Journal.t option;
   cgroups : Mem.Memcg.spec option;
   chaos : Chaos.spec option;
+  vmstat : bool;
+  damon : Mem.Damon.config option;
   cache : shard array;
   (* Bookkeeping: every requested experiment, in first-request program
      order.  Appended only from the dispatching domain (prefetch logs
@@ -116,8 +118,8 @@ type ctx = {
 
 let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     ?(audit_every_ns = 0) ?(jobs = 1) ?(obs = Obs.off)
-    ?(prof = Obs.Prof.off) ?(trial_timeout_s = 0.0) ?journal ?cgroups ?chaos ()
-    =
+    ?(prof = Obs.Prof.off) ?(trial_timeout_s = 0.0) ?journal ?cgroups ?chaos
+    ?(vmstat = false) ?damon () =
   let profile =
     match profile with Some p -> p | None -> profile_from_env ()
   in
@@ -132,6 +134,8 @@ let make_ctx ?profile ?(fault_plan = Swapdev.Faulty_device.none)
     journal;
     cgroups;
     chaos;
+    vmstat;
+    damon;
     cache =
       Array.init cache_shards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 32 });
@@ -158,6 +162,10 @@ let cgroups ctx = ctx.cgroups
 
 let chaos ctx = ctx.chaos
 
+let vmstat ctx = ctx.vmstat
+
+let damon ctx = ctx.damon
+
 (* A derived context with a cgroup spec installed.  The cache, log and
    dedup tables are fresh: [cgroups] is ctx-level (like [fault_plan])
    and deliberately not part of {!exp_key}, so sharing the parent's
@@ -183,6 +191,22 @@ let with_chaos ?cgroups ?obs ctx chaos =
     chaos;
     cgroups = (match cgroups with Some _ as c -> c | None -> ctx.cgroups);
     obs = (match obs with Some o -> o | None -> ctx.obs);
+    cache =
+      Array.init cache_shards (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 32 });
+    logged = Hashtbl.create 64;
+    log = ref [];
+    log_lock = Mutex.create ();
+  }
+
+(* Same derivation for the DAMON region monitor: monitored results
+   carry heatmap captures, so they must never alias a cache populated
+   without the monitor (results are otherwise identical — the monitor
+   observes without perturbing — but the capture field differs). *)
+let with_damon ctx config =
+  {
+    ctx with
+    damon = Some config;
     cache =
       Array.init cache_shards (fun _ ->
           { lock = Mutex.create (); tbl = Hashtbl.create 32 });
@@ -424,6 +448,8 @@ let compute_exp ctx e =
       cancel = deadline_cancel ctx.trial_timeout_s;
       cgroups = ctx.cgroups;
       chaos = ctx.chaos;
+      vmstat = ctx.vmstat;
+      damon = ctx.damon;
     }
   in
   (* Under --scale N the per-page cost factor shrinks as the footprint
@@ -460,8 +486,10 @@ let journal_outcome ctx key outcome =
           status = Journal.Trial_ok;
           reason = "";
           (* Captures are not journaled (see Journal's docs); strip them
-             so the record is what a warm-started cache would hold. *)
-          result = Some { r with Machine.trace = None };
+             so the record is what a warm-started cache would hold.
+             Vmstat captures are the exception — they are compact and
+             encode losslessly, so they ride the record. *)
+          result = Some { r with Machine.trace = None; heatmap = None };
         }
       | Failed { reason; timed_out } ->
         {
@@ -521,16 +549,25 @@ let warm_start ctx records =
        results carry no spans)";
     0
   end
+  else if ctx.damon <> None then begin
+    prerr_endline
+      "journal: region monitor enabled; skipping warm-start (journaled \
+       results carry no heatmaps)";
+    0
+  end
   else begin
     (* Under totals-only profiling, journaled results from an unprofiled
        run carry no phase totals; skip those so the resumed sweep
-       recomputes them with the profiler on. *)
+       recomputes them with the profiler on.  Same for vmstat captures:
+       a record journaled with counters off is recomputed when this run
+       wants them. *)
     let want_profile = Obs.Prof.config_enabled ctx.prof in
     List.fold_left
       (fun n (r : Journal.record) ->
         match (r.status, r.result) with
         | Journal.Trial_ok, Some res
-          when (not want_profile) || res.Machine.profile <> None ->
+          when ((not want_profile) || res.Machine.profile <> None)
+               && ((not ctx.vmstat) || res.Machine.vmstat <> None) ->
           ignore (cache_store ctx r.key (Done res));
           n + 1
         | _ -> n)
@@ -779,6 +816,69 @@ let write_folded ctx ~path =
               end)
             m.Obs.Prof.m_totals)
         (profile_cells ctx);
+      !written)
+
+(* ------------------------------------------------------------------ *)
+(* Vmstat: per-cell merges of the per-trial counter captures, and the  *)
+(* heatmap CSV writer — both in the deterministic log order.           *)
+(* ------------------------------------------------------------------ *)
+
+let vmstatted ctx =
+  List.filter_map
+    (fun e ->
+      match cache_find ctx (exp_key e) with
+      | Some (Done { Machine.vmstat = Some cap; _ }) -> Some (e, cap)
+      | _ -> None)
+    (traced_exps ctx)
+
+let vmstat_cells ctx =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e, cap) ->
+      (* Cell identity: the experiment minus its trial index. *)
+      let cell = { e with trial = 0 } in
+      let key = exp_key cell in
+      match Hashtbl.find_opt tbl key with
+      | Some caps -> Hashtbl.replace tbl key (cap :: caps)
+      | None ->
+        order := (key, cell) :: !order;
+        Hashtbl.add tbl key [ cap ])
+    (vmstatted ctx);
+  List.rev_map
+    (fun (key, cell) ->
+      (cell, Obs.Vmstat.merge (List.rev (Hashtbl.find tbl key))))
+    !order
+
+let heatmap_csv_header =
+  "workload,policy,ratio,swap,trial,t_ns,asid,start_vpn,pages,accessed"
+
+let write_heatmap ctx ~path =
+  Atomic_io.replace ~path (fun oc ->
+      let written = ref 0 in
+      output_string oc heatmap_csv_header;
+      output_char oc '\n';
+      List.iter
+        (fun e ->
+          match cache_find ctx (exp_key e) with
+          | Some (Done { Machine.heatmap = Some cap; _ }) ->
+            let prefix =
+              Printf.sprintf "%s,%s,%.9g,%s,%d,"
+                (workload_kind_name e.workload)
+                (Policy.Registry.name e.policy)
+                e.ratio (swap_name e.swap) e.trial
+            in
+            Array.iter
+              (fun (row : Mem.Damon.row) ->
+                output_string oc prefix;
+                output_string oc
+                  (Printf.sprintf "%d,%d,%d,%d,%d\n" row.Mem.Damon.w_t_ns
+                     row.Mem.Damon.w_asid row.Mem.Damon.w_start
+                     row.Mem.Damon.w_pages row.Mem.Damon.w_accessed);
+                incr written)
+              cap.Mem.Damon.rows
+          | _ -> ())
+        (traced_exps ctx);
       !written)
 
 (* Chrome trace-event JSON ("X" complete events, ts/dur in µs) from the

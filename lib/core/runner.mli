@@ -111,6 +111,8 @@ val make_ctx :
   ?journal:Journal.t ->
   ?cgroups:Mem.Memcg.spec ->
   ?chaos:Chaos.spec ->
+  ?vmstat:bool ->
+  ?damon:Mem.Damon.config ->
   unit ->
   ctx
 (** Defaults: [profile_from_env ()], no fault injection, end-of-run
@@ -131,7 +133,15 @@ val make_ctx :
 
     [chaos] installs a runtime-transient injection schedule the same
     way (see {!Chaos}); omitting it schedules nothing and keeps runs
-    byte-identical to builds without the chaos layer. *)
+    byte-identical to builds without the chaos layer.
+
+    [vmstat] makes every machine capture its kernel-style counter
+    registry into [result.vmstat] (the counters are always maintained;
+    the flag only gates the capture, so [false] — the default — keeps
+    results byte-identical to builds without the telemetry layer).
+    [damon] installs a DAMON-style region access monitor whose
+    per-region rows land in [result.heatmap]; both are ctx-level like
+    [fault_plan] and not part of {!exp_key}. *)
 
 val profile : ctx -> profile
 
@@ -168,6 +178,15 @@ val with_chaos :
     (the resilience report needs traced derived runs whatever the parent
     context records). *)
 
+val vmstat : ctx -> bool
+
+val damon : ctx -> Mem.Damon.config option
+
+val with_damon : ctx -> Mem.Damon.config -> ctx
+(** A derived context with the region monitor installed and a fresh
+    cache/log, like {!with_cgroups} (monitored results carry heatmap
+    captures, so they must not alias an unmonitored cache). *)
+
 val cached_results : ctx -> int
 (** Number of trial outcomes currently memoized in this context. *)
 
@@ -176,9 +195,11 @@ val warm_start : ctx -> Journal.record list -> int
     returning how many were installed.  Failure records are skipped (a
     resumed run retries them), and the whole warm-start is skipped —
     with a stderr note — when the context has telemetry enabled
-    (journal records carry no traces) or span profiling enabled (they
-    carry no spans).  Under totals-only profiling, only records that
-    carry phase totals are installed; the rest recompute.  Call once,
+    (journal records carry no traces), span profiling enabled (they
+    carry no spans) or the region monitor enabled (they carry no
+    heatmaps).  Under totals-only profiling, only records that carry
+    phase totals are installed; the rest recompute — and likewise, with
+    [vmstat] on, only records that carry counter captures.  Call once,
     before running anything, on a fresh context. *)
 
 (** {1 Running trials} *)
@@ -304,3 +325,27 @@ val write_perfetto : ctx -> path:string -> int
     profiled trial, thread-name metadata, and one "X" event per span.
     Returns the number of span events.  Requires the profiler's [spans]
     flag to record anything.  Atomic like {!write_trace}. *)
+
+(** {1 Vmstat and heatmaps}
+
+    Like the profiling readers: everything reads the deterministic
+    experiment log, so outputs are byte-identical for every [jobs]
+    value. *)
+
+val vmstatted : ctx -> (exp * Obs.Vmstat.capture) list
+(** Every experiment whose cached result carries a vmstat capture, in
+    deterministic first-request order. *)
+
+val vmstat_cells : ctx -> (exp * Obs.Vmstat.capture) list
+(** Per-cell counter totals: captures grouped by grid cell (the [exp]
+    returned has [trial = 0]) and summed across trials, cells in
+    first-appearance order. *)
+
+val heatmap_csv_header : string
+(** [workload,policy,ratio,swap,trial,t_ns,asid,start_vpn,pages,accessed] *)
+
+val write_heatmap : ctx -> path:string -> int
+(** Write every cached heatmap capture as CSV rows under
+    {!heatmap_csv_header} (one line per region snapshot, trials in
+    deterministic log order, rows in tick order); returns the number of
+    data rows.  Atomic like {!write_trace}. *)

@@ -270,6 +270,54 @@ type psi_tracker = {
 
 let fresh_tracker () = { pending = []; last_advance = 0; some_ns = 0; full_ns = 0 }
 
+(* memory.stat counter indices (see [stat_names]): the per-cgroup slice
+   of the machine-wide vmstat registry.  The machine bumps these at its
+   fault/reclaim points; every bump lands on the owning group *and* the
+   root, so root's row is the hierarchical total, like a cgroup-v2
+   parent's memory.stat. *)
+let st_pgfault = 0
+let st_pgmajfault = 1
+let st_pgsteal = 2
+let st_pswpin = 3
+let st_pswpout = 4
+let st_ws_refault = 5
+let st_ws_activate = 6
+let st_ws_restore = 7
+let nr_stats = 8
+
+let stat_names =
+  [|
+    "pgfault"; "pgmajfault"; "pgsteal"; "pswpin"; "pswpout";
+    "workingset_refault"; "workingset_activate"; "workingset_restore";
+  |]
+
+(* One record for everything a cgroup accounts (as opposed to enforces):
+   PSI, throttle and OOM tallies, request latencies, memory.stat.  Kept
+   separate from the limit fields so the accounting surface has a single
+   shape wherever it is swept or reported. *)
+type stats = {
+  mutable st_throttles : int;
+  mutable st_throttled_ns : int;
+  mutable st_ooms : int;
+  mutable st_probe_some : int; (* some_ns at the last proactive tick *)
+  st_psi : psi_tracker;
+  mutable st_read_lat : float list; (* newest first *)
+  mutable st_write_lat : float list;
+  st_vm : int array; (* memory.stat counters, [nr_stats] long *)
+}
+
+let fresh_stats () =
+  {
+    st_throttles = 0;
+    st_throttled_ns = 0;
+    st_ooms = 0;
+    st_probe_some = 0;
+    st_psi = fresh_tracker ();
+    st_read_lat = [];
+    st_write_lat = [];
+    st_vm = Array.make nr_stats 0;
+  }
+
 type cgroup = {
   cg_name : string;
   (* Limits are mutable because chaos limit-churn injectors rewrite
@@ -282,13 +330,7 @@ type cgroup = {
   mutable cg_eff_set : bool;  (* probe has touched cg_eff *)
   mutable cg_usage : int;
   mutable cg_live : int;
-  mutable cg_throttles : int;
-  mutable cg_throttled_ns : int;
-  mutable cg_ooms : int;
-  mutable cg_probe_some : int; (* some_ns at the last proactive tick *)
-  cg_psi : psi_tracker;
-  mutable cg_read_lat : float list;  (* newest first *)
-  mutable cg_write_lat : float list;
+  cg_stats : stats;
 }
 
 type resolved_proactive = {
@@ -327,13 +369,7 @@ let create spec ~capacity_frames ~nthreads ~footprint_pages =
       cg_eff_set = false;
       cg_usage = 0;
       cg_live = live;
-      cg_throttles = 0;
-      cg_throttled_ns = 0;
-      cg_ooms = 0;
-      cg_probe_some = 0;
-      cg_psi = fresh_tracker ();
-      cg_read_lat = [];
-      cg_write_lat = [];
+      cg_stats = fresh_stats ();
     }
   in
   let tid_cg = Array.make (max nthreads 1) 0 in
@@ -469,9 +505,9 @@ let throttle_ns t ~tid ~base_ns =
     let s = t.streak.(tid) in
     t.streak.(tid) <- s + 1;
     let d = min (base_ns * (1 lsl min s 10)) throttle_cap_ns in
-    let g = t.cgs.(cg) in
-    g.cg_throttles <- g.cg_throttles + 1;
-    g.cg_throttled_ns <- g.cg_throttled_ns + d;
+    let st = t.cgs.(cg).cg_stats in
+    st.st_throttles <- st.st_throttles + 1;
+    st.st_throttled_ns <- st.st_throttled_ns + d;
     d
   end
   else begin
@@ -487,7 +523,7 @@ let record tracker ~t0 ~t1 =
 
 let stall t ~tid ~t0 ~t1 =
   if t1 > t0 then begin
-    record t.cgs.(cg_of_thread t tid).cg_psi ~t0 ~t1;
+    record t.cgs.(cg_of_thread t tid).cg_stats.st_psi ~t0 ~t1;
     record t.global ~t0 ~t1
   end
 
@@ -525,8 +561,13 @@ let advance_tracker p ~live ~now =
     p.last_advance <- now
   end
 
+(* The one stall sweep, shared by the PSI tick, thread exit and the
+   end-of-run summary: fold every tracker's pending intervals forward to
+   [now] against the live set they were recorded under. *)
 let advance t ~now =
-  Array.iter (fun cg -> advance_tracker cg.cg_psi ~live:cg.cg_live ~now) t.cgs;
+  Array.iter
+    (fun cg -> advance_tracker cg.cg_stats.st_psi ~live:cg.cg_live ~now)
+    t.cgs;
   advance_tracker t.global ~live:t.global_live ~now
 
 let thread_exit t ~tid ~now =
@@ -538,8 +579,8 @@ let thread_exit t ~tid ~now =
   t.cgs.(cg).cg_live <- max 0 (t.cgs.(cg).cg_live - 1);
   t.global_live <- max 0 (t.global_live - 1)
 
-let psi_some t cg = t.cgs.(cg).cg_psi.some_ns
-let psi_full t cg = t.cgs.(cg).cg_psi.full_ns
+let psi_some t cg = t.cgs.(cg).cg_stats.st_psi.some_ns
+let psi_full t cg = t.cgs.(cg).cg_stats.st_psi.full_ns
 let machine_some t = t.global.some_ns
 let machine_full t = t.global.full_ns
 let psi_interval_ns t = t.psi_every
@@ -556,9 +597,10 @@ let proactive_step t cg =
   | None -> (0, 0)
   | Some p ->
     let g = t.cgs.(cg) in
+    let st = g.cg_stats in
     let window = t.psi_every in
-    let delta = g.cg_psi.some_ns - g.cg_probe_some in
-    g.cg_probe_some <- g.cg_psi.some_ns;
+    let delta = st.st_psi.some_ns - st.st_probe_some in
+    st.st_probe_some <- st.st_psi.some_ns;
     let pressure_ppm = delta * 1_000_000 / max 1 window in
     let ceiling = min g.cg_max t.capacity in
     let floor_ = max g.cg_low (min 16 ceiling) in
@@ -575,15 +617,32 @@ let proactive_step t cg =
 (* ------------------------------------------------------------------ *)
 (* Counters and reports                                                *)
 
-let note_oom t cg = t.cgs.(cg).cg_ooms <- t.cgs.(cg).cg_ooms + 1
-let oom_kills t cg = t.cgs.(cg).cg_ooms
-let throttles t cg = t.cgs.(cg).cg_throttles
-let throttled_ns t cg = t.cgs.(cg).cg_throttled_ns
+let note_oom t cg =
+  let st = t.cgs.(cg).cg_stats in
+  st.st_ooms <- st.st_ooms + 1
+
+let oom_kills t cg = t.cgs.(cg).cg_stats.st_ooms
+let throttles t cg = t.cgs.(cg).cg_stats.st_throttles
+let throttled_ns t cg = t.cgs.(cg).cg_stats.st_throttled_ns
 
 let note_latency t ~tid ~cls ns =
-  let g = t.cgs.(cg_of_thread t tid) in
-  if cls = 0 then g.cg_read_lat <- ns :: g.cg_read_lat
-  else if cls = 1 then g.cg_write_lat <- ns :: g.cg_write_lat
+  let st = t.cgs.(cg_of_thread t tid).cg_stats in
+  if cls = 0 then st.st_read_lat <- ns :: st.st_read_lat
+  else if cls = 1 then st.st_write_lat <- ns :: st.st_write_lat
+
+(* memory.stat bumps: the owning group and, hierarchically, the root.
+   Root's own events (cg = 0) land once. *)
+let vm_bump_cg t cg i =
+  t.cgs.(cg).cg_stats.st_vm.(i) <- t.cgs.(cg).cg_stats.st_vm.(i) + 1;
+  if cg <> 0 then t.cgs.(0).cg_stats.st_vm.(i) <- t.cgs.(0).cg_stats.st_vm.(i) + 1
+
+let vm_bump t ~tid i = vm_bump_cg t (cg_of_thread t tid) i
+
+let vm_bump_page t ~vpn i =
+  let cg = t.page_cg.(vpn) in
+  vm_bump_cg t (if cg >= 0 then cg else 0) i
+
+let vm_count t cg i = t.cgs.(cg).cg_stats.st_vm.(i)
 
 type report = {
   r_name : string;
@@ -599,6 +658,7 @@ type report = {
   r_psi_full_ns : int;
   r_read_latencies : float array;
   r_write_latencies : float array;
+  r_vm : int array; (* memory.stat counters, [nr_stats] long *)
 }
 
 type summary = {
@@ -620,13 +680,14 @@ let summary t ~now =
              r_high = (if g.cg_high = max_int then -1 else g.cg_high);
              r_max = (if g.cg_max = max_int then -1 else g.cg_max);
              r_limit = (if g.cg_eff_set then g.cg_eff else -1);
-             r_throttles = g.cg_throttles;
-             r_throttled_ns = g.cg_throttled_ns;
-             r_oom_kills = g.cg_ooms;
-             r_psi_some_ns = g.cg_psi.some_ns;
-             r_psi_full_ns = g.cg_psi.full_ns;
-             r_read_latencies = Array.of_list (List.rev g.cg_read_lat);
-             r_write_latencies = Array.of_list (List.rev g.cg_write_lat);
+             r_throttles = g.cg_stats.st_throttles;
+             r_throttled_ns = g.cg_stats.st_throttled_ns;
+             r_oom_kills = g.cg_stats.st_ooms;
+             r_psi_some_ns = g.cg_stats.st_psi.some_ns;
+             r_psi_full_ns = g.cg_stats.st_psi.full_ns;
+             r_read_latencies = Array.of_list (List.rev g.cg_stats.st_read_lat);
+             r_write_latencies = Array.of_list (List.rev g.cg_stats.st_write_lat);
+             r_vm = Array.copy g.cg_stats.st_vm;
            })
          t.cgs)
   in
@@ -670,6 +731,9 @@ let report_enc r =
       Printf.sprintf "psi_full_ns=%d" r.r_psi_full_ns;
       "rlat=" ^ floats_enc r.r_read_latencies;
       "wlat=" ^ floats_enc r.r_write_latencies;
+      "vm="
+      ^ String.concat " "
+          (Array.to_list (Array.map string_of_int r.r_vm));
     ]
 
 let summary_to_string s =
@@ -701,6 +765,21 @@ let report_dec s =
     let lat k =
       match str k with None -> Some [||] | Some v -> floats_dec v
     in
+    let vm =
+      (* Older records have no vm= field; zero-fill so they decode. *)
+      let a = Array.make nr_stats 0 in
+      (match str "vm" with
+       | None -> ()
+       | Some v ->
+         List.iteri
+           (fun i p ->
+             if i < nr_stats then
+               match int_of_string_opt p with
+               | Some n -> a.(i) <- n
+               | None -> ())
+           (split_on ' ' v));
+      a
+    in
     (match (lat "rlat", lat "wlat") with
      | Some rlat, Some wlat ->
        Some
@@ -718,6 +797,7 @@ let report_dec s =
            r_psi_full_ns = full;
            r_read_latencies = rlat;
            r_write_latencies = wlat;
+           r_vm = vm;
          }
      | _ -> None)
   | _ -> None

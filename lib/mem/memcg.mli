@@ -185,6 +185,36 @@ val note_latency : t -> tid:int -> cls:int -> float -> unit
 (** Request latency attributed to [tid]'s cgroup; [cls] 0 = read,
     1 = write (see {!Workload.Chunk.read_class}). *)
 
+(** {2 memory.stat}
+
+    The per-cgroup slice of the machine's vmstat registry.  Counters
+    are indexed by the [st_*] constants below; every bump lands on the
+    owning group {e and} the root, so root's row is the hierarchical
+    total like a cgroup-v2 parent's [memory.stat]. *)
+
+val st_pgfault : int
+val st_pgmajfault : int
+val st_pgsteal : int
+val st_pswpin : int
+val st_pswpout : int
+val st_ws_refault : int
+val st_ws_activate : int
+val st_ws_restore : int
+val nr_stats : int
+
+val stat_names : string array
+(** Kernel [memory.stat] names, in index order. *)
+
+val vm_bump : t -> tid:int -> int -> unit
+(** Bump a [memory.stat] counter for [tid]'s cgroup (and root). *)
+
+val vm_bump_page : t -> vpn:int -> int -> unit
+(** Bump for the cgroup currently charged for page [vpn] (root when
+    uncharged) — reclaim-side attribution, like [pgsteal]. *)
+
+val vm_count : t -> int -> int -> int
+(** [vm_count t cg i] reads counter [i] of cgroup [cg]. *)
+
 type report = {
   r_name : string;
   r_usage : int;          (** resident pages at end of run *)
@@ -199,6 +229,7 @@ type report = {
   r_psi_full_ns : int;
   r_read_latencies : float array;
   r_write_latencies : float array;
+  r_vm : int array;  (** [memory.stat] counters, [nr_stats] long *)
 }
 
 type summary = {

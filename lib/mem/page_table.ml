@@ -1,6 +1,11 @@
 type t = {
   asid : int;
   ptes : int array;
+  (* Workingset shadow tokens (see Workingset), parallel to [ptes]
+     because a swapped PTE's payload already holds its swap slot.
+     0 = no shadow.  Lazily allocated on the first [set_shadow] so
+     runs that never evict pay nothing. *)
+  mutable shadows : int array;
   region_size : int;
   mutable resident : int; (* pages with Pte.present, maintained by [set] *)
 }
@@ -8,7 +13,8 @@ type t = {
 let create ?(region_size = 512) ~asid ~pages () =
   if pages <= 0 then invalid_arg "Page_table.create: pages must be positive";
   if region_size <= 0 then invalid_arg "Page_table.create: region_size must be positive";
-  { asid; ptes = Array.make pages Pte.empty; region_size; resident = 0 }
+  { asid; ptes = Array.make pages Pte.empty; shadows = [||]; region_size;
+    resident = 0 }
 
 let asid t = t.asid
 
@@ -35,6 +41,22 @@ let set t vpn pte =
   end
   else if Pte.present old then t.resident <- t.resident - 1;
   t.ptes.(vpn) <- pte
+
+let shadow t vpn =
+  check t vpn;
+  if Array.length t.shadows = 0 then Workingset.no_shadow else t.shadows.(vpn)
+
+let set_shadow t vpn token =
+  check t vpn;
+  if Array.length t.shadows = 0 then begin
+    if token <> Workingset.no_shadow then begin
+      t.shadows <- Array.make (pages t) Workingset.no_shadow;
+      t.shadows.(vpn) <- token
+    end
+  end
+  else t.shadows.(vpn) <- token
+
+let clear_shadow t vpn = set_shadow t vpn Workingset.no_shadow
 
 let region_of t vpn =
   check t vpn;

@@ -25,6 +25,19 @@ val get : t -> int -> Pte.t
 
 val set : t -> int -> Pte.t -> unit
 
+val shadow : t -> int -> int
+(** The workingset shadow token left for a vpn by the last eviction, or
+    {!Workingset.no_shadow} when none.  O(1).
+    @raise Invalid_argument when the vpn is out of range. *)
+
+val set_shadow : t -> int -> int -> unit
+(** Store a shadow token for a vpn (see {!Workingset.note_eviction}).
+    The shadow array is allocated lazily on the first non-empty store,
+    so address spaces that never evict pay nothing. *)
+
+val clear_shadow : t -> int -> unit
+(** [set_shadow t vpn Workingset.no_shadow]. *)
+
 val region_of : t -> int -> int
 (** Region index containing a vpn. *)
 

@@ -1,4 +1,5 @@
 module Prof = Prof
+module Vmstat = Vmstat
 
 type promote_reason =
   | Aging
@@ -38,6 +39,13 @@ type event =
       limit : int;
     }
   | Chaos of { injector : string; action : string; arg : int }
+  | Workingset_refault of {
+      vpn : int;
+      distance : int;
+      shadow : bool;
+      activated : bool;
+      restored : bool;
+    }
 
 let kind_name = function
   | Evict _ -> "evict"
@@ -53,6 +61,7 @@ let kind_name = function
   | Cgroup_oom _ -> "cgroup_oom"
   | Psi _ -> "psi"
   | Chaos _ -> "chaos"
+  | Workingset_refault _ -> "workingset_refault"
 
 let promote_reason_name = function
   | Aging -> "aging"
@@ -213,6 +222,11 @@ let event_fields = function
     [
       ("cg", Str cg); ("some_ns", Int some_ns); ("full_ns", Int full_ns);
       ("window_ns", Int window_ns); ("limit", Int limit);
+    ]
+  | Workingset_refault { vpn; distance; shadow; activated; restored } ->
+    [
+      ("vpn", Int vpn); ("distance", Int distance); ("shadow", Bool shadow);
+      ("activated", Bool activated); ("restored", Bool restored);
     ]
 
 let escape_string s =

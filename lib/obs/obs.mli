@@ -25,6 +25,12 @@ module Prof = Prof
 (** Deterministic simulated-time CPU profiler (phase attribution, span
     timelines); threaded through the machine alongside the trace sink. *)
 
+module Vmstat = Vmstat
+(** Deterministic [/proc/vmstat]-style counter registry (fault, scan,
+    steal, swap, workingset and MG-LRU counters plus a refault-distance
+    histogram); threaded through the machine and both builtin policies
+    alongside the trace sink. *)
+
 (** Why a page moved toward the young end of its policy's structure. *)
 type promote_reason =
   | Aging        (** MG-LRU aging walk found the accessed bit set *)
@@ -82,6 +88,19 @@ type event =
           ([hotplug], [degrade], [churn], [burst], [corrupt]), [action]
           a short human label, [arg] the action's magnitude (frames
           offlined, new limit, stalled threads, ...) *)
+  | Workingset_refault of {
+      vpn : int;
+      distance : int;   (** evictions between this page's eviction and
+                            its refault; -1 when no shadow survived *)
+      shadow : bool;    (** a shadow entry was found (hit) or had been
+                            torn down (miss — e.g. after an OOM kill) *)
+      activated : bool; (** distance within capacity: the kernel would
+                            refault this page straight to active *)
+      restored : bool;  (** the page's accessed bit was still set when
+                            it was evicted *)
+    }
+      (** a swapped-out page faulted back in and its shadow entry (if
+          any) was consumed *)
 
 val kind_name : event -> string
 (** Stable lowercase kind tag used in the JSONL [kind] field. *)

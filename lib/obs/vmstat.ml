@@ -1,0 +1,140 @@
+(* Deterministic /proc/vmstat-style counter registry.
+
+   One flat int array per machine: incrementing a counter is one array
+   store, so the hot fault/reclaim paths stay allocation-free whether or
+   not anyone reads the counters afterwards.  Captures are taken (and
+   serialized) only when the run asks for them, which is how vmstat-off
+   runs stay byte-identical to builds without this module. *)
+
+(* Counter indices.  Order is the wire format ([encode_capture] joins
+   the array in index order), so new counters append only. *)
+let pgfault = 0
+let pgmajfault = 1
+let pgscan_kswapd = 2
+let pgscan_direct = 3
+let pgsteal = 4
+let pgactivate = 5
+let pgdeactivate = 6
+let pswpin = 7
+let pswpout = 8
+let oom_kill = 9
+let workingset_refault = 10
+let workingset_activate = 11
+let workingset_restore = 12
+let workingset_shadow_miss = 13
+let mglru_aging_passes = 14
+let mglru_promoted = 15
+let mglru_tier_protected = 16
+let nr_counters = 17
+
+let names =
+  [|
+    "pgfault"; "pgmajfault"; "pgscan_kswapd"; "pgscan_direct"; "pgsteal";
+    "pgactivate"; "pgdeactivate"; "pswpin"; "pswpout"; "oom_kill";
+    "workingset_refault"; "workingset_activate"; "workingset_restore";
+    "workingset_shadow_miss"; "mglru_aging_passes"; "mglru_promoted";
+    "mglru_tier_protected";
+  |]
+
+let name i =
+  if i < 0 || i >= nr_counters then invalid_arg "Vmstat.name";
+  names.(i)
+
+(* Refault-distance histogram: log2 buckets, bucket i holds distances in
+   [2^i, 2^(i+1)), bucket 0 holds {0, 1}, the last bucket is open. *)
+let dist_buckets = 24
+
+type t = {
+  c : int array;
+  dist : int array;
+}
+
+let create () = { c = Array.make nr_counters 0; dist = Array.make dist_buckets 0 }
+
+let incr t i = t.c.(i) <- t.c.(i) + 1
+
+let add t i n = if n > 0 then t.c.(i) <- t.c.(i) + n
+
+let get t i = t.c.(i)
+
+let dist_bucket d =
+  if d <= 1 then 0
+  else begin
+    let b = ref 0 in
+    let d = ref d in
+    while !d > 1 do
+      d := !d lsr 1;
+      b := !b + 1
+    done;
+    min !b (dist_buckets - 1)
+  end
+
+let note_refault_distance t d =
+  let b = dist_bucket (max 0 d) in
+  t.dist.(b) <- t.dist.(b) + 1
+
+type capture = {
+  counters : int array;
+  refault_dist : int array;
+}
+
+let capture t = { counters = Array.copy t.c; refault_dist = Array.copy t.dist }
+
+let empty_capture =
+  { counters = Array.make nr_counters 0; refault_dist = Array.make dist_buckets 0 }
+
+let merge caps =
+  let counters = Array.make nr_counters 0 in
+  let refault_dist = Array.make dist_buckets 0 in
+  List.iter
+    (fun cap ->
+      Array.iteri (fun i v -> counters.(i) <- counters.(i) + v) cap.counters;
+      Array.iteri
+        (fun i v -> refault_dist.(i) <- refault_dist.(i) + v)
+        cap.refault_dist)
+    caps;
+  { counters; refault_dist }
+
+let refaults cap = Array.fold_left ( + ) 0 cap.refault_dist
+
+(* Compact single-line codec for the journal: "v1:" then the counters
+   ';'-joined in index order, '|', then the distance buckets. *)
+
+let ints_to_string a =
+  String.concat ";" (Array.to_list (Array.map string_of_int a))
+
+let ints_of_string ~what ~len s =
+  let parts = String.split_on_char ';' s in
+  let a = Array.make len 0 in
+  (* Tolerate shorter arrays from older records (counters append only);
+     longer ones are a format error. *)
+  List.iteri
+    (fun i p ->
+      if i >= len then failwith (Printf.sprintf "Vmstat: too many %s" what);
+      match int_of_string_opt p with
+      | Some v -> a.(i) <- v
+      | None -> failwith (Printf.sprintf "Vmstat: bad %s %S" what p))
+    parts;
+  a
+
+let encode_capture cap =
+  "v1:" ^ ints_to_string cap.counters ^ "|" ^ ints_to_string cap.refault_dist
+
+let decode_capture s =
+  let body =
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "v1" ->
+      String.sub s (i + 1) (String.length s - i - 1)
+    | _ -> failwith "Vmstat: unknown capture version"
+  in
+  match String.index_opt body '|' with
+  | None -> failwith "Vmstat: missing distance section"
+  | Some i ->
+    let counters =
+      ints_of_string ~what:"counter" ~len:nr_counters (String.sub body 0 i)
+    in
+    let refault_dist =
+      ints_of_string ~what:"bucket" ~len:dist_buckets
+        (String.sub body (i + 1) (String.length body - i - 1))
+    in
+    { counters; refault_dist }

@@ -1,0 +1,100 @@
+(** Deterministic [/proc/vmstat]-style counter registry.
+
+    One {!t} per simulated machine, with a fixed set of integer counters
+    mirroring the kernel names the paper reads: fault and reclaim
+    activity ([pgfault], [pgmajfault], [pgscan_kswapd]/[pgscan_direct],
+    [pgsteal], [pgactivate]/[pgdeactivate]), swap traffic
+    ([pswpin]/[pswpout]), OOM kills, the Linux workingset counters fed
+    by shadow entries ([workingset_refault]/[activate]/[restore] plus a
+    shadow-miss counter for refaults whose shadow was torn down), and
+    MG-LRU generation/tier counters.  A log2-bucketed refault-distance
+    histogram rides along.
+
+    {b Determinism and cost.}  Incrementing a counter is one array
+    store — no allocation, no branching on configuration — so the
+    machine and the policies count unconditionally; whether the totals
+    ever leave the machine is decided by the run configuration
+    ({!Machine.config}'s [vmstat] flag), which is how vmstat-off runs
+    stay byte-identical to builds without this module.  Counting never
+    feeds back into any policy decision. *)
+
+type t
+(** A live counter registry.  Not thread-safe: one per trial, written
+    only by the domain running that trial. *)
+
+val create : unit -> t
+
+(** {1 Counter indices}
+
+    Stable indices into the registry; {!encode_capture} serializes in
+    index order, so new counters must only append. *)
+
+val pgfault : int
+val pgmajfault : int
+val pgscan_kswapd : int
+val pgscan_direct : int
+val pgsteal : int
+val pgactivate : int
+val pgdeactivate : int
+val pswpin : int
+val pswpout : int
+val oom_kill : int
+val workingset_refault : int
+val workingset_activate : int
+val workingset_restore : int
+val workingset_shadow_miss : int
+val mglru_aging_passes : int
+val mglru_promoted : int
+val mglru_tier_protected : int
+
+val nr_counters : int
+
+val names : string array
+(** Kernel-style snake_case names, in index order. *)
+
+val name : int -> string
+(** @raise Invalid_argument when out of range. *)
+
+val incr : t -> int -> unit
+
+val add : t -> int -> int -> unit
+(** Add [n] to a counter; non-positive [n] is a no-op (scan deltas). *)
+
+val get : t -> int -> int
+
+val dist_buckets : int
+(** Number of refault-distance histogram buckets: bucket [i] holds
+    distances in [[2^i, 2^(i+1))], bucket 0 holds 0 and 1, the last
+    bucket is open-ended. *)
+
+val dist_bucket : int -> int
+(** Bucket index for one distance (exposed for the tests). *)
+
+val note_refault_distance : t -> int -> unit
+
+(** {1 Captures} *)
+
+type capture = {
+  counters : int array;      (** [nr_counters] totals, index order *)
+  refault_dist : int array;  (** [dist_buckets] histogram counts *)
+}
+
+val capture : t -> capture
+(** A snapshot copy of the registry. *)
+
+val empty_capture : capture
+
+val merge : capture list -> capture
+(** Element-wise sum — per-cell totals across trials.  Deterministic for
+    any grouping order (addition only). *)
+
+val refaults : capture -> int
+(** Total refault-distance samples (= sum of the histogram). *)
+
+val encode_capture : capture -> string
+(** Compact single-line form for the result journal. *)
+
+val decode_capture : string -> capture
+(** Inverse of {!encode_capture}.  Decoding a capture encoded by an
+    older build with fewer counters zero-fills the tail.
+    @raise Failure on malformed input. *)

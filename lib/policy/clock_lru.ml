@@ -55,6 +55,8 @@ let on_page_touched _t ~pfn:_ ~write:_ = ()
 
 let costs t = t.env.Policy_intf.costs
 
+let vm t = t.env.Policy_intf.vmstat
+
 (* Examine one active-tail page: accessed -> rotate to head, else demote.
    The scan loops read the frame owner through the unboxed accessors
    ([-1] sentinels) so examining a page allocates nothing. *)
@@ -90,6 +92,7 @@ let deactivate_one t (stats : Policy_intf.reclaim_stats) =
       end
       else begin
         Structures.Dlist.move_head t.lists ~list:inactive ~node:pfn;
+        Obs.Vmstat.incr (vm t) Obs.Vmstat.pgdeactivate;
         if Obs.enabled t.env.Policy_intf.obs then
           Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
             (Obs.Demote { pfn })
@@ -137,6 +140,11 @@ let evict_one t ~force (stats : Policy_intf.reclaim_stats) =
         Mem.Page_table.set pt vpn (Mem.Pte.clear_accessed pte);
         Structures.Dlist.move_head t.lists ~list:active ~node:pfn;
         stats.promoted <- stats.promoted + 1;
+        (* The kernel's pgactivate: a second chance is a promotion back
+           to the active list.  MG-LRU's generational promotions count
+           under [mglru_promoted] instead, so this counter isolates the
+           active/inactive ping-pong the paper attributes to Clock. *)
+        Obs.Vmstat.incr (vm t) Obs.Vmstat.pgactivate;
         if Obs.enabled t.env.Policy_intf.obs then
           Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
             (Obs.Promote { pfn; reason = Obs.Second_chance });
@@ -181,6 +189,7 @@ let direct_reclaim t ~want =
   if stats.Policy_intf.freed = 0 then
     (* Priority escalation: ignore accessed bits rather than deadlock. *)
     shrink t ~want ~force:true stats;
+  Obs.Vmstat.add (vm t) Obs.Vmstat.pgscan_direct stats.Policy_intf.scanned;
   stats
 
 let kswapd t () =
@@ -190,6 +199,7 @@ let kswapd t () =
   else begin
     let stats = Policy_intf.fresh_stats () in
     shrink t ~want:t.config.scan_batch ~force:false stats;
+    Obs.Vmstat.add (vm t) Obs.Vmstat.pgscan_kswapd stats.Policy_intf.scanned;
     if stats.Policy_intf.freed = 0 && stats.Policy_intf.scanned = 0 then
       Policy_intf.Sleep_until_woken
     else Policy_intf.Work (max stats.Policy_intf.cpu_ns 1_000)

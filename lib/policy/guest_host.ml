@@ -226,6 +226,8 @@ module Host (G : V1.GUEST) = struct
     if stats.Policy_intf.freed = 0 then evict_round t ~want ~force:true stats;
     if stats.Policy_intf.freed = 0 then
       host_fallback t ~want:(max want 1) ~force:true stats;
+    Obs.Vmstat.add t.env.Policy_intf.vmstat Obs.Vmstat.pgscan_direct
+      stats.Policy_intf.scanned;
     stats
 
   let sample_batch t (stats : Policy_intf.reclaim_stats) =
@@ -280,6 +282,10 @@ module Host (G : V1.GUEST) = struct
         if stats.Policy_intf.freed = 0 then
           evict_round t ~want:32 ~force:true stats
       end;
+      (* The guest's background walker is its kswapd: candidate
+         examinations on this thread count as kswapd scan work. *)
+      Obs.Vmstat.add env.Policy_intf.vmstat Obs.Vmstat.pgscan_kswapd
+        stats.Policy_intf.scanned;
       Policy_intf.Work (max stats.Policy_intf.cpu_ns 500)
     end
 

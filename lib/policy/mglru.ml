@@ -150,6 +150,8 @@ let config_of t = t.config
 
 let costs t = t.env.Policy_intf.costs
 
+let vm t = t.env.Policy_intf.vmstat
+
 let refault_key ~asid ~vpn = (asid lsl 44) lor vpn
 
 (* Attach a frame to a generation list (detaching it first if needed). *)
@@ -233,6 +235,9 @@ let scan_region t pt region (work : int ref) =
         let pfn = Mem.Pte.pfn pte in
         promote_to_youngest t ~pfn;
         t.aging_promotions <- t.aging_promotions + 1;
+        (* Generational promotion, not a Clock-style pgactivate: the
+           paper's "fewer ping-pongs" claim is exactly this split. *)
+        Obs.Vmstat.incr (vm t) Obs.Vmstat.mglru_promoted;
         if Obs.enabled t.env.Policy_intf.obs then
           Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
             (Obs.Promote { pfn; reason = Obs.Aging });
@@ -312,6 +317,7 @@ let finish_aging_pass t =
   t.aging_active <- false;
   t.aging_requested <- false;
   t.aging_passes <- t.aging_passes + 1;
+  Obs.Vmstat.incr (vm t) Obs.Vmstat.mglru_aging_passes;
   ignore (inc_max_seq t);
   (* The filter built during this pass guides the next one. *)
   let cur = t.bloom_cur in
@@ -381,6 +387,7 @@ let spatial_scan_region t pt region (stats : Policy_intf.reclaim_stats) =
           promote_to_youngest t ~pfn;
           incr promoted;
           t.spatial_promotions <- t.spatial_promotions + 1;
+          Obs.Vmstat.incr (vm t) Obs.Vmstat.mglru_promoted;
           if Obs.enabled t.env.Policy_intf.obs then
             Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
               (Obs.Promote { pfn; reason = Obs.Spatial });
@@ -432,6 +439,7 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
         promote_to_youngest t ~pfn;
         t.evict_promotions <- t.evict_promotions + 1;
         stats.promoted <- stats.promoted + 1;
+        Obs.Vmstat.incr (vm t) Obs.Vmstat.mglru_promoted;
         if Obs.enabled t.env.Policy_intf.obs then
           Obs.emit t.env.Policy_intf.obs ~t_ns:(t.env.Policy_intf.now ())
             (Obs.Promote { pfn; reason = Obs.Evict_scan });
@@ -454,6 +462,7 @@ let evict_candidate t ~force (stats : Policy_intf.reclaim_stats) =
           (* Shielded tier: give it one more generation instead. *)
           place t ~pfn ~seq:(min (t.min_seq + 1) t.max_seq) ~tier;
           t.tier_protected_saves <- t.tier_protected_saves + 1;
+          Obs.Vmstat.incr (vm t) Obs.Vmstat.mglru_tier_protected;
           stats.cpu_ns <- stats.cpu_ns + c.Mem.Costs.list_op_ns;
           Prof.charge_phase t.env.Policy_intf.prof Prof.Evict_scan
             c.Mem.Costs.list_op_ns;
@@ -522,6 +531,7 @@ let direct_reclaim t ~want =
     finish_aging_synchronously t stats;
     shrink t ~want ~force:true stats
   end;
+  Obs.Vmstat.add (vm t) Obs.Vmstat.pgscan_direct stats.Policy_intf.scanned;
   stats
 
 let kswapd t () =
@@ -531,6 +541,7 @@ let kswapd t () =
   else begin
     let stats = Policy_intf.fresh_stats () in
     shrink t ~want:t.config.evict_batch ~force:false stats;
+    Obs.Vmstat.add (vm t) Obs.Vmstat.pgscan_kswapd stats.Policy_intf.scanned;
     if stats.Policy_intf.freed = 0 then
       if t.aging_active || t.aging_requested then
         (* Blocked on the walk: lend this kswapd step to it. *)

@@ -45,6 +45,12 @@ type env = {
           only, like [obs]: a policy attributes the work it accrues into
           {!reclaim_stats.cpu_ns} by phase ([Obs.Prof.charge ~phase])
           but must never branch on it. *)
+  vmstat : Obs.Vmstat.t;
+      (** The machine's vmstat counter registry.  Observation only, like
+          [obs]: a policy bumps the counters matching its actions
+          ([pgscan_direct]/[pgscan_kswapd], [pgactivate]/[pgdeactivate],
+          the [mglru_*] family) but must never read them back into a
+          decision. *)
 }
 
 type reclaim_stats = {

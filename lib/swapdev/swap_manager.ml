@@ -4,6 +4,10 @@ type t = {
   max_retries : int;
   backoff_ns : int;
   obs : Obs.t;
+  (* The machine's vmstat registry (a private throwaway when none is
+     passed): pswpin/pswpout count at the same points as [ins]/[outs],
+     unconditionally — one int store, never a branch on configuration. *)
+  vmstat : Obs.Vmstat.t;
   mutable ratios : float array; (* slot -> size fraction; nan = free *)
   mutable free : int list;
   mutable next_slot : int;
@@ -33,7 +37,7 @@ type io = {
 }
 
 let create ?(max_retries = 4) ?(backoff_ns = 100_000) ?(obs = Obs.disabled)
-    ~device ~seed () =
+    ?vmstat ~device ~seed () =
   if max_retries < 0 then invalid_arg "Swap_manager.create: max_retries";
   {
     device;
@@ -41,6 +45,8 @@ let create ?(max_retries = 4) ?(backoff_ns = 100_000) ?(obs = Obs.disabled)
     max_retries;
     backoff_ns;
     obs;
+    vmstat =
+      (match vmstat with Some v -> v | None -> Obs.Vmstat.create ());
     ratios = Array.make 1024 nan;
     free = [];
     next_slot = 0;
@@ -113,6 +119,7 @@ let rec out_attempt t ratio slot now tries cpu =
   match c.Device.status with
   | Device.Done ->
     t.outs <- t.outs + 1;
+    Obs.Vmstat.incr t.vmstat Obs.Vmstat.pswpout;
     t.last_finish_ns <- c.Device.finish_ns;
     t.last_cpu_ns <- cpu;
     t.last_retries <- tries;
@@ -173,6 +180,7 @@ let rec in_attempt t ratio now tries cpu =
   match c.Device.status with
   | Device.Done ->
     t.ins <- t.ins + 1;
+    Obs.Vmstat.incr t.vmstat Obs.Vmstat.pswpin;
     t.last_finish_ns <- c.Device.finish_ns;
     t.last_cpu_ns <- cpu;
     t.last_retries <- tries;

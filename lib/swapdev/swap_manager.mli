@@ -18,14 +18,16 @@
 type t
 
 val create :
-  ?max_retries:int -> ?backoff_ns:int -> ?obs:Obs.t ->
+  ?max_retries:int -> ?backoff_ns:int -> ?obs:Obs.t -> ?vmstat:Obs.Vmstat.t ->
   device:Device.t -> seed:int -> unit -> t
 (** [max_retries] (default 4) bounds resubmissions per operation;
     [backoff_ns] (default 100 µs) is the base of the exponential
     backoff, doubling per attempt.  [obs] (default {!Obs.disabled})
     receives one [Swap_read]/[Swap_write] event per logical operation,
     stamped with the submission time and carrying the whole-operation
-    latency including retries and backoff. *)
+    latency including retries and backoff.  [vmstat] (default: a private
+    registry) takes a [pswpin]/[pswpout] bump per successful read/write,
+    at the same points as {!swap_ins}/{!swap_outs}. *)
 
 val device : t -> Device.t
 

@@ -36,6 +36,7 @@ let make_world ?(frames = 64) ?(pages = 256) ?(region_size = 16)
       high_watermark = 0;
       obs = Obs.disabled;
       prof = Obs.Prof.disabled;
+      vmstat = Obs.Vmstat.create ();
     }
   in
   let world =
@@ -85,6 +86,7 @@ let make_world ?(frames = 64) ?(pages = 256) ?(region_size = 16)
       high_watermark = Mem.Phys_mem.high_watermark mem;
       obs = Obs.disabled;
       prof = Obs.Prof.disabled;
+      vmstat = Obs.Vmstat.create ();
     }
   in
   ignore file_backed;
